@@ -1,0 +1,145 @@
+// Command raftpaxos-check runs the repository's formal verification
+// suite: exhaustive bounded model checking of the Appendix B specs'
+// invariants, the Raft* ⇒ MultiPaxos refinement (the paper's central
+// claim), the Raft ⇏ MultiPaxos counterexample, and the Figure 5
+// obligations of both generated ported protocols.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"raftpaxos"
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+func main() {
+	maxStates := flag.Int("max-states", 100000, "state cap per check")
+	flag.Parse()
+	if err := run(*maxStates); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type step struct {
+	name string
+	fn   func(maxStates int) (mc.Result, bool) // result, expectViolation
+}
+
+func run(maxStates int) error {
+	bounds := specs.TinyConsensus()
+	negBounds := bounds
+	negBounds.MaxIndex = 2
+	pqlCfg := specs.TinyPQL()
+	menCfg := specs.TinyMencius()
+
+	steps := []step{
+		{"MultiPaxos invariants (Agreement, OneValuePerBallot)", func(ms int) (mc.Result, bool) {
+			return mc.Check(specs.MultiPaxos(bounds), []mc.Invariant{
+				{Name: "Agreement", Fn: specs.Agreement(bounds)},
+				{Name: "OneValuePerBallot", Fn: specs.OneValuePerBallot(bounds)},
+			}, mc.Options{MaxStates: ms}), false
+		}},
+		{"Raft* invariants", func(ms int) (mc.Result, bool) {
+			return mc.Check(specs.RaftStar(bounds), []mc.Invariant{
+				{Name: "Agreement", Fn: specs.Agreement(bounds)},
+			}, mc.Options{MaxStates: ms}), false
+		}},
+		{"Raft* refines MultiPaxos (Section 3, Appendix C)", func(ms int) (mc.Result, bool) {
+			return mc.CheckRefinement(specs.RaftStarToMultiPaxos(bounds), nil,
+				mc.Options{MaxStates: ms, MaxHops: 4}), false
+		}},
+		{"Raft does NOT refine MultiPaxos (Section 3)", func(ms int) (mc.Result, bool) {
+			return mc.CheckRefinement(specs.RaftToMultiPaxosAttempt(negBounds), nil,
+				mc.Options{MaxStates: ms, MaxHops: 4}), true
+		}},
+		{"PQL invariants (LeaseInv)", func(ms int) (mc.Result, bool) {
+			sp, err := specs.PQL(pqlCfg).Build()
+			if err != nil {
+				panic(err)
+			}
+			return mc.Check(sp, []mc.Invariant{
+				{Name: "LeaseInv", Fn: specs.LeaseInv(pqlCfg)},
+			}, mc.Options{MaxStates: ms / 4}), false
+		}},
+		{"Mencius invariants (ExecutableNopSafe)", func(ms int) (mc.Result, bool) {
+			sp, err := specs.Mencius(menCfg).Build()
+			if err != nil {
+				panic(err)
+			}
+			return mc.Check(sp, []mc.Invariant{
+				{Name: "ExecutableNopSafe", Fn: specs.ExecutableNopSafe(menCfg)},
+				{Name: "SkipTagsAreNops", Fn: specs.SkipTagsAreNops(menCfg)},
+			}, mc.Options{MaxStates: ms}), false
+		}},
+		{"generated Raft*-PQL: B∆ ⇒ A∆ and B∆ ⇒ B (Figure 5)", func(ms int) (mc.Result, bool) {
+			ported, err := raftpaxos.NewPortedPQL()
+			if err != nil {
+				panic(err)
+			}
+			res := mc.CheckRefinement(ported.ToOptimizedHigh, nil, mc.Options{MaxStates: ms / 8, MaxHops: 4})
+			if res.Violation != nil {
+				return res, false
+			}
+			return mc.CheckRefinement(ported.ToBase, nil, mc.Options{MaxStates: ms / 8}), false
+		}},
+		{"generated Coordinated Raft*: B∆ ⇒ A∆ and B∆ ⇒ B (Figure 5)", func(ms int) (mc.Result, bool) {
+			ported, err := raftpaxos.NewPortedMencius()
+			if err != nil {
+				panic(err)
+			}
+			res := mc.CheckRefinement(ported.ToOptimizedHigh, nil, mc.Options{MaxStates: ms, MaxHops: 4})
+			if res.Violation != nil {
+				return res, false
+			}
+			return mc.CheckRefinement(ported.ToBase, nil, mc.Options{MaxStates: ms}), false
+		}},
+		{"non-mutating classification (PQL, Mencius accepted; mutant rejected)", func(ms int) (mc.Result, bool) {
+			pqlOpt := specs.PQL(pqlCfg)
+			sp, _ := pqlOpt.Build()
+			if err := pqlOpt.VerifyNonMutating([]core.State{sp.Init()}); err != nil {
+				panic(err)
+			}
+			menOpt := specs.Mencius(menCfg)
+			sp2, _ := menOpt.Build()
+			if err := menOpt.VerifyNonMutating([]core.State{sp2.Init()}); err != nil {
+				panic(err)
+			}
+			bad := specs.ToyMutatingOpt(specs.ToyConfig{Keys: 2, Values: 2})
+			sp3, _ := bad.Build()
+			if err := bad.VerifyNonMutating([]core.State{sp3.Init()}); err == nil {
+				panic("mutating optimization not rejected")
+			}
+			return mc.Result{}, false
+		}},
+	}
+
+	failed := 0
+	for _, s := range steps {
+		start := time.Now()
+		res, expectViolation := s.fn(maxStates)
+		status := "ok"
+		switch {
+		case expectViolation && res.Violation == nil:
+			status = "FAIL (expected counterexample, found none)"
+			failed++
+		case expectViolation:
+			status = "ok (counterexample found, as the paper predicts)"
+		case res.Violation != nil:
+			status = "FAIL\n" + res.Violation.Error()
+			failed++
+		}
+		fmt.Printf("%-62s %8d states %6.2fs  %s\n",
+			s.name, res.States, time.Since(start).Seconds(), status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d checks failed", failed)
+	}
+	fmt.Println("\nall checks passed")
+	return nil
+}

@@ -1,0 +1,181 @@
+// Command raftpaxos-kv runs a replicated key-value store node over TCP —
+// the multi-process deployment path. Start N processes with the same
+// -peers list and distinct -id values, then drive any of them with
+// -put/-get one-shot operations from a sibling invocation, or use -demo
+// to launch a self-contained 3-node cluster in one process.
+//
+//	raftpaxos-kv -demo
+//	raftpaxos-kv -id 0 -peers 127.0.0.1:7800,127.0.0.1:7801,127.0.0.1:7802
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"raftpaxos"
+	"raftpaxos/internal/cluster"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/transport"
+)
+
+// lazyTransport lets the node be constructed before its TCP transport
+// (the transport needs the node's message handler, and the node needs the
+// transport — this breaks the cycle).
+type lazyTransport struct {
+	mu sync.RWMutex
+	t  transport.Transport
+}
+
+func (l *lazyTransport) set(t transport.Transport) {
+	l.mu.Lock()
+	l.t = t
+	l.mu.Unlock()
+}
+
+// Send implements transport.Transport.
+func (l *lazyTransport) Send(from, to protocol.NodeID, msg protocol.Message) {
+	l.mu.RLock()
+	t := l.t
+	l.mu.RUnlock()
+	if t != nil {
+		t.Send(from, to, msg)
+	}
+}
+
+// Close implements transport.Transport.
+func (l *lazyTransport) Close() error { return nil }
+
+func main() {
+	id := flag.Int("id", 0, "this node's index into -peers")
+	peersFlag := flag.String("peers", "", "comma-separated host:port list, one per replica")
+	proto := flag.String("protocol", "raftstar", "protocol: raft raftstar raftstar-pql raftstar-ll raftstar-mencius multipaxos paxos-pql")
+	demo := flag.Bool("demo", false, "run a self-contained 3-node TCP cluster and a demo workload")
+	dataDir := flag.String("data", "", "data directory for the WAL (empty = volatile)")
+	flag.Parse()
+	if err := run(*id, *peersFlag, *proto, *demo, *dataDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
+	addrs map[protocol.NodeID]string, dataDir string) (*cluster.Node, *transport.TCP, error) {
+	eng := raftpaxos.NewEngine(raftpaxos.ClusterConfig{Protocol: p, Nodes: len(peers)}, id, peers)
+	lazy := &lazyTransport{}
+	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy})
+	tcp, err := transport.NewTCP(id, addrs, n.HandleMessage)
+	if err != nil {
+		return nil, nil, err
+	}
+	lazy.set(tcp)
+	_ = dataDir
+	n.Start()
+	return n, tcp, nil
+}
+
+func run(id int, peersFlag, protoName string, demo bool, dataDir string) error {
+	transport.RegisterMessages()
+	cluster.RegisterMessages()
+	p, err := raftpaxos.ParseProto(protoName)
+	if err != nil {
+		return err
+	}
+
+	if demo {
+		return runDemo(p)
+	}
+	if peersFlag == "" {
+		return fmt.Errorf("need -peers (or -demo)")
+	}
+	addrList := strings.Split(peersFlag, ",")
+	peers := make([]protocol.NodeID, len(addrList))
+	addrs := make(map[protocol.NodeID]string, len(addrList))
+	for i, a := range addrList {
+		peers[i] = protocol.NodeID(i)
+		addrs[protocol.NodeID(i)] = strings.TrimSpace(a)
+	}
+	if id < 0 || id >= len(peers) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+	}
+	node, tcp, err := startNode(p, protocol.NodeID(id), peers, addrs, dataDir)
+	if err != nil {
+		return err
+	}
+	defer tcp.Close()
+	defer node.Stop()
+	fmt.Printf("node %d (%s) listening on %s\n", id, p, addrs[protocol.NodeID(id)])
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+func runDemo(p raftpaxos.Proto) error {
+	// Three nodes on loopback ports chosen by the OS.
+	peers := []protocol.NodeID{0, 1, 2}
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+
+	var nodes []*cluster.Node
+	var tcps []*transport.TCP
+	// First pass: grab free loopback ports so every node knows the full
+	// address map before any listener starts.
+	for _, id := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+	}
+	// Second pass: start for real with the final address map.
+	for _, id := range peers {
+		n, tcp, err := startNode(p, id, peers, addrs, "")
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, n)
+		tcps = append(tcps, tcp)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		for _, t := range tcps {
+			t.Close()
+		}
+	}()
+
+	fmt.Printf("3-node %s cluster over TCP: %v %v %v\n", p, addrs[0], addrs[1], addrs[2])
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p == raftpaxos.ProtoRaftStarMencius || nodes[0].LeaderID() != protocol.None {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := nodes[i%3].Put(ctx, key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			return fmt.Errorf("put %s: %w", key, err)
+		}
+		v, err := nodes[(i+1)%3].Get(ctx, key)
+		if err != nil {
+			return fmt.Errorf("get %s: %w", key, err)
+		}
+		fmt.Printf("put at node %d, read at node %d: %s = %s\n", i%3, (i+1)%3, key, v)
+	}
+	fmt.Println("demo complete")
+	return nil
+}

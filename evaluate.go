@@ -1,0 +1,52 @@
+package raftpaxos
+
+import "raftpaxos/internal/bench"
+
+// The evaluation layer re-exports the figure harness so downstream users
+// (and cmd/raftpaxos-bench) can regenerate the paper's tables.
+
+// Re-exported evaluation types.
+type (
+	// EvalOptions scale the experiments (Quick for CI-sized runs).
+	EvalOptions = bench.Options
+	// EvalTable is a rendered result table.
+	EvalTable = bench.Table
+	// EvalScenario is a single-trial configuration.
+	EvalScenario = bench.Scenario
+	// EvalResult is a single trial's measurements.
+	EvalResult = bench.Result
+)
+
+// RunScenario executes one simulated trial.
+func RunScenario(sc EvalScenario) (*EvalResult, error) { return bench.Run(sc) }
+
+// EvaluateFigure9Latency regenerates Figures 9a and 9b.
+func EvaluateFigure9Latency(opt EvalOptions) ([]*EvalTable, error) {
+	tabs, _, err := bench.Figure9Latency(opt)
+	return tabs, err
+}
+
+// EvaluateFigure9cPeak regenerates Figure 9c.
+func EvaluateFigure9cPeak(opt EvalOptions) (*EvalTable, error) {
+	tab, _, err := bench.Figure9cPeakThroughput(opt)
+	return tab, err
+}
+
+// EvaluateFigure9dSpeedup regenerates Figure 9d.
+func EvaluateFigure9dSpeedup(opt EvalOptions) (*EvalTable, error) {
+	tab, _, err := bench.Figure9dSpeedup(opt)
+	return tab, err
+}
+
+// EvaluateFigure10Throughput regenerates Figure 10a (8 B) or 10b (4 KB)
+// depending on valueSize.
+func EvaluateFigure10Throughput(opt EvalOptions, valueSize int) (*EvalTable, error) {
+	tab, _, err := bench.Figure10Throughput(opt, valueSize)
+	return tab, err
+}
+
+// EvaluateFigure10Latency regenerates Figure 10c (8 B) or 10d (4 KB).
+func EvaluateFigure10Latency(opt EvalOptions, valueSize int) (*EvalTable, error) {
+	tab, _, err := bench.Figure10Latency(opt, valueSize)
+	return tab, err
+}

@@ -1,0 +1,94 @@
+// Command leases demonstrates Raft*-PQL — the Paxos Quorum Lease
+// optimization ported to Raft* by the paper's method — against plain
+// Raft* on a live in-process cluster: once every replica holds leases
+// from a quorum, strongly consistent reads are served locally instead of
+// replicating through the log, and writes wait for every lease holder.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"raftpaxos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func measureReads(cl *raftpaxos.Cluster, label string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Node(0).Put(ctx, "answer", []byte("42")); err != nil {
+		return err
+	}
+	// Let leases establish (grant + acknowledgement round trips).
+	time.Sleep(300 * time.Millisecond)
+
+	var total time.Duration
+	const reads = 50
+	for i := 0; i < reads; i++ {
+		node := cl.Node(i % cl.Len())
+		start := time.Now()
+		v, err := node.Get(ctx, "answer")
+		if err != nil {
+			return err
+		}
+		if string(v) != "42" {
+			return fmt.Errorf("read %q, want 42", v)
+		}
+		total += time.Since(start)
+	}
+	fmt.Printf("%-28s %d reads, mean latency %v\n", label, reads, total/reads)
+	return nil
+}
+
+func run() error {
+	cfg := raftpaxos.ClusterConfig{
+		Nodes:             3,
+		TickInterval:      2 * time.Millisecond,
+		ElectionTimeout:   80 * time.Millisecond,
+		HeartbeatInterval: 10 * time.Millisecond,
+		LeaseDuration:     500 * time.Millisecond,
+		LeaseRenew:        100 * time.Millisecond,
+		Seed:              7,
+	}
+
+	cfg.Protocol = raftpaxos.ProtoRaftStar
+	plain, err := raftpaxos.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer plain.Stop()
+	if plain.WaitLeader(5*time.Second) < 0 {
+		return fmt.Errorf("raft*: no leader")
+	}
+	if err := measureReads(plain, "Raft* (reads via log):"); err != nil {
+		return err
+	}
+
+	cfg.Protocol = raftpaxos.ProtoRaftStarPQL
+	leased, err := raftpaxos.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer leased.Stop()
+	if leased.WaitLeader(5*time.Second) < 0 {
+		return fmt.Errorf("raft*-pql: no leader")
+	}
+	if err := measureReads(leased, "Raft*-PQL (local reads):"); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("Raft*-PQL answers reads from the local replica while a quorum")
+	fmt.Println("lease is active; consistency is preserved because a write only")
+	fmt.Println("commits after every granted lease holder has acknowledged it")
+	fmt.Println("(the ported LeaderLearn of Figure 13 — including the leader's")
+	fmt.Println("own grants, the detail handworked ports missed).")
+	return nil
+}

@@ -1,0 +1,86 @@
+package raftpaxos
+
+import (
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+// The formal layer re-exports the paper's toolkit: executable TLA+-style
+// specifications (Appendix B), refinement mappings, the model checker that
+// stands in for TLAPS on bounded domains, and the Section 4.3 automatic
+// porting algorithm.
+
+// Re-exported formal types.
+type (
+	// Spec is an executable specification (state machine with guarded
+	// subactions).
+	Spec = core.Spec
+	// Optimization is a non-mutating optimization over a base spec
+	// (Section 4.2).
+	Optimization = core.Optimization
+	// Refinement is a refinement-mapping claim B ⇒ A.
+	Refinement = core.Refinement
+	// Ported is the output of the porting algorithm: the derived B∆ with
+	// its Figure 5 refinement obligations.
+	Ported = core.Ported
+	// CheckOptions bound model-checker explorations.
+	CheckOptions = mc.Options
+	// CheckResult reports an exploration.
+	CheckResult = mc.Result
+	// SpecBounds bounds the consensus specs' domains.
+	SpecBounds = specs.ConsensusConfig
+)
+
+// DefaultBounds returns the bounded domains used by the repository's own
+// verification runs (3 acceptors, 2 ballots, 2 values, 1 index).
+func DefaultBounds() SpecBounds { return specs.TinyConsensus() }
+
+// SpecMultiPaxos returns the Appendix B.1 MultiPaxos specification.
+func SpecMultiPaxos(b SpecBounds) *Spec { return specs.MultiPaxos(b) }
+
+// SpecRaftStar returns the Appendix B.2 Raft* specification.
+func SpecRaftStar(b SpecBounds) *Spec { return specs.RaftStar(b) }
+
+// SpecRaft returns the standard-Raft specification used for the Section 3
+// negative result.
+func SpecRaft(b SpecBounds) *Spec { return specs.Raft(b) }
+
+// RaftStarRefinement returns the Section 3 / Figure 3 refinement mapping
+// Raft* ⇒ MultiPaxos.
+func RaftStarRefinement(b SpecBounds) *Refinement { return specs.RaftStarToMultiPaxos(b) }
+
+// RaftRefinementAttempt returns the natural (failing) mapping attempt
+// Raft ⇒ MultiPaxos; checking it yields the paper's counterexample.
+func RaftRefinementAttempt(b SpecBounds) *Refinement { return specs.RaftToMultiPaxosAttempt(b) }
+
+// Port runs the Section 4.3 algorithm: given a non-mutating optimization
+// over A and a refinement B ⇒ A, derive B∆ with its correctness
+// obligations.
+func Port(opt *Optimization, ref *Refinement) (*Ported, error) { return core.Port(opt, ref) }
+
+// NewPortedPQL generates Raft*-PQL: the Paxos Quorum Lease optimization
+// (Appendix B.3) ported onto Raft* — the paper's first case study.
+func NewPortedPQL() (*Ported, error) {
+	cfg := specs.TinyPQL()
+	return core.Port(specs.PQL(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+}
+
+// NewPortedMencius generates Coordinated Raft* (Raft*-Mencius): the
+// Mencius optimization (Appendix B.5) ported onto Raft* — the paper's
+// second case study.
+func NewPortedMencius() (*Ported, error) {
+	cfg := specs.TinyMencius()
+	return core.Port(specs.Mencius(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+}
+
+// CheckInvariant explores a spec checking a named predicate.
+func CheckInvariant(sp *Spec, name string, inv func(core.State) bool, opts CheckOptions) CheckResult {
+	return mc.Check(sp, []mc.Invariant{{Name: name, Fn: inv}}, opts)
+}
+
+// CheckRefinement verifies a refinement claim transition-by-transition on
+// bounded domains.
+func CheckRefinement(ref *Refinement, opts CheckOptions) CheckResult {
+	return mc.CheckRefinement(ref, nil, opts)
+}

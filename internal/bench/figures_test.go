@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure9Shapes verifies the paper's Figure 9a/9b qualitative claims.
+func TestFigure9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tabs, results, err := Figure9Latency(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tabs {
+		t.Logf("\n%s", tab)
+	}
+	byName := map[Protocol]*Result{}
+	for _, r := range results {
+		byName[r.Scenario.Protocol] = r
+	}
+	// PQL serves follower reads locally; Raft needs a WAN round trip.
+	pqlFR := byName[RaftStarPQL].LatencyOf("follower-read").Percentile(90)
+	raftFR := byName[Raft].LatencyOf("follower-read").Percentile(90)
+	if pqlFR*5 > raftFR {
+		t.Fatalf("PQL follower reads (p90=%v) should be far below Raft's (p90=%v)", pqlFR, raftFR)
+	}
+	// LL serves only leader reads locally.
+	llLR := byName[RaftStarLL].LatencyOf("leader-read").Percentile(90)
+	llFR := byName[RaftStarLL].LatencyOf("follower-read").Percentile(90)
+	if llLR > 20*time.Millisecond {
+		t.Fatalf("LL leader reads should be local, got p90=%v", llLR)
+	}
+	if llFR < 20*time.Millisecond {
+		t.Fatalf("LL follower reads should be forwarded, got p90=%v", llFR)
+	}
+	// PQL writes wait for all lease holders: at least as slow as Raft*'s.
+	pqlW := byName[RaftStarPQL].LatencyOf("leader-write").Percentile(90)
+	rsW := byName[RaftStar].LatencyOf("leader-write").Percentile(90)
+	if pqlW < rsW {
+		t.Fatalf("PQL leader writes (p90=%v) should not beat Raft* (p90=%v)", pqlW, rsW)
+	}
+}
+
+// TestFigure9cShape verifies the peak-throughput ordering: Raft ≈ Raft* ≈
+// LL, with PQL ahead and its advantage growing with the read fraction.
+func TestFigure9cShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tab, vals, err := Figure9cPeakThroughput(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	pql, raft := vals[RaftStarPQL], vals[Raft]
+	for i, pct := range []int{50, 90, 99} {
+		if pql[i] <= raft[i] {
+			t.Fatalf("PQL (%f) must beat Raft (%f) at %d%% reads", pql[i], raft[i], pct)
+		}
+	}
+	if s90, s99 := pql[1]/raft[1], pql[2]/raft[2]; s99 < s90 {
+		t.Fatalf("PQL advantage must grow with read%%: 90%%=%.2fx 99%%=%.2fx", s90, s99)
+	}
+	// Raft, Raft* and LL peak within a modest band of each other.
+	rs, ll := vals[RaftStar], vals[RaftStarLL]
+	for i := range raft {
+		lo, hi := raft[i], raft[i]
+		for _, v := range []float64{rs[i], ll[i]} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > 1.6*lo {
+			t.Fatalf("Raft/Raft*/LL peaks should be comparable, got spread %.0f..%.0f", lo, hi)
+		}
+	}
+}
+
+// TestFigure9dShape: the PQL speedup grows as the conflict rate falls.
+func TestFigure9dShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tab, speedups, err := Figure9dSpeedup(Options{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	if speedups[0] <= speedups[50] {
+		t.Fatalf("speedup at 0%% conflict (%.2f) must exceed 50%% conflict (%.2f)",
+			speedups[0], speedups[50])
+	}
+	if speedups[0] <= 0.2 {
+		t.Fatalf("speedup at 0%% conflict should be substantial, got %.2f", speedups[0])
+	}
+}
+
+// TestFigure10aShape: CPU-bound throughput — Mencius beats every
+// single-leader configuration by balancing load across replicas.
+func TestFigure10aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tab, series, err := Figure10Throughput(Options{Quick: true, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	last := func(name string) float64 {
+		s := series[name]
+		return s[len(s)-1]
+	}
+	if last("Raft*-M-0%") <= last("Raft-Oregon") {
+		t.Fatalf("Mencius (%.0f) must out-scale Raft-Oregon (%.0f)",
+			last("Raft*-M-0%"), last("Raft-Oregon"))
+	}
+}
+
+// TestFigure10bShape: network-bound (4 KB) — Raft-Oregon beats Raft-Seoul
+// and Mencius beats both by using every replica's bandwidth.
+func TestFigure10bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tab, series, err := Figure10Throughput(Options{Quick: true, Seed: 7}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	best := func(name string) float64 {
+		m := 0.0
+		for _, v := range series[name] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if best("Raft-Oregon") <= best("Raft-Seoul") {
+		t.Fatalf("Raft-Oregon (%.0f) must beat Raft-Seoul (%.0f)",
+			best("Raft-Oregon"), best("Raft-Seoul"))
+	}
+	if best("Raft*-M-0%") <= best("Raft-Oregon") {
+		t.Fatalf("Mencius (%.0f) must beat Raft-Oregon (%.0f) when network-bound",
+			best("Raft*-M-0%"), best("Raft-Oregon"))
+	}
+}
+
+// TestFigure10LatencyShape: Raft-Oregon's leader has the lowest latency;
+// Mencius-100% has a heavy tail; Mencius-0% sits between, bounded by the
+// farthest site.
+func TestFigure10LatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure harness")
+	}
+	tab, results, err := Figure10Latency(Options{Quick: true, Seed: 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	get := func(i int, class string) time.Duration {
+		return results[i].LatencyOf(class).Percentile(90)
+	}
+	m100 := get(0, "follower-write")
+	m0 := get(1, "follower-write")
+	oregonLeader := get(2, "leader-write")
+	if oregonLeader >= m0 {
+		t.Fatalf("Raft-Oregon leader (p90=%v) should be lower than Mencius-0%% (p90=%v)",
+			oregonLeader, m0)
+	}
+	if m100 <= m0 {
+		t.Fatalf("Mencius-100%% (p90=%v) must be slower than Mencius-0%% (p90=%v)", m100, m0)
+	}
+}

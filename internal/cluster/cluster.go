@@ -1,0 +1,309 @@
+// Package cluster is the live (non-simulated) runtime: it drives a
+// consensus engine with a wall-clock ticker over a Transport, persists
+// hard state and log entries, applies commits to the replicated key-value
+// store, and offers a blocking client API (Put/Get). All engine access is
+// serialized through one event loop, matching the engines' single-threaded
+// contract.
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raftpaxos/internal/kvstore"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/storage"
+	"raftpaxos/internal/transport"
+)
+
+// MsgReply routes a committed request's response back to the node the
+// client is attached to.
+type MsgReply struct {
+	CmdID    uint64
+	Value    []byte
+	Redirect protocol.NodeID
+	ErrText  string
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgReply) WireSize() int { return 24 + len(m.Value) }
+
+// RegisterMessages registers the cluster-level wire types with gob for
+// TCP deployments (engine messages register via transport.RegisterMessages).
+func RegisterMessages() {
+	gob.Register(&MsgReply{})
+}
+
+// Config assembles a node.
+type Config struct {
+	Engine    protocol.Engine
+	Transport transport.Transport
+	// Stable optionally persists hard state and entries (nil = volatile).
+	Stable storage.Store
+	// TickInterval drives the engine's logical clock (default 10ms).
+	TickInterval time.Duration
+}
+
+// Response completes a client call.
+type Response struct {
+	Value []byte
+	Err   error
+}
+
+type inbound struct {
+	from protocol.NodeID
+	msg  protocol.Message
+}
+
+type submitReq struct {
+	cmd  protocol.Command
+	read bool
+}
+
+// Node is one live replica.
+type Node struct {
+	cfg   Config
+	id    protocol.NodeID
+	store *kvstore.Store
+
+	inbox   chan inbound
+	submits chan submitReq
+
+	mu      sync.Mutex
+	waiters map[uint64]chan Response
+	nextID  atomic.Uint64
+
+	// Leadership view cached by the event loop: engines are
+	// single-threaded, so outside readers must not touch them directly.
+	isLeader atomic.Bool
+	leaderID atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ErrStopped is returned for calls against a stopped node.
+var ErrStopped = errors.New("cluster: node stopped")
+
+// New assembles a node (call Start to run it).
+func New(cfg Config) *Node {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = 10 * time.Millisecond
+	}
+	return &Node{
+		cfg:     cfg,
+		id:      cfg.Engine.ID(),
+		store:   kvstore.New(),
+		inbox:   make(chan inbound, 4096),
+		submits: make(chan submitReq, 1024),
+		waiters: make(map[uint64]chan Response),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// ID returns the replica identity.
+func (n *Node) ID() protocol.NodeID { return n.id }
+
+// Store exposes the applied state machine (reads of applied state).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// Engine exposes the wrapped engine. Engines are single-threaded: callers
+// may only touch it before Start or after Stop; use IsLeader/LeaderID for
+// live inspection.
+func (n *Node) Engine() protocol.Engine { return n.cfg.Engine }
+
+// IsLeader reports the event loop's last observation of leadership.
+func (n *Node) IsLeader() bool { return n.isLeader.Load() }
+
+// LeaderID reports the event loop's last observation of the leader
+// (protocol.None when unknown).
+func (n *Node) LeaderID() protocol.NodeID { return protocol.NodeID(n.leaderID.Load()) }
+
+// HandleMessage is the transport inbound hook.
+func (n *Node) HandleMessage(from protocol.NodeID, msg protocol.Message) {
+	select {
+	case n.inbox <- inbound{from: from, msg: msg}:
+	case <-n.stop:
+	}
+}
+
+// Start launches the event loop.
+func (n *Node) Start() {
+	go n.run()
+}
+
+// Stop terminates the event loop and fails outstanding waiters.
+func (n *Node) Stop() {
+	close(n.stop)
+	<-n.done
+	n.mu.Lock()
+	for id, ch := range n.waiters {
+		ch <- Response{Err: ErrStopped}
+		delete(n.waiters, id)
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	n.leaderID.Store(int64(protocol.None))
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.handle(n.cfg.Engine.Tick())
+		case in := <-n.inbox:
+			if m, ok := in.msg.(*MsgReply); ok {
+				n.completeLocal(m)
+				continue
+			}
+			n.handle(n.cfg.Engine.Step(in.from, in.msg))
+		case req := <-n.submits:
+			if req.read {
+				n.handle(n.cfg.Engine.SubmitRead(req.cmd))
+			} else {
+				n.handle(n.cfg.Engine.Submit(req.cmd))
+			}
+		}
+		n.isLeader.Store(n.cfg.Engine.IsLeader())
+		n.leaderID.Store(int64(n.cfg.Engine.Leader()))
+	}
+}
+
+// handle realizes one engine output.
+func (n *Node) handle(out protocol.Output) {
+	if out.StateChanged && n.cfg.Stable != nil {
+		// Persist conservatively: term/vote changes ride on every output
+		// flagged as state-changing. Entry persistence happens on commit
+		// application below; a production port would persist pre-ack.
+		type termer interface{ Term() uint64 }
+		hs := storage.HardState{VotedFor: protocol.None}
+		if t, ok := n.cfg.Engine.(termer); ok {
+			hs.Term = t.Term()
+		}
+		_ = n.cfg.Stable.SaveHardState(hs)
+	}
+	for _, ci := range out.Commits {
+		n.store.Apply(ci.Entry)
+		if n.cfg.Stable != nil {
+			_ = n.cfg.Stable.Append([]protocol.Entry{ci.Entry})
+		}
+		if !ci.Reply {
+			continue
+		}
+		n.respond(ci.Entry.Cmd.Client, &MsgReply{
+			CmdID: ci.Entry.Cmd.ID,
+			Value: n.readFor(ci.Entry.Cmd),
+		})
+	}
+	for _, rep := range out.Replies {
+		m := &MsgReply{CmdID: rep.CmdID, Redirect: rep.Redirect}
+		if rep.Err != nil {
+			m.ErrText = rep.Err.Error()
+		} else if rep.Kind == protocol.ReplyRead {
+			v, _ := n.store.Get(rep.Key)
+			m.Value = v
+		}
+		n.respond(rep.Client, m)
+	}
+	for _, env := range out.Msgs {
+		n.cfg.Transport.Send(env.From, env.To, env.Msg)
+	}
+}
+
+func (n *Node) readFor(cmd protocol.Command) []byte {
+	if cmd.Op != protocol.OpGet {
+		return nil
+	}
+	v, _ := n.store.Get(cmd.Key)
+	return v
+}
+
+// respond routes a reply to the node the client is attached to.
+func (n *Node) respond(origin protocol.NodeID, m *MsgReply) {
+	if origin == n.id {
+		n.completeLocal(m)
+		return
+	}
+	n.cfg.Transport.Send(n.id, origin, m)
+}
+
+func (n *Node) completeLocal(m *MsgReply) {
+	n.mu.Lock()
+	ch, ok := n.waiters[m.CmdID]
+	if ok {
+		delete(n.waiters, m.CmdID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return // duplicate or late reply
+	}
+	resp := Response{Value: m.Value}
+	if m.ErrText != "" {
+		resp.Err = fmt.Errorf("remote: %s", m.ErrText)
+	}
+	ch <- resp
+}
+
+func (n *Node) enqueue(ctx context.Context, cmd protocol.Command, read bool) (Response, error) {
+	ch := make(chan Response, 1)
+	n.mu.Lock()
+	n.waiters[cmd.ID] = ch
+	n.mu.Unlock()
+	select {
+	case n.submits <- submitReq{cmd: cmd, read: read}:
+	case <-ctx.Done():
+		n.abandon(cmd.ID)
+		return Response{}, ctx.Err()
+	case <-n.stop:
+		n.abandon(cmd.ID)
+		return Response{}, ErrStopped
+	}
+	select {
+	case resp := <-ch:
+		return resp, resp.Err
+	case <-ctx.Done():
+		n.abandon(cmd.ID)
+		return Response{}, ctx.Err()
+	case <-n.stop:
+		return Response{}, ErrStopped
+	}
+}
+
+func (n *Node) abandon(id uint64) {
+	n.mu.Lock()
+	delete(n.waiters, id)
+	n.mu.Unlock()
+}
+
+func (n *Node) newCmd(op protocol.Op, key string, value []byte) protocol.Command {
+	return protocol.Command{
+		ID:     uint64(n.id)<<40 | n.nextID.Add(1),
+		Client: n.id,
+		Op:     op,
+		Key:    key,
+		Value:  value,
+	}
+}
+
+// Put replicates a write and waits for it to commit.
+func (n *Node) Put(ctx context.Context, key string, value []byte) error {
+	_, err := n.enqueue(ctx, n.newCmd(protocol.OpPut, key, append([]byte(nil), value...)), false)
+	return err
+}
+
+// Get performs a strongly consistent read at this replica (through the
+// log, or locally under an active lease, depending on the engine).
+func (n *Node) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := n.enqueue(ctx, n.newCmd(protocol.OpGet, key, nil), true)
+	return resp.Value, err
+}

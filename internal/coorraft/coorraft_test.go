@@ -1,0 +1,73 @@
+package coorraft_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/coorraft"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(seed int64, n int, policy coorraft.ReplyPolicy) *testcluster.Cluster {
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = coorraft.New(coorraft.Config{
+			ID: peers[i], Peers: peers, HeartbeatTicks: 1, RevokeTicks: 20,
+			Policy: policy, Seed: seed,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func TestMultiLeaderCommit(t *testing.T) {
+	c := newCluster(1, 5, coorraft.ReplyAtExecute)
+	for i := 0; i < 5; i++ {
+		c.Submit(protocol.NodeID(i), protocol.Command{
+			ID: uint64(i + 1), Client: 500, Op: protocol.OpPut, Key: "k",
+		})
+	}
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	for id, app := range c.Applied {
+		real := 0
+		for _, e := range app {
+			if !e.Cmd.IsNop() {
+				real++
+			}
+		}
+		if real != 5 {
+			t.Fatalf("node %d executed %d real commands, want 5", id, real)
+		}
+	}
+}
+
+func TestEveryReplicaReportsLeadership(t *testing.T) {
+	c := newCluster(2, 3, coorraft.ReplyAtCommit)
+	for _, e := range c.Engines {
+		if !e.IsLeader() {
+			t.Fatalf("replica %d should lead its slot class", e.ID())
+		}
+		if e.Leader() != e.ID() {
+			t.Fatalf("replica %d reports leader %d", e.ID(), e.Leader())
+		}
+	}
+}
+
+func TestBoardExposed(t *testing.T) {
+	c := newCluster(3, 3, coorraft.ReplyAtExecute)
+	c.Submit(0, protocol.Command{ID: 1, Client: 500, Op: protocol.OpPut, Key: "k"})
+	c.Settle(8)
+	eng, ok := c.Engines[0].(*coorraft.Engine)
+	if !ok {
+		t.Fatal("engine type")
+	}
+	if eng.Board().ExecPrefix() < 1 {
+		t.Fatalf("exec prefix = %d, want >= 1", eng.Board().ExecPrefix())
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import "fmt"
+
+// ActionDelta is the extra material an optimization adds to an existing
+// subaction of the base protocol: additional enabling conjuncts and
+// additional variable updates. Per Section 4.2, a *non-mutating*
+// optimization's ExtraApply may only write the optimization's new
+// variables, never the base protocol's.
+type ActionDelta struct {
+	// Of names the base subaction being modified.
+	Of string
+	// ExtraParams extends the subaction's quantified parameters (may be
+	// empty). Domains may inspect the optimized state.
+	ExtraParams []Param
+	// ExtraGuard is the added conjunct (nil = true).
+	ExtraGuard func(Env) bool
+	// ExtraApply is the added update, restricted to new variables
+	// (nil = no extra update).
+	ExtraApply func(Env) map[string]Value
+}
+
+// Optimization is A∆ described as a difference over A (Section 4.2):
+// new variables with their initial values, added subactions, and modified
+// subactions. Unlisted base subactions are carried over unchanged.
+type Optimization struct {
+	Name string
+	Base *Spec
+	// NewVars are the optimization's own variables.
+	NewVars []string
+	// InitNew gives their initial values.
+	InitNew func() map[string]Value
+	// Added are brand-new subactions (they may read base variables but —
+	// for the non-mutating class — only write NewVars).
+	Added []Action
+	// Modified lists base subactions extended with extra clauses.
+	Modified []ActionDelta
+}
+
+// newVarSet returns NewVars as a set for membership checks.
+func (o *Optimization) newVarSet() map[string]bool {
+	m := make(map[string]bool, len(o.NewVars))
+	for _, v := range o.NewVars {
+		m[v] = true
+	}
+	return m
+}
+
+// Build assembles the full specification of the optimized protocol A∆
+// from A and the difference. Deltas returned by Added/Modified subactions
+// are checked against the non-mutating restriction at execution time:
+// writing a base variable panics, which the model checker surfaces as a
+// spec bug (use VerifyNonMutating for a soft check).
+func (o *Optimization) Build() (*Spec, error) {
+	base := o.Base
+	newVars := o.newVarSet()
+	for _, v := range o.NewVars {
+		for _, bv := range base.Vars {
+			if v == bv {
+				return nil, fmt.Errorf("optimization %s: new variable %q already exists in %s", o.Name, v, base.Name)
+			}
+		}
+	}
+	mods := make(map[string][]ActionDelta)
+	for _, d := range o.Modified {
+		if _, ok := base.ActionByName(d.Of); !ok {
+			return nil, fmt.Errorf("optimization %s: modified action %q not in base %s", o.Name, d.Of, base.Name)
+		}
+		mods[d.Of] = append(mods[d.Of], d)
+	}
+
+	spec := &Spec{
+		Name: base.Name + "+" + o.Name,
+		Vars: append(append([]string{}, base.Vars...), o.NewVars...),
+		Init: func() State {
+			s := base.Init().Clone()
+			for k, v := range o.InitNew() {
+				s[k] = v
+			}
+			return s
+		},
+	}
+
+	guardNonMutating := func(actionName string, delta map[string]Value) map[string]Value {
+		for k := range delta {
+			if !newVars[k] {
+				panic(fmt.Sprintf("optimization %s: action %s writes base variable %q (not non-mutating)",
+					o.Name, actionName, k))
+			}
+		}
+		return delta
+	}
+
+	for _, a := range base.Actions {
+		a := a
+		deltas := mods[a.Name]
+		if len(deltas) == 0 {
+			spec.Actions = append(spec.Actions, a)
+			continue
+		}
+		merged := Action{
+			Name:   a.Name,
+			Params: append([]Param{}, a.Params...),
+		}
+		for _, d := range deltas {
+			merged.Params = append(merged.Params, d.ExtraParams...)
+		}
+		merged.Guard = func(env Env) bool {
+			if !a.Guard(env) {
+				return false
+			}
+			for _, d := range deltas {
+				if d.ExtraGuard != nil && !d.ExtraGuard(env) {
+					return false
+				}
+			}
+			return true
+		}
+		merged.Apply = func(env Env) map[string]Value {
+			delta := a.Apply(env)
+			if delta == nil {
+				delta = map[string]Value{}
+			}
+			for _, d := range deltas {
+				if d.ExtraApply == nil {
+					continue
+				}
+				extra := guardNonMutating(a.Name, d.ExtraApply(env))
+				for k, v := range extra {
+					delta[k] = v
+				}
+			}
+			return delta
+		}
+		spec.Actions = append(spec.Actions, merged)
+	}
+
+	for _, a := range o.Added {
+		a := a
+		wrapped := a
+		wrapped.Apply = func(env Env) map[string]Value {
+			return guardNonMutating(a.Name, a.Apply(env))
+		}
+		spec.Actions = append(spec.Actions, wrapped)
+	}
+	return spec, nil
+}
+
+// VerifyNonMutating exercises every added and modified subaction from the
+// given states and reports the first write to a base variable, or nil if
+// none is observed. It complements the hard panic in Build for use in
+// classification tooling (Section 4.4's protocol survey).
+func (o *Optimization) VerifyNonMutating(samples []State) error {
+	newVars := o.newVarSet()
+	check := func(name string, delta map[string]Value) error {
+		for k := range delta {
+			if !newVars[k] {
+				return fmt.Errorf("action %s writes base variable %q: optimization %s is state-mutating", name, k, o.Name)
+			}
+		}
+		return nil
+	}
+	for _, s := range samples {
+		for _, a := range o.Added {
+			a := a
+			var err error
+			enumerate(&a, s, func(args map[string]Value) {
+				if err != nil {
+					return
+				}
+				env := Env{S: s, Args: args}
+				if !a.Guard(env) {
+					return
+				}
+				err = check(a.Name, a.Apply(env))
+			})
+			if err != nil {
+				return err
+			}
+		}
+		for _, d := range o.Modified {
+			if d.ExtraApply == nil {
+				continue
+			}
+			base, _ := o.Base.ActionByName(d.Of)
+			if base == nil {
+				continue
+			}
+			merged := Action{
+				Name:   d.Of,
+				Params: append(append([]Param{}, base.Params...), d.ExtraParams...),
+				Guard:  func(Env) bool { return true },
+				Apply:  func(Env) map[string]Value { return nil },
+			}
+			var err error
+			enumerate(&merged, s, func(args map[string]Value) {
+				if err != nil {
+					return
+				}
+				env := Env{S: s, Args: args}
+				if !base.Guard(env) {
+					return
+				}
+				if d.ExtraGuard != nil && !d.ExtraGuard(env) {
+					return
+				}
+				err = check(d.Of, d.ExtraApply(env))
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package core
+
+import "fmt"
+
+// Ported bundles the result of porting an optimization across a
+// refinement: the derived optimization B∆-over-B, plus the refinement
+// claims of Figure 5 that make it correct by construction —
+// B∆ ⇒ A∆ (the optimization carried over) and B∆ ⇒ B (the original
+// protocol preserved). Both claims are checkable with internal/mc.
+type Ported struct {
+	Opt *Optimization // the derived B∆, expressed as a difference over B
+	// LowSpec/HighSpec are the built specs of B∆ and A∆.
+	LowSpec, HighSpec *Spec
+	// ToOptimizedHigh is the claim B∆ ⇒ A∆.
+	ToOptimizedHigh *Refinement
+	// ToBase is the claim B∆ ⇒ B.
+	ToBase *Refinement
+}
+
+// Port implements the automatic porting method of Section 4.3. Given a
+// non-mutating optimization opt = A∆ over A and a refinement ref: B ⇒ A,
+// it derives B∆:
+//
+//   - Case 1 (added subaction a∆): becomes an added subaction of B∆ with
+//     every read of an A variable replaced by its image under the state
+//     mapping (evaluated through a lifted environment).
+//   - Case 2 (unchanged subaction): every B subaction that implies it is
+//     carried over unchanged (they are part of B already).
+//   - Case 3 (modified subaction a∆ = a ∧ ∆a): for every B subaction b
+//     that implies a, B∆ gets b ∧ ∆a-bar, where ∆a-bar substitutes
+//     VarA = f(VarB) and P_A = f_args(P_B).
+//
+// The derived optimization is non-mutating over B by construction, so
+// B∆ ⇒ B under projection; and B∆ ⇒ A∆ under the state mapping extended
+// identically on the optimization's new variables.
+func Port(opt *Optimization, ref *Refinement) (*Ported, error) {
+	if !sameSpec(opt.Base, ref.High) {
+		return nil, fmt.Errorf("port: optimization %s is over %s but refinement %s targets %s",
+			opt.Name, opt.Base.Name, ref.Name, ref.High.Name)
+	}
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	for _, v := range opt.NewVars {
+		for _, lv := range ref.Low.Vars {
+			if v == lv {
+				return nil, fmt.Errorf("port: new variable %q collides with a %s variable", v, ref.Low.Name)
+			}
+		}
+	}
+
+	newVars := opt.newVarSet()
+	// lift computes the A∆ view of a B∆ state: A variables through the
+	// refinement's state mapping, optimization variables verbatim.
+	lift := func(s State) State {
+		base := make(State, len(s))
+		for k, v := range s {
+			if !newVars[k] {
+				base[k] = v
+			}
+		}
+		high := ref.MapState(base)
+		for v := range newVars {
+			high[v] = s.Get(v)
+		}
+		return high
+	}
+
+	derived := &Optimization{
+		Name:    opt.Name + "@" + ref.Low.Name,
+		Base:    ref.Low,
+		NewVars: append([]string{}, opt.NewVars...),
+		InitNew: opt.InitNew,
+	}
+
+	// Case 1: added subactions, re-targeted at the lifted state.
+	for _, a := range opt.Added {
+		a := a
+		lifted := Action{Name: a.Name}
+		for _, p := range a.Params {
+			p := p
+			lifted.Params = append(lifted.Params, Param{
+				Name: p.Name,
+				Domain: func(s State, bound map[string]Value) []Value {
+					return p.Domain(lift(s), bound)
+				},
+			})
+		}
+		lifted.Guard = func(env Env) bool {
+			return a.Guard(Env{S: lift(env.S), Args: env.Args})
+		}
+		lifted.Apply = func(env Env) map[string]Value {
+			return a.Apply(Env{S: lift(env.S), Args: env.Args})
+		}
+		derived.Added = append(derived.Added, lifted)
+	}
+
+	// Case 3: modified subactions — push each ∆a onto every low action
+	// implying a, translating parameters with the correspondence's ArgMap.
+	for _, d := range opt.Modified {
+		d := d
+		corr := ref.LowActionsImplying(d.Of)
+		if len(corr) == 0 {
+			return nil, fmt.Errorf(
+				"port: no %s subaction implies modified %s subaction %q — the refinement's action correspondence is incomplete",
+				ref.Low.Name, ref.High.Name, d.Of)
+		}
+		for _, c := range corr {
+			c := c
+			ld := ActionDelta{Of: c.Low}
+			for _, p := range d.ExtraParams {
+				p := p
+				ld.ExtraParams = append(ld.ExtraParams, Param{
+					Name: p.Name,
+					Domain: func(s State, bound map[string]Value) []Value {
+						return p.Domain(lift(s), bound)
+					},
+				})
+			}
+			// One low step may imply a sequence of high steps; the ∆a
+			// clauses are evaluated per implied step, folding the
+			// optimization state through the sequence.
+			if d.ExtraGuard != nil {
+				ld.ExtraGuard = func(env Env) bool {
+					ok := true
+					foldHighSteps(env, lift, c.Args, d.ExtraParams, func(henv Env) map[string]Value {
+						if !d.ExtraGuard(henv) {
+							ok = false
+						}
+						if !ok || d.ExtraApply == nil {
+							return nil
+						}
+						return d.ExtraApply(henv)
+					})
+					return ok
+				}
+			}
+			if d.ExtraApply != nil {
+				ld.ExtraApply = func(env Env) map[string]Value {
+					delta := map[string]Value{}
+					foldHighSteps(env, lift, c.Args, d.ExtraParams, func(henv Env) map[string]Value {
+						step := d.ExtraApply(henv)
+						for k, v := range step {
+							delta[k] = v
+						}
+						return step
+					})
+					return delta
+				}
+			}
+			derived.Modified = append(derived.Modified, ld)
+		}
+	}
+	// Case 2 is implicit: Build carries unmodified base subactions over.
+
+	lowSpec, err := derived.Build()
+	if err != nil {
+		return nil, fmt.Errorf("port: building %s: %w", derived.Name, err)
+	}
+	highSpec, err := opt.Build()
+	if err != nil {
+		return nil, fmt.Errorf("port: building %s: %w", opt.Name, err)
+	}
+
+	ported := &Ported{
+		Opt:      derived,
+		LowSpec:  lowSpec,
+		HighSpec: highSpec,
+	}
+	ported.ToOptimizedHigh = liftedRefinement(ref, opt, lowSpec, highSpec, lift)
+	ported.ToBase = Projection(lowSpec, ref.Low, opt.NewVars)
+	return ported, nil
+}
+
+// sameSpec checks structural identity by name, variables and action
+// names. Specs are built fresh by constructor functions, so pointer
+// identity is too strict; callers must still instantiate both sides with
+// the same bounds.
+func sameSpec(a, b *Spec) bool {
+	if a == b {
+		return true
+	}
+	if a.Name != b.Name || len(a.Vars) != len(b.Vars) || len(a.Actions) != len(b.Actions) {
+		return false
+	}
+	for i := range a.Vars {
+		if a.Vars[i] != b.Vars[i] {
+			return false
+		}
+	}
+	for i := range a.Actions {
+		if a.Actions[i].Name != b.Actions[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// foldHighSteps lifts the low environment and runs fn once per implied
+// high step, threading each step's optimization-variable delta into the
+// next step's state. Extra optimization parameters pass through verbatim.
+func foldHighSteps(env Env, lift func(State) State, argMap ArgMap, extra []Param, fn func(Env) map[string]Value) {
+	var assignments []map[string]Value
+	if argMap != nil {
+		assignments = argMap(env.Args, env.S)
+	}
+	if len(assignments) == 0 {
+		assignments = []map[string]Value{{}}
+	}
+	s := lift(env.S)
+	for _, highArgs := range assignments {
+		args := make(map[string]Value, len(highArgs)+len(extra))
+		for k, v := range highArgs {
+			args[k] = v
+		}
+		for _, p := range extra {
+			if v, ok := env.Args[p.Name]; ok {
+				args[p.Name] = v
+			}
+		}
+		delta := fn(Env{S: s, Args: args})
+		if len(delta) > 0 {
+			s = s.Apply(delta)
+		}
+	}
+}
+
+// liftedRefinement constructs the claim B∆ ⇒ A∆ (Figure 5's left edge):
+// state mapping = f extended identically on new variables; action
+// correspondence = the original correspondence plus identity on added
+// subactions.
+func liftedRefinement(ref *Refinement, opt *Optimization, low, high *Spec, lift func(State) State) *Refinement {
+	out := &Refinement{
+		Name:     low.Name + "=>" + high.Name,
+		Low:      low,
+		High:     high,
+		MapState: lift,
+	}
+	out.Corr = append(out.Corr, ref.Corr...)
+	for _, a := range opt.Added {
+		name := a.Name
+		out.Corr = append(out.Corr, Correspondence{
+			Low: name, High: name,
+			Args: OneArg(func(args map[string]Value, _ State) map[string]Value { return args }),
+		})
+	}
+	return out
+}

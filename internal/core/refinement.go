@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// ArgMap derives the arguments of the high-level subaction steps implied
+// by one low-level transition: the paper's parameter mapping
+// P_A = f_args(P_B) (Section 4.3), generalized to sequences — one batched
+// Raft* AppendEntries step implies one MultiPaxos Accept step per entry
+// (Appendix C treats this as stuttering composition). A 1-element result
+// is the common single-step case; nil means "enumerate the high action's
+// parameter domains".
+type ArgMap func(lowArgs map[string]Value, lowState State) []map[string]Value
+
+// OneArg wraps a single-assignment parameter mapping.
+func OneArg(fn func(lowArgs map[string]Value, lowState State) map[string]Value) ArgMap {
+	return func(lowArgs map[string]Value, lowState State) []map[string]Value {
+		return []map[string]Value{fn(lowArgs, lowState)}
+	}
+}
+
+// Correspondence records that a low subaction implies a high subaction,
+// with the argument mapping needed to translate quantified parameters.
+type Correspondence struct {
+	Low, High string
+	Args      ArgMap
+}
+
+// Refinement declares B ⇒ A: a state mapping f with VarA = f(VarB), and
+// the action correspondence (each low subaction implies one or more high
+// subactions, or a stutter). It is a *claim* — CheckRefinement in
+// internal/mc verifies it on bounded domains.
+type Refinement struct {
+	Name      string
+	Low, High *Spec
+	// MapState computes the high state from a low state.
+	MapState func(State) State
+	// Corr lists which high actions each low action may imply. A low
+	// action absent from Corr may only stutter.
+	Corr []Correspondence
+}
+
+// HighActionsOf returns the correspondences for a low action.
+func (r *Refinement) HighActionsOf(low string) []Correspondence {
+	var out []Correspondence
+	for _, c := range r.Corr {
+		if c.Low == low {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LowActionsImplying returns the names of low actions that imply the given
+// high action — the set the porting algorithm's Case-2/Case-3 iterate over.
+func (r *Refinement) LowActionsImplying(high string) []Correspondence {
+	var out []Correspondence
+	for _, c := range r.Corr {
+		if c.High == high {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Validate performs structural checks (actions exist on both sides).
+func (r *Refinement) Validate() error {
+	for _, c := range r.Corr {
+		if _, ok := r.Low.ActionByName(c.Low); !ok {
+			return fmt.Errorf("refinement %s: low action %q not in %s", r.Name, c.Low, r.Low.Name)
+		}
+		if _, ok := r.High.ActionByName(c.High); !ok {
+			return fmt.Errorf("refinement %s: high action %q not in %s", r.Name, c.High, r.High.Name)
+		}
+	}
+	return nil
+}
+
+// Identity returns the refinement of a spec to itself (used to express
+// that a non-mutating optimization refines its base under projection).
+func Identity(sp *Spec) *Refinement {
+	r := &Refinement{
+		Name: sp.Name + "=>" + sp.Name,
+		Low:  sp, High: sp,
+		MapState: func(s State) State { return s },
+	}
+	for _, a := range sp.Actions {
+		name := a.Name
+		r.Corr = append(r.Corr, Correspondence{
+			Low: name, High: name,
+			Args: OneArg(func(args map[string]Value, _ State) map[string]Value { return args }),
+		})
+	}
+	return r
+}
+
+// Projection returns the refinement Spec+opt ⇒ Spec that simply drops the
+// optimization's new variables — valid exactly because the optimization is
+// non-mutating (Section 4.2: "non-mutating optimizations can always be
+// guaranteed correctness").
+func Projection(optimized, base *Spec, newVars []string) *Refinement {
+	drop := make(map[string]bool, len(newVars))
+	for _, v := range newVars {
+		drop[v] = true
+	}
+	r := &Refinement{
+		Name: optimized.Name + "=>" + base.Name,
+		Low:  optimized, High: base,
+		MapState: func(s State) State {
+			out := make(State, len(s))
+			for k, v := range s {
+				if !drop[k] {
+					out[k] = v
+				}
+			}
+			return out
+		},
+	}
+	for _, a := range optimized.Actions {
+		name := a.Name
+		if _, inBase := base.ActionByName(name); !inBase {
+			continue // added subactions map to stutters
+		}
+		r.Corr = append(r.Corr, Correspondence{
+			Low: name, High: name,
+			Args: OneArg(func(args map[string]Value, _ State) map[string]Value { return args }),
+		})
+	}
+	return r
+}

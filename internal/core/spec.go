@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// State maps variable names to values. States are treated as immutable:
+// actions return deltas, and Apply produces a fresh state.
+type State map[string]Value
+
+// Get returns the variable's value, panicking on unknown names (a spec
+// authoring bug).
+func (s State) Get(name string) Value {
+	v, ok := s[name]
+	if !ok {
+		panic(fmt.Sprintf("core: state has no variable %q", name))
+	}
+	return v
+}
+
+// Clone copies the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// With returns a copy with the given variable replaced.
+func (s State) With(name string, v Value) State {
+	out := s.Clone()
+	out[name] = v
+	return out
+}
+
+// Apply overlays a delta (nil delta = no change).
+func (s State) Apply(delta map[string]Value) State {
+	if len(delta) == 0 {
+		return s
+	}
+	out := s.Clone()
+	for k, v := range delta {
+		out[k] = v
+	}
+	return out
+}
+
+// Fingerprint hashes the state over the given variable order.
+func (s State) Fingerprint(vars []string) uint64 {
+	h := fnv.New64a()
+	for _, name := range vars {
+		h.Write([]byte(name))
+		h.Write(Encode(s.Get(name)))
+	}
+	return h.Sum64()
+}
+
+// String renders the state deterministically.
+func (s State) String() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + " = " + s[n].String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Env is the evaluation environment of a subaction: the current state plus
+// the quantified arguments.
+type Env struct {
+	S    State
+	Args map[string]Value
+}
+
+// Arg returns a quantified argument, panicking on unknown names.
+func (e Env) Arg(name string) Value {
+	v, ok := e.Args[name]
+	if !ok {
+		panic(fmt.Sprintf("core: action has no argument %q", name))
+	}
+	return v
+}
+
+// Var returns a state variable.
+func (e Env) Var(name string) Value { return e.S.Get(name) }
+
+// Param is one quantified parameter of a subaction. Its domain may depend
+// on the current state (e.g. ∃ m ∈ msgs) and on arguments bound earlier in
+// the parameter list.
+type Param struct {
+	Name   string
+	Domain func(s State, bound map[string]Value) []Value
+}
+
+// FixedDomain builds a state-independent parameter.
+func FixedDomain(name string, values ...Value) Param {
+	return Param{Name: name, Domain: func(State, map[string]Value) []Value { return values }}
+}
+
+// Action is one subaction of a protocol's next-state relation: a guard
+// (the enabling conjuncts) and an apply function returning the delta of
+// changed variables. Apply must be a pure function of the environment.
+type Action struct {
+	Name   string
+	Params []Param
+	Guard  func(Env) bool
+	Apply  func(Env) map[string]Value
+}
+
+// Spec is a protocol specification: named state variables, an initial
+// state, and a set of subactions.
+type Spec struct {
+	Name    string
+	Vars    []string
+	Init    func() State
+	Actions []Action
+}
+
+// ActionByName returns the named subaction.
+func (sp *Spec) ActionByName(name string) (*Action, bool) {
+	for i := range sp.Actions {
+		if sp.Actions[i].Name == name {
+			return &sp.Actions[i], true
+		}
+	}
+	return nil, false
+}
+
+// Transition is one enabled instance of a subaction.
+type Transition struct {
+	Action string
+	Args   map[string]Value
+	Next   State
+}
+
+// enumerate binds parameters depth-first and yields every enabled
+// transition of the given action from state s.
+func enumerate(a *Action, s State, yield func(args map[string]Value)) {
+	var rec func(i int, bound map[string]Value)
+	rec = func(i int, bound map[string]Value) {
+		if i == len(a.Params) {
+			args := make(map[string]Value, len(bound))
+			for k, v := range bound {
+				args[k] = v
+			}
+			yield(args)
+			return
+		}
+		p := a.Params[i]
+		for _, v := range p.Domain(s, bound) {
+			bound[p.Name] = v
+			rec(i+1, bound)
+			delete(bound, p.Name)
+		}
+	}
+	rec(0, map[string]Value{})
+}
+
+// Enabled returns every enabled transition from s. Deterministic order.
+func (sp *Spec) Enabled(s State) []Transition {
+	var out []Transition
+	for i := range sp.Actions {
+		a := &sp.Actions[i]
+		enumerate(a, s, func(args map[string]Value) {
+			env := Env{S: s, Args: args}
+			if !a.Guard(env) {
+				return
+			}
+			out = append(out, Transition{
+				Action: a.Name,
+				Args:   args,
+				Next:   s.Apply(a.Apply(env)),
+			})
+		})
+	}
+	return out
+}

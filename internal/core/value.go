@@ -1,0 +1,290 @@
+// Package core is the paper's primary contribution made executable: a
+// TLA+-style specification framework (state machines with guarded
+// subactions over an immutable value universe), refinement mappings
+// between specifications, the non-mutating-optimization classification of
+// Section 4.2, and the automatic porting algorithm of Section 4.3 that
+// derives B∆ from a protocol A, its optimization A∆ and a refinement
+// B ⇒ A — with the generated protocol checkable against both refinement
+// obligations (B∆ ⇒ A∆ and B∆ ⇒ B, Figure 5) by internal/mc.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is an immutable specification value. Identity is the canonical
+// encoding: two values are equal iff their encodings are byte-equal.
+type Value interface {
+	// encode appends the canonical encoding to buf.
+	encode(buf []byte) []byte
+	// String renders TLA+-flavoured text.
+	String() string
+}
+
+type (
+	// VInt is an integer value.
+	VInt int64
+	// VBool is a boolean value.
+	VBool bool
+	// VStr is a string (also used for model constants like "nop").
+	VStr string
+	// VTuple is an ordered tuple.
+	VTuple []Value
+	// VSet is a finite set; constructors keep it sorted and deduplicated.
+	VSet struct{ elems []Value }
+	// VMap is a function with finite domain; constructors keep entries
+	// sorted by key.
+	VMap struct{ entries []MapEntry }
+)
+
+// MapEntry is one key/value pair of a VMap.
+type MapEntry struct {
+	K, V Value
+}
+
+// Nil is the absent value (TLA+'s NoVal / -1 sentinels are modelled with
+// explicit values; Nil is for genuinely missing map lookups).
+var Nil = VTuple(nil)
+
+const (
+	tagInt byte = iota + 1
+	tagBool
+	tagStr
+	tagTuple
+	tagSet
+	tagMap
+)
+
+func (v VInt) encode(buf []byte) []byte {
+	buf = append(buf, tagInt)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(v))
+	return append(buf, tmp[:]...)
+}
+
+// String implements Value.
+func (v VInt) String() string { return strconv.FormatInt(int64(v), 10) }
+
+func (v VBool) encode(buf []byte) []byte {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	return append(buf, tagBool, b)
+}
+
+// String implements Value.
+func (v VBool) String() string { return strconv.FormatBool(bool(v)) }
+
+func (v VStr) encode(buf []byte) []byte {
+	buf = append(buf, tagStr)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(v)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, v...)
+}
+
+// String implements Value.
+func (v VStr) String() string { return `"` + string(v) + `"` }
+
+func (v VTuple) encode(buf []byte) []byte {
+	buf = append(buf, tagTuple)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(v)))
+	buf = append(buf, tmp[:]...)
+	for _, e := range v {
+		buf = e.encode(buf)
+	}
+	return buf
+}
+
+// String implements Value.
+func (v VTuple) String() string {
+	parts := make([]string, len(v))
+	for i, e := range v {
+		parts[i] = e.String()
+	}
+	return "<<" + strings.Join(parts, ", ") + ">>"
+}
+
+func (v VSet) encode(buf []byte) []byte {
+	buf = append(buf, tagSet)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(v.elems)))
+	buf = append(buf, tmp[:]...)
+	for _, e := range v.elems {
+		buf = e.encode(buf)
+	}
+	return buf
+}
+
+// String implements Value.
+func (v VSet) String() string {
+	parts := make([]string, len(v.elems))
+	for i, e := range v.elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (v VMap) encode(buf []byte) []byte {
+	buf = append(buf, tagMap)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(len(v.entries)))
+	buf = append(buf, tmp[:]...)
+	for _, e := range v.entries {
+		buf = e.K.encode(buf)
+		buf = e.V.encode(buf)
+	}
+	return buf
+}
+
+// String implements Value.
+func (v VMap) String() string {
+	parts := make([]string, len(v.entries))
+	for i, e := range v.entries {
+		parts[i] = e.K.String() + " :> " + e.V.String()
+	}
+	return "(" + strings.Join(parts, " @@ ") + ")"
+}
+
+// Encode returns the canonical encoding of v.
+func Encode(v Value) []byte { return v.encode(nil) }
+
+// Equal reports canonical equality.
+func Equal(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return string(Encode(a)) == string(Encode(b))
+}
+
+// Cmp totally orders values by canonical encoding.
+func Cmp(a, b Value) int {
+	return strings.Compare(string(Encode(a)), string(Encode(b)))
+}
+
+// Hash returns a 64-bit FNV hash of the canonical encoding.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	h.Write(Encode(v))
+	return h.Sum64()
+}
+
+// --- constructors ---
+
+// Set builds a VSet from elements (deduplicated, sorted).
+func Set(elems ...Value) VSet {
+	s := append([]Value(nil), elems...)
+	sort.Slice(s, func(i, j int) bool { return Cmp(s[i], s[j]) < 0 })
+	out := s[:0]
+	for i, e := range s {
+		if i == 0 || Cmp(s[i-1], e) != 0 {
+			out = append(out, e)
+		}
+	}
+	return VSet{elems: out}
+}
+
+// Elems returns the sorted elements of a set.
+func (v VSet) Elems() []Value { return v.elems }
+
+// Len returns the set's cardinality.
+func (v VSet) Len() int { return len(v.elems) }
+
+// Has reports membership.
+func (v VSet) Has(e Value) bool {
+	enc := string(Encode(e))
+	for _, x := range v.elems {
+		if string(Encode(x)) == enc {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns v ∪ {e}.
+func (v VSet) Add(e Value) VSet { return Set(append(append([]Value{}, v.elems...), e)...) }
+
+// Union returns v ∪ w.
+func (v VSet) Union(w VSet) VSet {
+	return Set(append(append([]Value{}, v.elems...), w.elems...)...)
+}
+
+// Map builds a VMap from entries (sorted by key; later duplicates win).
+func Map(entries ...MapEntry) VMap {
+	byKey := make(map[string]MapEntry, len(entries))
+	for _, e := range entries {
+		byKey[string(Encode(e.K))] = e
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]MapEntry, len(keys))
+	for i, k := range keys {
+		out[i] = byKey[k]
+	}
+	return VMap{entries: out}
+}
+
+// Entries returns the sorted entries.
+func (v VMap) Entries() []MapEntry { return v.entries }
+
+// Get looks up key k, returning (Nil, false) when absent.
+func (v VMap) Get(k Value) (Value, bool) {
+	enc := string(Encode(k))
+	for _, e := range v.entries {
+		if string(Encode(e.K)) == enc {
+			return e.V, true
+		}
+	}
+	return Nil, false
+}
+
+// MustGet looks up key k, panicking when absent (spec-authoring errors are
+// programming errors, not runtime conditions).
+func (v VMap) MustGet(k Value) Value {
+	val, ok := v.Get(k)
+	if !ok {
+		panic(fmt.Sprintf("core: map has no key %s in %s", k, v))
+	}
+	return val
+}
+
+// Put returns the map with k set to val.
+func (v VMap) Put(k, val Value) VMap {
+	return Map(append(append([]MapEntry{}, v.entries...), MapEntry{K: k, V: val})...)
+}
+
+// Tup builds a tuple.
+func Tup(elems ...Value) VTuple { return VTuple(elems) }
+
+// HasMember reports whether the tuple contains e (tuples double as small
+// ordered collections, e.g. quorums).
+func (v VTuple) HasMember(e Value) bool {
+	for _, x := range v {
+		if Equal(x, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Rng returns the integer range [lo, hi] as values.
+func Rng(lo, hi int64) []Value {
+	if hi < lo {
+		return nil
+	}
+	out := make([]Value, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, VInt(i))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"raftpaxos/internal/core"
+)
+
+// genValue builds a random Value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) core.Value {
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return core.VInt(r.Int63n(100) - 50)
+		case 1:
+			return core.VBool(r.Intn(2) == 0)
+		default:
+			return core.VStr(string(rune('a' + r.Intn(5))))
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return core.VInt(r.Int63n(100) - 50)
+	case 1:
+		return core.VStr(string(rune('a' + r.Intn(5))))
+	case 2:
+		n := r.Intn(3)
+		elems := make([]core.Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return core.Tup(elems...)
+	case 3:
+		n := r.Intn(3)
+		elems := make([]core.Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return core.Set(elems...)
+	default:
+		n := r.Intn(3)
+		entries := make([]core.MapEntry, n)
+		for i := range entries {
+			entries[i] = core.MapEntry{K: genValue(r, 0), V: genValue(r, depth-1)}
+		}
+		return core.Map(entries...)
+	}
+}
+
+type anyValue struct{ V core.Value }
+
+// Generate implements quick.Generator.
+func (anyValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(anyValue{V: genValue(r, 3)})
+}
+
+func TestEqualIsReflexive(t *testing.T) {
+	if err := quick.Check(func(a anyValue) bool {
+		return core.Equal(a.V, a.V) && core.Cmp(a.V, a.V) == 0 &&
+			core.Hash(a.V) == core.Hash(a.V)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAgreesWithHashAndCmp(t *testing.T) {
+	if err := quick.Check(func(a, b anyValue) bool {
+		eq := core.Equal(a.V, b.V)
+		if eq && core.Hash(a.V) != core.Hash(b.V) {
+			return false
+		}
+		return eq == (core.Cmp(a.V, b.V) == 0)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpIsAntisymmetric(t *testing.T) {
+	if err := quick.Check(func(a, b anyValue) bool {
+		return core.Cmp(a.V, b.V) == -core.Cmp(b.V, a.V)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDedupAndMembership(t *testing.T) {
+	if err := quick.Check(func(a, b anyValue) bool {
+		s := core.Set(a.V, b.V, a.V)
+		if !s.Has(a.V) || !s.Has(b.V) {
+			return false
+		}
+		want := 2
+		if core.Equal(a.V, b.V) {
+			want = 1
+		}
+		return s.Len() == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAddIsIdempotent(t *testing.T) {
+	if err := quick.Check(func(a, b anyValue) bool {
+		s := core.Set(a.V)
+		once := s.Add(b.V)
+		twice := once.Add(b.V)
+		return core.Equal(once, twice)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetUnionCommutes(t *testing.T) {
+	if err := quick.Check(func(a, b, c anyValue) bool {
+		s1 := core.Set(a.V, b.V)
+		s2 := core.Set(b.V, c.V)
+		return core.Equal(s1.Union(s2), s2.Union(s1))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPutGet(t *testing.T) {
+	if err := quick.Check(func(k, v1, v2 anyValue) bool {
+		m := core.Map().Put(k.V, v1.V).Put(k.V, v2.V)
+		got, ok := m.Get(k.V)
+		return ok && core.Equal(got, v2.V) && len(m.Entries()) == 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrderIndependence(t *testing.T) {
+	if err := quick.Check(func(k1, k2, v anyValue) bool {
+		m1 := core.Map().Put(k1.V, v.V).Put(k2.V, v.V)
+		m2 := core.Map().Put(k2.V, v.V).Put(k1.V, v.V)
+		return core.Equal(m1, m2)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingDistinguishesTypes(t *testing.T) {
+	// Values that might collide under naive encodings.
+	distinct := []core.Value{
+		core.VInt(0), core.VBool(false), core.VStr(""), core.Tup(),
+		core.Set(), core.Map(), core.VStr("0"), core.Tup(core.VInt(0)),
+		core.Set(core.VInt(0)), core.VInt(1), core.VBool(true),
+	}
+	for i, a := range distinct {
+		for j, b := range distinct {
+			if (i == j) != core.Equal(a, b) {
+				t.Fatalf("Equal(%s, %s) = %v, want %v", a, b, core.Equal(a, b), i == j)
+			}
+		}
+	}
+}
+
+func TestStateFingerprint(t *testing.T) {
+	s1 := core.State{"x": core.VInt(1), "y": core.VStr("a")}
+	s2 := core.State{"x": core.VInt(1), "y": core.VStr("a")}
+	s3 := s1.With("x", core.VInt(2))
+	vars := []string{"x", "y"}
+	if s1.Fingerprint(vars) != s2.Fingerprint(vars) {
+		t.Fatal("equal states must fingerprint equally")
+	}
+	if s1.Fingerprint(vars) == s3.Fingerprint(vars) {
+		t.Fatal("different states should fingerprint differently")
+	}
+	if !core.Equal(s1.Get("x"), core.VInt(1)) {
+		t.Fatal("With must not mutate the original")
+	}
+}
+
+func TestRng(t *testing.T) {
+	if got := len(core.Rng(1, 3)); got != 3 {
+		t.Fatalf("Rng(1,3) has %d elements", got)
+	}
+	if got := core.Rng(5, 4); got != nil {
+		t.Fatalf("empty range should be nil, got %v", got)
+	}
+}

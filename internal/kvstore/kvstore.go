@@ -1,0 +1,75 @@
+// Package kvstore is the replicated state machine used by the examples
+// and the evaluation: a versioned key-value store applying committed
+// commands in log order.
+package kvstore
+
+import (
+	"sync"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Versioned is a value with the log index that wrote it.
+type Versioned struct {
+	Value []byte
+	Index int64
+}
+
+// Store is a key-value state machine. It is safe for concurrent use (live
+// drivers apply from one goroutine and serve reads from others; the
+// simulator is single-threaded and pays no contention).
+type Store struct {
+	mu      sync.RWMutex
+	data    map[string]Versioned
+	applied int64
+	applies uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]Versioned)}
+}
+
+// Apply executes one committed entry. Entries must be applied in index
+// order; no-ops advance the applied index only.
+func (s *Store) Apply(e protocol.Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Index > 0 {
+		s.applied = e.Index
+	}
+	s.applies++
+	if e.Cmd.Op == protocol.OpPut {
+		s.data[e.Cmd.Key] = Versioned{Value: e.Cmd.Value, Index: e.Index}
+	}
+}
+
+// Get returns the current value of key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v.Value, ok
+}
+
+// GetVersioned returns the value with its writing index.
+func (s *Store) GetVersioned(key string) (Versioned, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// AppliedIndex returns the highest applied log index.
+func (s *Store) AppliedIndex() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

@@ -1,0 +1,65 @@
+package kvstore_test
+
+import (
+	"sync"
+	"testing"
+
+	"raftpaxos/internal/kvstore"
+	"raftpaxos/internal/protocol"
+)
+
+func TestApplyAndGet(t *testing.T) {
+	s := kvstore.New()
+	s.Apply(protocol.Entry{Index: 1, Cmd: protocol.Command{Op: protocol.OpPut, Key: "a", Value: []byte("1")}})
+	s.Apply(protocol.Entry{Index: 2, Cmd: protocol.Command{Op: protocol.OpPut, Key: "b", Value: []byte("2")}})
+	s.Apply(protocol.Entry{Index: 3, Cmd: protocol.Command{Op: protocol.OpPut, Key: "a", Value: []byte("3")}})
+
+	v, ok := s.Get("a")
+	if !ok || string(v) != "3" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	vv, ok := s.GetVersioned("a")
+	if !ok || vv.Index != 3 {
+		t.Fatalf("versioned a = %+v", vv)
+	}
+	if s.AppliedIndex() != 3 {
+		t.Fatalf("applied = %d", s.AppliedIndex())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestNopsAdvanceAppliedOnly(t *testing.T) {
+	s := kvstore.New()
+	s.Apply(protocol.Entry{Index: 1, Cmd: protocol.Command{Op: protocol.OpNop}})
+	s.Apply(protocol.Entry{Index: 2, Cmd: protocol.Command{Op: protocol.OpGet, Key: "x"}})
+	if s.AppliedIndex() != 2 || s.Len() != 0 {
+		t.Fatalf("applied=%d len=%d", s.AppliedIndex(), s.Len())
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	s := kvstore.New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Get("k")
+				s.AppliedIndex()
+			}
+		}()
+	}
+	for i := int64(1); i <= 1000; i++ {
+		s.Apply(protocol.Entry{Index: i, Cmd: protocol.Command{Op: protocol.OpPut, Key: "k", Value: []byte("v")}})
+	}
+	wg.Wait()
+	if s.AppliedIndex() != 1000 {
+		t.Fatalf("applied = %d", s.AppliedIndex())
+	}
+}

@@ -1,0 +1,183 @@
+// Package lease implements the quorum-lease bookkeeping shared by Paxos
+// Quorum Lease (PQL), its Raft* port, and the leader-lease baseline. Time
+// is logical ticks, driven by the host engine, so the same code runs under
+// the simulator and live drivers.
+//
+// Model (Moraru et al., "Paxos Quorum Leases"): every replica may grant a
+// lease to any other replica. A grantor renews its grants every renew
+// period; a grant is valid at the holder until its expiry tick. The holder
+// acknowledges each grant, and a grantor only counts a holder as active if
+// it acknowledged a recent grant — so a crashed holder falls out of every
+// grantor's holder set within one lease duration and stops blocking writes.
+// A replica holds a quorum lease when it holds valid leases from at least a
+// quorum of replicas (itself included).
+package lease
+
+import "raftpaxos/internal/protocol"
+
+// MsgGrant is a lease grant (or renewal) from a grantor to a holder.
+type MsgGrant struct {
+	// Duration is the validity period in ticks from receipt.
+	Duration int
+	// Seq numbers the grant so acknowledgements can be matched.
+	Seq uint64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgGrant) WireSize() int { return 12 }
+
+// MsgGrantAck acknowledges a grant.
+type MsgGrantAck struct {
+	Seq uint64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgGrantAck) WireSize() int { return 8 }
+
+// Config configures a lease table.
+type Config struct {
+	Self  protocol.NodeID
+	Peers []protocol.NodeID // all replicas, including Self
+	// DurationTicks is the lease validity period (paper: 2 s).
+	DurationTicks int
+	// RenewTicks is the grant renewal period (paper: 0.5 s).
+	RenewTicks int
+	// Grantees restricts who this replica grants to (nil = everyone).
+	// The leader-lease baseline sets a single grantee.
+	Grantees []protocol.NodeID
+}
+
+// Table tracks leases granted by and held at one replica.
+type Table struct {
+	cfg Config
+	now int
+
+	seq        uint64
+	sinceRenew int
+	// held[g] is the expiry tick of the lease granted by g to us.
+	held map[protocol.NodeID]int
+	// ackedAt[h] is the tick at which holder h last acknowledged a grant
+	// from us; h counts as an active holder until ackedAt[h]+Duration.
+	ackedAt map[protocol.NodeID]int
+	// grantSent[h] is the seq of the last grant sent to h.
+	grantSent map[protocol.NodeID]uint64
+}
+
+// NewTable builds a lease table.
+func NewTable(cfg Config) *Table {
+	if cfg.DurationTicks <= 0 {
+		cfg.DurationTicks = 200
+	}
+	if cfg.RenewTicks <= 0 {
+		cfg.RenewTicks = cfg.DurationTicks / 4
+	}
+	return &Table{
+		cfg: cfg,
+		// First grants go out on the first tick, not a full renew period
+		// later: grantors start granting as soon as they are up.
+		sinceRenew: cfg.RenewTicks,
+		held:       make(map[protocol.NodeID]int),
+		ackedAt:    make(map[protocol.NodeID]int),
+		grantSent:  make(map[protocol.NodeID]uint64),
+	}
+}
+
+// Now returns the current logical tick.
+func (t *Table) Now() int { return t.now }
+
+func (t *Table) grantees() []protocol.NodeID {
+	if t.cfg.Grantees != nil {
+		return t.cfg.Grantees
+	}
+	return t.cfg.Peers
+}
+
+// SetGrantees changes the grantee set (leader-lease mode re-targets the
+// current leader). An empty set means "grant to nobody" — distinct from
+// the nil default of "grant to everyone", so the copy must stay non-nil.
+func (t *Table) SetGrantees(g []protocol.NodeID) {
+	out := make([]protocol.NodeID, len(g))
+	copy(out, g)
+	t.cfg.Grantees = out
+}
+
+// Tick advances logical time and returns the grant messages to send this
+// tick (empty unless the renew period elapsed).
+func (t *Table) Tick() []protocol.Envelope {
+	t.now++
+	t.sinceRenew++
+	if t.sinceRenew < t.cfg.RenewTicks {
+		return nil
+	}
+	t.sinceRenew = 0
+	var msgs []protocol.Envelope
+	for _, p := range t.grantees() {
+		if p == t.cfg.Self {
+			continue
+		}
+		t.seq++
+		t.grantSent[p] = t.seq
+		msgs = append(msgs, protocol.Envelope{
+			From: t.cfg.Self, To: p,
+			Msg: &MsgGrant{Duration: t.cfg.DurationTicks, Seq: t.seq},
+		})
+	}
+	return msgs
+}
+
+// Step handles lease messages, returning any reply and whether the message
+// was a lease message at all.
+func (t *Table) Step(from protocol.NodeID, msg protocol.Message) ([]protocol.Envelope, bool) {
+	switch m := msg.(type) {
+	case *MsgGrant:
+		t.held[from] = t.now + m.Duration
+		return []protocol.Envelope{{
+			From: t.cfg.Self, To: from, Msg: &MsgGrantAck{Seq: m.Seq},
+		}}, true
+	case *MsgGrantAck:
+		// Conservative: only the latest grant's ack refreshes the holder.
+		if m.Seq == t.grantSent[from] {
+			t.ackedAt[from] = t.now
+		}
+		return nil, true
+	default:
+		return nil, false
+	}
+}
+
+// HeldCount returns how many valid leases this replica currently holds,
+// including its implicit self-lease.
+func (t *Table) HeldCount() int {
+	n := 1 // self
+	for g, exp := range t.held {
+		if g != t.cfg.Self && exp > t.now {
+			n++
+		}
+	}
+	return n
+}
+
+// HasQuorumLease reports whether this replica holds leases from a quorum.
+func (t *Table) HasQuorumLease() bool {
+	return t.HeldCount() >= protocol.Quorum(len(t.cfg.Peers))
+}
+
+// Holders returns the replicas currently holding an active lease granted
+// by this replica (itself included): the set whose acknowledgement a
+// commit must collect.
+func (t *Table) Holders() []protocol.NodeID {
+	holders := []protocol.NodeID{t.cfg.Self}
+	for _, p := range t.grantees() {
+		if p == t.cfg.Self {
+			continue
+		}
+		if at, ok := t.ackedAt[p]; ok && at+t.cfg.DurationTicks > t.now {
+			holders = append(holders, p)
+		}
+	}
+	return holders
+}
+
+// Expire drops the lease held from grantor g (tests use it to simulate
+// clock-driven expiry without waiting).
+func (t *Table) Expire(g protocol.NodeID) { delete(t.held, g) }

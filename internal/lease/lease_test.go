@@ -1,0 +1,132 @@
+package lease_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/lease"
+	"raftpaxos/internal/protocol"
+)
+
+func peers(n int) []protocol.NodeID {
+	out := make([]protocol.NodeID, n)
+	for i := range out {
+		out[i] = protocol.NodeID(i)
+	}
+	return out
+}
+
+// wire delivers lease messages between a set of tables instantly.
+type wire struct {
+	tables map[protocol.NodeID]*lease.Table
+}
+
+func (w *wire) route(msgs []protocol.Envelope) {
+	for len(msgs) > 0 {
+		env := msgs[0]
+		msgs = msgs[1:]
+		if t, ok := w.tables[env.To]; ok {
+			more, handled := t.Step(env.From, env.Msg)
+			if !handled {
+				panic("non-lease message on lease wire")
+			}
+			msgs = append(msgs, more...)
+		}
+	}
+}
+
+func newMesh(n, duration, renew int) (*wire, []*lease.Table) {
+	w := &wire{tables: make(map[protocol.NodeID]*lease.Table)}
+	ps := peers(n)
+	tables := make([]*lease.Table, n)
+	for i := range tables {
+		tables[i] = lease.NewTable(lease.Config{
+			Self: ps[i], Peers: ps, DurationTicks: duration, RenewTicks: renew,
+		})
+		w.tables[ps[i]] = tables[i]
+	}
+	return w, tables
+}
+
+func tickAll(w *wire, tables []*lease.Table) {
+	for _, t := range tables {
+		w.route(t.Tick())
+	}
+}
+
+func TestQuorumLeaseEstablishes(t *testing.T) {
+	w, tables := newMesh(3, 20, 5)
+	for i := 0; i < 6; i++ {
+		tickAll(w, tables)
+	}
+	for i, tab := range tables {
+		if !tab.HasQuorumLease() {
+			t.Fatalf("table %d: no quorum lease after grants (held=%d)", i, tab.HeldCount())
+		}
+		if got := len(tab.Holders()); got != 3 {
+			t.Fatalf("table %d: %d active holders, want 3", i, got)
+		}
+	}
+}
+
+func TestLeaseExpiresWithoutRenewal(t *testing.T) {
+	w, tables := newMesh(3, 10, 4)
+	for i := 0; i < 5; i++ {
+		tickAll(w, tables)
+	}
+	if !tables[1].HasQuorumLease() {
+		t.Fatal("lease should be active")
+	}
+	// Stop routing grants to/from table 1 (its peers keep ticking).
+	delete(w.tables, 1)
+	for i := 0; i < 15; i++ {
+		tickAll(w, tables[:1])
+		tickAll(w, tables[2:])
+		// Table 1 ticks alone; its messages go nowhere.
+		tables[1].Tick()
+	}
+	if tables[1].HasQuorumLease() {
+		t.Fatal("lease should have expired without renewals")
+	}
+	// The crashed holder must fall out of its grantors' holder sets so it
+	// stops blocking commits.
+	for _, id := range []int{0, 2} {
+		for _, h := range tables[id].Holders() {
+			if h == 1 {
+				t.Fatalf("table %d still counts the dead holder", id)
+			}
+		}
+	}
+}
+
+func TestGranteeRestriction(t *testing.T) {
+	w := &wire{tables: make(map[protocol.NodeID]*lease.Table)}
+	ps := peers(3)
+	tables := make([]*lease.Table, 3)
+	for i := range tables {
+		cfg := lease.Config{Self: ps[i], Peers: ps, DurationTicks: 20, RenewTicks: 5}
+		cfg.Grantees = []protocol.NodeID{2} // leader-lease style: only node 2
+		tables[i] = lease.NewTable(cfg)
+		w.tables[ps[i]] = tables[i]
+	}
+	for i := 0; i < 6; i++ {
+		tickAll(w, tables)
+	}
+	if !tables[2].HasQuorumLease() {
+		t.Fatal("designated grantee should hold a quorum lease")
+	}
+	if tables[0].HasQuorumLease() {
+		t.Fatal("non-grantee should hold no quorum lease")
+	}
+}
+
+func TestExpireHelper(t *testing.T) {
+	w, tables := newMesh(3, 20, 5)
+	for i := 0; i < 6; i++ {
+		tickAll(w, tables)
+	}
+	tables[0].Expire(1)
+	tables[0].Expire(2)
+	if tables[0].HasQuorumLease() {
+		t.Fatal("manual expiry should drop the quorum lease")
+	}
+}

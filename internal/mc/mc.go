@@ -1,0 +1,244 @@
+// Package mc is an explicit-state model checker for internal/core
+// specifications: bounded BFS with state fingerprinting, invariant
+// checking, counterexample traces, random-walk simulation for larger
+// bounds, and refinement checking — verifying, transition by transition,
+// that every step of a low-level spec implies a subaction of a high-level
+// spec (or a stutter) under a declared refinement mapping. It stands in
+// for the paper's TLAPS proofs: TLAPS proves, mc checks exhaustively on
+// bounded domains.
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"raftpaxos/internal/core"
+)
+
+// Invariant is a named state predicate.
+type Invariant struct {
+	Name string
+	Fn   func(core.State) bool
+}
+
+// Options bound an exploration.
+type Options struct {
+	// MaxStates caps distinct visited states (0 = 1<<20).
+	MaxStates int
+	// MaxDepth caps BFS depth (0 = unlimited).
+	MaxDepth int
+	// MaxHops bounds the high-action sequence length a single low
+	// transition may map to during refinement checking (0 or 1 = single
+	// step; Raft* ⇒ MultiPaxos needs >1 because batched appends map to
+	// several Phase2 steps).
+	MaxHops int
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return o.MaxStates
+}
+
+// Step is one transition of a counterexample trace.
+type Step struct {
+	Action string
+	Args   map[string]core.Value
+	State  core.State
+}
+
+// Trace is a counterexample: the initial state and the steps leading to
+// the violation.
+type Trace struct {
+	Init  core.State
+	Steps []Step
+}
+
+// String renders the trace.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init: %s\n", t.Init)
+	for i, s := range t.Steps {
+		fmt.Fprintf(&b, "%3d: %s%s -> %s\n", i+1, s.Action, fmtArgs(s.Args), s.State)
+	}
+	return b.String()
+}
+
+func fmtArgs(args map[string]core.Value) string {
+	if len(args) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(args))
+	for k, v := range args {
+		parts = append(parts, k+"="+v.String())
+	}
+	// Sort for determinism.
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[j] < parts[i] {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Result reports an exploration.
+type Result struct {
+	States      int
+	Transitions int
+	// Truncated is set when MaxStates or MaxDepth stopped the search early.
+	Truncated bool
+	// Violation is the failed invariant name and trace, nil if none found.
+	Violation *Violation
+}
+
+// Violation pairs the failed check with its counterexample.
+type Violation struct {
+	Name  string
+	Trace *Trace
+}
+
+// Error renders the violation as an error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("violation of %s:\n%s", v.Name, v.Trace)
+}
+
+type node struct {
+	state  core.State
+	parent *node
+	action string
+	args   map[string]core.Value
+	depth  int
+}
+
+func (n *node) trace() *Trace {
+	var steps []Step
+	for cur := n; cur.parent != nil; cur = cur.parent {
+		steps = append(steps, Step{Action: cur.action, Args: cur.args, State: cur.state})
+	}
+	// Reverse.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	root := n
+	for root.parent != nil {
+		root = root.parent
+	}
+	return &Trace{Init: root.state, Steps: steps}
+}
+
+// Check explores sp breadth-first, checking every invariant in every
+// reachable state (within the bounds).
+func Check(sp *core.Spec, invs []Invariant, opts Options) Result {
+	return explore(sp, invs, nil, opts)
+}
+
+// TransitionCheck is a predicate over a single transition (pre-state,
+// transition, post-state); refinement checking is built on it.
+type TransitionCheck struct {
+	Name string
+	Fn   func(pre core.State, tr core.Transition) error
+}
+
+func explore(sp *core.Spec, invs []Invariant, trChecks []TransitionCheck, opts Options) Result {
+	res := Result{}
+	init := sp.Init()
+	seen := map[uint64]bool{}
+	root := &node{state: init}
+	queue := []*node{root}
+	seen[init.Fingerprint(sp.Vars)] = true
+	res.States = 1
+
+	for _, inv := range invs {
+		if !inv.Fn(init) {
+			res.Violation = &Violation{Name: inv.Name, Trace: root.trace()}
+			return res
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if opts.MaxDepth > 0 && cur.depth >= opts.MaxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, tr := range sp.Enabled(cur.state) {
+			res.Transitions++
+			child := &node{state: tr.Next, parent: cur, action: tr.Action, args: tr.Args, depth: cur.depth + 1}
+			for _, tc := range trChecks {
+				if err := tc.Fn(cur.state, tr); err != nil {
+					res.Violation = &Violation{
+						Name:  fmt.Sprintf("%s (%v)", tc.Name, err),
+						Trace: child.trace(),
+					}
+					return res
+				}
+			}
+			fp := tr.Next.Fingerprint(sp.Vars)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			res.States++
+			for _, inv := range invs {
+				if !inv.Fn(tr.Next) {
+					res.Violation = &Violation{Name: inv.Name, Trace: child.trace()}
+					return res
+				}
+			}
+			if res.States >= opts.maxStates() {
+				res.Truncated = true
+				return res
+			}
+			queue = append(queue, child)
+		}
+	}
+	return res
+}
+
+// Simulate runs random walks (for domains too large to exhaust),
+// checking invariants and transition checks along each walk.
+func Simulate(sp *core.Spec, invs []Invariant, trChecks []TransitionCheck, walks, depth int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{}
+	for w := 0; w < walks; w++ {
+		cur := &node{state: sp.Init()}
+		for _, inv := range invs {
+			if !inv.Fn(cur.state) {
+				res.Violation = &Violation{Name: inv.Name, Trace: cur.trace()}
+				return res
+			}
+		}
+		for d := 0; d < depth; d++ {
+			trs := sp.Enabled(cur.state)
+			if len(trs) == 0 {
+				break
+			}
+			tr := trs[rng.Intn(len(trs))]
+			res.Transitions++
+			child := &node{state: tr.Next, parent: cur, action: tr.Action, args: tr.Args, depth: cur.depth + 1}
+			for _, tc := range trChecks {
+				if err := tc.Fn(cur.state, tr); err != nil {
+					res.Violation = &Violation{
+						Name:  fmt.Sprintf("%s (%v)", tc.Name, err),
+						Trace: child.trace(),
+					}
+					return res
+				}
+			}
+			for _, inv := range invs {
+				if !inv.Fn(tr.Next) {
+					res.Violation = &Violation{Name: inv.Name, Trace: child.trace()}
+					return res
+				}
+			}
+			cur = child
+			res.States++
+		}
+	}
+	return res
+}

@@ -1,0 +1,218 @@
+package mc_test
+
+import (
+	"strings"
+	"testing"
+
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+)
+
+// counter is a tiny spec: a value incremented up to a bound, with an
+// optional "bug" action that jumps past it.
+func counter(bound int64, withBug bool) *core.Spec {
+	sp := &core.Spec{
+		Name: "Counter",
+		Vars: []string{"x"},
+		Init: func() core.State { return core.State{"x": core.VInt(0)} },
+		Actions: []core.Action{{
+			Name: "Inc",
+			Guard: func(env core.Env) bool {
+				return int64(env.Var("x").(core.VInt)) < bound
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{"x": env.Var("x").(core.VInt) + 1}
+			},
+		}},
+	}
+	if withBug {
+		sp.Actions = append(sp.Actions, core.Action{
+			Name: "Jump",
+			Guard: func(env core.Env) bool {
+				return core.Equal(env.Var("x"), core.VInt(2))
+			},
+			Apply: func(core.Env) map[string]core.Value {
+				return map[string]core.Value{"x": core.VInt(100)}
+			},
+		})
+	}
+	return sp
+}
+
+func TestCheckExploresAllStates(t *testing.T) {
+	res := mc.Check(counter(5, false), nil, mc.Options{})
+	if res.States != 6 || res.Violation != nil || res.Truncated {
+		t.Fatalf("states=%d violation=%v truncated=%v", res.States, res.Violation, res.Truncated)
+	}
+}
+
+func TestCheckFindsViolationWithTrace(t *testing.T) {
+	inv := mc.Invariant{Name: "Bounded", Fn: func(s core.State) bool {
+		return int64(s.Get("x").(core.VInt)) <= 10
+	}}
+	res := mc.Check(counter(5, true), []mc.Invariant{inv}, mc.Options{})
+	if res.Violation == nil {
+		t.Fatal("violation missed")
+	}
+	trace := res.Violation.Trace.String()
+	if !strings.Contains(trace, "Jump") {
+		t.Fatalf("trace misses the buggy action:\n%s", trace)
+	}
+	// BFS yields a shortest counterexample: Inc, Inc, Jump.
+	if len(res.Violation.Trace.Steps) != 3 {
+		t.Fatalf("counterexample length %d, want 3", len(res.Violation.Trace.Steps))
+	}
+}
+
+func TestMaxStatesTruncates(t *testing.T) {
+	res := mc.Check(counter(1000, false), nil, mc.Options{MaxStates: 10})
+	if !res.Truncated || res.States > 10 {
+		t.Fatalf("truncated=%v states=%d", res.Truncated, res.States)
+	}
+}
+
+func TestMaxDepthTruncates(t *testing.T) {
+	res := mc.Check(counter(1000, false), nil, mc.Options{MaxDepth: 3})
+	if !res.Truncated || res.States != 4 {
+		t.Fatalf("truncated=%v states=%d, want 4", res.Truncated, res.States)
+	}
+}
+
+func TestSimulateFindsDeepViolation(t *testing.T) {
+	inv := mc.Invariant{Name: "Bounded", Fn: func(s core.State) bool {
+		return int64(s.Get("x").(core.VInt)) <= 10
+	}}
+	res := mc.Simulate(counter(5, true), []mc.Invariant{inv}, nil, 50, 20, 3)
+	if res.Violation == nil {
+		t.Fatal("random walks missed an easily reachable violation")
+	}
+}
+
+// doubler refines counter under x ↦ y/2 when it increments y by 2.
+func doubler(bound int64, broken bool) *core.Spec {
+	step := int64(2)
+	if broken {
+		step = 3 // maps to a half-step: no counter action matches
+	}
+	return &core.Spec{
+		Name: "Doubler",
+		Vars: []string{"y"},
+		Init: func() core.State { return core.State{"y": core.VInt(0)} },
+		Actions: []core.Action{{
+			Name: "Inc2",
+			Guard: func(env core.Env) bool {
+				return int64(env.Var("y").(core.VInt)) < 2*bound
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{"y": env.Var("y").(core.VInt) + core.VInt(step)}
+			},
+		}},
+	}
+}
+
+func doublerRefinement(bound int64, broken bool) *core.Refinement {
+	return &core.Refinement{
+		Name: "Doubler=>Counter",
+		Low:  doubler(bound, broken),
+		High: counter(bound, false),
+		MapState: func(s core.State) core.State {
+			return core.State{"x": core.VInt(int64(s.Get("y").(core.VInt)) / 2)}
+		},
+		Corr: []core.Correspondence{{Low: "Inc2", High: "Inc"}},
+	}
+}
+
+func TestRefinementHolds(t *testing.T) {
+	res := mc.CheckRefinement(doublerRefinement(5, false), nil, mc.Options{})
+	if res.Violation != nil {
+		t.Fatalf("refinement should hold: %v", res.Violation)
+	}
+}
+
+func TestRefinementViolationDetected(t *testing.T) {
+	res := mc.CheckRefinement(doublerRefinement(5, true), nil, mc.Options{})
+	if res.Violation == nil {
+		t.Fatal("broken refinement accepted")
+	}
+}
+
+// TestMultiHopSequence: a low action that performs THREE increments at
+// once needs MaxHops ≥ 3 to discharge.
+func TestMultiHopSequence(t *testing.T) {
+	low := &core.Spec{
+		Name: "Tripler",
+		Vars: []string{"y"},
+		Init: func() core.State { return core.State{"y": core.VInt(0)} },
+		Actions: []core.Action{{
+			Name: "Inc3",
+			Guard: func(env core.Env) bool {
+				return int64(env.Var("y").(core.VInt)) < 9
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{"y": env.Var("y").(core.VInt) + 3}
+			},
+		}},
+	}
+	ref := &core.Refinement{
+		Name: "Tripler=>Counter",
+		Low:  low,
+		High: counter(100, false),
+		MapState: func(s core.State) core.State {
+			return core.State{"x": s.Get("y")}
+		},
+		Corr: []core.Correspondence{{Low: "Inc3", High: "Inc"}},
+	}
+	if res := mc.CheckRefinement(ref, nil, mc.Options{MaxHops: 1}); res.Violation == nil {
+		t.Fatal("single-hop check should fail for a 3-step action")
+	}
+	if res := mc.CheckRefinement(ref, nil, mc.Options{MaxHops: 3}); res.Violation != nil {
+		t.Fatalf("3-hop check should pass: %v", res.Violation)
+	}
+}
+
+// TestArgMapSequence: the same, but with an explicit per-step argument
+// sequence instead of blind search.
+func TestArgMapSequence(t *testing.T) {
+	low := &core.Spec{
+		Name: "Tripler",
+		Vars: []string{"y"},
+		Init: func() core.State { return core.State{"y": core.VInt(0)} },
+		Actions: []core.Action{{
+			Name: "Inc3",
+			Guard: func(env core.Env) bool {
+				return int64(env.Var("y").(core.VInt)) < 9
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{"y": env.Var("y").(core.VInt) + 3}
+			},
+		}},
+	}
+	ref := &core.Refinement{
+		Name: "Tripler=>Counter(args)",
+		Low:  low,
+		High: counter(100, false),
+		MapState: func(s core.State) core.State {
+			return core.State{"x": s.Get("y")}
+		},
+		Corr: []core.Correspondence{{
+			Low: "Inc3", High: "Inc",
+			Args: func(map[string]core.Value, core.State) []map[string]core.Value {
+				return []map[string]core.Value{{}, {}, {}} // three Inc steps
+			},
+		}},
+	}
+	if res := mc.CheckRefinement(ref, nil, mc.Options{}); res.Violation != nil {
+		t.Fatalf("explicit sequence should pass without MaxHops: %v", res.Violation)
+	}
+}
+
+func TestInitMappingChecked(t *testing.T) {
+	ref := doublerRefinement(5, false)
+	ref.MapState = func(s core.State) core.State {
+		return core.State{"x": core.VInt(int64(s.Get("y").(core.VInt))/2 + 7)} // wrong init image
+	}
+	res := mc.CheckRefinement(ref, nil, mc.Options{})
+	if res.Violation == nil || !strings.Contains(res.Violation.Name, "init") {
+		t.Fatalf("bad init mapping not reported: %v", res.Violation)
+	}
+}

@@ -1,0 +1,210 @@
+package mc
+
+import (
+	"fmt"
+
+	"raftpaxos/internal/core"
+)
+
+// RefinementChecker verifies a refinement claim transition by transition:
+// for every reachable low transition s → s', either f(s) = f(s') (a
+// stutter), some declared corresponding high subaction is enabled at f(s)
+// and produces exactly f(s'), or — when MaxHops > 1 — a short sequence of
+// corresponding high subactions does (one Raft* AppendEntries step maps to
+// several MultiPaxos Phase2a/Phase2b steps; Appendix C of the paper calls
+// this out explicitly).
+type RefinementChecker struct {
+	Ref *core.Refinement
+	// MaxHops bounds the high-action sequence length (0 or 1 = single step).
+	MaxHops int
+}
+
+// transitionCheck builds the per-transition obligation.
+func (rc *RefinementChecker) transitionCheck() TransitionCheck {
+	ref := rc.Ref
+	return TransitionCheck{
+		Name: "refinement " + ref.Name,
+		Fn: func(pre core.State, tr core.Transition) error {
+			hPre := ref.MapState(pre)
+			hPost := ref.MapState(tr.Next)
+			if hPre.Fingerprint(ref.High.Vars) == hPost.Fingerprint(ref.High.Vars) {
+				return nil // stuttering step
+			}
+			corr := ref.HighActionsOf(tr.Action)
+			if len(corr) == 0 {
+				return fmt.Errorf(
+					"low action %s changed the mapped state but corresponds to no high action",
+					tr.Action)
+			}
+			for _, c := range corr {
+				if rc.impliesHigh(c, tr, pre, hPre, hPost) {
+					return nil
+				}
+			}
+			if rc.MaxHops > 1 && rc.searchSequence(corr, hPre, hPost) {
+				return nil
+			}
+			return fmt.Errorf(
+				"low action %s: no corresponding high action (or sequence up to %d) reproduces the mapped transition (tried %d correspondences)",
+				tr.Action, rc.MaxHops, len(corr))
+		},
+	}
+}
+
+// searchSequence BFSes through the high spec restricted to the
+// corresponded subactions, looking for a path hPre →* hPost of length at
+// most MaxHops.
+func (rc *RefinementChecker) searchSequence(corr []core.Correspondence, hPre, hPost core.State) bool {
+	allowed := make(map[string]bool, len(corr))
+	for _, c := range corr {
+		allowed[c.High] = true
+	}
+	target := hPost.Fingerprint(rc.Ref.High.Vars)
+	frontier := []core.State{hPre}
+	visited := map[uint64]bool{hPre.Fingerprint(rc.Ref.High.Vars): true}
+	for hop := 0; hop < rc.MaxHops && len(frontier) > 0; hop++ {
+		var next []core.State
+		for _, s := range frontier {
+			for _, tr := range rc.Ref.High.Enabled(s) {
+				if !allowed[tr.Action] {
+					continue
+				}
+				fp := tr.Next.Fingerprint(rc.Ref.High.Vars)
+				if fp == target {
+					return true
+				}
+				if visited[fp] {
+					continue
+				}
+				visited[fp] = true
+				next = append(next, tr.Next)
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// impliesHigh checks one correspondence. With an ArgMap, the mapped
+// argument assignments are executed as a sequence of high steps whose
+// composition must land on hPost; without one, the high action's
+// parameter domains are enumerated for a single-step witness.
+func (rc *RefinementChecker) impliesHigh(c core.Correspondence, tr core.Transition, pre, hPre, hPost core.State) bool {
+	high, ok := rc.Ref.High.ActionByName(c.High)
+	if !ok {
+		return false
+	}
+	vars := rc.Ref.High.Vars
+	target := hPost.Fingerprint(vars)
+	step := func(s core.State, args map[string]core.Value) (core.State, bool) {
+		env := core.Env{S: s, Args: args}
+		if !guardOK(high, env) {
+			return nil, false
+		}
+		return s.Apply(high.Apply(env)), true
+	}
+	if c.Args != nil {
+		assignments := c.Args(tr.Args, pre)
+		if len(assignments) == 0 {
+			// The low step maps to zero high steps: valid only as stutter,
+			// which the caller already ruled out.
+			return false
+		}
+		cur := hPre
+		for _, args := range assignments {
+			full := make(map[string]core.Value, len(args))
+			for k, v := range args {
+				full[k] = v
+			}
+			// Parameters the mapping did not produce fall back to
+			// same-named low arguments (extra optimization parameters
+			// pass through).
+			incomplete := false
+			for _, p := range high.Params {
+				if _, ok := full[p.Name]; ok {
+					continue
+				}
+				if v, ok := tr.Args[p.Name]; ok {
+					full[p.Name] = v
+					continue
+				}
+				incomplete = true
+			}
+			if incomplete && len(assignments) == 1 {
+				// Single-step case may fall back to enumeration.
+				return rc.enumerateAndTry(high, hPre, full, func(args map[string]core.Value) bool {
+					next, ok := step(hPre, args)
+					return ok && next.Fingerprint(vars) == target
+				})
+			}
+			next, ok := step(cur, full)
+			if !ok {
+				return false
+			}
+			cur = next
+		}
+		return cur.Fingerprint(vars) == target
+	}
+	return rc.enumerateAndTry(high, hPre, map[string]core.Value{}, func(args map[string]core.Value) bool {
+		next, ok := step(hPre, args)
+		return ok && next.Fingerprint(vars) == target
+	})
+}
+
+// enumerateAndTry searches the high action's parameter space for an
+// assignment (consistent with any pre-bound args) that witnesses the step.
+func (rc *RefinementChecker) enumerateAndTry(high *core.Action, hPre core.State, bound map[string]core.Value, try func(map[string]core.Value) bool) bool {
+	var rec func(i int, args map[string]core.Value) bool
+	rec = func(i int, args map[string]core.Value) bool {
+		if i == len(high.Params) {
+			return try(args)
+		}
+		p := high.Params[i]
+		if v, ok := bound[p.Name]; ok {
+			args[p.Name] = v
+			if rec(i+1, args) {
+				return true
+			}
+			delete(args, p.Name)
+			return false
+		}
+		for _, v := range p.Domain(hPre, args) {
+			args[p.Name] = v
+			if rec(i+1, args) {
+				return true
+			}
+		}
+		delete(args, p.Name)
+		return false
+	}
+	return rec(0, map[string]core.Value{})
+}
+
+func guardOK(a *core.Action, env core.Env) bool {
+	defer func() { recover() }() //nolint:errcheck // a guard panicking on foreign args means "not enabled"
+	return a.Guard(env)
+}
+
+// CheckRefinement explores the low spec and discharges the refinement
+// obligation on every reachable transition. Init mapping is also checked:
+// f(Init_low) must equal Init_high up to the high spec's variables.
+func CheckRefinement(ref *core.Refinement, invs []Invariant, opts Options) Result {
+	rc := &RefinementChecker{Ref: ref, MaxHops: opts.MaxHops}
+	initLow := ref.Low.Init()
+	hInit := ref.MapState(initLow)
+	want := ref.High.Init()
+	if hInit.Fingerprint(ref.High.Vars) != want.Fingerprint(ref.High.Vars) {
+		return Result{Violation: &Violation{
+			Name:  "init mapping " + ref.Name,
+			Trace: &Trace{Init: initLow},
+		}}
+	}
+	return explore(ref.Low, invs, []TransitionCheck{rc.transitionCheck()}, opts)
+}
+
+// SimulateRefinement random-walks the low spec discharging the refinement
+// obligation along each walk (for larger bounds).
+func SimulateRefinement(ref *core.Refinement, walks, depth, maxHops int, seed int64) Result {
+	rc := &RefinementChecker{Ref: ref, MaxHops: maxHops}
+	return Simulate(ref.Low, nil, []TransitionCheck{rc.transitionCheck()}, walks, depth, seed)
+}

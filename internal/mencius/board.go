@@ -1,0 +1,250 @@
+// Package mencius implements Mencius (Mao et al.) — coordinated
+// multi-leader log replication — as Coordinated Paxos per Appendix A.3 /
+// B.5 of the paper. The instance space is partitioned round-robin: slot s
+// is owned by replica (s-1) mod n, every replica commits client requests
+// in its own slots at its own site, and skip messages (no-ops proposed by
+// the default leader, learnable without phase 2) keep the global execution
+// order advancing.
+//
+// The same coordination core backs internal/coorraft (Raft*-Mencius): the
+// paper's refinement mapping makes the ported protocol's message-level
+// behaviour identical to Mencius's by construction, so the two packages
+// share this engine and differ in their spec-level derivations
+// (internal/specs) and public configuration.
+//
+// Channel assumption: like the original Mencius implementation (and any
+// TCP deployment), the protocol requires FIFO delivery per sender→receiver
+// pair. A replica treats an unproposed slot below its owner's announced
+// barrier as a skip, which is only sound if the owner's earlier proposals
+// cannot arrive after the barrier announcement. Both the discrete-event
+// simulator and the TCP transport provide pairwise FIFO.
+package mencius
+
+import "raftpaxos/internal/protocol"
+
+// Owner returns the default leader of slot s among n replicas (1-based
+// slots, round-robin: slot 1 → replica 0).
+func Owner(s int64, n int) protocol.NodeID {
+	return protocol.NodeID((s - 1) % int64(n))
+}
+
+// NextOwned returns the smallest slot strictly greater than s owned by o.
+func NextOwned(s int64, o protocol.NodeID, n int) int64 {
+	base := s + 1
+	rem := (base - 1) % int64(n)
+	diff := (int64(o) - rem + int64(n)) % int64(n)
+	return base + diff
+}
+
+// slotState is one slot of the coordinated log as seen by one replica.
+type slotState struct {
+	cmd       protocol.Command
+	bal       uint64 // ballot the proposal was accepted at (0 = default leader)
+	proposed  bool
+	committed bool
+	executed  bool
+}
+
+// Board tracks the coordinated log at one replica: proposals, per-owner
+// skip barriers, per-owner committed-or-skipped frontiers, and the two
+// prefixes that drive client replies (filled) and state-machine execution
+// (exec).
+type Board struct {
+	n    int
+	self protocol.NodeID
+
+	slots map[int64]*slotState
+	// barrier[o] is owner o's next proposal slot, learned only from o's own
+	// messages (FIFO per pair ⇒ every proposal below it has arrived): all
+	// unproposed o-slots below it are skips. barrier[self] is authoritative.
+	barrier []int64
+	// frontier[o] is the largest o-owned slot such that every o-owned slot
+	// up to it is committed or skipped. Learned by max-merge from anyone
+	// (commits are stable facts). frontier[self] is computed locally.
+	frontier []int64
+
+	// filledPrefix: every slot ≤ it has a known proposal or is skipped.
+	filledPrefix int64
+	// execPrefix: every slot ≤ it is executable (committed+known or
+	// skipped); entries up to it have been emitted for execution.
+	execPrefix int64
+	// maxSlot is the highest slot this replica has seen mentioned.
+	maxSlot int64
+}
+
+// NewBoard builds a board for replica self among n replicas.
+func NewBoard(self protocol.NodeID, n int) *Board {
+	b := &Board{
+		n:        n,
+		self:     self,
+		slots:    make(map[int64]*slotState),
+		barrier:  make([]int64, n),
+		frontier: make([]int64, n),
+	}
+	for o := range b.barrier {
+		b.barrier[o] = NextOwned(0, protocol.NodeID(o), n)
+	}
+	return b
+}
+
+func (b *Board) slot(s int64) *slotState {
+	st, ok := b.slots[s]
+	if !ok {
+		st = &slotState{}
+		b.slots[s] = st
+	}
+	if s > b.maxSlot {
+		b.maxSlot = s
+	}
+	return st
+}
+
+// Barrier returns this replica's own barrier (its next proposal slot).
+func (b *Board) Barrier() int64 { return b.barrier[b.self] }
+
+// BarrierOf returns the last known barrier of owner o.
+func (b *Board) BarrierOf(o protocol.NodeID) int64 { return b.barrier[o] }
+
+// Frontier returns a copy of the per-owner frontier vector.
+func (b *Board) Frontier() []int64 { return append([]int64(nil), b.frontier...) }
+
+// FilledPrefix returns the filled prefix.
+func (b *Board) FilledPrefix() int64 { return b.filledPrefix }
+
+// ExecPrefix returns the executable prefix.
+func (b *Board) ExecPrefix() int64 { return b.execPrefix }
+
+// MaxSlot returns the highest slot seen.
+func (b *Board) MaxSlot() int64 { return b.maxSlot }
+
+// skipped reports whether slot s is a skip: unproposed and below its
+// owner's barrier.
+func (b *Board) skipped(s int64) bool {
+	st, ok := b.slots[s]
+	if ok && st.proposed {
+		return false
+	}
+	return b.barrier[Owner(s, b.n)] > s
+}
+
+// Proposed reports whether a proposal for s is known, and its command.
+func (b *Board) Proposed(s int64) (protocol.Command, bool) {
+	st, ok := b.slots[s]
+	if !ok || !st.proposed {
+		return protocol.Command{}, false
+	}
+	return st.cmd, true
+}
+
+// Committed reports whether s is known committed locally.
+func (b *Board) Committed(s int64) bool {
+	st, ok := b.slots[s]
+	return ok && st.committed
+}
+
+// ObserveProposal records a proposal for slot s at ballot bal, returning
+// false if a higher-ballot proposal is already known.
+func (b *Board) ObserveProposal(s int64, cmd protocol.Command, bal uint64) bool {
+	st := b.slot(s)
+	if st.proposed && st.bal > bal {
+		return false
+	}
+	st.cmd = cmd
+	st.bal = bal
+	st.proposed = true
+	return true
+}
+
+// MarkCommitted records that slot s is committed.
+func (b *Board) MarkCommitted(s int64) {
+	st := b.slot(s)
+	st.committed = true
+}
+
+// AdvanceBarrier raises owner o's barrier to at least v. For o == self the
+// caller must guarantee it never proposes below v afterwards.
+func (b *Board) AdvanceBarrier(o protocol.NodeID, v int64) {
+	if v > b.barrier[o] {
+		b.barrier[o] = v
+		if v-1 > b.maxSlot {
+			b.maxSlot = v - 1
+		}
+	}
+}
+
+// MergeFrontier max-merges a frontier vector learned from a peer.
+func (b *Board) MergeFrontier(vec []int64) {
+	for o, v := range vec {
+		if o < len(b.frontier) && v > b.frontier[o] {
+			b.frontier[o] = v
+			if v > b.maxSlot {
+				b.maxSlot = v
+			}
+		}
+	}
+}
+
+// RecomputeOwnFrontier advances frontier[o] over o-owned slots that are
+// committed or skipped. Any replica may compute any owner's frontier from
+// stable local facts; owners converge fastest for their own slots.
+func (b *Board) RecomputeOwnFrontier(o protocol.NodeID) {
+	f := b.frontier[o]
+	for {
+		next := NextOwned(f, o, b.n)
+		st, ok := b.slots[next]
+		if ok && st.proposed && st.committed {
+			f = next
+			continue
+		}
+		if b.skipped(next) {
+			f = next
+			continue
+		}
+		break
+	}
+	b.frontier[o] = f
+}
+
+// AdvanceFilled extends the filled prefix: slots with a known proposal or
+// a skip.
+func (b *Board) AdvanceFilled() {
+	for {
+		s := b.filledPrefix + 1
+		st, ok := b.slots[s]
+		if ok && st.proposed {
+			b.filledPrefix = s
+			continue
+		}
+		if b.skipped(s) {
+			b.filledPrefix = s
+			continue
+		}
+		break
+	}
+}
+
+// AdvanceExec extends the executable prefix and returns the newly
+// executable entries in global order (skips surface as no-op entries).
+// A proposed slot is executable once its owner's frontier covers it (it is
+// then known committed) and its value is locally known; a skipped slot is
+// executable immediately (the paper: a default-leader no-op is learnable
+// without phase 2).
+func (b *Board) AdvanceExec() []protocol.Entry {
+	var out []protocol.Entry
+	for {
+		s := b.execPrefix + 1
+		o := Owner(s, b.n)
+		st, ok := b.slots[s]
+		switch {
+		case ok && st.proposed && (st.committed || b.frontier[o] >= s):
+			st.executed = true
+			st.committed = true
+			out = append(out, protocol.Entry{Index: s, Term: st.bal, Bal: st.bal, Cmd: st.cmd})
+		case b.skipped(s):
+			out = append(out, protocol.Entry{Index: s, Cmd: protocol.Command{Op: protocol.OpNop}})
+		default:
+			return out
+		}
+		b.execPrefix = s
+	}
+}

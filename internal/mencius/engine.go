@@ -1,0 +1,454 @@
+package mencius
+
+import (
+	"sort"
+
+	"raftpaxos/internal/protocol"
+)
+
+// ReplyPolicy selects when the slot owner answers its client, reproducing
+// the paper's two Mencius workload modes.
+type ReplyPolicy uint8
+
+// Policies.
+const (
+	// ReplyAtCommit answers once the slot is committed and every earlier
+	// slot is filled (proposal or skip known). This is the commutative /
+	// 0%-conflict optimization: the operation's position is fixed and no
+	// conflicting operation can precede it.
+	ReplyAtCommit ReplyPolicy = iota + 1
+	// ReplyAtExecute answers only when the slot is executed, i.e. the full
+	// prefix is committed or skipped — required under conflicting (100%)
+	// workloads, and always used for reads.
+	ReplyAtExecute
+)
+
+// Config configures a coordinated replica.
+type Config struct {
+	ID    protocol.NodeID
+	Peers []protocol.NodeID
+
+	HeartbeatTicks int
+	// RevokeTicks is how long an owner may be silent while blocking the
+	// executable prefix before another replica revokes its slots.
+	RevokeTicks int
+	Policy      ReplyPolicy
+	Seed        int64
+	// DisableRevocation turns crash recovery off (benchmarks with no
+	// failures avoid the timers).
+	DisableRevocation bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HeartbeatTicks <= 0 {
+		out.HeartbeatTicks = 1
+	}
+	if out.RevokeTicks <= 0 {
+		out.RevokeTicks = 50
+	}
+	if out.Policy == 0 {
+		out.Policy = ReplyAtExecute
+	}
+	return out
+}
+
+type revocation struct {
+	bal      uint64
+	from     int64
+	promises map[protocol.NodeID]*MsgRevokePromise
+}
+
+// Engine is one replica of the coordinated (Mencius-style) protocol. It
+// backs both internal/mencius (Coordinated Paxos) and internal/coorraft
+// (Coordinated Raft*, the ported Raft*-Mencius).
+type Engine struct {
+	cfg Config
+	n   int
+
+	board *Board
+	// acks[slot] collects phase-2b votes for proposals this replica made
+	// (as owner, or as revoker).
+	acks map[int64]map[protocol.NodeID]bool
+	// mine[slot] remembers own in-flight client commands for reply
+	// tracking and post-revocation resubmission.
+	mine map[int64]protocol.Command
+	// owed marks own slots whose client reply has not been sent yet.
+	owed map[int64]bool
+
+	// promisedRev[o] is the highest revocation ballot promised for owner
+	// o's slots; revBal[o] the highest this replica has used as revoker.
+	promisedRev []uint64
+	revBal      []uint64
+	revoking    map[protocol.NodeID]*revocation
+	lastHeard   []int
+
+	hbElapsed int
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a coordinated replica.
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	n := len(c.Peers)
+	return &Engine{
+		cfg:         c,
+		n:           n,
+		board:       NewBoard(c.ID, n),
+		acks:        make(map[int64]map[protocol.NodeID]bool),
+		mine:        make(map[int64]protocol.Command),
+		owed:        make(map[int64]bool),
+		promisedRev: make([]uint64, n),
+		revBal:      make([]uint64, n),
+		revoking:    make(map[protocol.NodeID]*revocation),
+		lastHeard:   make([]int, n),
+	}
+}
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.cfg.ID }
+
+// Leader implements protocol.Engine. Every replica leads its own slots;
+// by convention we report ourselves.
+func (e *Engine) Leader() protocol.NodeID { return e.cfg.ID }
+
+// IsLeader implements protocol.Engine: every Mencius replica is a default
+// leader for its slot class.
+func (e *Engine) IsLeader() bool { return true }
+
+// Board exposes the coordination state for tests and drivers.
+func (e *Engine) Board() *Board { return e.board }
+
+// --- protocol.Engine ---
+
+// Tick implements protocol.Engine.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	e.hbElapsed++
+	if e.hbElapsed >= e.cfg.HeartbeatTicks {
+		e.hbElapsed = 0
+		hb := &MsgCoordHB{Barrier: e.board.Barrier(), Frontier: e.board.Frontier()}
+		e.broadcast(&out, hb)
+	}
+	if !e.cfg.DisableRevocation {
+		for o := range e.lastHeard {
+			e.lastHeard[o]++
+		}
+		e.maybeRevoke(&out)
+	}
+	e.settle(&out)
+	return out
+}
+
+// Submit implements protocol.Engine: commit the command through this
+// replica's next owned slot — no forwarding, the core Mencius property.
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	var out protocol.Output
+	slot := e.board.Barrier()
+	e.board.AdvanceBarrier(e.cfg.ID, NextOwned(slot, e.cfg.ID, e.n))
+	e.board.ObserveProposal(slot, cmd, 0)
+	e.mine[slot] = cmd
+	e.acks[slot] = map[protocol.NodeID]bool{e.cfg.ID: true}
+	if cmd.Client != protocol.None {
+		e.owed[slot] = true
+	}
+	e.broadcast(&out, &MsgPropose{
+		Owner:    e.cfg.ID,
+		Proposer: e.cfg.ID,
+		Slots:    []SlotCmd{{Slot: slot, Cmd: cmd}},
+		Barrier:  e.board.Barrier(),
+		Frontier: e.board.Frontier(),
+	})
+	if e.n == 1 {
+		e.board.MarkCommitted(slot)
+	}
+	e.settle(&out)
+	return out
+}
+
+// SubmitRead implements protocol.Engine: reads order through the log like
+// writes (and always reply at execution).
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	return e.Submit(cmd)
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	if int(from) < len(e.lastHeard) && from != e.cfg.ID {
+		e.lastHeard[from] = 0
+	}
+	switch m := msg.(type) {
+	case *MsgPropose:
+		e.stepPropose(from, m, &out)
+	case *MsgProposeOK:
+		e.stepProposeOK(from, m, &out)
+	case *MsgCoordHB:
+		e.board.AdvanceBarrier(from, m.Barrier)
+		e.board.MergeFrontier(m.Frontier)
+	case *MsgRevokePrep:
+		e.stepRevokePrep(from, m, &out)
+	case *MsgRevokePromise:
+		e.stepRevokePromise(from, m, &out)
+	}
+	e.settle(&out)
+	return out
+}
+
+func (e *Engine) broadcast(out *protocol.Output, msg protocol.Message) {
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: msg})
+	}
+}
+
+func (e *Engine) stepPropose(from protocol.NodeID, m *MsgPropose, out *protocol.Output) {
+	// Revocation fencing: proposals below the promised revocation ballot
+	// for this owner are stale and must not be acknowledged.
+	if int(m.Owner) < len(e.promisedRev) && m.Bal < e.promisedRev[m.Owner] {
+		return
+	}
+	var acked []int64
+	maxSlot := int64(0)
+	for _, sc := range m.Slots {
+		if e.board.ObserveProposal(sc.Slot, sc.Cmd, m.Bal) {
+			acked = append(acked, sc.Slot)
+		}
+		if sc.Slot > maxSlot {
+			maxSlot = sc.Slot
+		}
+	}
+	e.board.AdvanceBarrier(m.Owner, m.Barrier)
+	e.board.MergeFrontier(m.Frontier)
+	// Mencius skip rule: seeing traffic at a slot beyond our next own slot
+	// means we skip our unused slots below it so the global order can
+	// advance (piggybacked as our barrier in the reply).
+	if maxSlot > e.board.Barrier() {
+		e.board.AdvanceBarrier(e.cfg.ID, NextOwned(maxSlot, e.cfg.ID, e.n))
+	}
+	if len(acked) > 0 {
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: m.Proposer,
+			Msg: &MsgProposeOK{Bal: m.Bal, Slots: acked, Barrier: e.board.Barrier(), Frontier: e.board.Frontier()},
+		})
+	}
+}
+
+func (e *Engine) stepProposeOK(from protocol.NodeID, m *MsgProposeOK, out *protocol.Output) {
+	e.board.AdvanceBarrier(from, m.Barrier)
+	e.board.MergeFrontier(m.Frontier)
+	for _, s := range m.Slots {
+		set, ok := e.acks[s]
+		if !ok {
+			continue
+		}
+		set[from] = true
+		if len(set) >= protocol.Quorum(e.n) {
+			delete(e.acks, s)
+			e.board.MarkCommitted(s)
+		}
+	}
+}
+
+// settle advances frontiers, emits executable entries and any due client
+// replies. It runs after every event.
+func (e *Engine) settle(out *protocol.Output) {
+	for o := 0; o < e.n; o++ {
+		e.board.RecomputeOwnFrontier(protocol.NodeID(o))
+	}
+	e.board.AdvanceFilled()
+
+	ents := e.board.AdvanceExec()
+	for _, ent := range ents {
+		ci := protocol.CommitInfo{Entry: ent}
+		if cmd, ok := e.mine[ent.Index]; ok {
+			if ent.Cmd.ID == cmd.ID {
+				// Our value won the slot: settle any reply still owed.
+				if e.owed[ent.Index] {
+					if cmd.Op == protocol.OpGet || e.cfg.Policy == ReplyAtExecute {
+						// The driver answers after applying (reads need
+						// the applied value).
+						ci.Reply = true
+					} else {
+						out.Replies = append(out.Replies, protocol.ClientReply{
+							Kind: protocol.ReplyWrite, CmdID: cmd.ID, Client: cmd.Client,
+						})
+					}
+					delete(e.owed, ent.Index)
+				}
+			} else {
+				// The slot was revoked to a no-op: resubmit the command in
+				// a fresh slot.
+				delete(e.owed, ent.Index)
+				out.Merge(e.Submit(cmd))
+			}
+			delete(e.mine, ent.Index)
+		}
+		out.Commits = append(out.Commits, ci)
+	}
+
+	if e.cfg.Policy == ReplyAtCommit {
+		e.flushCommitReplies(out)
+	}
+}
+
+// flushCommitReplies answers own writes that are committed with a fully
+// filled prefix (ReplyAtCommit policy: the paper's commutative-operation
+// optimization — the position is fixed and no conflicting op precedes it).
+func (e *Engine) flushCommitReplies(out *protocol.Output) {
+	if len(e.owed) == 0 {
+		return
+	}
+	filled := e.board.FilledPrefix()
+	slots := make([]int64, 0, len(e.owed))
+	for s := range e.owed {
+		if s <= filled {
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, s := range slots {
+		cmd, mineOK := e.mine[s]
+		if !mineOK || cmd.Op == protocol.OpGet || !e.board.Committed(s) {
+			continue // reads and uncommitted slots wait
+		}
+		out.Replies = append(out.Replies, protocol.ClientReply{
+			Kind: protocol.ReplyWrite, CmdID: cmd.ID, Client: cmd.Client,
+		})
+		delete(e.owed, s)
+	}
+}
+
+// --- revocation ---
+
+// maybeRevoke starts recovery when the executable prefix is blocked on a
+// silent owner.
+func (e *Engine) maybeRevoke(out *protocol.Output) {
+	blocked := e.board.ExecPrefix() + 1
+	if blocked > e.board.MaxSlot() {
+		return // nothing outstanding
+	}
+	o := Owner(blocked, e.n)
+	if o == e.cfg.ID {
+		return
+	}
+	if e.lastHeard[o] < e.cfg.RevokeTicks {
+		return
+	}
+	if _, busy := e.revoking[o]; busy {
+		return
+	}
+	bal := e.nextRevBal(o)
+	e.revBal[o] = bal
+	e.promisedRev[o] = bal
+	e.revoking[o] = &revocation{
+		bal:  bal,
+		from: blocked,
+		promises: map[protocol.NodeID]*MsgRevokePromise{
+			e.cfg.ID: e.localPromise(o, bal, blocked),
+		},
+	}
+	e.broadcast(out, &MsgRevokePrep{Owner: o, Bal: bal, From: blocked})
+}
+
+// nextRevBal returns a revocation ballot for owner o's slots that is
+// globally unique to this replica (b mod n == self) and above any seen.
+func (e *Engine) nextRevBal(o protocol.NodeID) uint64 {
+	n := uint64(e.n)
+	cur := e.promisedRev[o]
+	if e.revBal[o] > cur {
+		cur = e.revBal[o]
+	}
+	b := (cur/n+1)*n + uint64(e.cfg.ID)
+	if b <= cur {
+		b += n
+	}
+	return b
+}
+
+func (e *Engine) localPromise(o protocol.NodeID, bal uint64, from int64) *MsgRevokePromise {
+	pr := &MsgRevokePromise{Owner: o, Bal: bal, MaxSlot: e.board.MaxSlot()}
+	for s := from; s <= e.board.MaxSlot(); s++ {
+		if Owner(s, e.n) != o {
+			continue
+		}
+		if cmd, ok := e.board.Proposed(s); ok {
+			st := e.board.slots[s]
+			pr.Props = append(pr.Props, SlotProp{Slot: s, Bal: st.bal, Cmd: cmd})
+		}
+	}
+	return pr
+}
+
+func (e *Engine) stepRevokePrep(from protocol.NodeID, m *MsgRevokePrep, out *protocol.Output) {
+	if int(m.Owner) >= e.n || m.Bal <= e.promisedRev[m.Owner] {
+		return
+	}
+	e.promisedRev[m.Owner] = m.Bal
+	if m.Owner == e.cfg.ID {
+		// Our own slots are being revoked (we were presumed dead). Stop
+		// proposing in the contested range; in-flight commands will be
+		// resubmitted if their slots resolve to no-ops.
+		e.board.AdvanceBarrier(e.cfg.ID, NextOwned(e.board.MaxSlot(), e.cfg.ID, e.n))
+		return
+	}
+	pr := e.localPromise(m.Owner, m.Bal, m.From)
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: pr})
+}
+
+func (e *Engine) stepRevokePromise(from protocol.NodeID, m *MsgRevokePromise, out *protocol.Output) {
+	rv, ok := e.revoking[m.Owner]
+	if !ok || m.Bal != rv.bal {
+		return
+	}
+	rv.promises[from] = m
+	if len(rv.promises) < protocol.Quorum(e.n) {
+		return
+	}
+	delete(e.revoking, m.Owner)
+
+	// Phase-1 complete: re-propose the safe value (highest accepted
+	// ballot) for every contested slot, no-op where nothing was accepted,
+	// up to the horizon every promise has seen.
+	horizon := int64(0)
+	best := map[int64]SlotProp{}
+	for _, pr := range rv.promises {
+		if pr.MaxSlot > horizon {
+			horizon = pr.MaxSlot
+		}
+		for _, p := range pr.Props {
+			if cur, seen := best[p.Slot]; !seen || p.Bal > cur.Bal {
+				best[p.Slot] = p
+			}
+		}
+	}
+	var slots []SlotCmd
+	for s := rv.from; s <= horizon; s++ {
+		if Owner(s, e.n) != m.Owner {
+			continue
+		}
+		cmd := protocol.Command{Op: protocol.OpNop}
+		if p, seen := best[s]; seen {
+			cmd = p.Cmd
+		}
+		e.board.ObserveProposal(s, cmd, rv.bal)
+		e.acks[s] = map[protocol.NodeID]bool{e.cfg.ID: true}
+		slots = append(slots, SlotCmd{Slot: s, Cmd: cmd})
+	}
+	if len(slots) == 0 {
+		return
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].Slot < slots[j].Slot })
+	e.broadcast(out, &MsgPropose{
+		Owner:    m.Owner,
+		Proposer: e.cfg.ID,
+		Bal:      rv.bal,
+		Slots:    slots,
+		Barrier:  e.board.Barrier(),
+		Frontier: e.board.Frontier(),
+	})
+}

@@ -1,0 +1,195 @@
+package mencius_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/mencius"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64, policy mencius.ReplyPolicy) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = mencius.New(mencius.Config{
+			ID: peers[i], Peers: peers, HeartbeatTicks: 1, RevokeTicks: 20,
+			Policy: policy, Seed: seed,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func TestOwnership(t *testing.T) {
+	cases := []struct {
+		slot int64
+		n    int
+		want protocol.NodeID
+	}{
+		{1, 3, 0}, {2, 3, 1}, {3, 3, 2}, {4, 3, 0}, {7, 3, 0},
+		{1, 5, 0}, {5, 5, 4}, {6, 5, 0}, {12, 5, 1},
+	}
+	for _, tc := range cases {
+		if got := mencius.Owner(tc.slot, tc.n); got != tc.want {
+			t.Errorf("Owner(%d,%d) = %d, want %d", tc.slot, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNextOwned(t *testing.T) {
+	cases := []struct {
+		after int64
+		o     protocol.NodeID
+		n     int
+		want  int64
+	}{
+		{0, 0, 3, 1}, {1, 0, 3, 4}, {0, 2, 3, 3}, {3, 2, 3, 6},
+		{5, 1, 5, 7}, {2, 1, 5, 7},
+	}
+	for _, tc := range cases {
+		if got := mencius.NextOwned(tc.after, tc.o, tc.n); got != tc.want {
+			t.Errorf("NextOwned(%d,%d,%d) = %d, want %d", tc.after, tc.o, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestEveryReplicaCommitsLocally(t *testing.T) {
+	c := newCluster(t, 3, 1, mencius.ReplyAtExecute)
+	// Each replica submits a command at its own site, no forwarding.
+	for i := 0; i < 3; i++ {
+		c.Submit(protocol.NodeID(i), protocol.Command{
+			ID: uint64(i + 1), Client: 100, Op: protocol.OpPut, Key: "k",
+		})
+	}
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// All three commands must execute on all replicas, with slot ownership
+	// respected (command from replica i in a slot owned by i).
+	for id, app := range c.Applied {
+		real := 0
+		for _, ent := range app {
+			if ent.Cmd.IsNop() {
+				continue
+			}
+			real++
+			if own := mencius.Owner(ent.Index, 3); own != protocol.NodeID(ent.Cmd.ID-1) {
+				t.Fatalf("node %d: cmd %d executed in slot %d owned by %d",
+					id, ent.Cmd.ID, ent.Index, own)
+			}
+		}
+		if real != 3 {
+			t.Fatalf("node %d executed %d real commands, want 3", id, real)
+		}
+	}
+	// Each submitter must have replied to its client exactly once.
+	replied := map[uint64]int{}
+	for _, r := range c.Replies {
+		replied[r.CmdID]++
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if replied[i] != 1 {
+			t.Fatalf("cmd %d replied %d times, want 1", i, replied[i])
+		}
+	}
+}
+
+func TestSkipsUnblockUnbalancedLoad(t *testing.T) {
+	// Only replica 2 submits; replicas 0 and 1 must skip their slots so
+	// replica 2's entries become executable.
+	c := newCluster(t, 3, 2, mencius.ReplyAtExecute)
+	for i := 0; i < 5; i++ {
+		c.Submit(2, protocol.Command{ID: uint64(i + 1), Client: 100, Op: protocol.OpPut, Key: "k"})
+		c.Settle(2)
+	}
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	app := c.Applied[2]
+	real := 0
+	for _, ent := range app {
+		if !ent.Cmd.IsNop() {
+			real++
+		}
+	}
+	if real != 5 {
+		t.Fatalf("executed %d real commands, want 5 (skips must fill other owners' slots)", real)
+	}
+}
+
+func TestReplyAtCommitAnswersBeforeFullPrefixCommit(t *testing.T) {
+	c := newCluster(t, 3, 3, mencius.ReplyAtCommit)
+	c.Submit(0, protocol.Command{ID: 7, Client: 100, Op: protocol.OpPut, Key: "k"})
+	c.Settle(5)
+	found := 0
+	for _, r := range c.Replies {
+		if r.CmdID == 7 && r.Kind == protocol.ReplyWrite {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatalf("reply count = %d, want 1", found)
+	}
+}
+
+func TestRevocationUnblocksAfterOwnerCrash(t *testing.T) {
+	c := newCluster(t, 3, 4, mencius.ReplyAtExecute)
+	// Replica 0 proposes, then is isolated before its proposal can spread
+	// its commit; other replicas keep going.
+	c.Submit(0, protocol.Command{ID: 1, Client: 100, Op: protocol.OpPut, Key: "k"})
+	c.Settle(3)
+	c.Isolate(0, true)
+	// Now replica 1 proposes: its slot is after replica 0's range; with 0
+	// dead, revocation must eventually fill 0's pending slots with no-ops.
+	c.Submit(1, protocol.Command{ID: 2, Client: 100, Op: protocol.OpPut, Key: "k"})
+	c.Settle(60)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	app := c.Applied[1]
+	var got []uint64
+	for _, ent := range app {
+		if !ent.Cmd.IsNop() {
+			got = append(got, ent.Cmd.ID)
+		}
+	}
+	found2 := false
+	for _, id := range got {
+		if id == 2 {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Fatalf("command 2 never executed after owner crash; executed=%v", got)
+	}
+}
+
+func TestAgreementUnderShuffledDelivery(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := newCluster(t, 5, 200+seed, mencius.ReplyAtExecute)
+		id := uint64(1)
+		for round := 0; round < 10; round++ {
+			for r := 0; r < 5; r++ {
+				c.Submit(protocol.NodeID(r), protocol.Command{
+					ID: id, Client: 100, Op: protocol.OpPut, Key: "k",
+				})
+				id++
+			}
+			c.Tick()
+			c.DeliverShuffled(100000)
+		}
+		for r := 0; r < 20; r++ {
+			c.Tick()
+			c.DeliverShuffled(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

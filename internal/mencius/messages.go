@@ -1,0 +1,99 @@
+package mencius
+
+import "raftpaxos/internal/protocol"
+
+// SlotCmd pairs a slot with its proposed command.
+type SlotCmd struct {
+	Slot int64
+	Cmd  protocol.Command
+}
+
+// SlotProp is a previously accepted proposal reported during revocation.
+type SlotProp struct {
+	Slot int64
+	Bal  uint64
+	Cmd  protocol.Command
+}
+
+// MsgPropose is the coordinated phase-2a: the owner (or a revoker at a
+// higher ballot) proposes values for slots it coordinates. Every message
+// carries the sender's own barrier (its next proposal slot: all its
+// unproposed slots below are skips) and its frontier vector.
+type MsgPropose struct {
+	Owner    protocol.NodeID
+	Proposer protocol.NodeID
+	Bal      uint64 // 0 = default-leader proposal
+	Slots    []SlotCmd
+	Barrier  int64
+	Frontier []int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgPropose) WireSize() int {
+	n := 40 + 8*len(m.Frontier)
+	for i := range m.Slots {
+		n += 16 + m.Slots[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgPropose) CmdCount() int { return len(m.Slots) }
+
+// MsgProposeOK is the coordinated phase-2b acknowledgement, routed to the
+// proposer. The acker's barrier piggybacks its skips (the paper's "skip
+// message in its reply").
+type MsgProposeOK struct {
+	Bal      uint64
+	Slots    []int64
+	Barrier  int64
+	Frontier []int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgProposeOK) WireSize() int { return 24 + 8*len(m.Slots) + 8*len(m.Frontier) }
+
+// MsgCoordHB is the periodic barrier/frontier exchange that keeps idle
+// replicas from stalling the global order ("each replica keeps committing
+// skip to keep the system moving forward").
+type MsgCoordHB struct {
+	Barrier  int64
+	Frontier []int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgCoordHB) WireSize() int { return 16 + 8*len(m.Frontier) }
+
+// MsgRevokePrep is phase-1a of the recovery ("coordinated paxos") run by a
+// replica that suspects owner Owner has crashed, covering Owner's slots
+// from From upward.
+type MsgRevokePrep struct {
+	Owner protocol.NodeID
+	Bal   uint64
+	From  int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgRevokePrep) WireSize() int { return 24 }
+
+// MsgRevokePromise is phase-1b of recovery: the acceptor promises and
+// reports every proposal it has accepted for Owner's slots at or above
+// From, plus the highest slot it has seen anywhere (the revocation horizon).
+type MsgRevokePromise struct {
+	Owner   protocol.NodeID
+	Bal     uint64
+	Props   []SlotProp
+	MaxSlot int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgRevokePromise) WireSize() int {
+	n := 32
+	for i := range m.Props {
+		n += 24 + m.Props[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgRevokePromise) CmdCount() int { return len(m.Props) }

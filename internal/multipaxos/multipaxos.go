@@ -1,0 +1,590 @@
+// Package multipaxos implements MultiPaxos per Figure 1 of the paper: one
+// single-decree Paxos instance per log position, phase-1 batched over all
+// unchosen instances, concurrent instances, and a stable distinguished
+// leader. Instances may be chosen out of order; execution is in order.
+//
+// This is protocol A in the paper's porting framework: Raft* refines it,
+// and the PQL and Mencius optimizations are expressed against it.
+package multipaxos
+
+import (
+	"math/rand"
+
+	"raftpaxos/internal/protocol"
+)
+
+// InstanceInfo is the per-instance payload of a prepareOK reply.
+type InstanceInfo struct {
+	Idx    int64
+	Bal    uint64
+	Cmd    protocol.Command
+	Chosen bool
+}
+
+// MsgPrepare is Paxos phase 1a, batched from the first unchosen instance.
+type MsgPrepare struct {
+	Bal      uint64
+	Unchosen int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgPrepare) WireSize() int { return 16 }
+
+// MsgPrepareOK is Paxos phase 1b: the acceptor promises and reports every
+// accepted instance at or above the requested position.
+type MsgPrepareOK struct {
+	Bal   uint64
+	Insts []InstanceInfo
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgPrepareOK) WireSize() int {
+	n := 16
+	for i := range m.Insts {
+		n += 24 + m.Insts[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgPrepareOK) CmdCount() int { return len(m.Insts) }
+
+// MsgAccept is Paxos phase 2a for a batch of consecutive instances, with
+// the contiguous chosen prefix piggybacked.
+type MsgAccept struct {
+	Bal          uint64
+	Insts        []InstanceInfo
+	ChosenPrefix int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAccept) WireSize() int {
+	n := 24
+	for i := range m.Insts {
+		n += 24 + m.Insts[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgAccept) CmdCount() int { return len(m.Insts) }
+
+// MsgAcceptOK is Paxos phase 2b for a batch of instances.
+type MsgAcceptOK struct {
+	Bal  uint64
+	Idxs []int64
+	// Holders lists replicas holding a valid lease granted by the
+	// responder (PQL's modified Phase2b: Figure 11 line 16); empty unless
+	// the PQL extension is active.
+	Holders []protocol.NodeID
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAcceptOK) WireSize() int { return 16 + 8*len(m.Idxs) + 4*len(m.Holders) }
+
+// MsgForward carries client commands from an acceptor to the leader.
+type MsgForward struct {
+	Cmds []protocol.Command
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgForward) WireSize() int {
+	n := 8
+	for i := range m.Cmds {
+		n += m.Cmds[i].WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgForward) CmdCount() int { return len(m.Cmds) }
+
+// Hooks are optional extension points for non-mutating optimizations
+// (the engine-level analogue of the paper's porting framework): every hook
+// reads MultiPaxos state and maintains only new state of its own.
+type Hooks struct {
+	// LocalHolders is attached to acceptOK replies (PQL: leases granted by
+	// this acceptor, Figure 11 line 16).
+	LocalHolders func() []protocol.NodeID
+	// OnAcceptOK observes phase-2b acknowledgements at the proposer
+	// (PQL's Learn collects reported lease holders, Figure 11 line 21).
+	OnAcceptOK func(from protocol.NodeID, idxs []int64, holders []protocol.NodeID)
+	// GateChosen vetoes declaring an instance chosen until the
+	// optimization's extra condition holds (PQL: every lease holder
+	// acknowledged, Figure 11 line 23).
+	GateChosen func(idx int64, acks map[protocol.NodeID]bool) bool
+	// OnAccept observes instances accepted locally, on the proposer and on
+	// acceptors (PQL tracks per-key writes; Mencius marks skip tags).
+	OnAccept func(insts []InstanceInfo)
+}
+
+// Config configures a MultiPaxos replica.
+type Config struct {
+	ID    protocol.NodeID
+	Peers []protocol.NodeID
+
+	ElectionTicks  int
+	HeartbeatTicks int
+	MaxBatch       int
+	Seed           int64
+	Passive        bool
+
+	Hooks Hooks
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ElectionTicks <= 0 {
+		out.ElectionTicks = 10
+	}
+	if out.HeartbeatTicks <= 0 {
+		out.HeartbeatTicks = 1
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 1024
+	}
+	return out
+}
+
+type instance struct {
+	bal    uint64
+	cmd    protocol.Command
+	used   bool
+	chosen bool
+}
+
+// Engine is a single MultiPaxos replica (proposer + acceptor + learner).
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+
+	ballot    uint64 // highest ballot seen (promised)
+	phase1OK  bool   // phase1Succeeded: this replica may propose at ballot
+	leader    protocol.NodeID
+	preparing bool
+
+	insts        []instance // insts[i] is instance i+1
+	chosenPrefix int64      // all instances <= chosenPrefix are chosen
+
+	// Phase-1 state.
+	prepareOKs map[protocol.NodeID]*MsgPrepareOK
+
+	// Leader phase-2 bookkeeping: per-instance acceptances at the current
+	// ballot (the leader's own acceptance is implicit).
+	acks map[int64]map[protocol.NodeID]bool
+
+	elapsed   int
+	timeout   int
+	hbElapsed int
+
+	pending []protocol.Command
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a MultiPaxos replica.
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:    c,
+		rng:    rand.New(rand.NewSource(c.Seed ^ int64(c.ID)<<17)),
+		leader: protocol.None,
+		acks:   make(map[int64]map[protocol.NodeID]bool),
+	}
+	e.resetTimeout()
+	return e
+}
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.cfg.ID }
+
+// Leader implements protocol.Engine.
+func (e *Engine) Leader() protocol.NodeID { return e.leader }
+
+// IsLeader implements protocol.Engine.
+func (e *Engine) IsLeader() bool { return e.phase1OK }
+
+// Ballot returns the highest ballot this replica has seen.
+func (e *Engine) Ballot() uint64 { return e.ballot }
+
+// ChosenPrefix returns the contiguous chosen (committed) prefix.
+func (e *Engine) ChosenPrefix() int64 { return e.chosenPrefix }
+
+// LastIndex returns the highest instance this replica has accepted.
+func (e *Engine) LastIndex() int64 { return int64(len(e.insts)) }
+
+// InstanceAt returns (ballot, command, chosen) for instance i, if used.
+func (e *Engine) InstanceAt(i int64) (InstanceInfo, bool) {
+	if i < 1 || i > e.LastIndex() || !e.insts[i-1].used {
+		return InstanceInfo{}, false
+	}
+	in := e.insts[i-1]
+	return InstanceInfo{Idx: i, Bal: in.bal, Cmd: in.cmd, Chosen: in.chosen}, true
+}
+
+func (e *Engine) quorum() int { return protocol.Quorum(len(e.cfg.Peers)) }
+
+func (e *Engine) resetTimeout() {
+	e.elapsed = 0
+	e.timeout = e.cfg.ElectionTicks + e.rng.Intn(e.cfg.ElectionTicks)
+}
+
+// nextBallot returns the smallest ballot above cur owned by this replica
+// (ballots are globally unique: b mod N identifies the proposer).
+func (e *Engine) nextBallot(cur uint64) uint64 {
+	n := uint64(len(e.cfg.Peers))
+	b := (cur/n+1)*n + uint64(e.cfg.ID)
+	if b <= cur {
+		b += n
+	}
+	return b
+}
+
+func (e *Engine) inst(i int64) *instance {
+	for e.LastIndex() < i {
+		e.insts = append(e.insts, instance{})
+	}
+	return &e.insts[i-1]
+}
+
+// Tick implements protocol.Engine.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	if e.phase1OK {
+		e.hbElapsed++
+		if e.hbElapsed >= e.cfg.HeartbeatTicks {
+			e.hbElapsed = 0
+			e.broadcast(&out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
+		}
+		return out
+	}
+	if e.cfg.Passive {
+		return out
+	}
+	e.elapsed++
+	if e.elapsed >= e.timeout {
+		e.campaign(&out)
+	}
+	return out
+}
+
+// Campaign forces an immediate phase 1 (Phase1a).
+func (e *Engine) Campaign() protocol.Output {
+	var out protocol.Output
+	e.campaign(&out)
+	return out
+}
+
+func (e *Engine) campaign(out *protocol.Output) {
+	e.ballot = e.nextBallot(e.ballot)
+	e.phase1OK = false
+	e.preparing = true
+	e.leader = protocol.None
+	e.prepareOKs = map[protocol.NodeID]*MsgPrepareOK{}
+	e.resetTimeout()
+	out.StateChanged = true
+	// Self-promise.
+	e.prepareOKs[e.cfg.ID] = &MsgPrepareOK{Bal: e.ballot, Insts: e.instancesFrom(e.chosenPrefix + 1)}
+	e.broadcast(out, &MsgPrepare{Bal: e.ballot, Unchosen: e.chosenPrefix + 1})
+	if len(e.cfg.Peers) == 1 {
+		e.phase1Succeed(out)
+	}
+}
+
+func (e *Engine) instancesFrom(idx int64) []InstanceInfo {
+	var infos []InstanceInfo
+	for i := idx; i <= e.LastIndex(); i++ {
+		in := e.insts[i-1]
+		if in.used {
+			infos = append(infos, InstanceInfo{Idx: i, Bal: in.bal, Cmd: in.cmd, Chosen: in.chosen})
+		}
+	}
+	return infos
+}
+
+func (e *Engine) broadcast(out *protocol.Output, msg protocol.Message) {
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: msg})
+	}
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	switch m := msg.(type) {
+	case *MsgPrepare:
+		e.stepPrepare(from, m, &out)
+	case *MsgPrepareOK:
+		e.stepPrepareOK(from, m, &out)
+	case *MsgAccept:
+		e.stepAccept(from, m, &out)
+	case *MsgAcceptOK:
+		e.stepAcceptOK(from, m, &out)
+	case *MsgForward:
+		for _, cmd := range m.Cmds {
+			out.Merge(e.Submit(cmd))
+		}
+	}
+	return out
+}
+
+// stepPrepare is Phase1b: promise if the ballot is the highest seen.
+func (e *Engine) stepPrepare(from protocol.NodeID, m *MsgPrepare, out *protocol.Output) {
+	if m.Bal <= e.ballot {
+		return // stale prepare; proposer retries with a higher ballot
+	}
+	e.ballot = m.Bal
+	e.phase1OK = false
+	e.preparing = false
+	e.resetTimeout()
+	out.StateChanged = true
+	resp := &MsgPrepareOK{Bal: m.Bal, Insts: e.instancesFrom(m.Unchosen)}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+// stepPrepareOK is Phase1Succeed once a quorum of promises arrives.
+func (e *Engine) stepPrepareOK(from protocol.NodeID, m *MsgPrepareOK, out *protocol.Output) {
+	if !e.preparing || m.Bal != e.ballot {
+		return
+	}
+	e.prepareOKs[from] = m
+	if len(e.prepareOKs) >= e.quorum() {
+		e.phase1Succeed(out)
+	}
+}
+
+func (e *Engine) phase1Succeed(out *protocol.Output) {
+	e.preparing = false
+	e.phase1OK = true
+	e.leader = e.cfg.ID
+	e.hbElapsed = 0
+	out.StateChanged = true
+
+	// Adopt the safe value (highest accepted ballot) for every instance
+	// reported by the quorum; unreported gaps become no-ops.
+	safe := map[int64]InstanceInfo{}
+	var maxIdx int64
+	for _, ok := range e.prepareOKs {
+		for _, info := range ok.Insts {
+			cur, seen := safe[info.Idx]
+			if !seen || info.Bal > cur.Bal || (info.Chosen && !cur.Chosen) {
+				safe[info.Idx] = info
+			}
+			if info.Idx > maxIdx {
+				maxIdx = info.Idx
+			}
+		}
+	}
+	e.prepareOKs = nil
+
+	var reproposal []InstanceInfo
+	for i := e.chosenPrefix + 1; i <= maxIdx; i++ {
+		in := e.inst(i)
+		if info, ok := safe[i]; ok {
+			in.cmd = info.Cmd
+			in.chosen = in.chosen || info.Chosen
+		} else if !in.used {
+			in.cmd = protocol.Command{Op: protocol.OpNop}
+		}
+		in.used = true
+		in.bal = e.ballot
+		e.acks[i] = map[protocol.NodeID]bool{e.cfg.ID: true}
+		reproposal = append(reproposal, InstanceInfo{Idx: i, Bal: e.ballot, Cmd: in.cmd})
+	}
+	if len(reproposal) > 0 {
+		if h := e.cfg.Hooks.OnAccept; h != nil {
+			h(reproposal)
+		}
+		e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: reproposal, ChosenPrefix: e.chosenPrefix})
+	} else {
+		// Announce leadership.
+		e.broadcast(out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
+	}
+	e.advanceChosen(out)
+	e.flushPending(out)
+}
+
+// Submit implements protocol.Engine (Phase2a for a fresh instance).
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	var out protocol.Output
+	switch {
+	case e.phase1OK:
+		e.propose(cmd, &out)
+	case e.leader != protocol.None:
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: []protocol.Command{cmd}},
+		})
+	default:
+		if len(e.pending) < 4096 {
+			e.pending = append(e.pending, cmd)
+		} else {
+			kind := protocol.ReplyWrite
+			if cmd.Op == protocol.OpGet {
+				kind = protocol.ReplyRead
+			}
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: kind, CmdID: cmd.ID, Client: cmd.Client, Err: protocol.ErrNotLeader,
+			})
+		}
+	}
+	return out
+}
+
+// SubmitRead implements protocol.Engine: a strongly consistent read is
+// persisted into the log as if it were a write (Section 4.4 of the paper).
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	return e.Submit(cmd)
+}
+
+func (e *Engine) propose(cmd protocol.Command, out *protocol.Output) {
+	idx := e.LastIndex() + 1
+	in := e.inst(idx)
+	in.used = true
+	in.bal = e.ballot
+	in.cmd = cmd
+	e.acks[idx] = map[protocol.NodeID]bool{e.cfg.ID: true}
+	out.StateChanged = true
+	insts := []InstanceInfo{{Idx: idx, Bal: e.ballot, Cmd: cmd}}
+	if h := e.cfg.Hooks.OnAccept; h != nil {
+		h(insts)
+	}
+	e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix})
+	if len(e.cfg.Peers) == 1 {
+		e.insts[idx-1].chosen = true
+		e.advanceChosen(out)
+	}
+}
+
+func (e *Engine) flushPending(out *protocol.Output) {
+	if len(e.pending) == 0 {
+		return
+	}
+	cmds := e.pending
+	e.pending = nil
+	if e.phase1OK {
+		for _, c := range cmds {
+			e.propose(c, out)
+		}
+		return
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{
+		From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: cmds},
+	})
+}
+
+// stepAccept is Phase2b: accept the value if the ballot is current.
+func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Output) {
+	if m.Bal < e.ballot {
+		return // reject silently; sender will learn the higher ballot
+	}
+	if m.Bal > e.ballot {
+		e.ballot = m.Bal
+		e.phase1OK = false
+		e.preparing = false
+		out.StateChanged = true
+	}
+	e.leader = from
+	e.resetTimeout()
+	var idxs []int64
+	for _, info := range m.Insts {
+		in := e.inst(info.Idx)
+		in.used = true
+		in.bal = m.Bal
+		in.cmd = info.Cmd
+		idxs = append(idxs, info.Idx)
+		out.StateChanged = true
+	}
+	if h := e.cfg.Hooks.OnAccept; h != nil && len(m.Insts) > 0 {
+		h(m.Insts)
+	}
+	if m.ChosenPrefix > e.chosenPrefix {
+		e.markChosenUpTo(m.ChosenPrefix)
+		e.advanceChosen(out)
+	}
+	if len(idxs) > 0 {
+		resp := &MsgAcceptOK{Bal: m.Bal, Idxs: idxs}
+		if h := e.cfg.Hooks.LocalHolders; h != nil {
+			resp.Holders = h()
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+	}
+	e.flushPending(out)
+}
+
+func (e *Engine) markChosenUpTo(p int64) {
+	for i := e.chosenPrefix + 1; i <= p && i <= e.LastIndex(); i++ {
+		e.insts[i-1].chosen = true
+	}
+}
+
+// stepAcceptOK is Learn: an instance is chosen once f+1 acceptors voted
+// for it at the same ballot.
+func (e *Engine) stepAcceptOK(from protocol.NodeID, m *MsgAcceptOK, out *protocol.Output) {
+	if !e.phase1OK || m.Bal != e.ballot {
+		return
+	}
+	if h := e.cfg.Hooks.OnAcceptOK; h != nil {
+		h(from, m.Idxs, m.Holders)
+	}
+	for _, idx := range m.Idxs {
+		set, ok := e.acks[idx]
+		if !ok {
+			continue
+		}
+		set[from] = true
+		e.tryChoose(idx, set)
+	}
+	e.advanceChosen(out)
+}
+
+// tryChoose declares instance idx chosen if a quorum voted and the
+// optimization gate (if any) passes.
+func (e *Engine) tryChoose(idx int64, set map[protocol.NodeID]bool) {
+	if len(set) < e.quorum() {
+		return
+	}
+	if gate := e.cfg.Hooks.GateChosen; gate != nil && !gate(idx, set) {
+		return
+	}
+	delete(e.acks, idx)
+	e.inst(idx).chosen = true
+}
+
+// RecheckChosen re-evaluates the chosen gate for every pending instance
+// (PQL calls it when a lease expires, possibly unblocking commits that
+// were waiting on a dead lease holder).
+func (e *Engine) RecheckChosen() protocol.Output {
+	var out protocol.Output
+	for idx, set := range e.acks {
+		e.tryChoose(idx, set)
+	}
+	e.advanceChosen(&out)
+	return out
+}
+
+// advanceChosen extends the contiguous chosen prefix and emits commits in
+// execution order.
+func (e *Engine) advanceChosen(out *protocol.Output) {
+	moved := false
+	for e.chosenPrefix < e.LastIndex() {
+		in := e.insts[e.chosenPrefix]
+		if !in.used || !in.chosen {
+			break
+		}
+		e.chosenPrefix++
+		moved = true
+		out.Commits = append(out.Commits, protocol.CommitInfo{
+			Entry: protocol.Entry{
+				Index: e.chosenPrefix, Term: in.bal, Bal: in.bal, Cmd: in.cmd,
+			},
+			Reply: e.phase1OK && in.cmd.Client != protocol.None,
+		})
+	}
+	if moved && e.phase1OK {
+		e.hbElapsed = e.cfg.HeartbeatTicks // piggyback the new prefix soon
+	}
+}

@@ -1,0 +1,158 @@
+package multipaxos_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = multipaxos.New(multipaxos.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func TestElectAndReplicate(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Applied[leader.ID()]); got < 10 {
+		t.Fatalf("leader chose %d instances, want >= 10", got)
+	}
+}
+
+// TestValueRecoveryAcrossBallots: a value accepted by some acceptors under
+// one leader must be adopted (never lost) by the next leader's phase 1.
+func TestValueRecoveryAcrossBallots(t *testing.T) {
+	c := newCluster(t, 5, 2)
+	leader, err := c.ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	committed := len(c.Applied[leader.ID()])
+	if committed < 3 {
+		t.Fatalf("committed=%d, want 3", committed)
+	}
+	c.Isolate(leader.ID(), true)
+	var next protocol.Engine
+	for r := 0; r < 600 && next == nil; r++ {
+		c.Tick()
+		c.DeliverAll(100000)
+		for _, e := range c.Engines {
+			if e.IsLeader() && e.ID() != leader.ID() {
+				next = e
+			}
+		}
+	}
+	if next == nil {
+		t.Fatal("no new leader")
+	}
+	c.Submit(next.ID(), protocol.Command{ID: 50, Op: protocol.OpPut, Key: "k"})
+	c.Settle(15)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint64]bool{}
+	for _, ent := range c.Applied[next.ID()] {
+		ids[ent.Cmd.ID] = true
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if !ids[i] {
+			t.Fatalf("chosen value %d lost across leader change", i)
+		}
+	}
+	if !ids[50] {
+		t.Fatal("new value not chosen")
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follower protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			follower = id
+			break
+		}
+	}
+	c.Submit(follower, protocol.Command{ID: 9, Op: protocol.OpPut, Key: "k"})
+	c.Settle(5)
+	found := false
+	for _, ent := range c.Applied[leader.ID()] {
+		if ent.Cmd.ID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("forwarded command not chosen")
+	}
+}
+
+func TestAgreementUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := newCluster(t, 3, 400+seed)
+		leader, err := c.ElectLeader(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+			c.DeliverChaos(1000)
+		}
+		for r := 0; r < 20; r++ {
+			c.Tick()
+			c.DeliverChaos(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestDuplicatedMessagesAreIdempotent(t *testing.T) {
+	c := newCluster(t, 3, 5)
+	c.DupRate = 0.3
+	leader, err := c.ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+		c.Settle(2)
+	}
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

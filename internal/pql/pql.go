@@ -1,0 +1,228 @@
+// Package pql implements Paxos Quorum Lease (Moraru et al.) on MultiPaxos,
+// per Figure 11 / Appendix A.1 of the paper. It is the optimization A∆ in
+// the porting framework: a non-mutating extension of MultiPaxos whose
+// added/modified subactions never write MultiPaxos state.
+//
+//   - Added subactions: Read / LocalRead (serve a strongly consistent read
+//     from the local copy when holding leases from a quorum and every
+//     instance modifying the key is chosen), GrantLease, UpdateTimer.
+//   - Modified subactions: Phase2b attaches the leases granted by the
+//     acceptor to its acceptOK; Learn additionally waits for an acceptOK
+//     from every granted lease holder before declaring the value chosen.
+package pql
+
+import (
+	"raftpaxos/internal/lease"
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/protocol"
+)
+
+// MsgReadReq forwards a read to the leader when the local replica has no
+// active quorum lease.
+type MsgReadReq struct {
+	Cmd protocol.Command
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgReadReq) WireSize() int { return 8 + m.Cmd.WireSize() }
+
+// Config configures a PQL replica.
+type Config struct {
+	Paxos multipaxos.Config
+	// LeaseTicks is the lease duration (paper: 2 s).
+	LeaseTicks int
+	// RenewTicks is the grant renewal period (paper: 0.5 s).
+	RenewTicks int
+}
+
+type pendingRead struct {
+	cmd     protocol.Command
+	waitIdx int64
+}
+
+// Engine wraps a MultiPaxos replica with quorum-lease reads.
+type Engine struct {
+	inner  *multipaxos.Engine
+	leases *lease.Table
+
+	// lastWrite[k] is the highest instance of a write to k seen locally.
+	lastWrite map[string]int64
+	// reported[p] is the holder set acceptor p attached to its last
+	// acceptOK, with the tick it arrived (stale reports expire with the
+	// grantor's leases); ackedUpTo[p] tracks the highest instance p acked.
+	reported   map[protocol.NodeID][]protocol.NodeID
+	reportedAt map[protocol.NodeID]int
+	leaseTicks int
+	ackedUpTo  map[protocol.NodeID]int64
+	pending    []pendingRead
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds the engine, installing hooks into the inner MultiPaxos
+// replica; the caller must not install its own.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		lastWrite:  make(map[string]int64),
+		reported:   make(map[protocol.NodeID][]protocol.NodeID),
+		reportedAt: make(map[protocol.NodeID]int),
+		leaseTicks: cfg.LeaseTicks,
+		ackedUpTo:  make(map[protocol.NodeID]int64),
+	}
+	if e.leaseTicks <= 0 {
+		e.leaseTicks = 200
+	}
+	e.leases = lease.NewTable(lease.Config{
+		Self:          cfg.Paxos.ID,
+		Peers:         cfg.Paxos.Peers,
+		DurationTicks: cfg.LeaseTicks,
+		RenewTicks:    cfg.RenewTicks,
+	})
+	pcfg := cfg.Paxos
+	pcfg.Hooks = multipaxos.Hooks{
+		LocalHolders: e.leases.Holders,
+		OnAcceptOK:   e.onAcceptOK,
+		GateChosen:   e.gateChosen,
+		OnAccept:     e.onAccept,
+	}
+	e.inner = multipaxos.New(pcfg)
+	return e
+}
+
+// Inner exposes the wrapped MultiPaxos replica.
+func (e *Engine) Inner() *multipaxos.Engine { return e.inner }
+
+// Leases exposes the lease table.
+func (e *Engine) Leases() *lease.Table { return e.leases }
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.inner.ID() }
+
+// Leader implements protocol.Engine.
+func (e *Engine) Leader() protocol.NodeID { return e.inner.Leader() }
+
+// IsLeader implements protocol.Engine.
+func (e *Engine) IsLeader() bool { return e.inner.IsLeader() }
+
+// --- hooks ---
+
+func (e *Engine) onAcceptOK(from protocol.NodeID, idxs []int64, holders []protocol.NodeID) {
+	e.reported[from] = holders
+	e.reportedAt[from] = e.leases.Now()
+	for _, i := range idxs {
+		if i > e.ackedUpTo[from] {
+			e.ackedUpTo[from] = i
+		}
+	}
+}
+
+// gateChosen implements the modified Learn (Figure 11 lines 18-25): the
+// instance is chosen only once every granted lease holder acknowledged it.
+func (e *Engine) gateChosen(idx int64, acks map[protocol.NodeID]bool) bool {
+	now := e.leases.Now()
+	holderSet := make(map[protocol.NodeID]bool)
+	for q, hs := range e.reported {
+		if e.reportedAt[q]+e.leaseTicks <= now {
+			continue // grantor silent past a full lease: its grants expired
+		}
+		for _, h := range hs {
+			holderSet[h] = true
+		}
+	}
+	for _, h := range e.leases.Holders() {
+		holderSet[h] = true
+	}
+	self := e.inner.ID()
+	for h := range holderSet {
+		if h == self {
+			continue // the proposer implicitly acknowledged its own accept
+		}
+		if !acks[h] && e.ackedUpTo[h] < idx {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) onAccept(insts []multipaxos.InstanceInfo) {
+	for _, in := range insts {
+		if in.Cmd.Op == protocol.OpPut && in.Idx > e.lastWrite[in.Cmd.Key] {
+			e.lastWrite[in.Cmd.Key] = in.Idx
+		}
+	}
+}
+
+// --- protocol.Engine ---
+
+// Tick implements protocol.Engine.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	out.Msgs = append(out.Msgs, e.leases.Tick()...)
+	out.Merge(e.inner.Tick())
+	out.Merge(e.inner.RecheckChosen())
+	e.flushReads(&out)
+	return out
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	if msgs, handled := e.leases.Step(from, msg); handled {
+		out.Msgs = append(out.Msgs, msgs...)
+		return out
+	}
+	if m, ok := msg.(*MsgReadReq); ok {
+		out.Merge(e.SubmitRead(m.Cmd))
+		return out
+	}
+	out.Merge(e.inner.Step(from, msg))
+	e.flushReads(&out)
+	return out
+}
+
+// Submit implements protocol.Engine (writes are plain MultiPaxos).
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	out := e.inner.Submit(cmd)
+	e.flushReads(&out)
+	return out
+}
+
+// SubmitRead implements protocol.Engine: the LocalRead subaction.
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	var out protocol.Output
+	if e.leases.HasQuorumLease() {
+		waitIdx := e.lastWrite[cmd.Key]
+		if waitIdx <= e.inner.ChosenPrefix() {
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: protocol.ReplyRead, CmdID: cmd.ID, Client: cmd.Client, Key: cmd.Key,
+			})
+			return out
+		}
+		e.pending = append(e.pending, pendingRead{cmd: cmd, waitIdx: waitIdx})
+		return out
+	}
+	return e.inner.SubmitRead(cmd)
+}
+
+func (e *Engine) flushReads(out *protocol.Output) {
+	if len(e.pending) == 0 {
+		return
+	}
+	chosen := e.inner.ChosenPrefix()
+	hasLease := e.leases.HasQuorumLease()
+	keep := e.pending[:0]
+	for _, pr := range e.pending {
+		switch {
+		case !hasLease:
+			out.Merge(e.inner.SubmitRead(pr.cmd))
+		case pr.waitIdx <= chosen:
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: protocol.ReplyRead, CmdID: pr.cmd.ID, Client: pr.cmd.Client, Key: pr.cmd.Key,
+			})
+		default:
+			keep = append(keep, pr)
+		}
+	}
+	e.pending = keep
+}

@@ -1,0 +1,116 @@
+package pql_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/pql"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64) (*testcluster.Cluster, []*pql.Engine) {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	pqls := make([]*pql.Engine, n)
+	for i := range peers {
+		pqls[i] = pql.New(pql.Config{
+			Paxos: multipaxos.Config{
+				ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+			},
+			LeaseTicks: 40,
+			RenewTicks: 10,
+		})
+		engines[i] = pqls[i]
+	}
+	return testcluster.New(seed, engines...), pqls
+}
+
+func TestLocalReadUnderLease(t *testing.T) {
+	c, pqls := newCluster(t, 3, 1)
+	if _, err := c.ElectLeader(100); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(15)
+	for _, e := range pqls {
+		if !e.Leases().HasQuorumLease() {
+			t.Fatalf("node %d: no quorum lease", e.ID())
+		}
+	}
+	c.Replies = nil
+	c.SubmitRead(1, protocol.Command{ID: 7, Client: 900, Key: "cold"})
+	found := false
+	for _, r := range c.Replies {
+		if r.CmdID == 7 && r.Kind == protocol.ReplyRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("local read did not answer immediately")
+	}
+}
+
+func TestWriteGatedOnHolders(t *testing.T) {
+	c, _ := newCluster(t, 3, 2)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(15)
+	var cut protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			cut = id
+			break
+		}
+	}
+	c.Isolate(cut, true)
+	c.Submit(leader.ID(), protocol.Command{ID: 10, Client: 900, Op: protocol.OpPut, Key: "k"})
+	c.Tick()
+	c.DeliverAll(100000)
+	committed := func() bool {
+		for _, e := range c.Applied[leader.ID()] {
+			if e.Cmd.ID == 10 {
+				return true
+			}
+		}
+		return false
+	}
+	if committed() {
+		t.Fatal("chosen while a lease holder had not acknowledged")
+	}
+	c.Settle(60) // past lease expiry: the dead holder stops blocking
+	if !committed() {
+		t.Fatal("never chosen after the dead holder's lease expired")
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c, _ := newCluster(t, 3, 700+seed)
+		leader, err := c.ElectLeader(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			c.Submit(leader.ID(), protocol.Command{
+				ID: uint64(i + 1), Client: 900, Op: protocol.OpPut, Key: "k",
+			})
+			c.DeliverChaos(2000)
+		}
+		for r := 0; r < 30; r++ {
+			c.Tick()
+			c.DeliverChaos(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

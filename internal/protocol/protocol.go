@@ -1,0 +1,200 @@
+// Package protocol defines the shared vocabulary used by every consensus
+// engine in this repository: node identities, commands, log entries, quorum
+// arithmetic and the pure-state-machine engine contract that lets the same
+// protocol logic run under the discrete-event simulator and under live
+// transports.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a replica. IDs are small dense integers in [0, N).
+type NodeID int
+
+// None is the absent node (for example "voted for nobody").
+const None NodeID = -1
+
+// Op is the kind of operation a client command performs on the replicated
+// state machine.
+type Op uint8
+
+// Operations understood by the replicated key-value state machine.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpNop
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Command is a client operation to be replicated. Engines treat the payload
+// as opaque; the Key is visible so lease-based protocols can track
+// read/write conflicts, and Size so the simulator can model wire and CPU
+// costs of large values.
+type Command struct {
+	// ID is unique per client request; replies are matched on it.
+	ID uint64
+	// Client identifies the submitting client (simulator endpoint or live
+	// session). It travels with the command so whichever replica commits it
+	// can route the reply.
+	Client NodeID
+	// Op is the state-machine operation.
+	Op Op
+	// Key is the record the command touches.
+	Key string
+	// Value is the payload for puts.
+	Value []byte
+	// Size is the logical wire size in bytes used by cost models; when zero
+	// the encoded size is used.
+	Size int
+}
+
+// IsNop reports whether the command is a no-op filler (Mencius skips,
+// leader no-op barriers).
+func (c Command) IsNop() bool { return c.Op == OpNop || c.Op == 0 }
+
+// WireSize returns the simulated size in bytes of the command on the wire.
+func (c Command) WireSize() int {
+	if c.Size > 0 {
+		return c.Size
+	}
+	return 16 + len(c.Key) + len(c.Value)
+}
+
+// Entry is one slot of the replicated log. Raft* keeps both the Raft term
+// the entry was created in and the Paxos-style ballot it was last accepted
+// at; for standard Raft, Bal mirrors Term; for MultiPaxos, Term is unused.
+type Entry struct {
+	Index int64
+	Term  uint64
+	// Bal is the ballot the entry was most recently accepted at (Raft* /
+	// MultiPaxos). Raft* overwrites this with the current term on every
+	// append; Raft never does, which is exactly why Raft does not refine
+	// MultiPaxos (Section 3 of the paper).
+	Bal uint64
+	Cmd Command
+}
+
+// Quorum returns the majority size for a cluster of n replicas.
+func Quorum(n int) int { return n/2 + 1 }
+
+// MaxFailures returns f, the number of tolerated failures for n replicas.
+func MaxFailures(n int) int { return (n - 1) / 2 }
+
+// Message is implemented by every protocol message. The single method is a
+// marker plus a size hook for the simulator's bandwidth model.
+type Message interface {
+	// WireSize is the simulated encoded size in bytes.
+	WireSize() int
+}
+
+// Envelope is a routed message.
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Msg  Message
+}
+
+// CommitInfo reports a newly committed (chosen) log entry in apply order.
+type CommitInfo struct {
+	Entry Entry
+	// Reply tells the driver to answer the entry's client after applying
+	// it (set by the replica responsible for the reply: the leader in
+	// single-leader protocols, the slot owner in Mencius). Reads need the
+	// applied value, which only the driver has.
+	Reply bool
+}
+
+// ReplyKind distinguishes client replies.
+type ReplyKind uint8
+
+// Reply kinds.
+const (
+	ReplyWrite ReplyKind = iota + 1
+	ReplyRead
+	ReplyRedirect
+)
+
+// ClientReply is produced by an engine when a client request completes (or
+// must be redirected to another replica).
+type ClientReply struct {
+	Kind  ReplyKind
+	CmdID uint64
+	// Client is the original submitter.
+	Client NodeID
+	// Key is the record the request touched; drivers use it to fill read
+	// values from the local store.
+	Key string
+	// Value is the read result for ReplyRead.
+	Value []byte
+	// Redirect is the replica the client should retry against for
+	// ReplyRedirect.
+	Redirect NodeID
+	// Err is a protocol-level rejection (not a transport failure).
+	Err error
+}
+
+// Output is everything an engine wants the driver to do after one step:
+// send messages, surface commits (in order), and deliver client replies.
+// Slices are owned by the caller after return.
+type Output struct {
+	Msgs      []Envelope
+	Commits   []CommitInfo
+	Replies   []ClientReply
+	// StateChanged hints that persistent state (term/vote/log) changed and
+	// must be durably stored before Msgs are released. Live drivers use it;
+	// the simulator models it as CPU cost.
+	StateChanged bool
+}
+
+// Merge appends other's outputs into o.
+func (o *Output) Merge(other Output) {
+	o.Msgs = append(o.Msgs, other.Msgs...)
+	o.Commits = append(o.Commits, other.Commits...)
+	o.Replies = append(o.Replies, other.Replies...)
+	o.StateChanged = o.StateChanged || other.StateChanged
+}
+
+// Engine is the contract every consensus implementation satisfies. Engines
+// are pure, deterministic, single-threaded state machines: drivers serialize
+// all calls. Time is logical: the driver calls Tick at a fixed cadence
+// (TickInterval in the config) and engines count ticks for elections,
+// heartbeats and leases.
+type Engine interface {
+	// ID returns this replica's identity.
+	ID() NodeID
+	// Tick advances logical time by one tick.
+	Tick() Output
+	// Step processes one inbound message.
+	Step(from NodeID, msg Message) Output
+	// Submit proposes a write command at this replica.
+	Submit(cmd Command) Output
+	// SubmitRead requests a strongly consistent read of key at this replica.
+	SubmitRead(cmd Command) Output
+	// Leader returns the replica currently believed to be leader, or None.
+	Leader() NodeID
+	// IsLeader reports whether this replica believes it is the leader.
+	IsLeader() bool
+}
+
+// ErrNotLeader is returned in ClientReply.Err when a write was submitted to
+// a replica that cannot serve it and cannot forward it.
+var ErrNotLeader = errors.New("not leader")
+
+// ErrDropped is returned when an engine sheds a request (for example a
+// pending proposal abandoned after losing leadership).
+var ErrDropped = errors.New("request dropped")

@@ -1,0 +1,78 @@
+package protocol_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"raftpaxos/internal/protocol"
+)
+
+func TestQuorumMath(t *testing.T) {
+	cases := []struct{ n, quorum, f int }{
+		{1, 1, 0}, {2, 2, 0}, {3, 2, 1}, {4, 3, 1}, {5, 3, 2}, {7, 4, 3},
+	}
+	for _, tc := range cases {
+		if got := protocol.Quorum(tc.n); got != tc.quorum {
+			t.Errorf("Quorum(%d) = %d, want %d", tc.n, got, tc.quorum)
+		}
+		if got := protocol.MaxFailures(tc.n); got != tc.f {
+			t.Errorf("MaxFailures(%d) = %d, want %d", tc.n, got, tc.f)
+		}
+	}
+}
+
+// Two quorums of the same cluster always intersect — the property every
+// protocol in this repository rests on.
+func TestQuorumsIntersect(t *testing.T) {
+	if err := quick.Check(func(n uint8) bool {
+		size := int(n%20) + 1
+		q := protocol.Quorum(size)
+		return 2*q > size
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandWireSize(t *testing.T) {
+	c := protocol.Command{Key: "abc", Value: make([]byte, 10)}
+	if got := c.WireSize(); got != 16+3+10 {
+		t.Fatalf("wire size = %d", got)
+	}
+	c.Size = 4096
+	if got := c.WireSize(); got != 4096 {
+		t.Fatalf("explicit size ignored: %d", got)
+	}
+}
+
+func TestIsNop(t *testing.T) {
+	if !(protocol.Command{Op: protocol.OpNop}).IsNop() {
+		t.Fatal("nop not detected")
+	}
+	if !(protocol.Command{}).IsNop() {
+		t.Fatal("zero command should be nop")
+	}
+	if (protocol.Command{Op: protocol.OpPut}).IsNop() {
+		t.Fatal("put misdetected as nop")
+	}
+}
+
+func TestOutputMerge(t *testing.T) {
+	var a protocol.Output
+	b := protocol.Output{
+		Msgs:         []protocol.Envelope{{From: 1, To: 2}},
+		Commits:      []protocol.CommitInfo{{}},
+		Replies:      []protocol.ClientReply{{CmdID: 9}},
+		StateChanged: true,
+	}
+	a.Merge(b)
+	if len(a.Msgs) != 1 || len(a.Commits) != 1 || len(a.Replies) != 1 || !a.StateChanged {
+		t.Fatalf("merge lost data: %+v", a)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if protocol.OpPut.String() != "put" || protocol.OpGet.String() != "get" ||
+		protocol.OpNop.String() != "nop" {
+		t.Fatal("op names wrong")
+	}
+}

@@ -1,0 +1,557 @@
+// Package raft implements standard Raft per Figure 2 of the paper (black
+// text only), following Ongaro & Ousterhout. It is the evaluation baseline
+// and the protocol that provably does NOT refine MultiPaxos: a follower
+// erases extraneous log entries to match the leader (a state transition
+// MultiPaxos forbids), and entry terms are never overwritten, which forces
+// the §5.4.2 restriction that a leader only commits entries of its own
+// term by counting replicas.
+package raft
+
+import (
+	"math/rand"
+	"sort"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Role is the replica's current role.
+type Role uint8
+
+// Roles.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+)
+
+// MsgVoteReq is Raft's RequestVote RPC.
+type MsgVoteReq struct {
+	Term      uint64
+	LastIndex int64
+	LastTerm  uint64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgVoteReq) WireSize() int { return 24 }
+
+// MsgVoteResp is Raft's RequestVote response. Unlike Raft*, it carries no
+// log entries.
+type MsgVoteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgVoteResp) WireSize() int { return 9 }
+
+// MsgAppendReq is Raft's AppendEntries RPC.
+type MsgAppendReq struct {
+	Term      uint64
+	PrevIndex int64
+	PrevTerm  uint64
+	Entries   []protocol.Entry
+	Commit    int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAppendReq) WireSize() int {
+	n := 40
+	for i := range m.Entries {
+		n += 24 + m.Entries[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgAppendReq) CmdCount() int { return len(m.Entries) }
+
+// MsgAppendResp is Raft's AppendEntries response.
+type MsgAppendResp struct {
+	Term      uint64
+	Ok        bool
+	LastIndex int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAppendResp) WireSize() int { return 24 }
+
+// MsgForward carries client commands from a follower to the leader
+// (etcd-style batched forwarding).
+type MsgForward struct {
+	Cmds []protocol.Command
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgForward) WireSize() int {
+	n := 8
+	for i := range m.Cmds {
+		n += m.Cmds[i].WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgForward) CmdCount() int { return len(m.Cmds) }
+
+// Config configures a Raft replica.
+type Config struct {
+	ID    protocol.NodeID
+	Peers []protocol.NodeID
+
+	ElectionTicks  int
+	HeartbeatTicks int
+	MaxBatch       int
+	MaxInflight    int
+	Seed           int64
+	// Passive disables the election timer (for pinning a benchmark leader).
+	Passive bool
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ElectionTicks <= 0 {
+		out.ElectionTicks = 10
+	}
+	if out.HeartbeatTicks <= 0 {
+		out.HeartbeatTicks = 1
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 1024
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 16
+	}
+	return out
+}
+
+// Engine is a single Raft replica.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+
+	term     uint64
+	votedFor protocol.NodeID
+	role     Role
+	leader   protocol.NodeID
+
+	log    []protocol.Entry // log[i] has Index i+1
+	commit int64
+
+	votes map[protocol.NodeID]bool
+
+	next     map[protocol.NodeID]int64
+	match    map[protocol.NodeID]int64
+	inflight map[protocol.NodeID]int
+
+	elapsed   int
+	timeout   int
+	hbElapsed int
+
+	pending []protocol.Command
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a Raft replica.
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:      c,
+		rng:      rand.New(rand.NewSource(c.Seed ^ int64(c.ID)<<17)),
+		votedFor: protocol.None,
+		role:     Follower,
+		leader:   protocol.None,
+	}
+	e.resetTimeout()
+	return e
+}
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.cfg.ID }
+
+// Leader implements protocol.Engine.
+func (e *Engine) Leader() protocol.NodeID { return e.leader }
+
+// IsLeader implements protocol.Engine.
+func (e *Engine) IsLeader() bool { return e.role == Leader }
+
+// Term returns the current term.
+func (e *Engine) Term() uint64 { return e.term }
+
+// CommitIndex returns the highest committed index.
+func (e *Engine) CommitIndex() int64 { return e.commit }
+
+// LastIndex returns the last log index.
+func (e *Engine) LastIndex() int64 { return int64(len(e.log)) }
+
+// EntryAt returns the entry at index i (1-based).
+func (e *Engine) EntryAt(i int64) (protocol.Entry, bool) {
+	if i < 1 || i > e.LastIndex() {
+		return protocol.Entry{}, false
+	}
+	return e.log[i-1], true
+}
+
+func (e *Engine) termAt(i int64) uint64 {
+	if i <= 0 || i > e.LastIndex() {
+		return 0
+	}
+	return e.log[i-1].Term
+}
+
+func (e *Engine) quorum() int { return protocol.Quorum(len(e.cfg.Peers)) }
+
+func (e *Engine) resetTimeout() {
+	e.elapsed = 0
+	e.timeout = e.cfg.ElectionTicks + e.rng.Intn(e.cfg.ElectionTicks)
+}
+
+// Tick implements protocol.Engine.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	if e.role == Leader {
+		e.hbElapsed++
+		if e.hbElapsed >= e.cfg.HeartbeatTicks {
+			e.hbElapsed = 0
+			e.broadcastAppend(&out, true)
+		}
+		return out
+	}
+	if e.cfg.Passive {
+		return out
+	}
+	e.elapsed++
+	if e.elapsed >= e.timeout {
+		e.campaign(&out)
+	}
+	return out
+}
+
+// Campaign forces an immediate election.
+func (e *Engine) Campaign() protocol.Output {
+	var out protocol.Output
+	e.campaign(&out)
+	return out
+}
+
+func (e *Engine) campaign(out *protocol.Output) {
+	e.term++
+	e.role = Candidate
+	e.leader = protocol.None
+	e.votedFor = e.cfg.ID
+	e.votes = map[protocol.NodeID]bool{e.cfg.ID: true}
+	e.resetTimeout()
+	out.StateChanged = true
+	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex())}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
+	}
+	if len(e.cfg.Peers) == 1 {
+		e.becomeLeader(out)
+	}
+}
+
+func (e *Engine) becomeFollower(term uint64, leader protocol.NodeID, out *protocol.Output) {
+	if term > e.term {
+		e.term = term
+		e.votedFor = protocol.None
+		out.StateChanged = true
+	}
+	e.role = Follower
+	if leader != protocol.None {
+		e.leader = leader
+		e.flushPending(out)
+	}
+	e.resetTimeout()
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	switch m := msg.(type) {
+	case *MsgVoteReq:
+		e.stepVoteReq(from, m, &out)
+	case *MsgVoteResp:
+		e.stepVoteResp(from, m, &out)
+	case *MsgAppendReq:
+		e.stepAppendReq(from, m, &out)
+	case *MsgAppendResp:
+		e.stepAppendResp(from, m, &out)
+	case *MsgForward:
+		for _, cmd := range m.Cmds {
+			out.Merge(e.Submit(cmd))
+		}
+	}
+	return out
+}
+
+func (e *Engine) stepVoteReq(from protocol.NodeID, m *MsgVoteReq, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+	}
+	upToDate := m.LastTerm > e.termAt(e.LastIndex()) ||
+		(m.LastTerm == e.termAt(e.LastIndex()) && m.LastIndex >= e.LastIndex())
+	grant := m.Term == e.term &&
+		(e.votedFor == protocol.None || e.votedFor == from) &&
+		e.role != Leader && upToDate
+	resp := &MsgVoteResp{Term: e.term}
+	if grant {
+		e.votedFor = from
+		e.resetTimeout()
+		resp.Granted = true
+		out.StateChanged = true
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+func (e *Engine) stepVoteResp(from protocol.NodeID, m *MsgVoteResp, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+		return
+	}
+	if e.role != Candidate || m.Term != e.term || !m.Granted {
+		return
+	}
+	e.votes[from] = true
+	if len(e.votes) >= e.quorum() {
+		e.becomeLeader(out)
+	}
+}
+
+func (e *Engine) becomeLeader(out *protocol.Output) {
+	e.role = Leader
+	e.leader = e.cfg.ID
+	e.votes = nil
+	e.next = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
+	e.match = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
+	e.inflight = make(map[protocol.NodeID]int, len(e.cfg.Peers))
+	for _, p := range e.cfg.Peers {
+		e.next[p] = e.LastIndex() + 1
+		e.match[p] = 0
+	}
+	e.match[e.cfg.ID] = e.LastIndex()
+	e.hbElapsed = 0
+	out.StateChanged = true
+	// A no-op barrier entry lets the new leader commit its predecessors'
+	// entries despite the §5.4.2 restriction.
+	e.appendLocal(protocol.Command{Op: protocol.OpNop}, out)
+	e.broadcastAppend(out, true)
+	e.flushPending(out)
+}
+
+// Submit implements protocol.Engine.
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	var out protocol.Output
+	switch {
+	case e.role == Leader:
+		e.appendLocal(cmd, &out)
+		e.broadcastAppend(&out, false)
+	case e.leader != protocol.None:
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: []protocol.Command{cmd}},
+		})
+	default:
+		if len(e.pending) < 4096 {
+			e.pending = append(e.pending, cmd)
+		} else {
+			kind := protocol.ReplyWrite
+			if cmd.Op == protocol.OpGet {
+				kind = protocol.ReplyRead
+			}
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: kind, CmdID: cmd.ID, Client: cmd.Client, Err: protocol.ErrNotLeader,
+			})
+		}
+	}
+	return out
+}
+
+// SubmitRead implements protocol.Engine: reads replicate through the log.
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	return e.Submit(cmd)
+}
+
+func (e *Engine) flushPending(out *protocol.Output) {
+	if len(e.pending) == 0 {
+		return
+	}
+	cmds := e.pending
+	e.pending = nil
+	if e.role == Leader {
+		for _, c := range cmds {
+			e.appendLocal(c, out)
+		}
+		e.broadcastAppend(out, false)
+		return
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{
+		From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: cmds},
+	})
+}
+
+func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
+	// In standard Raft the per-entry ballot simply mirrors the creation
+	// term and is never rewritten.
+	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
+	e.log = append(e.log, ent)
+	e.match[e.cfg.ID] = e.LastIndex()
+	out.StateChanged = true
+	if len(e.cfg.Peers) == 1 {
+		e.maybeCommit(out)
+	}
+}
+
+func (e *Engine) broadcastAppend(out *protocol.Output, heartbeat bool) {
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		e.sendAppend(p, out, heartbeat)
+	}
+}
+
+func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat bool) {
+	next := e.next[p]
+	if next > e.LastIndex() && !heartbeat {
+		return
+	}
+	if e.inflight[p] >= e.cfg.MaxInflight && !heartbeat {
+		return
+	}
+	if next < 1 {
+		next = 1
+	}
+	end := e.LastIndex()
+	if end > next-1+int64(e.cfg.MaxBatch) {
+		end = next - 1 + int64(e.cfg.MaxBatch)
+	}
+	var ents []protocol.Entry
+	if end >= next {
+		ents = append([]protocol.Entry(nil), e.log[next-1:end]...)
+	}
+	req := &MsgAppendReq{
+		Term:      e.term,
+		PrevIndex: next - 1,
+		PrevTerm:  e.termAt(next - 1),
+		Entries:   ents,
+		Commit:    e.commit,
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
+	if end >= next {
+		e.next[p] = end + 1
+		e.inflight[p]++
+	}
+}
+
+func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *protocol.Output) {
+	resp := &MsgAppendResp{Term: e.term, LastIndex: e.LastIndex()}
+	if m.Term < e.term {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+		return
+	}
+	e.becomeFollower(m.Term, from, out)
+	resp.Term = e.term
+
+	switch {
+	case m.PrevIndex > e.LastIndex():
+		resp.LastIndex = e.LastIndex()
+	case e.termAt(m.PrevIndex) != m.PrevTerm:
+		resp.LastIndex = m.PrevIndex - 1
+	default:
+		// Accept. Standard Raft: find the first conflicting entry, ERASE
+		// everything from there on, then append — the follower's log is
+		// forced to match the leader's, even if that shortens it. This is
+		// the transition with no MultiPaxos counterpart (Section 3).
+		for k, ent := range m.Entries {
+			if ent.Index <= e.LastIndex() && e.termAt(ent.Index) != ent.Term {
+				e.log = e.log[:ent.Index-1] // erase conflicting suffix
+			}
+			if ent.Index > e.LastIndex() {
+				e.log = append(e.log, m.Entries[k:]...)
+				break
+			}
+		}
+		resp.Ok = true
+		resp.LastIndex = m.PrevIndex + int64(len(m.Entries))
+		out.StateChanged = true
+		if c := min64(m.Commit, resp.LastIndex); c > e.commit {
+			e.advanceCommit(c, out)
+		}
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+		return
+	}
+	if e.role != Leader || m.Term != e.term {
+		return
+	}
+	if e.inflight[from] > 0 {
+		e.inflight[from]--
+	}
+	if !m.Ok {
+		e.next[from] = min64(m.LastIndex+1, e.LastIndex()+1)
+		if e.next[from] < 1 {
+			e.next[from] = 1
+		}
+		e.sendAppend(from, out, false)
+		return
+	}
+	if m.LastIndex > e.match[from] {
+		e.match[from] = m.LastIndex
+	}
+	if e.next[from] <= e.match[from] {
+		e.next[from] = e.match[from] + 1
+	}
+	e.maybeCommit(out)
+	if e.next[from] <= e.LastIndex() {
+		e.sendAppend(from, out, false)
+	}
+}
+
+// maybeCommit advances commit to the quorum watermark, restricted by
+// §5.4.2: only entries of the current term may be committed by counting.
+func (e *Engine) maybeCommit(out *protocol.Output) {
+	if e.role != Leader {
+		return
+	}
+	matches := make([]int64, 0, len(e.cfg.Peers))
+	for _, p := range e.cfg.Peers {
+		matches = append(matches, e.match[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	candidate := matches[e.quorum()-1]
+	// §5.4.2: walk back to the highest quorum-matched index whose entry is
+	// from the current term.
+	for candidate > e.commit && e.termAt(candidate) != e.term {
+		candidate--
+	}
+	if candidate > e.commit && e.termAt(candidate) == e.term {
+		e.advanceCommit(candidate, out)
+	}
+}
+
+func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
+	for i := e.commit + 1; i <= to; i++ {
+		ent := e.log[i-1]
+		out.Commits = append(out.Commits, protocol.CommitInfo{
+			Entry: ent,
+			Reply: e.role == Leader && ent.Cmd.Client != protocol.None,
+		})
+	}
+	e.commit = to
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

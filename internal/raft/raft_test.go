@@ -1,0 +1,179 @@
+package raft_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raft"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = raft.New(raft.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func TestElectAndReplicate(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, e := range c.Applied[leader.ID()] {
+		if !e.Cmd.IsNop() {
+			applied++
+		}
+	}
+	if applied < 10 {
+		t.Fatalf("applied %d real entries, want 10", applied)
+	}
+}
+
+// TestErasesConflictingSuffix drives the behaviour that distinguishes
+// standard Raft: a follower with a longer, conflicting log erases its
+// suffix to match the leader (the transition Raft* forbids and the reason
+// Raft cannot refine MultiPaxos).
+func TestErasesConflictingSuffix(t *testing.T) {
+	c := newCluster(t, 5, 2)
+	leader, err := c.ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leader appends entries that reach nobody (isolated).
+	c.Isolate(leader.ID(), true)
+	c.Queue = nil
+	for i := 0; i < 5; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(100 + i), Op: protocol.OpPut, Key: "k"})
+	}
+	c.DeliverAll(100000) // all dropped at the partition
+	old := leader.(*raft.Engine)
+	if old.LastIndex() < 5 {
+		t.Fatalf("old leader should have appended locally, last=%d", old.LastIndex())
+	}
+
+	// A new leader emerges among the rest and commits fresh entries.
+	var next protocol.Engine
+	for r := 0; r < 600 && next == nil; r++ {
+		c.Tick()
+		c.DeliverAll(100000)
+		for _, e := range c.Engines {
+			if e.IsLeader() && e.ID() != leader.ID() {
+				next = e
+			}
+		}
+	}
+	if next == nil {
+		t.Fatal("no new leader")
+	}
+	c.Submit(next.ID(), protocol.Command{ID: 200, Op: protocol.OpPut, Key: "k"})
+	c.Settle(10)
+
+	// Heal: the old leader must erase its uncommitted suffix and adopt
+	// the new leader's log.
+	c.Isolate(leader.ID(), false)
+	c.Settle(20)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range c.Applied[leader.ID()] {
+		if ent.Cmd.ID >= 100 && ent.Cmd.ID < 200 {
+			t.Fatalf("uncommitted entry %d survived the erase", ent.Cmd.ID)
+		}
+	}
+	found := false
+	for _, ent := range c.Applied[leader.ID()] {
+		if ent.Cmd.ID == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("old leader did not adopt the new leader's committed entry")
+	}
+}
+
+// TestCommitRestriction542 checks §5.4.2: a new leader may not count
+// replicas for entries of older terms; it commits them only via its own
+// no-op barrier.
+func TestCommitRestriction542(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Op: protocol.OpPut, Key: "k"})
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// The no-op barrier appended at election means the real entry commits
+	// at index 2.
+	var sawBarrier, sawEntry bool
+	for _, ent := range c.Applied[leader.ID()] {
+		if ent.Cmd.IsNop() {
+			sawBarrier = true
+		}
+		if ent.Cmd.ID == 1 {
+			sawEntry = true
+		}
+	}
+	if !sawBarrier || !sawEntry {
+		t.Fatalf("barrier=%v entry=%v; both expected", sawBarrier, sawEntry)
+	}
+}
+
+func TestAgreementUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := newCluster(t, 3, 300+seed)
+		leader, err := c.ElectLeader(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+			c.DeliverChaos(1000)
+		}
+		for r := 0; r < 20; r++ {
+			c.Tick()
+			c.DeliverChaos(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestAgreementUnderDrops(t *testing.T) {
+	c := newCluster(t, 3, 4)
+	c.DropRate = 0.15
+	leader, err := c.ElectLeader(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+		c.Settle(3)
+	}
+	c.DropRate = 0
+	c.Settle(30)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

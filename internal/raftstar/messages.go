@@ -1,0 +1,96 @@
+package raftstar
+
+import "raftpaxos/internal/protocol"
+
+// entriesWireSize sums the simulated wire size of a batch of entries.
+func entriesWireSize(ents []protocol.Entry) int {
+	n := 0
+	for i := range ents {
+		n += 24 + ents[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// cmdsWireSize sums the simulated wire size of a batch of commands.
+func cmdsWireSize(cmds []protocol.Command) int {
+	n := 0
+	for i := range cmds {
+		n += cmds[i].WireSize()
+	}
+	return n
+}
+
+// MsgVoteReq is Raft*'s requestVote (maps to Paxos prepare / msg1a).
+type MsgVoteReq struct {
+	Term      uint64
+	LastIndex int64
+	LastTerm  uint64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgVoteReq) WireSize() int { return 24 }
+
+// MsgVoteResp is Raft*'s requestVoteOK (maps to Paxos prepareOK / msg1b).
+// Unlike Raft, a granting voter ships the entries beyond the candidate's
+// last index so the new leader can extend its log with safe values instead
+// of erasing follower suffixes.
+type MsgVoteResp struct {
+	Term    uint64
+	Granted bool
+	// Extra are the voter's entries with Index > candidate's LastIndex.
+	Extra []protocol.Entry
+	// LastIndex is the voter's last log index (leader uses it to seed
+	// replication state).
+	LastIndex int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgVoteResp) WireSize() int { return 16 + entriesWireSize(m.Extra) }
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgVoteResp) CmdCount() int { return len(m.Extra) }
+
+// MsgAppendReq is Raft*'s append (maps to Paxos accept / msg2a). On arrival
+// the acceptor re-stamps the ballot of every entry up to the append's end
+// with the sender's term — the Raft* change that restores the Paxos
+// invariant that accepting overwrites the instance ballot.
+type MsgAppendReq struct {
+	Term      uint64
+	PrevIndex int64
+	PrevTerm  uint64
+	Entries   []protocol.Entry
+	Commit    int64
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAppendReq) WireSize() int { return 40 + entriesWireSize(m.Entries) }
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgAppendReq) CmdCount() int { return len(m.Entries) }
+
+// MsgAppendResp is Raft*'s appendOK (maps to Paxos acceptOK / msg2b).
+type MsgAppendResp struct {
+	Term uint64
+	Ok   bool
+	// LastIndex is the responder's last log index after the append (on Ok)
+	// or its current last index (on reject, as a retry hint).
+	LastIndex int64
+	// Holders lists replicas currently holding a valid lease granted by the
+	// responder. Only used by the Raft*-PQL extension; empty otherwise.
+	Holders []protocol.NodeID
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgAppendResp) WireSize() int { return 24 + 4*len(m.Holders) }
+
+// MsgForward carries client commands from a follower to the leader,
+// batched as in etcd.
+type MsgForward struct {
+	Cmds []protocol.Command
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgForward) WireSize() int { return 8 + cmdsWireSize(m.Cmds) }
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgForward) CmdCount() int { return len(m.Cmds) }

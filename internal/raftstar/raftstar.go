@@ -1,0 +1,662 @@
+// Package raftstar implements Raft*, the Raft variant introduced by the
+// paper (Figure 2, including the blue additions) for which a refinement
+// mapping to MultiPaxos exists. It differs from standard Raft in exactly
+// two ways:
+//
+//  1. A granting voter ships the log entries beyond the candidate's last
+//     index in its requestVoteOK; the new leader extends its own log with
+//     the safe value (highest ballot) for each such index instead of later
+//     erasing follower suffixes, and an acceptor rejects an append that
+//     would leave its log longer than the leader's.
+//  2. Every entry carries a ballot in addition to its term; any accepted
+//     append re-stamps the ballots of all entries it covers with the
+//     current term, restoring the MultiPaxos invariant that acceptance
+//     overwrites the instance's ballot. As a consequence the leader may
+//     commit any quorum-replicated entry directly, without Raft's §5.4.2
+//     current-term restriction.
+//
+// The engine is a pure, deterministic, tick-driven state machine so the
+// same code runs under the discrete-event simulator and live transports.
+package raftstar
+
+import (
+	"math/rand"
+	"sort"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Role is the replica's current role.
+type Role uint8
+
+// Roles.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks are optional extension points used to port Paxos optimizations
+// onto Raft* without modifying the base protocol's state — the engine-level
+// analogue of the paper's non-mutating optimizations: every hook reads
+// Raft* state and maintains only new state of its own.
+type Hooks struct {
+	// LocalHolders is attached to append responses (Raft*-PQL: leases
+	// granted by this replica).
+	LocalHolders func() []protocol.NodeID
+	// OnAppendResp observes successful append acknowledgements at the
+	// leader (Raft*-PQL: collect reported lease holders).
+	OnAppendResp func(from protocol.NodeID, lastIndex int64, holders []protocol.NodeID)
+	// GateCommit clamps the leader's proposed commit index (Raft*-PQL:
+	// wait for every lease holder to acknowledge).
+	GateCommit func(proposed int64) int64
+	// OnAccept observes entries accepted into the local log, both on the
+	// leader when appending and on followers when receiving appends
+	// (lease conflict tracking; Mencius skip tags must hook both sides —
+	// the paper's example of a multi-action Phase2b correspondence).
+	OnAccept func(ents []protocol.Entry)
+}
+
+// Config configures a Raft* replica.
+type Config struct {
+	ID    protocol.NodeID
+	Peers []protocol.NodeID // all replicas, including ID
+
+	// ElectionTicks is the base election timeout; the effective timeout is
+	// randomized in [ElectionTicks, 2*ElectionTicks).
+	ElectionTicks int
+	// HeartbeatTicks is the leader's heartbeat period.
+	HeartbeatTicks int
+	// MaxBatch caps entries per append message (0 = 1024).
+	MaxBatch int
+	// MaxInflight caps pipelined appends per follower (0 = 16).
+	MaxInflight int
+	// Seed feeds the deterministic election jitter RNG.
+	Seed int64
+	// Passive disables the election timer (the replica still votes and
+	// accepts appends). Benchmarks use it to pin the leader at one site.
+	Passive bool
+
+	Hooks Hooks
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ElectionTicks <= 0 {
+		out.ElectionTicks = 10
+	}
+	if out.HeartbeatTicks <= 0 {
+		out.HeartbeatTicks = 1
+	}
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 1024
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 16
+	}
+	return out
+}
+
+// Engine is a single Raft* replica.
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+
+	term     uint64
+	votedFor protocol.NodeID
+	role     Role
+	leader   protocol.NodeID
+
+	// log[i] holds the entry with Index i+1 (first index is 1).
+	log    []protocol.Entry
+	commit int64
+	// logBal is the ballot of every entry in the log. Raft* stamps all
+	// covered entries with the append's term on every accept, so the
+	// per-entry ballots are always uniform; tracking one value avoids an
+	// O(len(log)) re-stamp per append. Entries are stamped with logBal
+	// whenever they leave the engine (vote extras, commits, EntryAt).
+	logBal uint64
+
+	// Candidate state.
+	votes    map[protocol.NodeID]bool
+	extras   map[int64]protocol.Entry // safest entry seen per index
+	extraMax int64
+
+	// Leader state.
+	next     map[protocol.NodeID]int64
+	match    map[protocol.NodeID]int64
+	inflight map[protocol.NodeID]int
+
+	elapsed   int
+	timeout   int
+	hbElapsed int
+
+	// Commands buffered while no leader is known.
+	pending []protocol.Command
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds a Raft* replica.
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	e := &Engine{
+		cfg:      c,
+		rng:      rand.New(rand.NewSource(c.Seed ^ int64(c.ID)<<17)),
+		votedFor: protocol.None,
+		role:     Follower,
+		leader:   protocol.None,
+	}
+	e.resetTimeout()
+	return e
+}
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.cfg.ID }
+
+// Leader implements protocol.Engine.
+func (e *Engine) Leader() protocol.NodeID { return e.leader }
+
+// IsLeader implements protocol.Engine.
+func (e *Engine) IsLeader() bool { return e.role == Leader }
+
+// Term returns the current term (ballot).
+func (e *Engine) Term() uint64 { return e.term }
+
+// Role returns the current role.
+func (e *Engine) Role() Role { return e.role }
+
+// CommitIndex returns the highest committed log index.
+func (e *Engine) CommitIndex() int64 { return e.commit }
+
+// LastIndex returns the last log index.
+func (e *Engine) LastIndex() int64 { return int64(len(e.log)) }
+
+// EntryAt returns the entry at index i (1-based) and whether it exists.
+func (e *Engine) EntryAt(i int64) (protocol.Entry, bool) {
+	if i < 1 || i > e.LastIndex() {
+		return protocol.Entry{}, false
+	}
+	ent := e.log[i-1]
+	ent.Bal = e.logBal
+	return ent, true
+}
+
+func (e *Engine) termAt(i int64) uint64 {
+	if i <= 0 || i > e.LastIndex() {
+		return 0
+	}
+	return e.log[i-1].Term
+}
+
+func (e *Engine) quorum() int { return protocol.Quorum(len(e.cfg.Peers)) }
+
+func (e *Engine) resetTimeout() {
+	e.elapsed = 0
+	e.timeout = e.cfg.ElectionTicks + e.rng.Intn(e.cfg.ElectionTicks)
+}
+
+// Tick implements protocol.Engine.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	if e.role == Leader {
+		e.hbElapsed++
+		if e.hbElapsed >= e.cfg.HeartbeatTicks {
+			e.hbElapsed = 0
+			e.broadcastAppend(&out, true)
+		}
+		return out
+	}
+	if e.cfg.Passive {
+		return out
+	}
+	e.elapsed++
+	if e.elapsed >= e.timeout {
+		e.campaign(&out)
+	}
+	return out
+}
+
+// Campaign forces an immediate election (used to bootstrap a preferred
+// leader in benchmarks and tests).
+func (e *Engine) Campaign() protocol.Output {
+	var out protocol.Output
+	e.campaign(&out)
+	return out
+}
+
+func (e *Engine) campaign(out *protocol.Output) {
+	e.term++
+	e.role = Candidate
+	e.leader = protocol.None
+	e.votedFor = e.cfg.ID
+	e.votes = map[protocol.NodeID]bool{e.cfg.ID: true}
+	e.extras = make(map[int64]protocol.Entry)
+	e.extraMax = e.LastIndex()
+	e.resetTimeout()
+	out.StateChanged = true
+	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex())}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
+	}
+	if len(e.cfg.Peers) == 1 {
+		e.becomeLeader(out)
+	}
+}
+
+func (e *Engine) becomeFollower(term uint64, leader protocol.NodeID, out *protocol.Output) {
+	if term > e.term {
+		e.term = term
+		e.votedFor = protocol.None
+		out.StateChanged = true
+	}
+	e.role = Follower
+	if leader != protocol.None {
+		e.leader = leader
+		e.flushPending(out)
+	}
+	e.resetTimeout()
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	switch m := msg.(type) {
+	case *MsgVoteReq:
+		e.stepVoteReq(from, m, &out)
+	case *MsgVoteResp:
+		e.stepVoteResp(from, m, &out)
+	case *MsgAppendReq:
+		e.stepAppendReq(from, m, &out)
+	case *MsgAppendResp:
+		e.stepAppendResp(from, m, &out)
+	case *MsgForward:
+		for _, cmd := range m.Cmds {
+			out.Merge(e.Submit(cmd))
+		}
+	}
+	return out
+}
+
+func (e *Engine) stepVoteReq(from protocol.NodeID, m *MsgVoteReq, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+	}
+	upToDate := m.LastTerm > e.termAt(e.LastIndex()) ||
+		(m.LastTerm == e.termAt(e.LastIndex()) && m.LastIndex >= e.LastIndex())
+	grant := m.Term == e.term &&
+		(e.votedFor == protocol.None || e.votedFor == from) &&
+		e.role != Leader && upToDate
+	resp := &MsgVoteResp{Term: e.term, LastIndex: e.LastIndex()}
+	if grant {
+		e.votedFor = from
+		e.resetTimeout()
+		resp.Granted = true
+		out.StateChanged = true
+		// Raft* addition: ship entries beyond the candidate's log so the
+		// leader can adopt safe values (Figure 2a lines 14-15).
+		if e.LastIndex() > m.LastIndex {
+			start := m.LastIndex // entries with Index > m.LastIndex
+			resp.Extra = append([]protocol.Entry(nil), e.log[start:]...)
+			for i := range resp.Extra {
+				resp.Extra[i].Bal = e.logBal
+			}
+		}
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+func (e *Engine) stepVoteResp(from protocol.NodeID, m *MsgVoteResp, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+		return
+	}
+	if e.role != Candidate || m.Term != e.term || !m.Granted {
+		return
+	}
+	e.votes[from] = true
+	for _, ent := range m.Extra {
+		cur, ok := e.extras[ent.Index]
+		// safeEntry: keep the value accepted at the highest ballot.
+		if !ok || ent.Bal > cur.Bal {
+			e.extras[ent.Index] = ent
+		}
+		if ent.Index > e.extraMax {
+			e.extraMax = ent.Index
+		}
+	}
+	if len(e.votes) >= e.quorum() {
+		e.becomeLeader(out)
+	}
+}
+
+func (e *Engine) becomeLeader(out *protocol.Output) {
+	// Adopt safe values for every index beyond our log (Figure 2a lines
+	// 22-27): value from the highest ballot, re-proposed at our term.
+	for i := e.LastIndex() + 1; i <= e.extraMax; i++ {
+		ent, ok := e.extras[i]
+		cmd := ent.Cmd
+		if !ok {
+			// No voter had this index (gap below another voter's tail is
+			// impossible with contiguous logs, but guard anyway).
+			cmd = protocol.Command{Op: protocol.OpNop}
+		}
+		e.log = append(e.log, protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd})
+	}
+	// Re-propose the entire log at the current ballot: every subsequent
+	// append stamps Bal = term (Figure 2b lines 6-7).
+	e.logBal = e.term
+	e.role = Leader
+	e.leader = e.cfg.ID
+	e.votes = nil
+	e.extras = nil
+	e.next = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
+	e.match = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
+	e.inflight = make(map[protocol.NodeID]int, len(e.cfg.Peers))
+	for _, p := range e.cfg.Peers {
+		e.next[p] = e.LastIndex() + 1
+		e.match[p] = 0
+	}
+	e.match[e.cfg.ID] = e.LastIndex()
+	if h := e.cfg.Hooks.OnAccept; h != nil && len(e.log) > 0 {
+		h(e.log)
+	}
+	out.StateChanged = true
+	e.hbElapsed = 0
+	// Replicate everything we have (also acts as the leadership announcement).
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		e.next[p] = 1
+		e.sendAppend(p, out, true)
+	}
+	e.flushPending(out)
+}
+
+// Submit implements protocol.Engine.
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	var out protocol.Output
+	switch {
+	case e.role == Leader:
+		e.appendLocal(cmd, &out)
+		e.broadcastAppend(&out, false)
+	case e.leader != protocol.None:
+		// etcd-style follower forwarding.
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: []protocol.Command{cmd}},
+		})
+	default:
+		if len(e.pending) < 4096 {
+			e.pending = append(e.pending, cmd)
+		} else {
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: ReplyKindFor(cmd), CmdID: cmd.ID, Client: cmd.Client, Err: protocol.ErrNotLeader,
+			})
+		}
+	}
+	return out
+}
+
+// ReplyKindFor maps a command's op to the reply kind the client expects.
+func ReplyKindFor(cmd protocol.Command) protocol.ReplyKind {
+	if cmd.Op == protocol.OpGet {
+		return protocol.ReplyRead
+	}
+	return protocol.ReplyWrite
+}
+
+// SubmitRead implements protocol.Engine. Plain Raft* serves strongly
+// consistent reads by running them through the log, exactly like writes.
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	return e.Submit(cmd)
+}
+
+func (e *Engine) flushPending(out *protocol.Output) {
+	if len(e.pending) == 0 {
+		return
+	}
+	cmds := e.pending
+	e.pending = nil
+	if e.role == Leader {
+		for _, c := range cmds {
+			e.appendLocal(c, out)
+		}
+		e.broadcastAppend(out, false)
+		return
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{
+		From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: cmds},
+	})
+}
+
+func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
+	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
+	e.log = append(e.log, ent)
+	e.match[e.cfg.ID] = e.LastIndex()
+	out.StateChanged = true
+	if h := e.cfg.Hooks.OnAccept; h != nil {
+		h(e.log[len(e.log)-1:])
+	}
+	if len(e.cfg.Peers) == 1 {
+		e.maybeCommit(out)
+	}
+}
+
+func (e *Engine) broadcastAppend(out *protocol.Output, heartbeat bool) {
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		e.sendAppend(p, out, heartbeat)
+	}
+}
+
+// sendAppend ships log[next..] to p, respecting batch and inflight limits.
+// When heartbeat is set, an empty append is sent even if nothing is pending.
+func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat bool) {
+	next := e.next[p]
+	if next > e.LastIndex() && !heartbeat {
+		return
+	}
+	if e.inflight[p] >= e.cfg.MaxInflight && !heartbeat {
+		return // pipelining cap; the ack will trigger the next batch
+	}
+	if next < 1 {
+		next = 1
+	}
+	end := e.LastIndex()
+	if end > next-1+int64(e.cfg.MaxBatch) {
+		end = next - 1 + int64(e.cfg.MaxBatch)
+	}
+	var ents []protocol.Entry
+	if end >= next {
+		ents = append([]protocol.Entry(nil), e.log[next-1:end]...)
+	}
+	req := &MsgAppendReq{
+		Term:      e.term,
+		PrevIndex: next - 1,
+		PrevTerm:  e.termAt(next - 1),
+		Entries:   ents,
+		Commit:    e.commit,
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
+	if end >= next {
+		e.next[p] = end + 1 // optimistic pipelining
+		e.inflight[p]++
+	}
+}
+
+func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *protocol.Output) {
+	resp := &MsgAppendResp{Term: e.term, LastIndex: e.LastIndex()}
+	if m.Term < e.term {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+		return
+	}
+	e.becomeFollower(m.Term, from, out)
+	resp.Term = e.term
+
+	end := m.PrevIndex + int64(len(m.Entries))
+	switch {
+	case m.PrevIndex > e.LastIndex():
+		// Missing entries before PrevIndex: hint our last index.
+		resp.LastIndex = e.LastIndex()
+	case e.termAt(m.PrevIndex) != m.PrevTerm:
+		// Conflicting predecessor: hint one before PrevIndex.
+		resp.LastIndex = m.PrevIndex - 1
+	case end < e.LastIndex():
+		// Raft* addition (Figure 2b line 16): reject appends that do not
+		// cover our whole log — MultiPaxos never deletes accepted values,
+		// so neither may we. The leader will extend its proposal.
+		resp.LastIndex = e.LastIndex()
+	default:
+		// Accept: overwrite the covered suffix, then re-stamp every ballot
+		// with the leader's term (Figure 2b: logBallot[i] = term for all i).
+		for _, ent := range m.Entries {
+			if ent.Index <= e.LastIndex() {
+				e.log[ent.Index-1] = ent
+			} else {
+				e.log = append(e.log, ent)
+			}
+		}
+		e.logBal = m.Term
+		if h := e.cfg.Hooks.OnAccept; h != nil && len(m.Entries) > 0 {
+			h(m.Entries)
+		}
+		resp.Ok = true
+		resp.LastIndex = e.LastIndex()
+		out.StateChanged = true
+		if h := e.cfg.Hooks.LocalHolders; h != nil {
+			resp.Holders = h()
+		}
+		if c := min64(m.Commit, e.LastIndex()); c > e.commit {
+			e.advanceCommit(c, out)
+		}
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+		return
+	}
+	if e.role != Leader || m.Term != e.term {
+		return
+	}
+	if e.inflight[from] > 0 {
+		e.inflight[from]--
+	}
+	if !m.Ok {
+		// Either the follower is behind (resend from its hint) or its log
+		// is longer than ours (extend with safe no-op proposals: indexes
+		// past a fresh leader's log are provably uncommitted, because the
+		// vote quorum shipped every possibly-chosen entry).
+		if m.LastIndex > e.LastIndex() {
+			for i := e.LastIndex() + 1; i <= m.LastIndex; i++ {
+				e.appendLocal(protocol.Command{Op: protocol.OpNop}, out)
+			}
+		}
+		e.next[from] = min64(m.LastIndex+1, e.LastIndex()+1)
+		if e.next[from] < 1 {
+			e.next[from] = 1
+		}
+		e.sendAppend(from, out, false)
+		return
+	}
+	if m.LastIndex > e.match[from] {
+		e.match[from] = m.LastIndex
+	}
+	if e.next[from] <= e.match[from] {
+		e.next[from] = e.match[from] + 1
+	}
+	if h := e.cfg.Hooks.OnAppendResp; h != nil {
+		h(from, m.LastIndex, m.Holders)
+	}
+	e.maybeCommit(out)
+	// Continue pipelining if the follower is still behind.
+	if e.next[from] <= e.LastIndex() {
+		e.sendAppend(from, out, false)
+	}
+}
+
+// maybeCommit advances the leader's commit index to the quorum-replicated
+// watermark. Raft* needs no §5.4.2 current-term check: every acknowledged
+// entry was re-stamped to the current ballot, exactly like a MultiPaxos
+// re-proposal.
+func (e *Engine) maybeCommit(out *protocol.Output) {
+	if e.role != Leader {
+		return
+	}
+	matches := make([]int64, 0, len(e.cfg.Peers))
+	for _, p := range e.cfg.Peers {
+		matches = append(matches, e.match[p])
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	candidate := matches[e.quorum()-1]
+	if gate := e.cfg.Hooks.GateCommit; gate != nil {
+		candidate = gate(candidate)
+	}
+	if candidate > e.commit {
+		e.advanceCommit(candidate, out)
+	}
+}
+
+func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
+	for i := e.commit + 1; i <= to; i++ {
+		ent := e.log[i-1]
+		ent.Bal = e.logBal
+		out.Commits = append(out.Commits, protocol.CommitInfo{
+			Entry: ent,
+			Reply: e.role == Leader && ent.Cmd.Client != protocol.None,
+		})
+	}
+	e.commit = to
+}
+
+// RecheckCommit re-evaluates the commit gate (Raft*-PQL calls it when a
+// lease expires, which may unblock writes waiting on a dead holder).
+func (e *Engine) RecheckCommit() protocol.Output {
+	var out protocol.Output
+	e.maybeCommit(&out)
+	return out
+}
+
+// Peers returns the configured peer set.
+func (e *Engine) Peers() []protocol.NodeID {
+	return append([]protocol.NodeID(nil), e.cfg.Peers...)
+}
+
+// MatchIndex returns the leader's view of how much of the log peer p has
+// acknowledged this term (0 when not leader).
+func (e *Engine) MatchIndex(p protocol.NodeID) int64 {
+	if e.role != Leader {
+		return 0
+	}
+	return e.match[p]
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

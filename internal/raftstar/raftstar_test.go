@@ -1,0 +1,160 @@
+package raftstar_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = raftstar.New(raftstar.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func TestElectLeader(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader == nil {
+		t.Fatal("no leader")
+	}
+	for _, e := range c.Engines {
+		if e.Leader() != leader.ID() && e.Leader() != protocol.None {
+			t.Fatalf("node %d thinks leader is %d, want %d", e.ID(), e.Leader(), leader.ID())
+		}
+	}
+}
+
+func TestReplicateAndCommit(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Applied[leader.ID()]); got < 10 {
+		t.Fatalf("leader applied %d entries, want >= 10", got)
+	}
+}
+
+func TestFollowerForwarding(t *testing.T) {
+	c := newCluster(t, 3, 3)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follower protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			follower = id
+			break
+		}
+	}
+	c.Submit(follower, protocol.Command{ID: 42, Op: protocol.OpPut, Key: "k"})
+	c.Settle(5)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ent := range c.Applied[leader.ID()] {
+		if ent.Cmd.ID == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("forwarded command not committed")
+	}
+}
+
+func TestFailoverPreservesCommitted(t *testing.T) {
+	c := newCluster(t, 5, 4)
+	leader, err := c.ElectLeader(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(5)
+	committed := len(c.Applied[leader.ID()])
+	if committed < 5 {
+		t.Fatalf("only %d committed before failover", committed)
+	}
+	c.Isolate(leader.ID(), true)
+	var next protocol.Engine
+	for r := 0; r < 400; r++ {
+		c.Tick()
+		c.DeliverAll(100000)
+		for _, e := range c.Engines {
+			if e.IsLeader() && e.ID() != leader.ID() {
+				next = e
+			}
+		}
+		if next != nil {
+			break
+		}
+	}
+	if next == nil {
+		t.Fatal("no new leader elected after isolating old one")
+	}
+	c.Submit(next.ID(), protocol.Command{ID: 100, Op: protocol.OpPut, Key: "k"})
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// The new leader must have every previously committed entry.
+	app := c.Applied[next.ID()]
+	ids := map[uint64]bool{}
+	for _, ent := range app {
+		ids[ent.Cmd.ID] = true
+	}
+	for i := 1; i <= 5; i++ {
+		if !ids[uint64(i)] {
+			t.Fatalf("entry %d lost after failover", i)
+		}
+	}
+	if !ids[100] {
+		t.Fatal("new command not committed after failover")
+	}
+}
+
+func TestAgreementUnderMessageShuffling(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := newCluster(t, 3, 100+seed)
+		leader, err := c.ElectLeader(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+			c.DeliverChaos(1000)
+		}
+		for r := 0; r < 20; r++ {
+			c.Tick()
+			c.DeliverChaos(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

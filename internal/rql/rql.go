@@ -1,0 +1,313 @@
+// Package rql implements Raft*-PQL — Paxos Quorum Lease ported onto Raft*
+// by the paper's method (Appendix A.2, Figure 13) — and the Leader Lease
+// (LL) baseline used in the Figure 9 evaluation.
+//
+// The port is non-mutating at the engine level too: the wrapper only reads
+// Raft* state (commit index, match indexes) through the Hooks extension
+// points and maintains its own lease and per-key conflict state. Two
+// details come straight from the paper's derivation:
+//
+//   - LeaderLearn must union the holders reported in the f appendOK
+//     messages with the holders granted by the leader itself, because
+//     Paxos's f+1 acceptOKs map to f appendOKs plus the leader's implicit
+//     self-acknowledgement (the bug the handworked port had).
+//   - A local read requires both a quorum lease and that every entry
+//     modifying the key is committed (indexes ≤ commitIndex), transformed
+//     from PQL's "all instances modifying k are in chosenSet".
+package rql
+
+import (
+	"raftpaxos/internal/lease"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+)
+
+// Mode selects the lease discipline.
+type Mode uint8
+
+// Modes.
+const (
+	// QuorumLease is Raft*-PQL: every replica may hold leases and serve
+	// local reads.
+	QuorumLease Mode = iota + 1
+	// LeaderLease is the LL baseline: only the leader holds a lease and
+	// serves local reads; followers forward reads to it.
+	LeaderLease
+)
+
+// MsgReadReq forwards a read to the leader (LL mode, or a PQL replica
+// without an active quorum lease).
+type MsgReadReq struct {
+	Cmd protocol.Command
+}
+
+// WireSize implements protocol.Message.
+func (m *MsgReadReq) WireSize() int { return 8 + m.Cmd.WireSize() }
+
+// Config configures a Raft*-PQL / Raft*-LL replica.
+type Config struct {
+	Raft raftstar.Config
+	Mode Mode
+	// LeaseTicks is the lease duration (paper: 2 s).
+	LeaseTicks int
+	// RenewTicks is the grant renewal period (paper: 0.5 s).
+	RenewTicks int
+}
+
+type pendingRead struct {
+	cmd     protocol.Command
+	waitIdx int64
+}
+
+// Engine wraps a Raft* replica with quorum-lease reads.
+type Engine struct {
+	inner  *raftstar.Engine
+	mode   Mode
+	leases *lease.Table
+	peers  []protocol.NodeID
+
+	// lastWrite[k] is the highest log index of a write to k seen locally
+	// (accepted appends on followers, local appends on the leader).
+	lastWrite map[string]int64
+	// reported[p] is the holder set peer p attached to its last appendOK,
+	// with the tick it arrived. A grantor's requirement dies with its
+	// grants: reports older than the lease duration are ignored, so a
+	// crashed replica's stale self-report cannot block commits forever.
+	reported   map[protocol.NodeID][]protocol.NodeID
+	reportedAt map[protocol.NodeID]int
+	leaseTicks int
+	pending    []pendingRead
+}
+
+var _ protocol.Engine = (*Engine)(nil)
+
+// New builds the engine. It installs hooks into the inner Raft* replica;
+// the caller must not install its own.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		mode:       cfg.Mode,
+		peers:      append([]protocol.NodeID(nil), cfg.Raft.Peers...),
+		lastWrite:  make(map[string]int64),
+		reported:   make(map[protocol.NodeID][]protocol.NodeID),
+		reportedAt: make(map[protocol.NodeID]int),
+		leaseTicks: cfg.LeaseTicks,
+	}
+	if e.leaseTicks <= 0 {
+		e.leaseTicks = 200
+	}
+	if e.mode == 0 {
+		e.mode = QuorumLease
+	}
+	lcfg := lease.Config{
+		Self:          cfg.Raft.ID,
+		Peers:         cfg.Raft.Peers,
+		DurationTicks: cfg.LeaseTicks,
+		RenewTicks:    cfg.RenewTicks,
+	}
+	if e.mode == LeaderLease {
+		// Grants are re-targeted at the current leader on every tick.
+		lcfg.Grantees = []protocol.NodeID{}
+	}
+	e.leases = lease.NewTable(lcfg)
+
+	rcfg := cfg.Raft
+	rcfg.Hooks = raftstar.Hooks{
+		LocalHolders: e.localHolders,
+		OnAppendResp: e.onAppendResp,
+		GateCommit:   e.gateCommit,
+		OnAccept:     e.onAccept,
+	}
+	e.inner = raftstar.New(rcfg)
+	return e
+}
+
+// Inner exposes the wrapped Raft* replica (tests and drivers inspect it).
+func (e *Engine) Inner() *raftstar.Engine { return e.inner }
+
+// Leases exposes the lease table for inspection.
+func (e *Engine) Leases() *lease.Table { return e.leases }
+
+// ID implements protocol.Engine.
+func (e *Engine) ID() protocol.NodeID { return e.inner.ID() }
+
+// Leader implements protocol.Engine.
+func (e *Engine) Leader() protocol.NodeID { return e.inner.Leader() }
+
+// IsLeader implements protocol.Engine.
+func (e *Engine) IsLeader() bool { return e.inner.IsLeader() }
+
+// --- hooks into Raft* ---
+
+func (e *Engine) localHolders() []protocol.NodeID {
+	if e.mode != QuorumLease {
+		return nil
+	}
+	return e.leases.Holders()
+}
+
+func (e *Engine) onAppendResp(from protocol.NodeID, _ int64, holders []protocol.NodeID) {
+	if e.mode != QuorumLease {
+		return
+	}
+	e.reported[from] = holders
+	e.reportedAt[from] = e.leases.Now()
+}
+
+// gateCommit implements the ported LeaderLearn (Figure 13): the commit
+// index may only advance to C if every lease holder — the union of holders
+// reported by followers and those granted by the leader itself — has
+// acknowledged the log up to C.
+func (e *Engine) gateCommit(proposed int64) int64 {
+	if e.mode != QuorumLease {
+		return proposed
+	}
+	now := e.leases.Now()
+	holderSet := make(map[protocol.NodeID]bool)
+	for q, hs := range e.reported {
+		if e.reportedAt[q]+e.leaseTicks <= now {
+			continue // grantor silent past a full lease: its grants expired
+		}
+		for _, h := range hs {
+			holderSet[h] = true
+		}
+	}
+	for _, h := range e.leases.Holders() {
+		holderSet[h] = true
+	}
+	allowed := proposed
+	self := e.inner.ID()
+	for h := range holderSet {
+		if h == self {
+			continue // the leader has trivially acknowledged its own log
+		}
+		if m := e.inner.MatchIndex(h); m < allowed {
+			allowed = m
+		}
+	}
+	if allowed < e.inner.CommitIndex() {
+		allowed = e.inner.CommitIndex()
+	}
+	return allowed
+}
+
+func (e *Engine) onAccept(ents []protocol.Entry) {
+	for _, ent := range ents {
+		if ent.Cmd.Op == protocol.OpPut && ent.Index > e.lastWrite[ent.Cmd.Key] {
+			e.lastWrite[ent.Cmd.Key] = ent.Index
+		}
+	}
+}
+
+// --- protocol.Engine ---
+
+// Tick implements protocol.Engine: lease renewal rides on the Raft* tick.
+func (e *Engine) Tick() protocol.Output {
+	var out protocol.Output
+	if e.mode == LeaderLease {
+		// Followers grant only to whoever they currently believe leads.
+		if l := e.inner.Leader(); l != protocol.None && l != e.inner.ID() {
+			e.leases.SetGrantees([]protocol.NodeID{l})
+		} else {
+			e.leases.SetGrantees([]protocol.NodeID{})
+		}
+	}
+	out.Msgs = append(out.Msgs, e.leases.Tick()...)
+	out.Merge(e.inner.Tick())
+	// Lease expiry may unblock gated commits and queued reads.
+	out.Merge(e.inner.RecheckCommit())
+	e.flushReads(&out)
+	return out
+}
+
+// Step implements protocol.Engine.
+func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
+	var out protocol.Output
+	if msgs, handled := e.leases.Step(from, msg); handled {
+		out.Msgs = append(out.Msgs, msgs...)
+		return out
+	}
+	if m, ok := msg.(*MsgReadReq); ok {
+		out.Merge(e.SubmitRead(m.Cmd))
+		return out
+	}
+	out.Merge(e.inner.Step(from, msg))
+	e.flushReads(&out)
+	return out
+}
+
+// Submit implements protocol.Engine (writes are plain Raft*; onAccept
+// tracks the per-key write index when the entry is appended).
+func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	out := e.inner.Submit(cmd)
+	e.flushReads(&out)
+	return out
+}
+
+// SubmitRead implements protocol.Engine: the ported LocalRead (Figure 13).
+func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
+	cmd.Op = protocol.OpGet
+	var out protocol.Output
+	switch e.mode {
+	case QuorumLease:
+		if e.leases.HasQuorumLease() {
+			e.queueOrServe(cmd, &out)
+			return out
+		}
+		// No quorum lease: fall back to replicating the read.
+		return e.inner.SubmitRead(cmd)
+	case LeaderLease:
+		if e.inner.IsLeader() {
+			if e.leases.HasQuorumLease() {
+				e.queueOrServe(cmd, &out)
+				return out
+			}
+			return e.inner.SubmitRead(cmd)
+		}
+		if l := e.inner.Leader(); l != protocol.None {
+			out.Msgs = append(out.Msgs, protocol.Envelope{
+				From: e.inner.ID(), To: l, Msg: &MsgReadReq{Cmd: cmd},
+			})
+			return out
+		}
+		return e.inner.SubmitRead(cmd)
+	}
+	return e.inner.SubmitRead(cmd)
+}
+
+// queueOrServe serves the read immediately if every write to the key is
+// committed, else parks it until the commit index catches up.
+func (e *Engine) queueOrServe(cmd protocol.Command, out *protocol.Output) {
+	waitIdx := e.lastWrite[cmd.Key]
+	if waitIdx <= e.inner.CommitIndex() {
+		out.Replies = append(out.Replies, protocol.ClientReply{
+			Kind: protocol.ReplyRead, CmdID: cmd.ID, Client: cmd.Client, Key: cmd.Key,
+		})
+		return
+	}
+	e.pending = append(e.pending, pendingRead{cmd: cmd, waitIdx: waitIdx})
+}
+
+// flushReads releases parked reads whose conflicting writes have
+// committed, and re-routes parked reads if the lease was lost.
+func (e *Engine) flushReads(out *protocol.Output) {
+	if len(e.pending) == 0 {
+		return
+	}
+	commit := e.inner.CommitIndex()
+	hasLease := e.leases.HasQuorumLease() || (e.mode == LeaderLease && e.inner.IsLeader())
+	keep := e.pending[:0]
+	for _, pr := range e.pending {
+		switch {
+		case !hasLease:
+			// Lost the lease while parked: replicate the read instead.
+			out.Merge(e.inner.SubmitRead(pr.cmd))
+		case pr.waitIdx <= commit:
+			out.Replies = append(out.Replies, protocol.ClientReply{
+				Kind: protocol.ReplyRead, CmdID: pr.cmd.ID, Client: pr.cmd.Client, Key: pr.cmd.Key,
+			})
+		default:
+			keep = append(keep, pr)
+		}
+	}
+	e.pending = keep
+}

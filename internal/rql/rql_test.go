@@ -1,0 +1,209 @@
+package rql_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/rql"
+	"raftpaxos/internal/testcluster"
+)
+
+func newCluster(t *testing.T, n int, seed int64, mode rql.Mode) (*testcluster.Cluster, []*rql.Engine) {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	rqls := make([]*rql.Engine, n)
+	for i := range peers {
+		rqls[i] = rql.New(rql.Config{
+			Raft: raftstar.Config{
+				ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+			},
+			Mode:       mode,
+			LeaseTicks: 40,
+			RenewTicks: 10,
+		})
+		engines[i] = rqls[i]
+	}
+	return testcluster.New(seed, engines...), rqls
+}
+
+func establish(t *testing.T, c *testcluster.Cluster) protocol.Engine {
+	t.Helper()
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(15) // lease grant/ack round trips
+	return leader
+}
+
+func TestLocalReadAfterQuorumLease(t *testing.T) {
+	c, rqls := newCluster(t, 3, 1, rql.QuorumLease)
+	leader := establish(t, c)
+	for _, e := range rqls {
+		if !e.Leases().HasQuorumLease() {
+			t.Fatalf("node %d: no quorum lease", e.ID())
+		}
+	}
+	// A read at a follower must answer locally: no new messages needed.
+	var follower protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			follower = id
+			break
+		}
+	}
+	c.Replies = nil
+	c.SubmitRead(follower, protocol.Command{ID: 77, Client: 900, Key: "unwritten"})
+	found := false
+	for _, r := range c.Replies {
+		if r.CmdID == 77 && r.Kind == protocol.ReplyRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lease read did not answer immediately")
+	}
+}
+
+// TestReadWaitsForConflictingWrite: a local read of a key with an
+// uncommitted write must wait for the commit (Figure 13's condition:
+// indexes of entries modifying k ≤ commitIndex).
+func TestReadWaitsForConflictingWrite(t *testing.T) {
+	c, _ := newCluster(t, 3, 2, rql.QuorumLease)
+	leader := establish(t, c)
+
+	// Write "hot" but do not deliver the append acks yet.
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "hot"})
+	// The leader knows about the write (appended locally); a read at the
+	// leader must NOT answer before commit.
+	c.Replies = nil
+	c.SubmitRead(leader.ID(), protocol.Command{ID: 2, Client: 900, Key: "hot"})
+	for _, r := range c.Replies {
+		if r.CmdID == 2 {
+			t.Fatal("read answered before the conflicting write committed")
+		}
+	}
+	// Deliver everything: the write commits, the read unblocks.
+	c.Settle(5)
+	found := false
+	for _, r := range c.Replies {
+		if r.CmdID == 2 && r.Kind == protocol.ReplyRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("read never answered after the write committed")
+	}
+}
+
+// TestWriteWaitsForAllHolders: the ported LeaderLearn gates the commit on
+// every lease holder's acknowledgement — with a holder cut off, writes
+// must stall until its lease expires, then commit.
+func TestWriteWaitsForAllHolders(t *testing.T) {
+	c, _ := newCluster(t, 5, 3, rql.QuorumLease)
+	leader := establish(t, c)
+
+	// Cut one follower off entirely.
+	var cut protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			cut = id
+			break
+		}
+	}
+	c.Isolate(cut, true)
+
+	// Submit a write; a quorum acks quickly but the cut holder cannot.
+	c.Submit(leader.ID(), protocol.Command{ID: 10, Client: 900, Op: protocol.OpPut, Key: "k"})
+	c.Tick()
+	c.DeliverAll(100000)
+	committed := func() bool {
+		for _, ent := range c.Applied[leader.ID()] {
+			if ent.Cmd.ID == 10 {
+				return true
+			}
+		}
+		return false
+	}
+	if committed() {
+		t.Fatal("write committed while a lease holder had not acknowledged")
+	}
+	// After the cut node's lease expires at every grantor, the gate opens.
+	c.Settle(60)
+	if !committed() {
+		t.Fatal("write never committed after the dead holder's lease expired")
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaderLeaseModeForwardsFollowerReads(t *testing.T) {
+	c, rqls := newCluster(t, 3, 4, rql.LeaderLease)
+	leader := establish(t, c)
+	// Settle past a full lease duration so any lease granted to a briefly
+	// elected earlier leader expires naturally (leases cannot be revoked
+	// early — that is their correctness condition).
+	c.Settle(60)
+
+	var leaderRQL *rql.Engine
+	for _, e := range rqls {
+		if e.ID() == leader.ID() {
+			leaderRQL = e
+		}
+	}
+	if !leaderRQL.Leases().HasQuorumLease() {
+		t.Fatal("LL leader holds no lease")
+	}
+	for _, e := range rqls {
+		if e.ID() != leader.ID() && e.Leases().HasQuorumLease() {
+			t.Fatalf("LL follower %d holds a quorum lease", e.ID())
+		}
+	}
+	// Follower read resolves via the leader.
+	var follower protocol.NodeID = protocol.None
+	for id := range c.Engines {
+		if id != leader.ID() {
+			follower = id
+			break
+		}
+	}
+	c.Replies = nil
+	c.SubmitRead(follower, protocol.Command{ID: 42, Client: 900, Key: "x"})
+	c.Settle(3)
+	found := false
+	for _, r := range c.Replies {
+		if r.CmdID == 42 && r.Kind == protocol.ReplyRead {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("forwarded LL read never answered")
+	}
+}
+
+func TestAgreementUnderChaos(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c, _ := newCluster(t, 3, 500+seed, rql.QuorumLease)
+		leader, err := c.ElectLeader(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15; i++ {
+			c.Submit(leader.ID(), protocol.Command{ID: uint64(i + 1), Client: 900, Op: protocol.OpPut, Key: "k"})
+			c.DeliverChaos(2000)
+		}
+		for r := 0; r < 30; r++ {
+			c.Tick()
+			c.DeliverChaos(100000)
+		}
+		if err := c.CheckAgreement(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

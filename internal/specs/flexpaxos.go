@@ -1,0 +1,129 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// FlexiblePaxos is MultiPaxos with the majority-quorum restriction relaxed
+// (Howard et al.): phase 1 and phase 2 may use differently sized quorums
+// as long as every phase-1 quorum intersects every phase-2 quorum.
+// Section 4.4 / Figure 6 of the paper places it in the protocol landscape
+// with the claim "Paxos refines Flexible Paxos but not the other way
+// around" — checkable here because MultiPaxos's majorities are one valid
+// instantiation of the intersecting quorum systems.
+//
+// The spec is MultiPaxos with BecomeLeader quantifying over Q1 and
+// ChosenAt over Q2.
+func FlexiblePaxos(cfg ConsensusConfig, q1, q2 [][]int) *core.Spec {
+	sp := MultiPaxos(cfg)
+	sp.Name = "FlexiblePaxos"
+	toVals := func(qs [][]int) []core.Value {
+		out := make([]core.Value, 0, len(qs))
+		for _, q := range qs {
+			elems := make([]core.Value, len(q))
+			for i, a := range q {
+				elems[i] = core.VInt(int64(a))
+			}
+			out = append(out, core.Tup(elems...))
+		}
+		return out
+	}
+	// Re-target BecomeLeader's quorum parameter at the phase-1 system.
+	for i := range sp.Actions {
+		if sp.Actions[i].Name != "BecomeLeader" {
+			continue
+		}
+		params := append([]core.Param{}, sp.Actions[i].Params...)
+		for j := range params {
+			if params[j].Name == "Q" {
+				params[j] = core.FixedDomain("Q", toVals(q1)...)
+			}
+		}
+		sp.Actions[i].Params = params
+	}
+	_ = q2 // phase-2 quorums appear in the (derived) chosen predicate, not the actions
+	return sp
+}
+
+// FlexChosenAt is ChosenAt over an explicit phase-2 quorum system.
+func FlexChosenAt(s core.State, q2 [][]int, i, b, v core.Value) bool {
+	for _, q := range q2 {
+		all := true
+		for _, a := range q {
+			if !VotedFor(s, core.VInt(int64(a)), i, b, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// MajorityQuorumSystem enumerates the majority quorums of n acceptors as
+// int slices (the instantiation under which MultiPaxos refines Flexible
+// Paxos).
+func MajorityQuorumSystem(n int) [][]int {
+	q := n/2 + 1
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == q {
+			out = append(out, append([]int{}, cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// PaxosToFlexiblePaxos is the Figure 6 refinement claim: MultiPaxos with
+// majority quorums refines Flexible Paxos instantiated with majorities on
+// both phases. The mapping is the identity on states; every action maps
+// to its namesake.
+func PaxosToFlexiblePaxos(cfg ConsensusConfig) *core.Refinement {
+	qs := MajorityQuorumSystem(cfg.Acceptors)
+	low := MultiPaxos(cfg)
+	high := FlexiblePaxos(cfg, qs, qs)
+	r := &core.Refinement{
+		Name:     "MultiPaxos=>FlexiblePaxos",
+		Low:      low,
+		High:     high,
+		MapState: func(s core.State) core.State { return s },
+	}
+	for _, a := range low.Actions {
+		name := a.Name
+		r.Corr = append(r.Corr, core.Correspondence{
+			Low: name, High: name,
+			Args: core.OneArg(func(args map[string]core.Value, _ core.State) map[string]core.Value {
+				return args
+			}),
+		})
+	}
+	return r
+}
+
+// FlexAgreement is consensus safety under explicit quorum systems.
+func FlexAgreement(cfg ConsensusConfig, q2 [][]int) func(core.State) bool {
+	return func(s core.State) bool {
+		for _, i := range cfg.indexes() {
+			var chosen core.Value
+			for _, b := range cfg.ballots() {
+				for _, v := range cfg.Values {
+					if !FlexChosenAt(s, q2, i, b, v) {
+						continue
+					}
+					if chosen == nil {
+						chosen = v
+					} else if !core.Equal(chosen, v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,9 @@
+package specs_test
+
+import "raftpaxos/internal/core"
+
+// Shorthands shared by the spec tests.
+type mcState = core.State
+
+func vInt(i int64) core.Value  { return core.VInt(i) }
+func vStr(s string) core.Value { return core.VStr(s) }

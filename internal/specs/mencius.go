@@ -1,0 +1,226 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// MenciusConfig bounds the Coordinated Paxos (Mencius) specification.
+type MenciusConfig struct {
+	Consensus ConsensusConfig
+	// Default is the default leader (B.5's isDefault constant; Mencius is
+	// many coordinated groups, one per slot class — the spec models one).
+	Default int
+}
+
+// NopVal is the no-op value default leaders use to skip their turns.
+var NopVal = core.VStr("nop")
+
+// TinyMencius is the default bound: one real value plus nop, default
+// leader 1 (who owns ballot 1 under the mod-N partition, so it can also
+// run phase 1).
+func TinyMencius() MenciusConfig {
+	cfg := TinyConsensus()
+	cfg.Values = []core.Value{core.VStr("v1"), NopVal}
+	return MenciusConfig{Consensus: cfg, Default: 1}
+}
+
+// Mencius is the Coordinated Paxos optimization (Appendix B.5 / Figure 14)
+// expressed as a non-mutating optimization over MultiPaxos:
+//
+//   - New variables: skip[a][i] (skip tags), exec[a] (the executable set:
+//     entries learnable without phase 2), pdflags (the isDefault flag
+//     riding along with proposedValues — B.5 widens the proposedValues
+//     tuples instead; a parallel set keeps the optimization non-mutating),
+//     and skipmsgs (the skipTags attachment to prepareOK messages, again a
+//     parallel set).
+//   - Modified subactions: Propose is restricted (only the default leader
+//     proposes real values; others propose nop — the coordinated-paxos
+//     rule) and records the flag; Accept marks the skip tag and the
+//     executable set when a default-leader nop is accepted (Figure 14
+//     Phase2b); Phase1a/Phase1b attach skip tags to promises; BecomeLeader
+//     merges the quorum's skip tags.
+func Mencius(cfg MenciusConfig) *core.Optimization {
+	ccfg := cfg.Consensus
+	dflt := core.VInt(int64(cfg.Default))
+
+	isDefault := func(a core.Value) bool { return core.Equal(a, dflt) }
+
+	return &core.Optimization{
+		Name:    "Mencius",
+		Base:    MultiPaxos(ccfg),
+		NewVars: []string{"skip", "exec", "pdflags", "skipmsgs"},
+		InitNew: func() map[string]core.Value {
+			falseRow := make([]core.MapEntry, 0, ccfg.MaxIndex)
+			for _, i := range ccfg.indexes() {
+				falseRow = append(falseRow, core.MapEntry{K: i, V: core.VBool(false)})
+			}
+			return map[string]core.Value{
+				"skip":     ccfg.perAcceptor(core.Map(falseRow...)),
+				"exec":     ccfg.perAcceptor(core.Set()),
+				"pdflags":  core.Set(),
+				"skipmsgs": core.Set(),
+			}
+		},
+		Modified: []core.ActionDelta{
+			{
+				// Propose: only the default leader proposes real values
+				// (others may only propose nop), never two different
+				// values for the same instance; record the flag.
+				Of: "Propose",
+				ExtraGuard: func(env core.Env) bool {
+					a, v := env.Arg("a"), env.Arg("v")
+					if !isDefault(a) && !core.Equal(v, NopVal) {
+						return false
+					}
+					if isDefault(a) {
+						// A default leader proposes at most one value per
+						// owned instance, ever (the Mencius slot rule).
+						for _, f := range env.Var("pdflags").(core.VSet).Elems() {
+							t := f.(core.VTuple)
+							if core.Equal(t[0], env.Arg("i")) &&
+								core.Equal(t[3], core.VBool(true)) &&
+								!core.Equal(t[2], v) {
+								return false
+							}
+						}
+					}
+					return true
+				},
+				ExtraApply: func(env core.Env) map[string]core.Value {
+					a := env.Arg("a")
+					b := env.Var("ballot").(core.VMap).MustGet(a)
+					return map[string]core.Value{
+						"pdflags": env.Var("pdflags").(core.VSet).Add(core.Tup(
+							env.Arg("i"), b, env.Arg("v"), core.VBool(isDefault(a)))),
+					}
+				},
+			},
+			{
+				// Accept: a default-leader nop sets the skip tag and joins
+				// the executable set (Figure 14 Phase2b lines 26-29) —
+				// learnable without phase 2.
+				Of: "Accept",
+				ExtraApply: func(env core.Env) map[string]core.Value {
+					a := env.Arg("a")
+					pv := env.Arg("pv").(core.VTuple)
+					i, b, v := pv[0], pv[1], pv[2]
+					if !env.Var("pdflags").(core.VSet).Has(core.Tup(i, b, v, core.VBool(true))) ||
+						!core.Equal(v, NopVal) {
+						return map[string]core.Value{}
+					}
+					skip := env.Var("skip").(core.VMap)
+					row := skip.MustGet(a).(core.VMap)
+					execSet := env.Var("exec").(core.VMap)
+					return map[string]core.Value{
+						"skip": skip.Put(a, row.Put(i, core.VBool(true))),
+						"exec": execSet.Put(a, execSet.MustGet(a).(core.VSet).Add(core.Tup(i, v))),
+					}
+				},
+			},
+			{
+				// Phase1a / Phase1b: promises carry the acceptor's skip
+				// tags (parallel to msgs1b).
+				Of: "Phase1a",
+				ExtraApply: func(env core.Env) map[string]core.Value {
+					a, b := env.Arg("a"), env.Arg("b")
+					tags := env.Var("skip").(core.VMap).MustGet(a)
+					return map[string]core.Value{
+						"skipmsgs": env.Var("skipmsgs").(core.VSet).Add(core.Tup(a, b, tags)),
+					}
+				},
+			},
+			{
+				Of: "Phase1b",
+				ExtraApply: func(env core.Env) map[string]core.Value {
+					a := env.Arg("a")
+					m := env.Arg("m").(core.VTuple)
+					tags := env.Var("skip").(core.VMap).MustGet(a)
+					return map[string]core.Value{
+						"skipmsgs": env.Var("skipmsgs").(core.VSet).Add(core.Tup(a, m[1], tags)),
+					}
+				},
+			},
+			{
+				// BecomeLeader: merge the quorum's skip tags (Figure 14
+				// Phase1Succeed lines 5-11); an OR-merge is safe because a
+				// tag is only ever set for default-leader nops.
+				Of: "BecomeLeader",
+				ExtraApply: func(env core.Env) map[string]core.Value {
+					a := env.Arg("a")
+					b := env.Var("ballot").(core.VMap).MustGet(a)
+					q := env.Arg("Q").(core.VTuple)
+					skipmsgs := env.Var("skipmsgs").(core.VSet)
+					skip := env.Var("skip").(core.VMap)
+					row := skip.MustGet(a).(core.VMap)
+					for _, acc := range q {
+						tags := quorum1bLog(skipmsgs, acc, b)
+						if tags == nil {
+							continue
+						}
+						for _, e := range tags.(core.VMap).Entries() {
+							if e.V == core.VBool(true) {
+								row = row.Put(e.K, core.VBool(true))
+							}
+						}
+					}
+					return map[string]core.Value{"skip": skip.Put(a, row)}
+				},
+			},
+		},
+	}
+}
+
+// ExecutableNopSafe is the Mencius safety property: an entry in any
+// replica's executable set can never conflict with a chosen value — the
+// skipped instance is decided nop without phase 2, so nothing else may
+// ever be chosen there.
+func ExecutableNopSafe(cfg MenciusConfig) func(core.State) bool {
+	ccfg := cfg.Consensus
+	return func(s core.State) bool {
+		for _, a := range ccfg.acceptors() {
+			for _, e := range s.Get("exec").(core.VMap).MustGet(a).(core.VSet).Elems() {
+				t := e.(core.VTuple)
+				i, v := t[0], t[1]
+				for _, b := range ccfg.ballots() {
+					for _, w := range ccfg.Values {
+						if core.Equal(w, v) {
+							continue
+						}
+						if ChosenAt(ccfg, s, i, b, w) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// SkipTagsAreNops: a set skip tag always corresponds to a default-leader
+// nop proposal (tags never fabricate skips).
+func SkipTagsAreNops(cfg MenciusConfig) func(core.State) bool {
+	ccfg := cfg.Consensus
+	return func(s core.State) bool {
+		flags := s.Get("pdflags").(core.VSet)
+		for _, a := range ccfg.acceptors() {
+			row := s.Get("skip").(core.VMap).MustGet(a).(core.VMap)
+			for _, e := range row.Entries() {
+				if e.V != core.VBool(true) {
+					continue
+				}
+				found := false
+				for _, f := range flags.Elems() {
+					t := f.(core.VTuple)
+					if core.Equal(t[0], e.K) && core.Equal(t[2], NopVal) &&
+						core.Equal(t[3], core.VBool(true)) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}

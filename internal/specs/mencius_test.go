@@ -1,0 +1,114 @@
+package specs_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+func TestMenciusIsNonMutating(t *testing.T) {
+	cfg := specs.TinyMencius()
+	opt := specs.Mencius(cfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.VerifyNonMutating([]core.State{sp.Init()}); err != nil {
+		t.Fatalf("Mencius misclassified: %v", err)
+	}
+}
+
+func TestMenciusInvariants(t *testing.T) {
+	cfg := specs.TinyMencius()
+	opt := specs.Mencius(cfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sp, []mc.Invariant{
+		{Name: "ExecutableNopSafe", Fn: specs.ExecutableNopSafe(cfg)},
+		{Name: "SkipTagsAreNops", Fn: specs.SkipTagsAreNops(cfg)},
+		{Name: "Agreement", Fn: specs.Agreement(cfg.Consensus)},
+	}, mc.Options{MaxStates: 25000})
+	if res.Violation != nil {
+		t.Fatalf("Mencius invariant broken:\n%v", res.Violation)
+	}
+	t.Logf("Mencius (A∆): %d states, %d transitions, truncated=%v",
+		res.States, res.Transitions, res.Truncated)
+}
+
+// TestPortMenciusToRaftStar is the paper's second case study: port the
+// Mencius optimization across Raft*⇒MultiPaxos, generating Coordinated
+// Raft* (Appendix B.6), and verify the Figure 5 obligations plus the
+// lifted skip-safety invariants. The port exercises the multi-action
+// correspondence the paper warns handworked ports miss: Paxos's single
+// Phase2b maps to both Raft* append paths, so the skip-tag clause lands
+// on AppendEntries, ResendEntries and ReceiveAppend automatically.
+func TestPortMenciusToRaftStar(t *testing.T) {
+	cfg := specs.TinyMencius()
+	ported, err := core.Port(specs.Mencius(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ported.Opt.VerifyNonMutating([]core.State{ported.LowSpec.Init()}); err != nil {
+		t.Fatalf("generated Coordinated Raft* misclassified: %v", err)
+	}
+
+	// The generated protocol's Accept-delta must cover every append path.
+	modified := map[string]bool{}
+	for _, d := range ported.Opt.Modified {
+		modified[d.Of] = true
+	}
+	for _, want := range []string{"AppendEntries", "ResendEntries", "ReceiveAppend"} {
+		if !modified[want] {
+			t.Fatalf("ported Mencius misses Raft* action %q (modified: %v)", want, modified)
+		}
+	}
+
+	// B∆ ⇒ A∆: Coordinated Raft* refines Coordinated Paxos.
+	res := mc.CheckRefinement(ported.ToOptimizedHigh, nil,
+		mc.Options{MaxStates: 15000, MaxHops: 4})
+	if res.Violation != nil {
+		t.Fatalf("CoorRaft must refine Mencius:\n%v", res.Violation)
+	}
+	t.Logf("CoorRaft=>Mencius: %d states, truncated=%v", res.States, res.Truncated)
+
+	// B∆ ⇒ B: Coordinated Raft* refines Raft*.
+	res = mc.CheckRefinement(ported.ToBase, nil, mc.Options{MaxStates: 15000})
+	if res.Violation != nil {
+		t.Fatalf("CoorRaft must refine Raft*:\n%v", res.Violation)
+	}
+
+	// Lifted invariants in the generated protocol.
+	lift := ported.ToOptimizedHigh.MapState
+	res = mc.Check(ported.LowSpec, []mc.Invariant{
+		{Name: "LiftedExecutableNopSafe",
+			Fn: func(s core.State) bool { return specs.ExecutableNopSafe(cfg)(lift(s)) }},
+		{Name: "LiftedSkipTagsAreNops",
+			Fn: func(s core.State) bool { return specs.SkipTagsAreNops(cfg)(lift(s)) }},
+	}, mc.Options{MaxStates: 15000})
+	if res.Violation != nil {
+		t.Fatalf("skip safety broken in generated CoorRaft:\n%v", res.Violation)
+	}
+	t.Logf("generated %s: %d states checked", ported.LowSpec.Name, res.States)
+}
+
+// TestPortMenciusDeepWalks extends coverage past the BFS horizon.
+func TestPortMenciusDeepWalks(t *testing.T) {
+	cfg := specs.TinyMencius()
+	ported, err := core.Port(specs.Mencius(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.SimulateRefinement(ported.ToOptimizedHigh, 40, 60, 4, 13)
+	if res.Violation != nil {
+		t.Fatalf("deep walk violation:\n%v", res.Violation)
+	}
+	res = mc.SimulateRefinement(ported.ToBase, 40, 60, 1, 17)
+	if res.Violation != nil {
+		t.Fatalf("deep walk violation (to base):\n%v", res.Violation)
+	}
+}

@@ -1,0 +1,420 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// ConsensusConfig bounds the consensus specifications for explicit-state
+// checking.
+type ConsensusConfig struct {
+	// Acceptors is the number of replicas (IDs 0..Acceptors-1).
+	Acceptors int
+	// MaxBallot bounds ballots/terms to 1..MaxBallot (0 is the initial
+	// "no ballot"). Ballots are partitioned by proposer: b may only be
+	// prepared/led by acceptor b mod Acceptors — the paper's "globally
+	// unique proposal number" (Section 2.1).
+	MaxBallot int
+	// Values is the value universe.
+	Values []core.Value
+	// MaxIndex bounds log positions to 1..MaxIndex.
+	MaxIndex int
+}
+
+// TinyConsensus is the default bound: 3 acceptors, 2 ballots, 2 values,
+// 1 index — small enough to exhaust, large enough to exercise competing
+// leaders and value recovery.
+func TinyConsensus() ConsensusConfig {
+	return ConsensusConfig{
+		Acceptors: 3,
+		MaxBallot: 2,
+		Values:    []core.Value{core.VStr("v1"), core.VStr("v2")},
+		MaxIndex:  1,
+	}
+}
+
+// NoneVal is the NoVal sentinel of the appendix specs.
+var NoneVal = core.VStr("none")
+
+// NoBal is the -1 ballot sentinel.
+var NoBal = core.VInt(-1)
+
+// EmptyEntry is the unaccepted instance ⟨-1, NoVal⟩.
+var EmptyEntry = core.Tup(NoBal, NoneVal)
+
+func (c ConsensusConfig) acceptors() []core.Value { return core.Rng(0, int64(c.Acceptors-1)) }
+
+func (c ConsensusConfig) ballots() []core.Value { return core.Rng(1, int64(c.MaxBallot)) }
+
+func (c ConsensusConfig) indexes() []core.Value { return core.Rng(1, int64(c.MaxIndex)) }
+
+// Quorums enumerates the majority quorums (minimal size) as sorted tuples
+// of acceptor IDs.
+func (c ConsensusConfig) Quorums() []core.Value {
+	q := c.Acceptors/2 + 1
+	var out []core.Value
+	var rec func(start int, cur []core.Value)
+	rec = func(start int, cur []core.Value) {
+		if len(cur) == q {
+			out = append(out, core.Tup(append([]core.Value{}, cur...)...))
+			return
+		}
+		for i := start; i < c.Acceptors; i++ {
+			rec(i+1, append(cur, core.VInt(i)))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// emptyLog is [i ∈ 1..MaxIndex → ⟨-1, NoVal⟩].
+func (c ConsensusConfig) emptyLog() core.VMap {
+	entries := make([]core.MapEntry, 0, c.MaxIndex)
+	for _, i := range c.indexes() {
+		entries = append(entries, core.MapEntry{K: i, V: EmptyEntry})
+	}
+	return core.Map(entries...)
+}
+
+// perAcceptor builds [a ∈ Acceptors → v].
+func (c ConsensusConfig) perAcceptor(v core.Value) core.VMap {
+	entries := make([]core.MapEntry, 0, c.Acceptors)
+	for _, a := range c.acceptors() {
+		entries = append(entries, core.MapEntry{K: a, V: v})
+	}
+	return core.Map(entries...)
+}
+
+// emptyVotes is [a → [i → {}]].
+func (c ConsensusConfig) emptyVotes() core.VMap {
+	inner := make([]core.MapEntry, 0, c.MaxIndex)
+	for _, i := range c.indexes() {
+		inner = append(inner, core.MapEntry{K: i, V: core.Set()})
+	}
+	return c.perAcceptor(core.Map(inner...))
+}
+
+// ownsBallot reports the ballot partition rule: acceptor a may lead
+// ballot b iff b mod Acceptors == a.
+func (c ConsensusConfig) ownsBallot(a, b core.Value) bool {
+	return int64(b.(core.VInt))%int64(c.Acceptors) == int64(a.(core.VInt))
+}
+
+// highestBallotEntry returns the ⟨bal, val⟩ with the largest bal at index
+// i among the quorum's 1b logs (GetHighestBallotEntry of B.1).
+func highestBallotEntry(i core.Value, logs []core.VMap) core.Value {
+	best := EmptyEntry
+	bestBal := int64(-1)
+	for _, lg := range logs {
+		ent := lg.MustGet(i).(core.VTuple)
+		if b := int64(ent[0].(core.VInt)); b > bestBal {
+			bestBal = b
+			best = ent
+		}
+	}
+	return best
+}
+
+// MultiPaxos is the Appendix B.1 specification, bounded by cfg.
+//
+// Variables (names kept close to the appendix):
+//
+//	ballot  — highestBallot[a]
+//	leader  — isLeader[a] (phase1Succeeded)
+//	logs    — logs[a][i] = ⟨bal, val⟩ (latest accepted)
+//	votes   — votes[a][i] = set of ⟨bal, val⟩ ever cast
+//	proposed — proposedValues ⊆ Index × Ballot × Value
+//	msgs1a  — ⟨acc, bal⟩ prepare messages
+//	msgs1b  — ⟨acc, bal, log⟩ prepareOK messages
+func MultiPaxos(cfg ConsensusConfig) *core.Spec {
+	sp := &core.Spec{
+		Name: "MultiPaxos",
+		Vars: []string{"ballot", "leader", "logs", "votes", "proposed", "msgs1a", "msgs1b"},
+		Init: func() core.State {
+			return core.State{
+				"ballot":   cfg.perAcceptor(core.VInt(0)),
+				"leader":   cfg.perAcceptor(core.VBool(false)),
+				"logs":     cfg.perAcceptor(cfg.emptyLog()),
+				"votes":    cfg.emptyVotes(),
+				"proposed": core.Set(),
+				"msgs1a":   core.Set(),
+				"msgs1b":   core.Set(),
+			}
+		},
+	}
+
+	accD := core.FixedDomain("a", cfg.acceptors()...)
+	balD := core.FixedDomain("b", cfg.ballots()...)
+	idxD := core.FixedDomain("i", cfg.indexes()...)
+	valD := core.FixedDomain("v", cfg.Values...)
+	quorumD := core.FixedDomain("Q", cfg.Quorums()...)
+	msg1aD := core.Param{Name: "m", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("msgs1a").(core.VSet).Elems()
+	}}
+	proposalD := core.Param{Name: "pv", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("proposed").(core.VSet).Elems()
+	}}
+
+	sp.Actions = []core.Action{
+		{
+			// IncreaseHighestBallot(a, b): adopt any higher ballot.
+			Name:   "IncreaseBallot",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				bal := env.Var("ballot").(core.VMap).MustGet(env.Arg("a"))
+				return int64(env.Arg("b").(core.VInt)) > int64(bal.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{
+					"ballot": env.Var("ballot").(core.VMap).Put(env.Arg("a"), env.Arg("b")),
+					"leader": env.Var("leader").(core.VMap).Put(env.Arg("a"), core.VBool(false)),
+				}
+			},
+		},
+		{
+			// Phase1a(a, b): adopt the next owned ballot and broadcast
+			// prepare. Following the Figure 1 pseudocode (which increments
+			// the ballot inside Phase1a), the candidate's own promise is
+			// deposited in the same step — otherwise BecomeLeader's
+			// "∃ m ∈ S : m.acc = a" obligation could never be met.
+			Name:   "Phase1a",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				a, b := env.Arg("a"), env.Arg("b")
+				if env.Var("leader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				cur := env.Var("ballot").(core.VMap).MustGet(a)
+				return cfg.ownsBallot(a, b) &&
+					int64(b.(core.VInt)) > int64(cur.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a, b := env.Arg("a"), env.Arg("b")
+				log := env.Var("logs").(core.VMap).MustGet(a)
+				return map[string]core.Value{
+					"ballot": env.Var("ballot").(core.VMap).Put(a, b),
+					"leader": env.Var("leader").(core.VMap).Put(a, core.VBool(false)),
+					"msgs1a": env.Var("msgs1a").(core.VSet).Add(core.Tup(a, b)),
+					"msgs1b": env.Var("msgs1b").(core.VSet).Add(core.Tup(a, b, log)),
+				}
+			},
+		},
+		{
+			// Phase1b(a, m): promise a higher ballot, reporting accepted
+			// instances.
+			Name:   "Phase1b",
+			Params: []core.Param{accD, msg1aD},
+			Guard: func(env core.Env) bool {
+				m := env.Arg("m").(core.VTuple)
+				bal := env.Var("ballot").(core.VMap).MustGet(env.Arg("a"))
+				return int64(m[1].(core.VInt)) > int64(bal.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				m := env.Arg("m").(core.VTuple)
+				log := env.Var("logs").(core.VMap).MustGet(a)
+				return map[string]core.Value{
+					"ballot": env.Var("ballot").(core.VMap).Put(a, m[1]),
+					"leader": env.Var("leader").(core.VMap).Put(a, core.VBool(false)),
+					"msgs1b": env.Var("msgs1b").(core.VSet).Add(core.Tup(a, m[1], log)),
+				}
+			},
+		},
+		{
+			// BecomeLeader(a, Q): with promises from quorum Q at the
+			// current owned ballot, adopt the safe value per instance.
+			Name:   "BecomeLeader",
+			Params: []core.Param{accD, quorumD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("leader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				b := env.Var("ballot").(core.VMap).MustGet(a)
+				if int64(b.(core.VInt)) == 0 || !cfg.ownsBallot(a, b) {
+					return false
+				}
+				q := env.Arg("Q").(core.VTuple)
+				if !q.HasMember(a) {
+					return false
+				}
+				msgs := env.Var("msgs1b").(core.VSet)
+				for _, acc := range q {
+					if quorum1bLog(msgs, acc, b) == nil {
+						return false
+					}
+				}
+				return true
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				b := env.Var("ballot").(core.VMap).MustGet(a)
+				q := env.Arg("Q").(core.VTuple)
+				msgs := env.Var("msgs1b").(core.VSet)
+				logs := make([]core.VMap, 0, len(q))
+				for _, acc := range q {
+					logs = append(logs, quorum1bLog(msgs, acc, b).(core.VMap))
+				}
+				newLog := make([]core.MapEntry, 0, cfg.MaxIndex)
+				for _, i := range cfg.indexes() {
+					newLog = append(newLog, core.MapEntry{K: i, V: highestBallotEntry(i, logs)})
+				}
+				return map[string]core.Value{
+					"logs":   env.Var("logs").(core.VMap).Put(a, core.Map(newLog...)),
+					"leader": env.Var("leader").(core.VMap).Put(a, core.VBool(true)),
+				}
+			},
+		},
+		{
+			// Propose(a, i, v): a leader proposes v at instance i if its
+			// log there is empty or already v.
+			Name:   "Propose",
+			Params: []core.Param{accD, idxD, valD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("leader").(core.VMap).MustGet(a) != core.VBool(true) {
+					return false
+				}
+				ent := env.Var("logs").(core.VMap).MustGet(a).(core.VMap).
+					MustGet(env.Arg("i")).(core.VTuple)
+				if !core.Equal(ent[1], env.Arg("v")) && !core.Equal(ent[1], NoneVal) {
+					return false
+				}
+				// Proposer discipline (the pseudocode applies Phase2a to the
+				// proposer's own instance immediately; in message-set form
+				// this conjunct carries the same obligation): one value per
+				// (instance, ballot).
+				b := env.Var("ballot").(core.VMap).MustGet(a)
+				for _, pv := range env.Var("proposed").(core.VSet).Elems() {
+					t := pv.(core.VTuple)
+					if core.Equal(t[0], env.Arg("i")) && core.Equal(t[1], b) &&
+						!core.Equal(t[2], env.Arg("v")) {
+						return false
+					}
+				}
+				return true
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				b := env.Var("ballot").(core.VMap).MustGet(a)
+				return map[string]core.Value{
+					"proposed": env.Var("proposed").(core.VSet).
+						Add(core.Tup(env.Arg("i"), b, env.Arg("v"))),
+				}
+			},
+		},
+		{
+			// Accept(a, pv): phase 2b — vote for a proposed value.
+			Name:   "Accept",
+			Params: []core.Param{accD, proposalD},
+			Guard: func(env core.Env) bool {
+				pv := env.Arg("pv").(core.VTuple)
+				bal := env.Var("ballot").(core.VMap).MustGet(env.Arg("a"))
+				return int64(pv[1].(core.VInt)) >= int64(bal.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				pv := env.Arg("pv").(core.VTuple)
+				i, b, v := pv[0], pv[1], pv[2]
+				oldBal := env.Var("ballot").(core.VMap).MustGet(a)
+				votes := env.Var("votes").(core.VMap)
+				av := votes.MustGet(a).(core.VMap)
+				logs := env.Var("logs").(core.VMap)
+				al := logs.MustGet(a).(core.VMap)
+				leader := env.Var("leader").(core.VMap)
+				if int64(b.(core.VInt)) > int64(oldBal.(core.VInt)) {
+					leader = leader.Put(a, core.VBool(false))
+				}
+				return map[string]core.Value{
+					"ballot": env.Var("ballot").(core.VMap).Put(a, b),
+					"votes":  votes.Put(a, av.Put(i, av.MustGet(i).(core.VSet).Add(core.Tup(b, v)))),
+					"logs":   logs.Put(a, al.Put(i, core.Tup(b, v))),
+					"leader": leader,
+				}
+			},
+		},
+	}
+	return sp
+}
+
+// quorum1bLog finds acceptor acc's 1b log at ballot b (nil if absent).
+// One message per (acc, ballot) exists by construction of Phase1b.
+func quorum1bLog(msgs core.VSet, acc, b core.Value) core.Value {
+	for _, m := range msgs.Elems() {
+		t := m.(core.VTuple)
+		if core.Equal(t[0], acc) && core.Equal(t[1], b) {
+			return t[2]
+		}
+	}
+	return nil
+}
+
+// --- MultiPaxos invariants (Section B.1) ---
+
+// VotedFor reports ⟨b,v⟩ ∈ votes[a][i] in state s.
+func VotedFor(s core.State, a, i, b, v core.Value) bool {
+	votes := s.Get("votes").(core.VMap).MustGet(a).(core.VMap).MustGet(i).(core.VSet)
+	return votes.Has(core.Tup(b, v))
+}
+
+// ChosenAt reports whether a quorum voted for ⟨b,v⟩ at instance i.
+func ChosenAt(cfg ConsensusConfig, s core.State, i, b, v core.Value) bool {
+	for _, q := range cfg.Quorums() {
+		all := true
+		for _, a := range q.(core.VTuple) {
+			if !VotedFor(s, a, i, b, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// OneValuePerBallot: no two different values are ever voted at the same
+// (index, ballot).
+func OneValuePerBallot(cfg ConsensusConfig) func(core.State) bool {
+	return func(s core.State) bool {
+		for _, i := range cfg.indexes() {
+			for _, b := range cfg.ballots() {
+				var seen core.Value
+				for _, a := range cfg.acceptors() {
+					for _, v := range cfg.Values {
+						if !VotedFor(s, a, i, b, v) {
+							continue
+						}
+						if seen == nil {
+							seen = v
+						} else if !core.Equal(seen, v) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// Agreement: at most one value is chosen per instance (across ballots) —
+// the consensus safety property.
+func Agreement(cfg ConsensusConfig) func(core.State) bool {
+	return func(s core.State) bool {
+		for _, i := range cfg.indexes() {
+			var chosen core.Value
+			for _, b := range cfg.ballots() {
+				for _, v := range cfg.Values {
+					if !ChosenAt(cfg, s, i, b, v) {
+						continue
+					}
+					if chosen == nil {
+						chosen = v
+					} else if !core.Equal(chosen, v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,263 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// PQLConfig bounds the Paxos Quorum Lease specification.
+type PQLConfig struct {
+	Consensus ConsensusConfig
+	// LeaseDuration is the lease validity in timer ticks (paper: 2 s).
+	LeaseDuration int
+	// MaxTimer bounds the global timer for exhaustive checking.
+	MaxTimer int
+}
+
+// TinyPQL is the default bound: the tiny consensus config with read/write
+// typed values, a 2-tick lease and a 3-tick timer.
+func TinyPQL() PQLConfig {
+	cfg := TinyConsensus()
+	cfg.Values = []core.Value{
+		core.Tup(core.VStr("w"), core.VStr("x")),
+		core.Tup(core.VStr("r"), core.VStr("-")),
+	}
+	return PQLConfig{Consensus: cfg, LeaseDuration: 2, MaxTimer: 3}
+}
+
+// IsReadValue reports whether a PQL value is a read operation.
+func IsReadValue(v core.Value) bool {
+	t, ok := v.(core.VTuple)
+	return ok && len(t) == 2 && core.Equal(t[0], core.VStr("r"))
+}
+
+// LeaseIsActive reports whether replica p holds leases from a quorum
+// (B.3: ∃ Q ∈ Quorum : ∀ a ∈ Q : leases[a][p] ≥ timer).
+func LeaseIsActive(cfg PQLConfig, s core.State, p core.Value) bool {
+	timer := int64(s.Get("timer").(core.VInt))
+	leases := s.Get("leases").(core.VMap)
+	for _, q := range cfg.Consensus.Quorums() {
+		all := true
+		for _, g := range q.(core.VTuple) {
+			exp := leases.MustGet(g).(core.VMap).MustGet(p)
+			if int64(exp.(core.VInt)) < timer {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// grantedHolders returns the replicas holding an active lease granted by
+// any member of Q.
+func grantedHolders(cfg PQLConfig, s core.State, q core.VTuple) []core.Value {
+	timer := int64(s.Get("timer").(core.VInt))
+	leases := s.Get("leases").(core.VMap)
+	var out []core.Value
+	for _, p := range cfg.Consensus.acceptors() {
+		for _, g := range q {
+			exp := leases.MustGet(g).(core.VMap).MustGet(p)
+			if int64(exp.(core.VInt)) >= timer {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// CanCommitAt is B.3's executable condition: ⟨i,b,v⟩ is chosen by some
+// quorum Q AND every lease holder granted by a member of Q has voted for
+// it — the quorum-intersection argument that makes local reads safe.
+func CanCommitAt(cfg PQLConfig, s core.State, i, b, v core.Value) bool {
+	for _, qv := range cfg.Consensus.Quorums() {
+		q := qv.(core.VTuple)
+		all := true
+		for _, a := range q {
+			if !VotedFor(s, a, i, b, v) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		holderOK := true
+		for _, p := range grantedHolders(cfg, s, q) {
+			if !VotedFor(s, p, i, b, v) {
+				holderOK = false
+				break
+			}
+		}
+		if holderOK {
+			return true
+		}
+	}
+	return false
+}
+
+// PQL is the Paxos Quorum Lease optimization (Appendix B.3 / Figure 11)
+// expressed as a non-mutating optimization over MultiPaxos:
+//
+//   - New variables: timer (global lease clock), leases[g][p] (expiry of
+//     the lease granted by g to p), apply[a] (executed prefix).
+//   - Added subactions: GrantLease, UpdateTimer, Apply (execution gated on
+//     CanCommitAt — Figure 11's modified Learn, expressed as B.3 does via
+//     the executable condition) and ReadAtLocal (the lease-protected local
+//     read; it changes no state and serves as the linearizability witness).
+//   - Modified subaction: Propose only routes reads through the log when
+//     the proposer holds no active lease. (B.3 prints the disjunction as
+//     v.type="read" ∨ ¬LeaseIsActive(a), which would bar lease holders
+//     from proposing writes; we implement the evident intent — see
+//     DESIGN.md.)
+func PQL(cfg PQLConfig) *core.Optimization {
+	ccfg := cfg.Consensus
+	accD := core.FixedDomain("p", ccfg.acceptors()...)
+	accD2 := core.FixedDomain("q", ccfg.acceptors()...)
+
+	return &core.Optimization{
+		Name:    "PQL",
+		Base:    MultiPaxos(ccfg),
+		NewVars: []string{"timer", "leases", "apply"},
+		InitNew: func() map[string]core.Value {
+			inner := ccfg.perAcceptor(core.VInt(0))
+			return map[string]core.Value{
+				"timer":  core.VInt(0),
+				"leases": ccfg.perAcceptor(inner),
+				"apply":  ccfg.perAcceptor(core.VInt(0)),
+			}
+		},
+		Added: []core.Action{
+			{
+				// GrantLease(p, q): p (re)grants to q until timer+duration.
+				Name:   "GrantLease",
+				Params: []core.Param{accD, accD2},
+				Guard:  func(core.Env) bool { return true },
+				Apply: func(env core.Env) map[string]core.Value {
+					p, q := env.Arg("p"), env.Arg("q")
+					timer := env.Var("timer").(core.VInt)
+					leases := env.Var("leases").(core.VMap)
+					row := leases.MustGet(p).(core.VMap)
+					return map[string]core.Value{
+						"leases": leases.Put(p, row.Put(q, timer+core.VInt(cfg.LeaseDuration))),
+					}
+				},
+			},
+			{
+				Name:  "UpdateTimer",
+				Guard: func(env core.Env) bool { return int64(env.Var("timer").(core.VInt)) < int64(cfg.MaxTimer) },
+				Apply: func(env core.Env) map[string]core.Value {
+					return map[string]core.Value{"timer": env.Var("timer").(core.VInt) + 1}
+				},
+			},
+			{
+				// Apply(p): execute the next instance once it is
+				// executable (chosen AND acknowledged by every granted
+				// lease holder).
+				Name:   "Apply",
+				Params: []core.Param{accD},
+				Guard: func(env core.Env) bool {
+					p := env.Arg("p")
+					next := int64(env.Var("apply").(core.VMap).MustGet(p).(core.VInt)) + 1
+					if next > int64(ccfg.MaxIndex) {
+						return false
+					}
+					ent := env.Var("logs").(core.VMap).MustGet(p).(core.VMap).
+						MustGet(core.VInt(next)).(core.VTuple)
+					if core.Equal(ent[1], NoneVal) {
+						return false
+					}
+					return CanCommitAt(cfg, env.S, core.VInt(next), ent[0], ent[1])
+				},
+				Apply: func(env core.Env) map[string]core.Value {
+					p := env.Arg("p")
+					applyIdx := env.Var("apply").(core.VMap)
+					next := applyIdx.MustGet(p).(core.VInt) + 1
+					return map[string]core.Value{"apply": applyIdx.Put(p, next)}
+				},
+			},
+			{
+				// ReadAtLocal(p): a lease holder with no pending writes may
+				// answer a read locally. No state change — the subaction
+				// exists so the porting derivation carries the enabling
+				// condition to Raft* (Figure 13's LocalRead).
+				Name:   "ReadAtLocal",
+				Params: []core.Param{accD},
+				Guard: func(env core.Env) bool {
+					p := env.Arg("p")
+					if !LeaseIsActive(cfg, env.S, p) {
+						return false
+					}
+					// All pending writes finished: applied prefix covers
+					// every accepted instance.
+					log := env.Var("logs").(core.VMap).MustGet(p).(core.VMap)
+					applied := int64(env.Var("apply").(core.VMap).MustGet(p).(core.VInt))
+					for _, i := range ccfg.indexes() {
+						ent := log.MustGet(i).(core.VTuple)
+						if !core.Equal(ent[1], NoneVal) && int64(i.(core.VInt)) > applied {
+							return false
+						}
+					}
+					return true
+				},
+				Apply: func(core.Env) map[string]core.Value { return map[string]core.Value{} },
+			},
+		},
+		Modified: []core.ActionDelta{{
+			Of: "Propose",
+			ExtraGuard: func(env core.Env) bool {
+				if !IsReadValue(env.Arg("v")) {
+					return true
+				}
+				return !LeaseIsActive(cfg, env.S, env.Arg("a"))
+			},
+		}},
+	}
+}
+
+// LeaseInv is the B.3 safety property: every executable value is chosen
+// and known to every active lease holder — so local reads at holders are
+// linearizable.
+func LeaseInv(cfg PQLConfig) func(core.State) bool {
+	ccfg := cfg.Consensus
+	return func(s core.State) bool {
+		for _, i := range ccfg.indexes() {
+			for _, b := range ccfg.ballots() {
+				for _, v := range ccfg.Values {
+					if !CanCommitAt(cfg, s, i, b, v) {
+						continue
+					}
+					if !ChosenAt(ccfg, s, i, b, v) {
+						return false
+					}
+					for _, p := range ccfg.acceptors() {
+						if LeaseIsActive(cfg, s, p) && !VotedFor(s, p, i, b, v) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+}
+
+// AppliedAreExecutable: no replica executes an instance before it is
+// executable (the gate actually gates).
+func AppliedAreExecutable(cfg PQLConfig) func(core.State) bool {
+	ccfg := cfg.Consensus
+	return func(s core.State) bool {
+		for _, p := range ccfg.acceptors() {
+			applied := int64(s.Get("apply").(core.VMap).MustGet(p).(core.VInt))
+			log := s.Get("logs").(core.VMap).MustGet(p).(core.VMap)
+			for i := int64(1); i <= applied; i++ {
+				ent := log.MustGet(core.VInt(i)).(core.VTuple)
+				if core.Equal(ent[1], NoneVal) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}

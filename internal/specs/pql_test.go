@@ -1,0 +1,118 @@
+package specs_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+func TestPQLIsNonMutating(t *testing.T) {
+	cfg := specs.TinyPQL()
+	opt := specs.PQL(cfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.VerifyNonMutating([]core.State{sp.Init()}); err != nil {
+		t.Fatalf("PQL misclassified: %v", err)
+	}
+}
+
+func TestPQLInvariants(t *testing.T) {
+	cfg := specs.TinyPQL()
+	opt := specs.PQL(cfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sp, []mc.Invariant{
+		{Name: "LeaseInv", Fn: specs.LeaseInv(cfg)},
+		{Name: "AppliedAreExecutable", Fn: specs.AppliedAreExecutable(cfg)},
+		{Name: "Agreement", Fn: specs.Agreement(cfg.Consensus)},
+	}, mc.Options{MaxStates: 25000})
+	if res.Violation != nil {
+		t.Fatalf("PQL invariant broken:\n%v", res.Violation)
+	}
+	t.Logf("PQL (A∆): %d states, %d transitions, truncated=%v",
+		res.States, res.Transitions, res.Truncated)
+}
+
+// TestPQLRefinesMultiPaxos: a non-mutating optimization refines its base
+// under projection (Section 4.2's "guaranteed correctness").
+func TestPQLRefinesMultiPaxos(t *testing.T) {
+	cfg := specs.TinyPQL()
+	opt := specs.PQL(cfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := core.Projection(sp, specs.MultiPaxos(cfg.Consensus), opt.NewVars)
+	res := mc.CheckRefinement(ref, nil, mc.Options{MaxStates: 25000})
+	if res.Violation != nil {
+		t.Fatalf("PQL must refine MultiPaxos:\n%v", res.Violation)
+	}
+	t.Logf("PQL=>MultiPaxos: %d states, truncated=%v", res.States, res.Truncated)
+}
+
+// TestPortPQLToRaftStar is the paper's first case study, end to end: port
+// PQL across the Raft*⇒MultiPaxos refinement, producing Raft*-PQL (the
+// generated Appendix B.4 spec), and verify the Figure 5 obligations plus
+// the lifted lease invariant.
+func TestPortPQLToRaftStar(t *testing.T) {
+	cfg := specs.TinyPQL()
+	ported, err := core.Port(specs.PQL(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The generated optimization remains non-mutating over Raft*.
+	if err := ported.Opt.VerifyNonMutating([]core.State{ported.LowSpec.Init()}); err != nil {
+		t.Fatalf("generated Raft*-PQL misclassified: %v", err)
+	}
+
+	// B∆ ⇒ A∆: Raft*-PQL refines PQL.
+	res := mc.CheckRefinement(ported.ToOptimizedHigh, nil,
+		mc.Options{MaxStates: 15000, MaxHops: 4})
+	if res.Violation != nil {
+		t.Fatalf("Raft*-PQL must refine PQL:\n%v", res.Violation)
+	}
+	t.Logf("RQL=>PQL: %d states, truncated=%v", res.States, res.Truncated)
+
+	// B∆ ⇒ B: Raft*-PQL refines Raft*.
+	res = mc.CheckRefinement(ported.ToBase, nil, mc.Options{MaxStates: 15000})
+	if res.Violation != nil {
+		t.Fatalf("Raft*-PQL must refine Raft*:\n%v", res.Violation)
+	}
+
+	// The lease invariant holds in the generated protocol (checked through
+	// the lifted state mapping).
+	lift := ported.ToOptimizedHigh.MapState
+	res = mc.Check(ported.LowSpec, []mc.Invariant{{
+		Name: "LiftedLeaseInv",
+		Fn:   func(s core.State) bool { return specs.LeaseInv(cfg)(lift(s)) },
+	}}, mc.Options{MaxStates: 15000})
+	if res.Violation != nil {
+		t.Fatalf("lease invariant broken in generated Raft*-PQL:\n%v", res.Violation)
+	}
+	t.Logf("generated %s: %d states checked", ported.LowSpec.Name, res.States)
+}
+
+// TestPortPQLDeepWalks drives long random walks through the generated
+// Raft*-PQL discharging the refinement obligations beyond the BFS horizon.
+func TestPortPQLDeepWalks(t *testing.T) {
+	cfg := specs.TinyPQL()
+	ported, err := core.Port(specs.PQL(cfg), specs.RaftStarToMultiPaxos(cfg.Consensus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.SimulateRefinement(ported.ToOptimizedHigh, 40, 60, 4, 7)
+	if res.Violation != nil {
+		t.Fatalf("deep walk violation:\n%v", res.Violation)
+	}
+	res = mc.SimulateRefinement(ported.ToBase, 40, 60, 1, 11)
+	if res.Violation != nil {
+		t.Fatalf("deep walk violation (to base):\n%v", res.Violation)
+	}
+}

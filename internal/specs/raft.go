@@ -1,0 +1,324 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// Raft is bounded standard Raft (Figure 2, black text only), written in
+// the same shape as RaftStar so the natural mapping attempt to MultiPaxos
+// can be expressed — and shown to fail (Section 3). The two deviations
+// from Raft*:
+//
+//  1. ReceiveAppend forces the follower's log to match the leader's,
+//     ERASING a longer suffix (MultiPaxos never deletes accepted values).
+//  2. Entries keep their creation term forever: there is no per-entry
+//     ballot overwritten on append, so the natural mapping entry.bal :=
+//     entry.term re-plays old ballots at acceptors that promised higher
+//     ones.
+//
+// The auxiliary votes/proposed variables are maintained with the natural
+// attempt (ballot := entry term). The voteOK messages carry the voter's
+// derived log snapshot purely as history (standard Raft ships no entries)
+// so the 1b-message mapping is definable at all.
+func Raft(cfg ConsensusConfig) *core.Spec {
+	sp := &core.Spec{
+		Name: "Raft",
+		Vars: []string{"term", "rleader", "rlog", "votes", "proposed",
+			"msgsV", "msgsVR", "pents"},
+		Init: func() core.State {
+			return core.State{
+				"term":     cfg.perAcceptor(core.VInt(0)),
+				"rleader":  cfg.perAcceptor(core.VBool(false)),
+				"rlog":     cfg.perAcceptor(cfg.emptyLog()),
+				"votes":    cfg.emptyVotes(),
+				"proposed": core.Set(),
+				"msgsV":    core.Set(),
+				"msgsVR":   core.Set(),
+				"pents":    core.Set(),
+			}
+		},
+	}
+
+	accD := core.FixedDomain("a", cfg.acceptors()...)
+	balD := core.FixedDomain("b", cfg.ballots()...)
+	valD := core.FixedDomain("v", cfg.Values...)
+	quorumD := core.FixedDomain("Q", cfg.Quorums()...)
+	voteMsgD := core.Param{Name: "m", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("msgsV").(core.VSet).Elems()
+	}}
+	pentD := core.Param{Name: "pe", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("pents").(core.VSet).Elems()
+	}}
+
+	// raftPaxosLog derives the natural-attempt Paxos view of a standard
+	// Raft log: entry.bal := entry.term.
+	raftPaxosLog := func(s core.State, a core.Value) core.VMap {
+		rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+		entries := make([]core.MapEntry, 0, cfg.MaxIndex)
+		for _, i := range cfg.indexes() {
+			ent := rlog.MustGet(i).(core.VTuple)
+			bal := ent[0]
+			if core.Equal(ent[1], NoneVal) {
+				bal = NoBal
+			}
+			entries = append(entries, core.MapEntry{K: i, V: core.Tup(bal, ent[1])})
+		}
+		return core.Map(entries...)
+	}
+
+	sp.Actions = []core.Action{
+		{
+			Name:   "IncreaseTerm",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				t := env.Var("term").(core.VMap).MustGet(env.Arg("a"))
+				return int64(env.Arg("b").(core.VInt)) > int64(t.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(env.Arg("a"), env.Arg("b")),
+					"rleader": env.Var("rleader").(core.VMap).Put(env.Arg("a"), core.VBool(false)),
+				}
+			},
+		},
+		{
+			Name:   "RequestVote",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				a, b := env.Arg("a"), env.Arg("b")
+				if env.Var("rleader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				cur := env.Var("term").(core.VMap).MustGet(a)
+				return cfg.ownsBallot(a, b) &&
+					int64(b.(core.VInt)) > int64(cur.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a, b := env.Arg("a"), env.Arg("b")
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, b),
+					"rleader": env.Var("rleader").(core.VMap).Put(a, core.VBool(false)),
+					"msgsV": env.Var("msgsV").(core.VSet).
+						Add(core.Tup(a, b, lastTermOf(env.S, a), lastIndexOf(cfg, env.S, a))),
+					"msgsVR": env.Var("msgsVR").(core.VSet).
+						Add(core.Tup(a, b, raftPaxosLog(env.S, a))),
+				}
+			},
+		},
+		{
+			Name:   "ReceiveVote",
+			Params: []core.Param{accD, voteMsgD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				m := env.Arg("m").(core.VTuple)
+				t := env.Var("term").(core.VMap).MustGet(a)
+				if int64(m[1].(core.VInt)) <= int64(t.(core.VInt)) {
+					return false
+				}
+				myLT := int64(lastTermOf(env.S, a).(core.VInt))
+				myLI := int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+				mLT := int64(m[2].(core.VInt))
+				mLI := int64(m[3].(core.VInt))
+				return mLT > myLT || (mLT == myLT && mLI >= myLI)
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				m := env.Arg("m").(core.VTuple)
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, m[1]),
+					"rleader": env.Var("rleader").(core.VMap).Put(a, core.VBool(false)),
+					"msgsVR": env.Var("msgsVR").(core.VSet).
+						Add(core.Tup(a, m[1], raftPaxosLog(env.S, a))),
+				}
+			},
+		},
+		{
+			// BecomeLeader: standard Raft keeps its own log untouched —
+			// no safe-value adoption, no extra entries from voters.
+			Name:   "BecomeLeader",
+			Params: []core.Param{accD, quorumD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("rleader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				b := env.Var("term").(core.VMap).MustGet(a)
+				if int64(b.(core.VInt)) == 0 || !cfg.ownsBallot(a, b) {
+					return false
+				}
+				q := env.Arg("Q").(core.VTuple)
+				if !q.HasMember(a) {
+					return false
+				}
+				msgs := env.Var("msgsVR").(core.VSet)
+				for _, acc := range q {
+					if quorum1bLog(msgs, acc, b) == nil {
+						return false
+					}
+				}
+				return true
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{
+					"rleader": env.Var("rleader").(core.VMap).Put(env.Arg("a"), core.VBool(true)),
+				}
+			},
+		},
+		{
+			// AppendEntries: the leader appends v to its own log (entries
+			// carry the creation term) and ships its full log.
+			Name:   "AppendEntries",
+			Params: []core.Param{accD, valD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("rleader").(core.VMap).MustGet(a) != core.VBool(true) {
+					return false
+				}
+				return int64(lastIndexOf(cfg, env.S, a).(core.VInt)) < int64(cfg.MaxIndex)
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				b := env.Var("term").(core.VMap).MustGet(a)
+				rlog := env.Var("rlog").(core.VMap).MustGet(a).(core.VMap)
+				last := int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+				newIdx := core.VInt(last + 1)
+				rlog = rlog.Put(newIdx, core.Tup(b, env.Arg("v")))
+				// Ship the full log; entries keep their original terms —
+				// standard Raft never re-stamps (the Section 3 deviation).
+				entries := make([]core.MapEntry, 0, cfg.MaxIndex)
+				proposed := env.Var("proposed").(core.VSet)
+				for _, i := range cfg.indexes() {
+					ent := rlog.MustGet(i).(core.VTuple)
+					entries = append(entries, core.MapEntry{K: i, V: ent})
+					if !core.Equal(ent[1], NoneVal) {
+						proposed = proposed.Add(core.Tup(i, ent[0], ent[1]))
+					}
+				}
+				pents := env.Var("pents").(core.VSet).
+					Add(core.Tup(b, core.VInt(last+1), core.Map(entries...)))
+				return map[string]core.Value{
+					"rlog":     env.Var("rlog").(core.VMap).Put(a, rlog),
+					"proposed": proposed,
+					"pents":    pents,
+					"votes": addVote(env.Var("votes").(core.VMap), a, newIdx,
+						core.Tup(b, env.Arg("v"))),
+				}
+			},
+		},
+		{
+			// ReceiveAppend: standard Raft accepts any current-term append
+			// whose previous entry matches and FORCES its log to match the
+			// leader's — erasing a longer suffix if needed.
+			Name:   "ReceiveAppend",
+			Params: []core.Param{accD, pentD},
+			Guard: func(env core.Env) bool {
+				pe := env.Arg("pe").(core.VTuple)
+				t := env.Var("term").(core.VMap).MustGet(env.Arg("a"))
+				return int64(pe[0].(core.VInt)) >= int64(t.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				pe := env.Arg("pe").(core.VTuple)
+				peTerm, lIndex, entries := pe[0], int64(pe[1].(core.VInt)), pe[2].(core.VMap)
+				rlog := env.Var("rlog").(core.VMap).MustGet(a).(core.VMap)
+				votes := env.Var("votes").(core.VMap)
+				for _, i := range cfg.indexes() {
+					if int64(i.(core.VInt)) <= lIndex {
+						ent := entries.MustGet(i).(core.VTuple)
+						rlog = rlog.Put(i, ent)
+						votes = addVote(votes, a, i, core.Tup(ent[0], ent[1]))
+					} else {
+						// Erase beyond the leader's log: the transition
+						// with no MultiPaxos counterpart.
+						rlog = rlog.Put(i, EmptyEntry)
+					}
+				}
+				oldTerm := env.Var("term").(core.VMap).MustGet(a)
+				rleader := env.Var("rleader").(core.VMap)
+				if int64(peTerm.(core.VInt)) > int64(oldTerm.(core.VInt)) {
+					rleader = rleader.Put(a, core.VBool(false))
+				}
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, peTerm),
+					"rleader": rleader,
+					"rlog":    env.Var("rlog").(core.VMap).Put(a, rlog),
+					"votes":   votes,
+				}
+			},
+		},
+	}
+	return sp
+}
+
+func addVote(votes core.VMap, a, i, bv core.Value) core.VMap {
+	av := votes.MustGet(a).(core.VMap)
+	ent := bv.(core.VTuple)
+	if core.Equal(ent[1], NoneVal) {
+		return votes
+	}
+	return votes.Put(a, av.Put(i, av.MustGet(i).(core.VSet).Add(bv)))
+}
+
+// RaftToMultiPaxosAttempt is the natural (failing) mapping attempt from
+// standard Raft to MultiPaxos: entry.bal := entry.term and everything else
+// as in the Raft* mapping. CheckRefinement finds the Section 3
+// counterexamples — the erased follower suffix and the replicated
+// old-term entry.
+func RaftToMultiPaxosAttempt(cfg ConsensusConfig) *core.Refinement {
+	low := Raft(cfg)
+	high := MultiPaxos(cfg)
+	identity := core.OneArg(func(args map[string]core.Value, _ core.State) map[string]core.Value {
+		out := make(map[string]core.Value, len(args))
+		for k, v := range args {
+			out[k] = v
+		}
+		return out
+	})
+	return &core.Refinement{
+		Name: "Raft=>MultiPaxos(attempt)",
+		Low:  low,
+		High: high,
+		MapState: func(s core.State) core.State {
+			msgs1a := core.Set()
+			for _, m := range s.Get("msgsV").(core.VSet).Elems() {
+				t := m.(core.VTuple)
+				msgs1a = msgs1a.Add(core.Tup(t[0], t[1]))
+			}
+			logs := make([]core.MapEntry, 0, cfg.Acceptors)
+			for _, a := range cfg.acceptors() {
+				rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+				entries := make([]core.MapEntry, 0, cfg.MaxIndex)
+				for _, i := range cfg.indexes() {
+					ent := rlog.MustGet(i).(core.VTuple)
+					bal := ent[0]
+					if core.Equal(ent[1], NoneVal) {
+						bal = NoBal
+					}
+					entries = append(entries, core.MapEntry{K: i, V: core.Tup(bal, ent[1])})
+				}
+				logs = append(logs, core.MapEntry{K: a, V: core.Map(entries...)})
+			}
+			return core.State{
+				"ballot":   s.Get("term"),
+				"leader":   s.Get("rleader"),
+				"logs":     core.Map(logs...),
+				"votes":    s.Get("votes"),
+				"proposed": s.Get("proposed"),
+				"msgs1a":   msgs1a,
+				"msgs1b":   s.Get("msgsVR"),
+			}
+		},
+		Corr: []core.Correspondence{
+			{Low: "IncreaseTerm", High: "IncreaseBallot", Args: identity},
+			{Low: "RequestVote", High: "Phase1a", Args: identity},
+			{Low: "ReceiveVote", High: "Phase1b", Args: core.OneArg(
+				func(args map[string]core.Value, _ core.State) map[string]core.Value {
+					m := args["m"].(core.VTuple)
+					return map[string]core.Value{"a": args["a"], "m": core.Tup(m[0], m[1])}
+				})},
+			{Low: "BecomeLeader", High: "BecomeLeader", Args: identity},
+			// AppendEntries / ReceiveAppend: let the checker search freely
+			// for Propose/Accept witnesses (nil ArgMap = enumerate).
+			{Low: "AppendEntries", High: "Propose"},
+			{Low: "ReceiveAppend", High: "Accept"},
+		},
+	}
+}

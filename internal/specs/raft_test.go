@@ -1,0 +1,49 @@
+package specs_test
+
+import (
+	"strings"
+	"testing"
+
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+// TestRaftDoesNotRefinePaxos is the paper's Section 3 negative result:
+// standard Raft cannot be mapped to MultiPaxos directly. The checker must
+// find a reachable Raft transition — an append that erases a follower
+// suffix or replicates an old-term entry without re-stamping — with no
+// MultiPaxos counterpart.
+func TestRaftDoesNotRefinePaxos(t *testing.T) {
+	cfg := specs.TinyConsensus()
+	cfg.MaxIndex = 2 // the erase counterexample needs a two-entry log
+	ref := specs.RaftToMultiPaxosAttempt(cfg)
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := mc.CheckRefinement(ref, nil, mc.Options{MaxStates: 300000, MaxHops: 4})
+	if res.Violation == nil {
+		t.Fatalf("expected a refinement violation (states=%d, transitions=%d, truncated=%v)",
+			res.States, res.Transitions, res.Truncated)
+	}
+	if !strings.Contains(res.Violation.Name, "ReceiveAppend") &&
+		!strings.Contains(res.Violation.Name, "AppendEntries") {
+		t.Fatalf("violation should stem from the append path, got:\n%v", res.Violation)
+	}
+	t.Logf("counterexample found after %d states:\n%s",
+		res.States, res.Violation.Name)
+}
+
+// TestRaftSpecStillSafe: standard Raft is of course still a correct
+// consensus protocol — only the refinement to MultiPaxos fails, not
+// agreement itself.
+func TestRaftSpecStillSafe(t *testing.T) {
+	cfg := specs.TinyConsensus()
+	sp := specs.Raft(cfg)
+	res := mc.Check(sp, []mc.Invariant{
+		{Name: "Agreement", Fn: specs.Agreement(cfg)},
+	}, mc.Options{MaxStates: 300000})
+	if res.Violation != nil {
+		t.Fatalf("Raft agreement broken (spec bug):\n%v", res.Violation)
+	}
+	t.Logf("Raft: %d states, truncated=%v", res.States, res.Truncated)
+}

@@ -1,0 +1,488 @@
+package specs
+
+import "raftpaxos/internal/core"
+
+// RaftStar is the Appendix B.2 specification of Raft*, bounded by cfg.
+// Like the appendix, the spec carries auxiliary history variables (votes,
+// proposed) maintained alongside the Raft state so the refinement mapping
+// to MultiPaxos is a near-projection:
+//
+//	term    — currentTerm[a]            ↦ ballot
+//	rleader — isLeader[a]               ↦ leader (phase1Succeeded)
+//	rlog    — raftlogs[a][i] = ⟨term, val⟩ (Raft entry with its term)
+//	logbal  — logBallot[a][i]            ↦ logs[a][i] = ⟨logbal, rlog.val⟩
+//	votes   — auxiliary, identical to MultiPaxos votes
+//	proposed — auxiliary, identical to proposedValues
+//	msgsV   — requestVote ⟨acc, term, lastTerm, lastIndex⟩ ↦ msgs1a (projected)
+//	msgsVR  — requestVoteOK carrying the derived Paxos log ↦ msgs1b (identity)
+//	pents   — proposedEntries ⟨term, lIndex, entries⟩ (Raft*-only, dropped)
+//
+// Simplifications versus B.2, documented in DESIGN.md: appends always
+// resend the full prefix (i1 = 1), so prevLogIndex/prevLogTerm are
+// trivially 0/-1 and elided; logTail is derived from log contents.
+func RaftStar(cfg ConsensusConfig) *core.Spec {
+	sp := &core.Spec{
+		Name: "RaftStar",
+		Vars: []string{"term", "rleader", "rlog", "logbal", "votes", "proposed",
+			"msgsV", "msgsVR", "pents"},
+		Init: func() core.State {
+			return core.State{
+				"term":     cfg.perAcceptor(core.VInt(0)),
+				"rleader":  cfg.perAcceptor(core.VBool(false)),
+				"rlog":     cfg.perAcceptor(cfg.emptyLog()),
+				"logbal":   cfg.perAcceptor(cfg.emptyBalMap()),
+				"votes":    cfg.emptyVotes(),
+				"proposed": core.Set(),
+				"msgsV":    core.Set(),
+				"msgsVR":   core.Set(),
+				"pents":    core.Set(),
+			}
+		},
+	}
+
+	accD := core.FixedDomain("a", cfg.acceptors()...)
+	balD := core.FixedDomain("b", cfg.ballots()...)
+	valD := core.FixedDomain("v", cfg.Values...)
+	quorumD := core.FixedDomain("Q", cfg.Quorums()...)
+	voteMsgD := core.Param{Name: "m", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("msgsV").(core.VSet).Elems()
+	}}
+	pentD := core.Param{Name: "pe", Domain: func(s core.State, _ map[string]core.Value) []core.Value {
+		return s.Get("pents").(core.VSet).Elems()
+	}}
+
+	sp.Actions = []core.Action{
+		{
+			// IncreaseTerm(a, b): observe any higher term.
+			Name:   "IncreaseTerm",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				t := env.Var("term").(core.VMap).MustGet(env.Arg("a"))
+				return int64(env.Arg("b").(core.VInt)) > int64(t.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(env.Arg("a"), env.Arg("b")),
+					"rleader": env.Var("rleader").(core.VMap).Put(env.Arg("a"), core.VBool(false)),
+				}
+			},
+		},
+		{
+			// RequestVote(a, b): campaign at the next owned term; the
+			// candidate's own vote (with its Paxos-view log) is deposited
+			// in the same step, mirroring MultiPaxos Phase1a.
+			Name:   "RequestVote",
+			Params: []core.Param{accD, balD},
+			Guard: func(env core.Env) bool {
+				a, b := env.Arg("a"), env.Arg("b")
+				if env.Var("rleader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				cur := env.Var("term").(core.VMap).MustGet(a)
+				return cfg.ownsBallot(a, b) &&
+					int64(b.(core.VInt)) > int64(cur.(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a, b := env.Arg("a"), env.Arg("b")
+				s := env.S
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, b),
+					"rleader": env.Var("rleader").(core.VMap).Put(a, core.VBool(false)),
+					"msgsV": env.Var("msgsV").(core.VSet).
+						Add(core.Tup(a, b, lastTermOf(s, a), lastIndexOf(cfg, s, a))),
+					"msgsVR": env.Var("msgsVR").(core.VSet).
+						Add(core.Tup(a, b, paxosLogOf(cfg, s, a))),
+				}
+			},
+		},
+		{
+			// ReceiveVote(a, m): grant if the term is higher and the
+			// candidate's log is at least as up-to-date; the reply carries
+			// the voter's entire (Paxos-view) log — Raft*'s "extra
+			// entries" generalized, exactly like a prepareOK.
+			Name:   "ReceiveVote",
+			Params: []core.Param{accD, voteMsgD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				m := env.Arg("m").(core.VTuple)
+				t := env.Var("term").(core.VMap).MustGet(a)
+				if int64(m[1].(core.VInt)) <= int64(t.(core.VInt)) {
+					return false
+				}
+				// Up-to-date check (Figure 2a lines 9-11).
+				myLT := int64(lastTermOf(env.S, a).(core.VInt))
+				myLI := int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+				mLT := int64(m[2].(core.VInt))
+				mLI := int64(m[3].(core.VInt))
+				return mLT > myLT || (mLT == myLT && mLI >= myLI)
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				m := env.Arg("m").(core.VTuple)
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, m[1]),
+					"rleader": env.Var("rleader").(core.VMap).Put(a, core.VBool(false)),
+					"msgsVR": env.Var("msgsVR").(core.VSet).
+						Add(core.Tup(a, m[1], paxosLogOf(cfg, env.S, a))),
+				}
+			},
+		},
+		{
+			// BecomeLeader(a, Q): with votes from quorum Q at the current
+			// owned term, keep the own prefix and adopt the safe value for
+			// every index beyond it (Figure 2a lines 18-29).
+			Name:   "BecomeLeader",
+			Params: []core.Param{accD, quorumD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("rleader").(core.VMap).MustGet(a) == core.VBool(true) {
+					return false
+				}
+				b := env.Var("term").(core.VMap).MustGet(a)
+				if int64(b.(core.VInt)) == 0 || !cfg.ownsBallot(a, b) {
+					return false
+				}
+				q := env.Arg("Q").(core.VTuple)
+				if !q.HasMember(a) {
+					return false
+				}
+				msgs := env.Var("msgsVR").(core.VSet)
+				for _, acc := range q {
+					if quorum1bLog(msgs, acc, b) == nil {
+						return false
+					}
+				}
+				return true
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				b := env.Var("term").(core.VMap).MustGet(a)
+				q := env.Arg("Q").(core.VTuple)
+				msgs := env.Var("msgsVR").(core.VSet)
+				logs := make([]core.VMap, 0, len(q))
+				for _, acc := range q {
+					logs = append(logs, quorum1bLog(msgs, acc, b).(core.VMap))
+				}
+				myLast := int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+				rlog := env.Var("rlog").(core.VMap).MustGet(a).(core.VMap)
+				lbal := env.Var("logbal").(core.VMap).MustGet(a).(core.VMap)
+				for _, i := range cfg.indexes() {
+					if int64(i.(core.VInt)) <= myLast {
+						continue // own prefix kept (B.2 BecomeLeader)
+					}
+					safe := highestBallotEntry(i, logs).(core.VTuple)
+					if core.Equal(safe[1], NoneVal) {
+						continue
+					}
+					// Adopted entries get Raft term -1 (B.2's UpdateLog);
+					// their ballot is the safe entry's.
+					rlog = rlog.Put(i, core.Tup(NoBal, safe[1]))
+					lbal = lbal.Put(i, safe[0])
+				}
+				return map[string]core.Value{
+					"rlog":    env.Var("rlog").(core.VMap).Put(a, rlog),
+					"logbal":  env.Var("logbal").(core.VMap).Put(a, lbal),
+					"rleader": env.Var("rleader").(core.VMap).Put(a, core.VBool(true)),
+				}
+			},
+		},
+		{
+			// AppendEntries(a, v): the leader extends its proposal with a
+			// new value at lastIndex+1, shipping its full log. The
+			// auxiliary proposed set gains one tuple per shipped entry —
+			// this one step implies a sequence of MultiPaxos Proposes.
+			Name:   "AppendEntries",
+			Params: []core.Param{accD, valD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("rleader").(core.VMap).MustGet(a) != core.VBool(true) {
+					return false
+				}
+				last := int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+				if last >= int64(cfg.MaxIndex) {
+					return false
+				}
+				return proposeDisciplineOK(cfg, env.S, a, env.Arg("v"))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return applyProposeEntries(cfg, env.S, env.Arg("a"), env.Arg("v"))
+			},
+		},
+		{
+			// ResendEntries(a): the leader re-ships its existing log (the
+			// post-election re-replication of adopted entries, and
+			// heartbeats). No new value.
+			Name:   "ResendEntries",
+			Params: []core.Param{accD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				if env.Var("rleader").(core.VMap).MustGet(a) != core.VBool(true) {
+					return false
+				}
+				if int64(lastIndexOf(cfg, env.S, a).(core.VInt)) == 0 {
+					return false
+				}
+				return proposeDisciplineOK(cfg, env.S, a, nil)
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				return applyProposeEntries(cfg, env.S, env.Arg("a"), nil)
+			},
+		},
+		{
+			// ReceiveAppend(a, pe): accept if the term is current and the
+			// append covers the whole local log (Raft* never erases).
+			// Every covered entry's ballot is re-stamped with the
+			// sender's term — one step, a sequence of MultiPaxos Accepts.
+			Name:   "ReceiveAppend",
+			Params: []core.Param{accD, pentD},
+			Guard: func(env core.Env) bool {
+				a := env.Arg("a")
+				pe := env.Arg("pe").(core.VTuple)
+				t := env.Var("term").(core.VMap).MustGet(a)
+				if int64(pe[0].(core.VInt)) < int64(t.(core.VInt)) {
+					return false
+				}
+				// Raft* length rule (Figure 2b line 16).
+				return int64(pe[1].(core.VInt)) >= int64(lastIndexOf(cfg, env.S, a).(core.VInt))
+			},
+			Apply: func(env core.Env) map[string]core.Value {
+				a := env.Arg("a")
+				pe := env.Arg("pe").(core.VTuple)
+				peTerm, lIndex, entries := pe[0], int64(pe[1].(core.VInt)), pe[2].(core.VMap)
+				rlog := env.Var("rlog").(core.VMap).MustGet(a).(core.VMap)
+				lbal := env.Var("logbal").(core.VMap).MustGet(a).(core.VMap)
+				votes := env.Var("votes").(core.VMap)
+				av := votes.MustGet(a).(core.VMap)
+				for _, i := range cfg.indexes() {
+					if int64(i.(core.VInt)) > lIndex {
+						continue
+					}
+					ent := entries.MustGet(i).(core.VTuple)
+					rlog = rlog.Put(i, ent)
+					lbal = lbal.Put(i, peTerm)
+					av = av.Put(i, av.MustGet(i).(core.VSet).Add(core.Tup(peTerm, ent[1])))
+				}
+				oldTerm := env.Var("term").(core.VMap).MustGet(a)
+				rleader := env.Var("rleader").(core.VMap)
+				if int64(peTerm.(core.VInt)) > int64(oldTerm.(core.VInt)) {
+					rleader = rleader.Put(a, core.VBool(false))
+				}
+				return map[string]core.Value{
+					"term":    env.Var("term").(core.VMap).Put(a, peTerm),
+					"rleader": rleader,
+					"rlog":    env.Var("rlog").(core.VMap).Put(a, rlog),
+					"logbal":  env.Var("logbal").(core.VMap).Put(a, lbal),
+					"votes":   votes.Put(a, av),
+				}
+			},
+		},
+	}
+	return sp
+}
+
+// emptyBalMap is [i → -1].
+func (c ConsensusConfig) emptyBalMap() core.VMap {
+	entries := make([]core.MapEntry, 0, c.MaxIndex)
+	for _, i := range c.indexes() {
+		entries = append(entries, core.MapEntry{K: i, V: NoBal})
+	}
+	return core.Map(entries...)
+}
+
+// lastIndexOf derives the Raft log length (contiguous prefix of non-none
+// values).
+func lastIndexOf(cfg ConsensusConfig, s core.State, a core.Value) core.Value {
+	rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+	last := int64(0)
+	for _, i := range cfg.indexes() {
+		ent := rlog.MustGet(i).(core.VTuple)
+		if core.Equal(ent[1], NoneVal) {
+			break
+		}
+		last = int64(i.(core.VInt))
+	}
+	return core.VInt(last)
+}
+
+// lastTermOf derives the Raft term of the last entry (-1 when empty).
+func lastTermOf(s core.State, a core.Value) core.Value {
+	rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+	lastTerm := NoBal
+	for _, e := range rlog.Entries() {
+		ent := e.V.(core.VTuple)
+		if core.Equal(ent[1], NoneVal) {
+			break
+		}
+		lastTerm = ent[0].(core.VInt)
+	}
+	return lastTerm
+}
+
+// paxosLogOf derives the MultiPaxos view of a Raft* log:
+// logs[a][i] = ⟨logBallot[a][i], raftlogs[a][i].val⟩ (Figure 3).
+func paxosLogOf(cfg ConsensusConfig, s core.State, a core.Value) core.VMap {
+	rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+	lbal := s.Get("logbal").(core.VMap).MustGet(a).(core.VMap)
+	entries := make([]core.MapEntry, 0, cfg.MaxIndex)
+	for _, i := range cfg.indexes() {
+		ent := rlog.MustGet(i).(core.VTuple)
+		entries = append(entries, core.MapEntry{K: i, V: core.Tup(lbal.MustGet(i), ent[1])})
+	}
+	return core.Map(entries...)
+}
+
+// proposeDisciplineOK mirrors the MultiPaxos Propose guard over the
+// auxiliary proposed set: no conflicting value at the same (index, term)
+// for any entry the append would ship (newVal nil = resend only).
+func proposeDisciplineOK(cfg ConsensusConfig, s core.State, a, newVal core.Value) bool {
+	b := s.Get("term").(core.VMap).MustGet(a)
+	rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+	last := int64(lastIndexOf(cfg, s, a).(core.VInt))
+	proposed := s.Get("proposed").(core.VSet)
+	check := func(i int64, v core.Value) bool {
+		for _, pv := range proposed.Elems() {
+			t := pv.(core.VTuple)
+			if core.Equal(t[0], core.VInt(i)) && core.Equal(t[1], b) && !core.Equal(t[2], v) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := int64(1); i <= last; i++ {
+		if !check(i, rlog.MustGet(core.VInt(i)).(core.VTuple)[1]) {
+			return false
+		}
+	}
+	if newVal != nil && !check(last+1, newVal) {
+		return false
+	}
+	return true
+}
+
+// applyProposeEntries builds the pents record and auxiliary proposals for
+// an append shipping the leader's log 1..lIndex (plus newVal at
+// lastIndex+1 when non-nil).
+func applyProposeEntries(cfg ConsensusConfig, s core.State, a, newVal core.Value) map[string]core.Value {
+	b := s.Get("term").(core.VMap).MustGet(a)
+	rlog := s.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+	last := int64(lastIndexOf(cfg, s, a).(core.VInt))
+	lIndex := last
+	if newVal != nil {
+		lIndex = last + 1
+	}
+	entries := make([]core.MapEntry, 0, cfg.MaxIndex)
+	proposed := s.Get("proposed").(core.VSet)
+	for _, iv := range cfg.indexes() {
+		i := int64(iv.(core.VInt))
+		switch {
+		case i <= last:
+			ent := rlog.MustGet(iv).(core.VTuple)
+			entries = append(entries, core.MapEntry{K: iv, V: ent})
+			proposed = proposed.Add(core.Tup(iv, b, ent[1]))
+		case i == lIndex && newVal != nil:
+			entries = append(entries, core.MapEntry{K: iv, V: core.Tup(b, newVal)})
+			proposed = proposed.Add(core.Tup(iv, b, newVal))
+		default:
+			entries = append(entries, core.MapEntry{K: iv, V: EmptyEntry})
+		}
+	}
+	pents := s.Get("pents").(core.VSet).Add(core.Tup(b, core.VInt(lIndex), core.Map(entries...)))
+	return map[string]core.Value{"pents": pents, "proposed": proposed}
+}
+
+// ProposedSeqArgs maps one append (ProposeEntries-style) transition to its
+// sequence of MultiPaxos Propose arguments.
+func proposeSeqArgs(cfg ConsensusConfig, withNew bool) core.ArgMap {
+	return func(lowArgs map[string]core.Value, lowState core.State) []map[string]core.Value {
+		a := lowArgs["a"]
+		b := lowState.Get("term").(core.VMap).MustGet(a)
+		rlog := lowState.Get("rlog").(core.VMap).MustGet(a).(core.VMap)
+		last := int64(lastIndexOf(cfg, lowState, a).(core.VInt))
+		var out []map[string]core.Value
+		for i := int64(1); i <= last; i++ {
+			out = append(out, map[string]core.Value{
+				"a": a, "i": core.VInt(i), "v": rlog.MustGet(core.VInt(i)).(core.VTuple)[1],
+			})
+		}
+		if withNew {
+			out = append(out, map[string]core.Value{
+				"a": a, "i": core.VInt(last + 1), "v": lowArgs["v"],
+			})
+		}
+		_ = b
+		return out
+	}
+}
+
+// acceptSeqArgs maps one ReceiveAppend transition to its sequence of
+// MultiPaxos Accept arguments.
+func acceptSeqArgs(cfg ConsensusConfig) core.ArgMap {
+	return func(lowArgs map[string]core.Value, lowState core.State) []map[string]core.Value {
+		pe := lowArgs["pe"].(core.VTuple)
+		peTerm, lIndex, entries := pe[0], int64(pe[1].(core.VInt)), pe[2].(core.VMap)
+		var out []map[string]core.Value
+		for i := int64(1); i <= lIndex; i++ {
+			ent := entries.MustGet(core.VInt(i)).(core.VTuple)
+			out = append(out, map[string]core.Value{
+				"a":  lowArgs["a"],
+				"pv": core.Tup(core.VInt(i), peTerm, ent[1]),
+			})
+		}
+		return out
+	}
+}
+
+// RaftStarToMultiPaxos is the Section 3 / Figure 3 refinement mapping,
+// made checkable: currentTerm↦ballot, isLeader↦phase1Succeeded,
+// ⟨logBallot, raftlog.val⟩↦logs, requestVote↦prepare (projected),
+// requestVoteOK↦prepareOK (identity on the derived log), append↦accept
+// (sequence), with the auxiliary votes/proposed carried across verbatim.
+func RaftStarToMultiPaxos(cfg ConsensusConfig) *core.Refinement {
+	low := RaftStar(cfg)
+	high := MultiPaxos(cfg)
+	identity := core.OneArg(func(args map[string]core.Value, _ core.State) map[string]core.Value {
+		out := make(map[string]core.Value, len(args))
+		for k, v := range args {
+			out[k] = v
+		}
+		return out
+	})
+	return &core.Refinement{
+		Name: "RaftStar=>MultiPaxos",
+		Low:  low,
+		High: high,
+		MapState: func(s core.State) core.State {
+			msgs1a := core.Set()
+			for _, m := range s.Get("msgsV").(core.VSet).Elems() {
+				t := m.(core.VTuple)
+				msgs1a = msgs1a.Add(core.Tup(t[0], t[1]))
+			}
+			logs := make([]core.MapEntry, 0, cfg.Acceptors)
+			for _, a := range cfg.acceptors() {
+				logs = append(logs, core.MapEntry{K: a, V: paxosLogOf(cfg, s, a)})
+			}
+			return core.State{
+				"ballot":   s.Get("term"),
+				"leader":   s.Get("rleader"),
+				"logs":     core.Map(logs...),
+				"votes":    s.Get("votes"),
+				"proposed": s.Get("proposed"),
+				"msgs1a":   msgs1a,
+				"msgs1b":   s.Get("msgsVR"),
+			}
+		},
+		Corr: []core.Correspondence{
+			{Low: "IncreaseTerm", High: "IncreaseBallot", Args: identity},
+			{Low: "RequestVote", High: "Phase1a", Args: identity},
+			{Low: "ReceiveVote", High: "Phase1b", Args: core.OneArg(
+				func(args map[string]core.Value, _ core.State) map[string]core.Value {
+					m := args["m"].(core.VTuple)
+					return map[string]core.Value{"a": args["a"], "m": core.Tup(m[0], m[1])}
+				})},
+			{Low: "BecomeLeader", High: "BecomeLeader", Args: identity},
+			{Low: "AppendEntries", High: "Propose", Args: proposeSeqArgs(cfg, true)},
+			{Low: "ResendEntries", High: "Propose", Args: proposeSeqArgs(cfg, false)},
+			{Low: "ReceiveAppend", High: "Accept", Args: acceptSeqArgs(cfg)},
+		},
+	}
+}

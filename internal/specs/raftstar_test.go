@@ -1,0 +1,47 @@
+package specs_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+// TestRaftStarRefinesMultiPaxos is the paper's central formal claim
+// (Section 3, Appendix C), checked exhaustively on bounded domains: every
+// reachable Raft* transition implies a MultiPaxos subaction, a sequence of
+// them (batched appends), or a stutter, under the Figure 3 mapping.
+func TestRaftStarRefinesMultiPaxos(t *testing.T) {
+	cfg := specs.TinyConsensus()
+	ref := specs.RaftStarToMultiPaxos(cfg)
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := mc.CheckRefinement(ref, []mc.Invariant{
+		{Name: "Agreement", Fn: specs.Agreement(cfg)},
+	}, mc.Options{MaxStates: 500000, MaxHops: 4})
+	if res.Violation != nil {
+		t.Fatalf("Raft* must refine MultiPaxos:\n%v", res.Violation)
+	}
+	t.Logf("RaftStar=>MultiPaxos: %d states, %d transitions, truncated=%v",
+		res.States, res.Transitions, res.Truncated)
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d", res.States)
+	}
+}
+
+// TestRaftStarInvariants checks the B.2 safety properties on the bounded
+// Raft* spec directly.
+func TestRaftStarInvariants(t *testing.T) {
+	cfg := specs.TinyConsensus()
+	sp := specs.RaftStar(cfg)
+	res := mc.Check(sp, []mc.Invariant{
+		{Name: "Agreement", Fn: specs.Agreement(cfg)},
+		{Name: "OneValuePerBallot", Fn: specs.OneValuePerBallot(cfg)},
+	}, mc.Options{MaxStates: 500000})
+	if res.Violation != nil {
+		t.Fatalf("Raft* invariant broken:\n%v", res.Violation)
+	}
+	t.Logf("RaftStar: %d states, %d transitions, truncated=%v",
+		res.States, res.Transitions, res.Truncated)
+}

@@ -1,0 +1,222 @@
+// Package specs contains the executable specifications mirroring the
+// paper's Appendix B — MultiPaxos (B.1), Raft* (B.2), PQL (B.3),
+// Coordinated Paxos / Mencius (B.5), standard Raft (for the Section 3
+// non-refinement counterexample) — plus the Figure 4 toy example, and the
+// refinement mappings connecting them. Raft*-PQL (B.4) and Coordinated
+// Raft* (B.6) are not hand-written: they are *generated* by core.Port,
+// exactly as the paper prescribes.
+//
+// All specs are bounded for explicit-state checking: small constant
+// domains (acceptors, ballots, values, indexes) configured per use.
+package specs
+
+import "raftpaxos/internal/core"
+
+// ToyConfig bounds the Figure 4 example.
+type ToyConfig struct {
+	// Keys is the number of keys (= log positions), Values the value
+	// universe size.
+	Keys, Values int
+}
+
+func (c ToyConfig) keys() []core.Value { return core.Rng(0, int64(c.Keys-1)) }
+
+func (c ToyConfig) values() []core.Value {
+	out := make([]core.Value, c.Values)
+	for i := range out {
+		out[i] = core.VStr(string(rune('a' + i)))
+	}
+	return out
+}
+
+// emptySet is the {} of Figure 4.
+var emptySet = core.Set()
+
+// ToyKVStore is protocol A of Figure 4a: a hash table with Put/Get.
+func ToyKVStore(cfg ToyConfig) *core.Spec {
+	return &core.Spec{
+		Name: "ToyKV",
+		Vars: []string{"table", "output"},
+		Init: func() core.State {
+			entries := make([]core.MapEntry, 0, cfg.Keys)
+			for _, k := range cfg.keys() {
+				entries = append(entries, core.MapEntry{K: k, V: emptySet})
+			}
+			return core.State{"table": core.Map(entries...), "output": emptySet}
+		},
+		Actions: []core.Action{
+			{
+				Name: "Put",
+				Params: []core.Param{
+					core.FixedDomain("k", cfg.keys()...),
+					core.FixedDomain("v", cfg.values()...),
+				},
+				Guard: func(core.Env) bool { return true },
+				Apply: func(env core.Env) map[string]core.Value {
+					table := env.Var("table").(core.VMap)
+					return map[string]core.Value{
+						"table": table.Put(env.Arg("k"), core.Set(env.Arg("v"))),
+					}
+				},
+			},
+			{
+				Name:   "Get",
+				Params: []core.Param{core.FixedDomain("k", cfg.keys()...)},
+				Guard:  func(core.Env) bool { return true },
+				Apply: func(env core.Env) map[string]core.Value {
+					table := env.Var("table").(core.VMap)
+					return map[string]core.Value{"output": table.MustGet(env.Arg("k"))}
+				},
+			},
+		},
+	}
+}
+
+// ToyLog is protocol B of Figure 4b: values stored contiguously in a log.
+func ToyLog(cfg ToyConfig) *core.Spec {
+	return &core.Spec{
+		Name: "ToyLog",
+		Vars: []string{"logs", "output"},
+		Init: func() core.State {
+			entries := make([]core.MapEntry, 0, cfg.Keys)
+			for _, k := range cfg.keys() {
+				entries = append(entries, core.MapEntry{K: k, V: emptySet})
+			}
+			return core.State{"logs": core.Map(entries...), "output": emptySet}
+		},
+		Actions: []core.Action{
+			{
+				Name: "Write",
+				Params: []core.Param{
+					core.FixedDomain("i", cfg.keys()...),
+					core.FixedDomain("v", cfg.values()...),
+				},
+				// Values are stored contiguously: position i needs i-1 set.
+				Guard: func(env core.Env) bool {
+					i := int64(env.Arg("i").(core.VInt))
+					if i == 0 {
+						return true
+					}
+					logs := env.Var("logs").(core.VMap)
+					return !core.Equal(logs.MustGet(core.VInt(i-1)), emptySet)
+				},
+				Apply: func(env core.Env) map[string]core.Value {
+					logs := env.Var("logs").(core.VMap)
+					return map[string]core.Value{
+						"logs": logs.Put(env.Arg("i"), core.Set(env.Arg("v"))),
+					}
+				},
+			},
+			{
+				Name:   "Read",
+				Params: []core.Param{core.FixedDomain("i", cfg.keys()...)},
+				Guard:  func(core.Env) bool { return true },
+				Apply: func(env core.Env) map[string]core.Value {
+					logs := env.Var("logs").(core.VMap)
+					return map[string]core.Value{"output": logs.MustGet(env.Arg("i"))}
+				},
+			},
+		},
+	}
+}
+
+// ToyRefinement is B ⇒ A of Figure 4: the i-th log entry maps to the hash
+// table entry with key i; Write implies Put and Read implies Get.
+func ToyRefinement(cfg ToyConfig) *core.Refinement {
+	low := ToyLog(cfg)
+	high := ToyKVStore(cfg)
+	// The parameter mapping f_args: the log position i is the key k; the
+	// value passes through.
+	passthrough := core.OneArg(func(args map[string]core.Value, _ core.State) map[string]core.Value {
+		out := map[string]core.Value{"k": args["i"]}
+		if v, ok := args["v"]; ok {
+			out["v"] = v
+		}
+		return out
+	})
+	return &core.Refinement{
+		Name: "ToyLog=>ToyKV",
+		Low:  low,
+		High: high,
+		MapState: func(s core.State) core.State {
+			return core.State{"table": s.Get("logs"), "output": s.Get("output")}
+		},
+		Corr: []core.Correspondence{
+			{Low: "Write", High: "Put", Args: passthrough},
+			{Low: "Read", High: "Get", Args: passthrough},
+		},
+	}
+}
+
+// ToySizeOpt is the optimization A∆ of Figure 4c: a size counter tracking
+// how many values have been stored. It is non-mutating: the added clause
+// on Put only writes the new variable (and adds the enabling condition
+// that the key is still empty).
+func ToySizeOpt(cfg ToyConfig) *core.Optimization {
+	return &core.Optimization{
+		Name:    "Size",
+		Base:    ToyKVStore(cfg),
+		NewVars: []string{"size"},
+		InitNew: func() map[string]core.Value {
+			return map[string]core.Value{"size": core.VInt(0)}
+		},
+		Modified: []core.ActionDelta{{
+			Of: "Put",
+			ExtraGuard: func(env core.Env) bool {
+				table := env.Var("table").(core.VMap)
+				return core.Equal(table.MustGet(env.Arg("k")), emptySet)
+			},
+			ExtraApply: func(env core.Env) map[string]core.Value {
+				return map[string]core.Value{
+					"size": env.Var("size").(core.VInt) + 1,
+				}
+			},
+		}},
+	}
+}
+
+// ToyMutatingOpt is a deliberately state-mutating variant used to test the
+// non-mutating classifier: its added subaction clears the table.
+func ToyMutatingOpt(cfg ToyConfig) *core.Optimization {
+	return &core.Optimization{
+		Name:    "Clear",
+		Base:    ToyKVStore(cfg),
+		NewVars: []string{"cleared"},
+		InitNew: func() map[string]core.Value {
+			return map[string]core.Value{"cleared": core.VBool(false)}
+		},
+		Added: []core.Action{{
+			Name:  "Clear",
+			Guard: func(core.Env) bool { return true },
+			Apply: func(env core.Env) map[string]core.Value {
+				entries := make([]core.MapEntry, 0, cfg.Keys)
+				for _, k := range cfg.keys() {
+					entries = append(entries, core.MapEntry{K: k, V: emptySet})
+				}
+				return map[string]core.Value{
+					"table":   core.Map(entries...), // illegal: base variable
+					"cleared": core.VBool(true),
+				}
+			},
+		}},
+	}
+}
+
+// ToySizeInvariant states the property the size optimization maintains:
+// size equals the number of non-empty table entries. It holds in A∆ and —
+// because the ported B∆ refines A∆ — in B∆ under the lifted mapping.
+func ToySizeInvariant(s core.State) bool {
+	var table core.VMap
+	if t, ok := s["table"]; ok {
+		table = t.(core.VMap)
+	} else {
+		table = s.Get("logs").(core.VMap)
+	}
+	n := int64(0)
+	for _, e := range table.Entries() {
+		if !core.Equal(e.V, emptySet) {
+			n++
+		}
+	}
+	return core.Equal(s.Get("size"), core.VInt(n))
+}

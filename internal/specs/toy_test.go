@@ -1,0 +1,145 @@
+package specs_test
+
+import (
+	"strings"
+	"testing"
+
+	"raftpaxos/internal/core"
+	"raftpaxos/internal/mc"
+	"raftpaxos/internal/specs"
+)
+
+var toyCfg = specs.ToyConfig{Keys: 3, Values: 2}
+
+func TestToyRefinementHolds(t *testing.T) {
+	ref := specs.ToyRefinement(toyCfg)
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := mc.CheckRefinement(ref, nil, mc.Options{MaxStates: 1 << 16})
+	if res.Violation != nil {
+		t.Fatalf("ToyLog should refine ToyKV:\n%v", res.Violation)
+	}
+	if res.Truncated {
+		t.Fatal("exploration truncated; raise bounds")
+	}
+	if res.States < 10 {
+		t.Fatalf("suspiciously few states: %d", res.States)
+	}
+	t.Logf("ToyLog=>ToyKV: %d states, %d transitions", res.States, res.Transitions)
+}
+
+func TestToySizeOptIsNonMutating(t *testing.T) {
+	opt := specs.ToySizeOpt(toyCfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.VerifyNonMutating([]core.State{sp.Init()}); err != nil {
+		t.Fatalf("size optimization misclassified: %v", err)
+	}
+}
+
+func TestToyMutatingOptRejected(t *testing.T) {
+	opt := specs.ToyMutatingOpt(toyCfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = opt.VerifyNonMutating([]core.State{sp.Init()})
+	if err == nil {
+		t.Fatal("mutating optimization not detected")
+	}
+	if !strings.Contains(err.Error(), "table") {
+		t.Fatalf("unexpected classification error: %v", err)
+	}
+}
+
+func TestToySizeInvariantInOptimizedHigh(t *testing.T) {
+	opt := specs.ToySizeOpt(toyCfg)
+	sp, err := opt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Check(sp, []mc.Invariant{{Name: "SizeInv", Fn: specs.ToySizeInvariant}},
+		mc.Options{MaxStates: 1 << 16})
+	if res.Violation != nil {
+		t.Fatalf("size invariant broken in A∆:\n%v", res.Violation)
+	}
+}
+
+// TestToyPortEndToEnd is Figure 4 and Figure 5 in one test: port the size
+// optimization from the KV store to the log via the refinement mapping,
+// then verify all three properties of the generated B∆ — it refines A∆,
+// it refines B, and it maintains the optimization's invariant.
+func TestToyPortEndToEnd(t *testing.T) {
+	ported, err := core.Port(specs.ToySizeOpt(toyCfg), specs.ToyRefinement(toyCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// B∆ ⇒ A∆ (the optimization carried over).
+	res := mc.CheckRefinement(ported.ToOptimizedHigh, nil, mc.Options{MaxStates: 1 << 16})
+	if res.Violation != nil {
+		t.Fatalf("B∆ must refine A∆:\n%v", res.Violation)
+	}
+	if res.Truncated {
+		t.Fatal("B∆=>A∆ exploration truncated")
+	}
+
+	// B∆ ⇒ B (the original protocol preserved).
+	res = mc.CheckRefinement(ported.ToBase, nil, mc.Options{MaxStates: 1 << 16})
+	if res.Violation != nil {
+		t.Fatalf("B∆ must refine B:\n%v", res.Violation)
+	}
+
+	// The optimization's invariant holds in the generated protocol.
+	res = mc.Check(ported.LowSpec, []mc.Invariant{{Name: "SizeInv", Fn: specs.ToySizeInvariant}},
+		mc.Options{MaxStates: 1 << 16})
+	if res.Violation != nil {
+		t.Fatalf("size invariant broken in generated B∆:\n%v", res.Violation)
+	}
+	t.Logf("generated %s: %d states", ported.LowSpec.Name, res.States)
+}
+
+// TestToyPortedGuardTransforms checks the generated Write gained the
+// ported enabling condition (logs[i] must be empty), i.e. the Figure 4d
+// spec, by direct state inspection.
+func TestToyPortedGuardTransforms(t *testing.T) {
+	ported, err := core.Port(specs.ToySizeOpt(toyCfg), specs.ToyRefinement(toyCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := ported.LowSpec
+	s := sp.Init()
+	// First write at position 0 is enabled.
+	var wrote core.State
+	for _, tr := range sp.Enabled(s) {
+		if tr.Action == "Write" && core.Equal(tr.Args["i"], core.VInt(0)) {
+			wrote = tr.Next
+			break
+		}
+	}
+	if wrote == nil {
+		t.Fatal("Write(0) not enabled initially")
+	}
+	if !core.Equal(wrote.Get("size"), core.VInt(1)) {
+		t.Fatalf("size after first write = %s, want 1", wrote.Get("size"))
+	}
+	// Overwriting position 0 must now be disabled (ported guard).
+	for _, tr := range sp.Enabled(wrote) {
+		if tr.Action == "Write" && core.Equal(tr.Args["i"], core.VInt(0)) {
+			t.Fatal("Write(0) still enabled after write: ported guard missing")
+		}
+	}
+}
+
+func TestPortRejectsWrongBase(t *testing.T) {
+	opt := specs.ToySizeOpt(toyCfg)
+	// A refinement whose high side is a structurally different spec.
+	ref := specs.ToyRefinement(toyCfg)
+	ref.High = specs.ToyLog(toyCfg)
+	if _, err := core.Port(opt, ref); err == nil {
+		t.Fatal("porting across a mismatched refinement must fail")
+	}
+}

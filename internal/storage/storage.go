@@ -1,0 +1,383 @@
+// Package storage provides the durable state consensus replicas require:
+// a stable store for the (term, votedFor) pair and an append-optimized log
+// store, with in-memory and file-backed implementations. The file backend
+// writes a length-and-checksum-framed record per entry (a minimal WAL) and
+// truncates by rewriting, which is sufficient for the replication volumes
+// the examples and live clusters drive.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"raftpaxos/internal/protocol"
+)
+
+// HardState is the durable per-replica consensus state.
+type HardState struct {
+	Term     uint64
+	VotedFor protocol.NodeID
+	Commit   int64
+}
+
+// Store is the persistence contract engines' drivers rely on.
+type Store interface {
+	// SaveHardState durably records term/vote/commit.
+	SaveHardState(hs HardState) error
+	// HardState returns the last saved hard state.
+	HardState() (HardState, error)
+	// Append adds entries at the end of the log, overwriting any existing
+	// entries at or after the first new index (Raft*'s covered-suffix
+	// overwrite; Raft's erase is the degenerate case of a shorter result).
+	Append(entries []protocol.Entry) error
+	// Entries returns entries in [lo, hi].
+	Entries(lo, hi int64) ([]protocol.Entry, error)
+	// LastIndex returns the last stored index (0 when empty).
+	LastIndex() (int64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// ErrOutOfRange is returned for reads beyond the stored log.
+var ErrOutOfRange = errors.New("storage: index out of range")
+
+// --- In-memory implementation ---
+
+// Mem is the in-memory Store.
+type Mem struct {
+	mu  sync.Mutex
+	hs  HardState
+	log []protocol.Entry // log[i] has Index i+1
+}
+
+var _ Store = (*Mem)(nil)
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// SaveHardState implements Store.
+func (m *Mem) SaveHardState(hs HardState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hs = hs
+	return nil
+}
+
+// HardState implements Store.
+func (m *Mem) HardState() (HardState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hs, nil
+}
+
+// Append implements Store.
+func (m *Mem) Append(entries []protocol.Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range entries {
+		switch {
+		case e.Index <= 0:
+			return fmt.Errorf("storage: bad index %d", e.Index)
+		case e.Index <= int64(len(m.log)):
+			m.log[e.Index-1] = e
+			// Overwriting inside the log invalidates any stale suffix the
+			// new entries do not cover only when the caller truncates; a
+			// covered overwrite leaves later entries in place.
+		case e.Index == int64(len(m.log))+1:
+			m.log = append(m.log, e)
+		default:
+			return fmt.Errorf("storage: gap at index %d (last %d)", e.Index, len(m.log))
+		}
+	}
+	return nil
+}
+
+// Truncate drops all entries after index.
+func (m *Mem) Truncate(index int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if index < 0 || index > int64(len(m.log)) {
+		return ErrOutOfRange
+	}
+	m.log = m.log[:index]
+	return nil
+}
+
+// Entries implements Store.
+func (m *Mem) Entries(lo, hi int64) ([]protocol.Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lo < 1 || hi > int64(len(m.log)) || lo > hi {
+		return nil, ErrOutOfRange
+	}
+	out := make([]protocol.Entry, hi-lo+1)
+	copy(out, m.log[lo-1:hi])
+	return out, nil
+}
+
+// LastIndex implements Store.
+func (m *Mem) LastIndex() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.log)), nil
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }
+
+// --- File-backed implementation ---
+
+// File is the file-backed Store: a hard-state file rewritten atomically
+// and a WAL of framed, checksummed entry records.
+type File struct {
+	mu     sync.Mutex
+	dir    string
+	wal    *os.File
+	hs     HardState
+	cached []protocol.Entry
+}
+
+var _ Store = (*File)(nil)
+
+const (
+	hsFile  = "hardstate"
+	walFile = "wal"
+)
+
+// OpenFile opens (or creates) a file-backed store in dir, replaying the
+// WAL into memory for reads.
+func OpenFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir: %w", err)
+	}
+	f := &File{dir: dir}
+	if err := f.loadHardState(); err != nil {
+		return nil, err
+	}
+	if err := f.replay(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	f.wal = wal
+	return f, nil
+}
+
+func (f *File) loadHardState() error {
+	raw, err := os.ReadFile(filepath.Join(f.dir, hsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		f.hs = HardState{VotedFor: protocol.None}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read hardstate: %w", err)
+	}
+	if len(raw) != 24 {
+		return fmt.Errorf("storage: hardstate is %d bytes, want 24", len(raw))
+	}
+	f.hs.Term = binary.BigEndian.Uint64(raw[0:8])
+	f.hs.VotedFor = protocol.NodeID(int64(binary.BigEndian.Uint64(raw[8:16])))
+	f.hs.Commit = int64(binary.BigEndian.Uint64(raw[16:24]))
+	return nil
+}
+
+// SaveHardState implements Store (atomic rename).
+func (f *File) SaveHardState(hs HardState) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:8], hs.Term)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(hs.VotedFor)))
+	binary.BigEndian.PutUint64(buf[16:24], uint64(hs.Commit))
+	tmp := filepath.Join(f.dir, hsFile+".tmp")
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return fmt.Errorf("storage: write hardstate: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, hsFile)); err != nil {
+		return fmt.Errorf("storage: rename hardstate: %w", err)
+	}
+	f.hs = hs
+	return nil
+}
+
+// HardState implements Store.
+func (f *File) HardState() (HardState, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hs, nil
+}
+
+// encodeEntry frames one entry: total length, CRC32, then the payload.
+func encodeEntry(e protocol.Entry) []byte {
+	key := []byte(e.Cmd.Key)
+	val := e.Cmd.Value
+	body := make([]byte, 0, 8*4+2+len(key)+len(val)+8)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		body = append(body, tmp[:]...)
+	}
+	put(uint64(e.Index))
+	put(e.Term)
+	put(e.Bal)
+	put(e.Cmd.ID)
+	put(uint64(int64(e.Cmd.Client)))
+	body = append(body, byte(e.Cmd.Op))
+	body = append(body, byte(len(key)))
+	body = append(body, key...)
+	put(uint64(len(val)))
+	body = append(body, val...)
+
+	frame := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	return append(frame, body...)
+}
+
+func decodeEntry(body []byte) (protocol.Entry, error) {
+	var e protocol.Entry
+	if len(body) < 8*5+2 {
+		return e, errors.New("storage: short record")
+	}
+	off := 0
+	get := func() uint64 {
+		v := binary.BigEndian.Uint64(body[off : off+8])
+		off += 8
+		return v
+	}
+	e.Index = int64(get())
+	e.Term = get()
+	e.Bal = get()
+	e.Cmd.ID = get()
+	e.Cmd.Client = protocol.NodeID(int64(get()))
+	e.Cmd.Op = protocol.Op(body[off])
+	off++
+	klen := int(body[off])
+	off++
+	if off+klen+8 > len(body) {
+		return e, errors.New("storage: truncated key")
+	}
+	e.Cmd.Key = string(body[off : off+klen])
+	off += klen
+	vlen := int(binary.BigEndian.Uint64(body[off : off+8]))
+	off += 8
+	if off+vlen > len(body) {
+		return e, errors.New("storage: truncated value")
+	}
+	if vlen > 0 {
+		e.Cmd.Value = append([]byte(nil), body[off:off+vlen]...)
+	}
+	return e, nil
+}
+
+func (f *File) replay() error {
+	raw, err := os.ReadFile(filepath.Join(f.dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read wal: %w", err)
+	}
+	for off := 0; off+8 <= len(raw); {
+		size := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		sum := binary.BigEndian.Uint32(raw[off+4 : off+8])
+		if off+8+size > len(raw) {
+			break // torn tail from a crash: discard
+		}
+		body := raw[off+8 : off+8+size]
+		if crc32.ChecksumIEEE(body) != sum {
+			break // corruption: stop at last good record
+		}
+		ent, err := decodeEntry(body)
+		if err != nil {
+			return err
+		}
+		f.applyToCache(ent)
+		off += 8 + size
+	}
+	return nil
+}
+
+func (f *File) applyToCache(e protocol.Entry) {
+	switch {
+	case e.Index <= int64(len(f.cached)):
+		f.cached[e.Index-1] = e
+		f.cached = f.cached[:e.Index] // records overwrite the suffix
+	case e.Index == int64(len(f.cached))+1:
+		f.cached = append(f.cached, e)
+	}
+}
+
+// Append implements Store.
+func (f *File) Append(entries []protocol.Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range entries {
+		if e.Index <= 0 || e.Index > int64(len(f.cached))+1 {
+			return fmt.Errorf("storage: gap at index %d (last %d)", e.Index, len(f.cached))
+		}
+		if _, err := f.wal.Write(encodeEntry(e)); err != nil {
+			return fmt.Errorf("storage: append wal: %w", err)
+		}
+		switch {
+		case e.Index <= int64(len(f.cached)):
+			f.cached[e.Index-1] = e
+			f.cached = f.cached[:e.Index]
+		default:
+			f.cached = append(f.cached, e)
+		}
+	}
+	return f.wal.Sync()
+}
+
+// Entries implements Store.
+func (f *File) Entries(lo, hi int64) ([]protocol.Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if lo < 1 || hi > int64(len(f.cached)) || lo > hi {
+		return nil, ErrOutOfRange
+	}
+	out := make([]protocol.Entry, hi-lo+1)
+	copy(out, f.cached[lo-1:hi])
+	return out, nil
+}
+
+// LastIndex implements Store.
+func (f *File) LastIndex() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.cached)), nil
+}
+
+// Close implements Store.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.wal == nil {
+		return nil
+	}
+	err := f.wal.Close()
+	f.wal = nil
+	return err
+}
+
+// CopyTo streams the WAL to w (debug/backup helper).
+func (f *File) CopyTo(w io.Writer) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	src, err := os.Open(filepath.Join(f.dir, walFile))
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	_, err = io.Copy(w, src)
+	return err
+}

@@ -1,0 +1,162 @@
+package storage_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/storage"
+)
+
+func entry(i int64, term uint64, key string) protocol.Entry {
+	return protocol.Entry{
+		Index: i, Term: term, Bal: term,
+		Cmd: protocol.Command{ID: uint64(i), Op: protocol.OpPut, Key: key, Value: []byte("v")},
+	}
+}
+
+func testStore(t *testing.T, s storage.Store) {
+	t.Helper()
+	if err := s.SaveHardState(storage.HardState{Term: 3, VotedFor: 1, Commit: 2}); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := s.HardState()
+	if err != nil || hs.Term != 3 || hs.VotedFor != 1 || hs.Commit != 2 {
+		t.Fatalf("hardstate = %+v, %v", hs, err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := s.LastIndex()
+	if err != nil || last != 5 {
+		t.Fatalf("last = %d, %v", last, err)
+	}
+	ents, err := s.Entries(2, 4)
+	if err != nil || len(ents) != 3 || ents[0].Index != 2 {
+		t.Fatalf("entries = %+v, %v", ents, err)
+	}
+	// Overwrite at index 3 (Raft*'s covered overwrite).
+	if err := s.Append([]protocol.Entry{entry(3, 2, "k2")}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err = s.Entries(3, 3)
+	if err != nil || ents[0].Term != 2 || ents[0].Cmd.Key != "k2" {
+		t.Fatalf("overwrite lost: %+v, %v", ents, err)
+	}
+	if _, err := s.Entries(0, 1); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := s.Append([]protocol.Entry{entry(99, 1, "k")}); err == nil {
+		t.Fatal("gapped append accepted")
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, storage.NewMem()) }
+
+func TestFileStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveHardState(storage.HardState{Term: 7, VotedFor: 2, Commit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 7, "key")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	hs, _ := re.HardState()
+	if hs.Term != 7 || hs.VotedFor != 2 || hs.Commit != 3 {
+		t.Fatalf("recovered hardstate %+v", hs)
+	}
+	last, _ := re.LastIndex()
+	if last != 4 {
+		t.Fatalf("recovered last = %d, want 4", last)
+	}
+	ents, err := re.Entries(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ents {
+		if e.Index != int64(i+1) || e.Cmd.Key != "key" || string(e.Cmd.Value) != "v" {
+			t.Fatalf("entry %d corrupted: %+v", i+1, e)
+		}
+	}
+}
+
+func TestFileStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Simulate a crash mid-write: append garbage to the WAL.
+	wal := filepath.Join(dir, "wal")
+	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 50, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	last, _ := re.LastIndex()
+	if last != 3 {
+		t.Fatalf("torn tail not discarded: last = %d", last)
+	}
+}
+
+func TestMemTruncate(t *testing.T) {
+	m := storage.NewMem()
+	for i := int64(1); i <= 5; i++ {
+		if err := m.Append([]protocol.Entry{entry(i, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	last, _ := m.LastIndex()
+	if last != 2 {
+		t.Fatalf("last after truncate = %d", last)
+	}
+	if err := m.Truncate(99); err == nil {
+		t.Fatal("out-of-range truncate accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package testcluster is a deterministic, synchronous multi-node harness
+// for unit and property tests of consensus engines. Messages are queued
+// and delivered under test control (in order, shuffled, dropped,
+// duplicated, or partitioned), and per-node applied logs are recorded so
+// tests can assert agreement invariants.
+package testcluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Cluster drives a set of engines in lockstep.
+type Cluster struct {
+	Engines map[protocol.NodeID]protocol.Engine
+	Queue   []protocol.Envelope
+	Rng     *rand.Rand
+
+	// Fault injection.
+	DropRate float64
+	DupRate  float64
+	cut      map[[2]protocol.NodeID]bool
+
+	// Observed behaviour.
+	Applied map[protocol.NodeID][]protocol.Entry
+	Replies []protocol.ClientReply
+}
+
+// New builds a cluster over the given engines.
+func New(seed int64, engines ...protocol.Engine) *Cluster {
+	c := &Cluster{
+		Engines: make(map[protocol.NodeID]protocol.Engine, len(engines)),
+		Rng:     rand.New(rand.NewSource(seed)),
+		cut:     make(map[[2]protocol.NodeID]bool),
+		Applied: make(map[protocol.NodeID][]protocol.Entry),
+	}
+	for _, e := range engines {
+		c.Engines[e.ID()] = e
+	}
+	return c
+}
+
+// Partition cuts or heals the bidirectional link a<->b.
+func (c *Cluster) Partition(a, b protocol.NodeID, cut bool) {
+	c.cut[[2]protocol.NodeID{a, b}] = cut
+	c.cut[[2]protocol.NodeID{b, a}] = cut
+}
+
+// Isolate cuts every link touching n (or heals them).
+func (c *Cluster) Isolate(n protocol.NodeID, cut bool) {
+	for id := range c.Engines {
+		if id != n {
+			c.Partition(n, id, cut)
+		}
+	}
+}
+
+// Collect absorbs an engine output produced at node id, mirroring a real
+// driver: commits are applied in order, and Reply-flagged commits are
+// answered to the client on the engine's behalf.
+func (c *Cluster) Collect(id protocol.NodeID, out protocol.Output) {
+	c.Queue = append(c.Queue, out.Msgs...)
+	for _, ci := range out.Commits {
+		c.Applied[id] = append(c.Applied[id], ci.Entry)
+		if ci.Reply {
+			kind := protocol.ReplyWrite
+			if ci.Entry.Cmd.Op == protocol.OpGet {
+				kind = protocol.ReplyRead
+			}
+			c.Replies = append(c.Replies, protocol.ClientReply{
+				Kind: kind, CmdID: ci.Entry.Cmd.ID, Client: ci.Entry.Cmd.Client,
+			})
+		}
+	}
+	c.Replies = append(c.Replies, out.Replies...)
+}
+
+// Tick ticks every engine once.
+func (c *Cluster) Tick() {
+	for id, e := range c.Engines {
+		c.Collect(id, e.Tick())
+	}
+}
+
+// TickNode ticks a single engine.
+func (c *Cluster) TickNode(id protocol.NodeID) {
+	c.Collect(id, c.Engines[id].Tick())
+}
+
+// Submit proposes a command at node id.
+func (c *Cluster) Submit(id protocol.NodeID, cmd protocol.Command) {
+	c.Collect(id, c.Engines[id].Submit(cmd))
+}
+
+// SubmitRead requests a read at node id.
+func (c *Cluster) SubmitRead(id protocol.NodeID, cmd protocol.Command) {
+	c.Collect(id, c.Engines[id].SubmitRead(cmd))
+}
+
+// deliver pops the queued envelope at position i and delivers it,
+// honouring partitions, drops and duplication.
+func (c *Cluster) deliver(i int) {
+	env := c.Queue[i]
+	c.Queue = append(c.Queue[:i], c.Queue[i+1:]...)
+	if c.cut[[2]protocol.NodeID{env.From, env.To}] {
+		return
+	}
+	if c.DropRate > 0 && c.Rng.Float64() < c.DropRate {
+		return
+	}
+	dst, ok := c.Engines[env.To]
+	if !ok {
+		return // message to a client endpoint; tests observe via Replies
+	}
+	if c.DupRate > 0 && c.Rng.Float64() < c.DupRate {
+		c.Collect(env.To, dst.Step(env.From, env.Msg))
+	}
+	c.Collect(env.To, dst.Step(env.From, env.Msg))
+}
+
+// DeliverAll delivers queued messages in FIFO order until quiescent.
+// It returns the number of messages delivered and stops (test safety) at
+// the limit.
+func (c *Cluster) DeliverAll(limit int) int {
+	n := 0
+	for len(c.Queue) > 0 {
+		c.deliver(0)
+		n++
+		if n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+// DeliverShuffled delivers queued messages in random order while
+// preserving FIFO order within each (from, to) pair — the guarantee a TCP
+// link gives, and the one Mencius's skip rule relies on (a skip barrier
+// must not overtake its owner's earlier proposals).
+func (c *Cluster) DeliverShuffled(limit int) int {
+	n := 0
+	for len(c.Queue) > 0 && n < limit {
+		// First queued index of each live pair.
+		firsts := make([]int, 0, 8)
+		seen := make(map[[2]protocol.NodeID]bool, 8)
+		for i, env := range c.Queue {
+			key := [2]protocol.NodeID{env.From, env.To}
+			if !seen[key] {
+				seen[key] = true
+				firsts = append(firsts, i)
+			}
+		}
+		c.deliver(firsts[c.Rng.Intn(len(firsts))])
+		n++
+	}
+	return n
+}
+
+// DeliverChaos delivers queued messages in a fully random order, with no
+// pairwise FIFO guarantee. Suitable for protocols robust to arbitrary
+// reordering (Raft, Raft*, MultiPaxos).
+func (c *Cluster) DeliverChaos(limit int) int {
+	n := 0
+	for len(c.Queue) > 0 && n < limit {
+		c.deliver(c.Rng.Intn(len(c.Queue)))
+		n++
+	}
+	return n
+}
+
+// Settle alternates ticking and delivering until the cluster quiesces or
+// rounds are exhausted. It is the standard way tests advance time.
+func (c *Cluster) Settle(rounds int) {
+	for r := 0; r < rounds; r++ {
+		c.Tick()
+		c.DeliverAll(100000)
+	}
+}
+
+// Leader returns the unique engine that currently claims leadership, or
+// nil if none or more than one does.
+func (c *Cluster) Leader() protocol.Engine {
+	var found protocol.Engine
+	for _, e := range c.Engines {
+		if e.IsLeader() {
+			if found != nil {
+				return nil
+			}
+			found = e
+		}
+	}
+	return found
+}
+
+// ElectLeader ticks until some node claims leadership, returning it.
+func (c *Cluster) ElectLeader(maxRounds int) (protocol.Engine, error) {
+	for r := 0; r < maxRounds; r++ {
+		c.Tick()
+		c.DeliverAll(100000)
+		if l := c.Leader(); l != nil {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("no leader after %d rounds", maxRounds)
+}
+
+// CheckAgreement verifies that every node's applied sequence is a prefix
+// of the longest one, comparing (Index, Cmd.ID, Cmd.Op, Key): the core
+// safety property shared by all protocols here.
+func (c *Cluster) CheckAgreement() error {
+	var longest []protocol.Entry
+	for _, app := range c.Applied {
+		if len(app) > len(longest) {
+			longest = app
+		}
+	}
+	for id, app := range c.Applied {
+		for i, ent := range app {
+			ref := longest[i]
+			if ent.Index != ref.Index || ent.Cmd.ID != ref.Cmd.ID ||
+				ent.Cmd.Op != ref.Cmd.Op || ent.Cmd.Key != ref.Cmd.Key {
+				return fmt.Errorf(
+					"node %d applied %+v at position %d, but reference has %+v",
+					id, ent, i, ref)
+			}
+		}
+	}
+	return nil
+}

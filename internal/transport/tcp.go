@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"raftpaxos/internal/lease"
+	"raftpaxos/internal/mencius"
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/pql"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raft"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/rql"
+)
+
+// RegisterMessages registers every engine message type with gob so the
+// TCP transport can ship them. Call once per process before dialing.
+func RegisterMessages() {
+	for _, m := range []any{
+		&raftstar.MsgVoteReq{}, &raftstar.MsgVoteResp{},
+		&raftstar.MsgAppendReq{}, &raftstar.MsgAppendResp{}, &raftstar.MsgForward{},
+		&raft.MsgVoteReq{}, &raft.MsgVoteResp{},
+		&raft.MsgAppendReq{}, &raft.MsgAppendResp{}, &raft.MsgForward{},
+		&multipaxos.MsgPrepare{}, &multipaxos.MsgPrepareOK{},
+		&multipaxos.MsgAccept{}, &multipaxos.MsgAcceptOK{}, &multipaxos.MsgForward{},
+		&mencius.MsgPropose{}, &mencius.MsgProposeOK{}, &mencius.MsgCoordHB{},
+		&mencius.MsgRevokePrep{}, &mencius.MsgRevokePromise{},
+		&lease.MsgGrant{}, &lease.MsgGrantAck{},
+		&rql.MsgReadReq{}, &pql.MsgReadReq{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// wireFrame is the gob envelope on the wire.
+type wireFrame struct {
+	From protocol.NodeID
+	Msg  protocol.Message
+}
+
+// TCP is a TCP transport: one listener per node, one outbound connection
+// per peer (lazily dialed, re-dialed on failure).
+type TCP struct {
+	self  protocol.NodeID
+	addrs map[protocol.NodeID]string
+
+	mu    sync.Mutex
+	conns map[protocol.NodeID]*gob.Encoder
+	raw   map[protocol.NodeID]net.Conn
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewTCP starts a TCP transport listening on addrs[self] and dispatching
+// inbound messages to h.
+func NewTCP(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	t := &TCP{
+		self:   self,
+		addrs:  addrs,
+		conns:  make(map[protocol.NodeID]*gob.Encoder),
+		raw:    make(map[protocol.NodeID]net.Conn),
+		ln:     ln,
+		closed: make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.accept(h)
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCP) accept(h Handler) {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+				continue
+			}
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			for {
+				var f wireFrame
+				if err := dec.Decode(&f); err != nil {
+					return
+				}
+				h(f.From, f.Msg)
+			}
+		}()
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc, ok := t.conns[to]
+	if !ok {
+		addr, known := t.addrs[to]
+		if !known {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return // peer down; consensus retries via timers
+		}
+		enc = gob.NewEncoder(conn)
+		t.conns[to] = enc
+		t.raw[to] = conn
+	}
+	if err := enc.Encode(wireFrame{From: from, Msg: msg}); err != nil {
+		// Connection broke: drop it so the next send re-dials.
+		if c := t.raw[to]; c != nil {
+			c.Close()
+		}
+		delete(t.conns, to)
+		delete(t.raw, to)
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	close(t.closed)
+	err := t.ln.Close()
+	t.mu.Lock()
+	for id, c := range t.raw {
+		c.Close()
+		delete(t.raw, id)
+		delete(t.conns, id)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,92 @@
+// Package transport provides live (non-simulated) message transports for
+// running clusters as real processes: an in-process channel transport for
+// examples and tests, and a TCP transport (net + encoding/gob) for
+// multi-process deployments. Both preserve per-pair FIFO ordering, the
+// delivery property the Mencius engines assume (and TCP provides).
+package transport
+
+import (
+	"sync"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Handler consumes inbound messages.
+type Handler func(from protocol.NodeID, msg protocol.Message)
+
+// Transport moves protocol messages between replicas.
+type Transport interface {
+	// Send transmits msg to the named peer. Best-effort: errors are
+	// swallowed (consensus tolerates loss); delivery order per pair is
+	// FIFO.
+	Send(from, to protocol.NodeID, msg protocol.Message)
+	// Close stops background work.
+	Close() error
+}
+
+// --- In-process channel transport ---
+
+// ChanNetwork connects in-process nodes with buffered channels.
+type ChanNetwork struct {
+	mu    sync.RWMutex
+	peers map[protocol.NodeID]chan envelope
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+type envelope struct {
+	from protocol.NodeID
+	msg  protocol.Message
+}
+
+// NewChanNetwork builds an empty in-process network.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{
+		peers: make(map[protocol.NodeID]chan envelope),
+		done:  make(chan struct{}),
+	}
+}
+
+// Listen registers a handler for id; inbound messages are dispatched from
+// a dedicated goroutine (serialized per node, as engines require).
+func (n *ChanNetwork) Listen(id protocol.NodeID, h Handler) {
+	ch := make(chan envelope, 1024)
+	n.mu.Lock()
+	n.peers[id] = ch
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case env := <-ch:
+				h(env.from, env.msg)
+			case <-n.done:
+				return
+			}
+		}
+	}()
+}
+
+// Send implements Transport.
+func (n *ChanNetwork) Send(from, to protocol.NodeID, msg protocol.Message) {
+	n.mu.RLock()
+	ch, ok := n.peers[to]
+	n.mu.RUnlock()
+	if !ok {
+		return
+	}
+	select {
+	case ch <- envelope{from: from, msg: msg}:
+	case <-n.done:
+	default:
+		// Backpressure overflow: drop, as a lossy network would.
+	}
+}
+
+// Close implements Transport.
+func (n *ChanNetwork) Close() error {
+	close(n.done)
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,96 @@
+package transport_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/transport"
+)
+
+func TestChanNetworkRoundTrip(t *testing.T) {
+	net := transport.NewChanNetwork()
+	defer net.Close()
+	var mu sync.Mutex
+	var got []protocol.Message
+	done := make(chan struct{}, 8)
+	net.Listen(1, func(from protocol.NodeID, msg protocol.Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	m := &raftstar.MsgVoteReq{Term: 3}
+	net.Send(0, 1, m)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].(*raftstar.MsgVoteReq).Term != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestChanNetworkUnknownPeerDropped(t *testing.T) {
+	net := transport.NewChanNetwork()
+	defer net.Close()
+	net.Send(0, 99, &raftstar.MsgVoteReq{}) // must not panic or block
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	transport.RegisterMessages()
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+
+	type rcv struct {
+		from protocol.NodeID
+		msg  protocol.Message
+	}
+	ch := make(chan rcv, 8)
+	t1, err := transport.NewTCP(1, addrs, func(from protocol.NodeID, msg protocol.Message) {
+		ch <- rcv{from, msg}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+
+	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	// FIFO across several messages.
+	for i := uint64(1); i <= 5; i++ {
+		t0.Send(0, 1, &raftstar.MsgAppendReq{Term: i})
+	}
+	for i := uint64(1); i <= 5; i++ {
+		select {
+		case r := <-ch:
+			m, ok := r.msg.(*raftstar.MsgAppendReq)
+			if !ok || m.Term != i || r.from != 0 {
+				t.Fatalf("message %d: got %+v from %d", i, r.msg, r.from)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d never arrived", i)
+		}
+	}
+}
+
+func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
+	transport.RegisterMessages()
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:1"} // port 1: refused
+	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t0.Send(0, 1, &raftstar.MsgVoteReq{}) // must not panic
+	t0.Send(0, 7, &raftstar.MsgVoteReq{}) // unknown peer: dropped
+}

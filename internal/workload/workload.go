@@ -1,0 +1,83 @@
+// Package workload generates the paper's YCSB-like evaluation load
+// (Section 5 "Workload"): closed-loop clients issuing get/put requests
+// back-to-back; a configured fraction of requests touches one popular
+// record (the conflict rate); the remaining key space is pre-partitioned
+// among the datacenters and drawn uniformly.
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// Config describes a workload.
+type Config struct {
+	// ReadPercent is the fraction of get requests (0..100).
+	ReadPercent int
+	// ConflictPercent is the chance a request touches the hot record.
+	ConflictPercent int
+	// Records is the number of records per region partition (paper: 100K
+	// total across 5 regions).
+	Records int
+	// ValueSize is the put payload size in bytes (8 B or 4 KB in Fig 10).
+	ValueSize int
+	// Regions is the number of key-space partitions.
+	Regions int
+}
+
+// Request is one generated operation.
+type Request struct {
+	Read  bool
+	Key   string
+	Value []byte
+	// Hot marks a conflict-rate access to the popular record.
+	Hot bool
+}
+
+// HotKey is the single popular record every region contends on.
+const HotKey = "hot"
+
+// Generator draws requests for one region deterministically.
+type Generator struct {
+	cfg    Config
+	region int
+	rng    *rand.Rand
+	value  []byte
+}
+
+// NewGenerator builds a generator for a region with its own seeded RNG.
+func NewGenerator(cfg Config, region int, seed int64) *Generator {
+	if cfg.Records <= 0 {
+		cfg.Records = 20000
+	}
+	if cfg.Regions <= 0 {
+		cfg.Regions = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 8
+	}
+	return &Generator{
+		cfg:    cfg,
+		region: region,
+		rng:    rand.New(rand.NewSource(seed ^ int64(region)<<13)),
+		value:  make([]byte, cfg.ValueSize),
+	}
+}
+
+// Next draws the next request.
+func (g *Generator) Next() Request {
+	req := Request{}
+	req.Read = g.rng.Intn(100) < g.cfg.ReadPercent
+	if g.rng.Intn(100) < g.cfg.ConflictPercent {
+		req.Hot = true
+		req.Key = HotKey
+	} else {
+		// Uniform over this region's partition.
+		k := g.rng.Intn(g.cfg.Records)
+		req.Key = "r" + strconv.Itoa(g.region) + "-" + strconv.Itoa(k)
+	}
+	if !req.Read {
+		req.Value = g.value
+	}
+	return req
+}

@@ -1,0 +1,74 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"raftpaxos/internal/workload"
+)
+
+func TestReadWriteMix(t *testing.T) {
+	g := workload.NewGenerator(workload.Config{ReadPercent: 90, Records: 100}, 0, 1)
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Read {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("read fraction %.3f, want ~0.90", frac)
+	}
+}
+
+func TestConflictRate(t *testing.T) {
+	g := workload.NewGenerator(workload.Config{ReadPercent: 50, ConflictPercent: 20, Records: 100}, 1, 2)
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		if req.Hot {
+			if req.Key != workload.HotKey {
+				t.Fatalf("hot request with key %q", req.Key)
+			}
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("conflict fraction %.3f, want ~0.20", frac)
+	}
+}
+
+func TestRegionPartitioning(t *testing.T) {
+	g0 := workload.NewGenerator(workload.Config{Records: 50, Regions: 5}, 0, 3)
+	g4 := workload.NewGenerator(workload.Config{Records: 50, Regions: 5}, 4, 3)
+	for i := 0; i < 100; i++ {
+		if k := g0.Next().Key; !strings.HasPrefix(k, "r0-") {
+			t.Fatalf("region 0 drew key %q", k)
+		}
+		if k := g4.Next().Key; !strings.HasPrefix(k, "r4-") {
+			t.Fatalf("region 4 drew key %q", k)
+		}
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	g := workload.NewGenerator(workload.Config{ReadPercent: 0, ValueSize: 4096}, 0, 4)
+	req := g.Next()
+	if req.Read || len(req.Value) != 4096 {
+		t.Fatalf("req = read:%v len:%d", req.Read, len(req.Value))
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := workload.NewGenerator(workload.Config{ReadPercent: 50, ConflictPercent: 10}, 2, 7)
+	b := workload.NewGenerator(workload.Config{ReadPercent: 50, ConflictPercent: 10}, 2, 7)
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra.Read != rb.Read || ra.Key != rb.Key {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package raftpaxos_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"raftpaxos"
+)
+
+func testClusterPutGet(t *testing.T, proto raftpaxos.Proto) {
+	t.Helper()
+	cl, err := raftpaxos.NewCluster(raftpaxos.ClusterConfig{
+		Protocol:          proto,
+		Nodes:             3,
+		TickInterval:      2 * time.Millisecond,
+		ElectionTimeout:   60 * time.Millisecond,
+		HeartbeatInterval: 10 * time.Millisecond,
+		LeaseDuration:     200 * time.Millisecond,
+		LeaseRenew:        50 * time.Millisecond,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	if proto != raftpaxos.ProtoRaftStarMencius {
+		if l := cl.WaitLeader(5 * time.Second); l < 0 {
+			t.Fatal("no leader elected")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := cl.Node(i%cl.Len()).Put(ctx, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		got, err := cl.Node((i+1)%cl.Len()).Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %s: %v", key, err)
+		}
+		if want := fmt.Sprintf("v%d", i); string(got) != want {
+			t.Fatalf("get %s = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestClusterRaftStar(t *testing.T)   { testClusterPutGet(t, raftpaxos.ProtoRaftStar) }
+func TestClusterRaft(t *testing.T)       { testClusterPutGet(t, raftpaxos.ProtoRaft) }
+func TestClusterMultiPaxos(t *testing.T) { testClusterPutGet(t, raftpaxos.ProtoMultiPaxos) }
+func TestClusterPQL(t *testing.T)        { testClusterPutGet(t, raftpaxos.ProtoRaftStarPQL) }
+func TestClusterLL(t *testing.T)         { testClusterPutGet(t, raftpaxos.ProtoRaftStarLL) }
+func TestClusterMencius(t *testing.T)    { testClusterPutGet(t, raftpaxos.ProtoRaftStarMencius) }
+func TestClusterPaxosPQL(t *testing.T)   { testClusterPutGet(t, raftpaxos.ProtoPaxosPQL) }
+
+func TestParseProto(t *testing.T) {
+	for _, p := range []raftpaxos.Proto{
+		raftpaxos.ProtoMultiPaxos, raftpaxos.ProtoRaft, raftpaxos.ProtoRaftStar,
+		raftpaxos.ProtoRaftStarPQL, raftpaxos.ProtoRaftStarLL,
+		raftpaxos.ProtoRaftStarMencius, raftpaxos.ProtoPaxosPQL,
+	} {
+		got, err := raftpaxos.ParseProto(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProto(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := raftpaxos.ParseProto("nope"); err == nil {
+		t.Fatal("expected error for unknown protocol")
+	}
+}
+
+// TestFormalFacade exercises the re-exported formal layer end to end on
+// the cheapest artifacts.
+func TestFormalFacade(t *testing.T) {
+	ported, err := raftpaxos.NewPortedMencius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := raftpaxos.CheckRefinement(ported.ToBase, raftpaxos.CheckOptions{MaxStates: 3000})
+	if res.Violation != nil {
+		t.Fatalf("generated CoorRaft must refine Raft*: %v", res.Violation)
+	}
+	neg := raftpaxos.RaftRefinementAttempt(raftpaxos.DefaultBounds())
+	res = raftpaxos.CheckRefinement(neg, raftpaxos.CheckOptions{MaxStates: 20000, MaxHops: 4})
+	if res.Violation == nil {
+		t.Fatal("Raft must not refine MultiPaxos")
+	}
+}
