@@ -15,6 +15,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -23,6 +24,7 @@ import (
 	"raftpaxos"
 	"raftpaxos/internal/cluster"
 	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/storage"
 	"raftpaxos/internal/transport"
 )
 
@@ -70,13 +72,20 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 	addrs map[protocol.NodeID]string, dataDir string) (*cluster.Node, *transport.TCP, error) {
 	eng := raftpaxos.NewEngine(raftpaxos.ClusterConfig{Protocol: p, Nodes: len(peers)}, id, peers)
 	lazy := &lazyTransport{}
-	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy})
+	var stable storage.Store
+	if dataDir != "" {
+		fs, err := storage.OpenFile(filepath.Join(dataDir, fmt.Sprintf("node-%d", id)))
+		if err != nil {
+			return nil, nil, err
+		}
+		stable = fs
+	}
+	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy, Stable: stable})
 	tcp, err := transport.NewTCP(id, addrs, n.HandleMessage)
 	if err != nil {
 		return nil, nil, err
 	}
 	lazy.set(tcp)
-	_ = dataDir
 	n.Start()
 	return n, tcp, nil
 }

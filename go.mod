@@ -1,0 +1,3 @@
+module raftpaxos
+
+go 1.21

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raftpaxos/internal/cluster"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/storage"
+	"raftpaxos/internal/transport"
+)
+
+// LiveConfig configures a closed-loop throughput trial against the live
+// runtime — real goroutines, the in-process channel transport, and
+// (optionally) file-backed storage — as opposed to the virtual-time WAN
+// trials Run drives. It exists to measure the batched hot path itself:
+// how many committed writes per second the cluster/storage/transport
+// stack sustains, and how many fsyncs it pays per entry.
+type LiveConfig struct {
+	// Replicas is the cluster size (default 3).
+	Replicas int
+	// Clients is the number of closed-loop client goroutines (default 32).
+	Clients int
+	// Ops is the total number of writes across all clients (default 2000).
+	Ops int
+	// ValueSize is the write payload in bytes (default 16).
+	ValueSize int
+	// Dirs, when non-empty, holds one storage directory per replica and
+	// switches the trial to file-backed WALs (group commit measurable via
+	// the sync counters). Empty runs volatile.
+	Dirs []string
+	// TickInterval drives the engines' logical clocks (default 1ms).
+	TickInterval time.Duration
+	// MaxBatch bounds the per-iteration drain (default: cluster default).
+	MaxBatch int
+	// DisableBatching drives the unbatched baseline: one input per event
+	// loop iteration and one fsync per committed entry.
+	DisableBatching bool
+}
+
+func (c *LiveConfig) withDefaults() LiveConfig {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = 3
+	}
+	if out.Clients <= 0 {
+		out.Clients = 32
+	}
+	if out.Ops <= 0 {
+		out.Ops = 2000
+	}
+	if out.ValueSize <= 0 {
+		out.ValueSize = 16
+	}
+	if out.TickInterval <= 0 {
+		out.TickInterval = time.Millisecond
+	}
+	return out
+}
+
+// LiveResult reports one live trial.
+type LiveResult struct {
+	// Throughput is committed writes per wall-clock second.
+	Throughput float64
+	// Ops is the number of writes completed.
+	Ops int
+	// Elapsed is the measured wall-clock window.
+	Elapsed time.Duration
+	// Syncs, Appends, and Entries are summed over the file-backed stores
+	// (zero when the trial ran volatile). Syncs/Entries < 1 is the group
+	// commit amortization at work.
+	Syncs   uint64
+	Appends uint64
+	Entries uint64
+}
+
+// SyncsPerEntry is the amortized fsync cost (0 when nothing was logged).
+func (r *LiveResult) SyncsPerEntry() float64 {
+	if r.Entries == 0 {
+		return 0
+	}
+	return float64(r.Syncs) / float64(r.Entries)
+}
+
+// RunLive assembles a Raft* cluster on the in-process transport, waits
+// for a leader, then drives Ops closed-loop writes from Clients
+// goroutines attached to the leader and reports throughput and storage
+// sync counters.
+func RunLive(raw LiveConfig) (*LiveResult, error) {
+	cfg := raw.withDefaults()
+	if len(cfg.Dirs) != 0 && len(cfg.Dirs) != cfg.Replicas {
+		return nil, fmt.Errorf("bench: %d dirs for %d replicas", len(cfg.Dirs), cfg.Replicas)
+	}
+
+	peers := make([]protocol.NodeID, cfg.Replicas)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	net := transport.NewChanNetwork()
+	defer net.Close()
+
+	stores := make([]*storage.File, 0, cfg.Replicas)
+	nodes := make([]*cluster.Node, cfg.Replicas)
+	for i := range peers {
+		var st storage.Store
+		if len(cfg.Dirs) != 0 {
+			fs, err := storage.OpenFile(cfg.Dirs[i])
+			if err != nil {
+				return nil, err
+			}
+			defer fs.Close()
+			stores = append(stores, fs)
+			st = fs
+		}
+		nodes[i] = cluster.New(cluster.Config{
+			Engine: raftstar.New(raftstar.Config{
+				ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7,
+			}),
+			Transport:       net,
+			Stable:          st,
+			TickInterval:    cfg.TickInterval,
+			MaxBatch:        cfg.MaxBatch,
+			DisableBatching: cfg.DisableBatching,
+		})
+		net.Listen(peers[i], nodes[i].HandleMessage)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	var leader *cluster.Node
+	deadline := time.Now().Add(10 * time.Second)
+	for leader == nil {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: no leader elected")
+		}
+		for _, nd := range nodes {
+			if nd.IsLeader() {
+				leader = nd
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	value := make([]byte, cfg.ValueSize)
+	var next atomic.Int64
+	errCh := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				op := next.Add(1)
+				if op > int64(cfg.Ops) {
+					return
+				}
+				key := fmt.Sprintf("bench-%d-%d", c, op)
+				if err := leader.Put(ctx, key, value); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+
+	res := &LiveResult{
+		Throughput: float64(cfg.Ops) / elapsed.Seconds(),
+		Ops:        cfg.Ops,
+		Elapsed:    elapsed,
+	}
+	for _, fs := range stores {
+		res.Syncs += fs.SyncCount()
+		res.Appends += fs.AppendCount()
+		res.Entries += fs.EntryCount()
+	}
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package bench_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/bench"
+)
+
+// TestRunLiveGroupCommit runs a short closed-loop trial on file-backed
+// storage and asserts the group-commit invariants: every write committed
+// and durable on the leader, with strictly fewer fsyncs than entries
+// (the batching amortization the live runtime exists to provide).
+func TestRunLiveGroupCommit(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	res, err := bench.RunLive(bench.LiveConfig{
+		Clients: 32,
+		Ops:     600,
+		Dirs:    dirs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 600 {
+		t.Fatalf("ops = %d, want 600", res.Ops)
+	}
+	// Each replica logs each committed entry once; the leader alone
+	// accounts for >= Ops entries (no-op barrier entries add a few more).
+	if res.Entries < 600 {
+		t.Fatalf("entries = %d, want >= 600", res.Entries)
+	}
+	if res.Syncs >= res.Entries {
+		t.Fatalf("no amortization: %d syncs for %d entries", res.Syncs, res.Entries)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	t.Logf("live: %.0f commits/s, %d entries, %d syncs (%.3f syncs/entry)",
+		res.Throughput, res.Entries, res.Syncs, res.SyncsPerEntry())
+}

@@ -125,6 +125,135 @@ func TestStopFailsWaiters(t *testing.T) {
 	}
 }
 
+// TestHardStatePersistedAndRestored covers the hard-state bug: the driver
+// must persist the engine's real term, vote, and commit index (not a
+// zeroed vote), and a restarted node must come back with them so it
+// cannot vote twice in a term it already voted in.
+func TestHardStatePersistedAndRestored(t *testing.T) {
+	stores := []storage.Store{storage.NewMem(), storage.NewMem(), storage.NewMem()}
+	nodes, stop := newLiveCluster(t, 3, stores)
+	leader := waitLeader(t, nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := leader.Put(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	lhs, err := stores[leader.ID()].HardState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lhs.Term == 0 {
+		t.Fatalf("leader hard state lost the term: %+v", lhs)
+	}
+	if lhs.VotedFor != leader.ID() {
+		t.Fatalf("leader hard state lost its vote: VotedFor = %d, want %d", lhs.VotedFor, leader.ID())
+	}
+	if lhs.Commit < 1 {
+		t.Fatalf("leader hard state lost the commit index: %+v", lhs)
+	}
+
+	// Restart one replica alone on its old store: the engine must resume
+	// at the persisted term with the persisted vote. Passive keeps it from
+	// campaigning (which would legitimately advance the term).
+	eng := raftstar.New(raftstar.Config{
+		ID: leader.ID(), Peers: []protocol.NodeID{0, 1, 2},
+		ElectionTicks: 20, HeartbeatTicks: 4, Seed: 5, Passive: true,
+	})
+	re := cluster.New(cluster.Config{
+		Engine:       eng,
+		Transport:    transport.NewChanNetwork(),
+		Stable:       stores[leader.ID()],
+		TickInterval: time.Millisecond,
+	})
+	re.Start()
+	time.Sleep(20 * time.Millisecond)
+	re.Stop()
+	if eng.Term() != lhs.Term {
+		t.Fatalf("restored term = %d, want %d", eng.Term(), lhs.Term)
+	}
+	if eng.VotedFor() != lhs.VotedFor {
+		t.Fatalf("restored vote = %d, want %d", eng.VotedFor(), lhs.VotedFor)
+	}
+}
+
+// TestClusterRestartPreservesData commits writes on file-backed storage,
+// stops the whole cluster, rebuilds every node on its old directory, and
+// reads the data back: the restored log and commit index must carry the
+// committed state machine across a full restart.
+func TestClusterRestartPreservesData(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	open := func() []storage.Store {
+		stores := make([]storage.Store, 3)
+		for i, d := range dirs {
+			fs, err := storage.OpenFile(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = fs
+		}
+		return stores
+	}
+	closeAll := func(stores []storage.Store) {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+
+	stores := open()
+	nodes, stop := newLiveCluster(t, 3, stores)
+	waitLeader(t, nodes)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := nodes[0].Put(ctx, fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every replica must have logged the commits before we pull the plug
+	// (the leader replies after a quorum; the slowest follower may lag).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, st := range stores {
+			if last, _ := st.LastIndex(); last < 5 {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	closeAll(stores)
+
+	stores = open()
+	nodes, stop = newLiveCluster(t, 3, stores)
+	defer func() { stop(); closeAll(stores) }()
+	waitLeader(t, nodes)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, err := nodes[i%3].Get(ctx, key)
+		if err != nil {
+			t.Fatalf("get %s after restart: %v", key, err)
+		}
+		if string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %s after restart = %q", key, got)
+		}
+	}
+	// New writes must extend the restored log, not re-use its indices.
+	if err := nodes[0].Put(ctx, "post-restart", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range stores {
+		if last, _ := st.LastIndex(); last < 6 {
+			t.Fatalf("post-restart write reused restored indices: last = %d", last)
+		}
+	}
+}
+
 func TestEntriesPersisted(t *testing.T) {
 	stores := []storage.Store{storage.NewMem(), storage.NewMem(), storage.NewMem()}
 	nodes, stop := newLiveCluster(t, 3, stores)

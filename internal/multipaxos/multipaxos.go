@@ -207,6 +207,44 @@ func (e *Engine) IsLeader() bool { return e.phase1OK }
 // Ballot returns the highest ballot this replica has seen.
 func (e *Engine) Ballot() uint64 { return e.ballot }
 
+// Term reports the ballot under the name live drivers persist it as
+// (MultiPaxos's promised ballot is the term analogue).
+func (e *Engine) Term() uint64 { return e.ballot }
+
+// CommitIndex reports the contiguous chosen prefix under the name live
+// drivers persist it as.
+func (e *Engine) CommitIndex() int64 { return e.chosenPrefix }
+
+// RestoreHardState primes the promised ballot from durable storage so a
+// restarted acceptor honours promises made before the crash. MultiPaxos
+// has no separate vote: the promise is the ballot itself.
+func (e *Engine) RestoreHardState(term uint64, _ protocol.NodeID) {
+	if term > e.ballot {
+		e.ballot = term
+	}
+}
+
+// RestoreLog adopts durably logged instances after a restart, before the
+// engine processes any input; instances up to commit come back chosen.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	if len(e.insts) > 0 || len(ents) == 0 {
+		return
+	}
+	for _, ent := range ents {
+		in := e.inst(ent.Index)
+		in.used = true
+		in.bal = ent.Bal
+		in.cmd = ent.Cmd
+		in.chosen = ent.Index <= commit
+	}
+	if commit > e.LastIndex() {
+		commit = e.LastIndex()
+	}
+	if commit > e.chosenPrefix {
+		e.chosenPrefix = commit
+	}
+}
+
 // ChosenPrefix returns the contiguous chosen (committed) prefix.
 func (e *Engine) ChosenPrefix() int64 { return e.chosenPrefix }
 
@@ -324,9 +362,7 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 	case *MsgAcceptOK:
 		e.stepAcceptOK(from, m, &out)
 	case *MsgForward:
-		for _, cmd := range m.Cmds {
-			out.Merge(e.Submit(cmd))
-		}
+		out.Merge(e.SubmitBatch(m.Cmds))
 	}
 	return out
 }
@@ -409,18 +445,31 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 
 // Submit implements protocol.Engine (Phase2a for a fresh instance).
 func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	return e.SubmitBatch([]protocol.Command{cmd})
+}
+
+// SubmitBatch implements protocol.BatchSubmitter: the whole batch becomes
+// consecutive instances proposed in a single Phase2a broadcast (the
+// batched-accept optimization the paper ports between protocols).
+func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 	var out protocol.Output
+	if len(cmds) == 0 {
+		return out
+	}
 	switch {
 	case e.phase1OK:
-		e.propose(cmd, &out)
+		e.propose(cmds, &out)
 	case e.leader != protocol.None:
 		out.Msgs = append(out.Msgs, protocol.Envelope{
-			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: []protocol.Command{cmd}},
+			From: e.cfg.ID, To: e.leader,
+			Msg: &MsgForward{Cmds: append([]protocol.Command(nil), cmds...)},
 		})
 	default:
-		if len(e.pending) < 4096 {
-			e.pending = append(e.pending, cmd)
-		} else {
+		for _, cmd := range cmds {
+			if len(e.pending) < 4096 {
+				e.pending = append(e.pending, cmd)
+				continue
+			}
 			kind := protocol.ReplyWrite
 			if cmd.Op == protocol.OpGet {
 				kind = protocol.ReplyRead
@@ -440,21 +489,26 @@ func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
 	return e.Submit(cmd)
 }
 
-func (e *Engine) propose(cmd protocol.Command, out *protocol.Output) {
-	idx := e.LastIndex() + 1
-	in := e.inst(idx)
-	in.used = true
-	in.bal = e.ballot
-	in.cmd = cmd
-	e.acks[idx] = map[protocol.NodeID]bool{e.cfg.ID: true}
+func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
+	insts := make([]InstanceInfo, 0, len(cmds))
+	for _, cmd := range cmds {
+		idx := e.LastIndex() + 1
+		in := e.inst(idx)
+		in.used = true
+		in.bal = e.ballot
+		in.cmd = cmd
+		e.acks[idx] = map[protocol.NodeID]bool{e.cfg.ID: true}
+		insts = append(insts, InstanceInfo{Idx: idx, Bal: e.ballot, Cmd: cmd})
+	}
 	out.StateChanged = true
-	insts := []InstanceInfo{{Idx: idx, Bal: e.ballot, Cmd: cmd}}
 	if h := e.cfg.Hooks.OnAccept; h != nil {
 		h(insts)
 	}
 	e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix})
 	if len(e.cfg.Peers) == 1 {
-		e.insts[idx-1].chosen = true
+		for _, info := range insts {
+			e.insts[info.Idx-1].chosen = true
+		}
 		e.advanceChosen(out)
 	}
 }
@@ -466,9 +520,7 @@ func (e *Engine) flushPending(out *protocol.Output) {
 	cmds := e.pending
 	e.pending = nil
 	if e.phase1OK {
-		for _, c := range cmds {
-			e.propose(c, out)
-		}
+		e.propose(cmds, out)
 		return
 	}
 	out.Msgs = append(out.Msgs, protocol.Envelope{

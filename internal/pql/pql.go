@@ -187,6 +187,32 @@ func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
 	return out
 }
 
+// SubmitBatch implements protocol.BatchSubmitter (writes are plain
+// MultiPaxos).
+func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
+	out := e.inner.SubmitBatch(cmds)
+	e.flushReads(&out)
+	return out
+}
+
+// Term exposes MultiPaxos's ballot for the live driver's hard-state
+// snapshot.
+func (e *Engine) Term() uint64 { return e.inner.Term() }
+
+// CommitIndex exposes MultiPaxos's chosen prefix for the live driver's
+// hard-state snapshot.
+func (e *Engine) CommitIndex() int64 { return e.inner.CommitIndex() }
+
+// RestoreHardState forwards the live driver's restart restore to MultiPaxos.
+func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
+	e.inner.RestoreHardState(term, votedFor)
+}
+
+// RestoreLog forwards the live driver's restart restore to MultiPaxos.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	e.inner.RestoreLog(ents, commit)
+}
+
 // SubmitRead implements protocol.Engine: the LocalRead subaction.
 func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
 	cmd.Op = protocol.OpGet

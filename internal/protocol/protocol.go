@@ -152,9 +152,9 @@ type ClientReply struct {
 // send messages, surface commits (in order), and deliver client replies.
 // Slices are owned by the caller after return.
 type Output struct {
-	Msgs      []Envelope
-	Commits   []CommitInfo
-	Replies   []ClientReply
+	Msgs    []Envelope
+	Commits []CommitInfo
+	Replies []ClientReply
 	// StateChanged hints that persistent state (term/vote/log) changed and
 	// must be durably stored before Msgs are released. Live drivers use it;
 	// the simulator models it as CPU cost.
@@ -189,6 +189,37 @@ type Engine interface {
 	Leader() NodeID
 	// IsLeader reports whether this replica believes it is the leader.
 	IsLeader() bool
+}
+
+// BatchSubmitter is an optional Engine extension for engines whose wire
+// protocol already carries multi-entry accepts/appends (MultiPaxos,
+// Raft, Raft*): a whole batch of commands becomes one log extension and
+// one broadcast instead of one per command. Drivers discover it with a
+// type assertion; SubmitAll provides the loop-over-Submit fallback for
+// engines that lack it.
+type BatchSubmitter interface {
+	// SubmitBatch proposes every command in cmds at this replica, in
+	// order, as a single protocol step.
+	SubmitBatch(cmds []Command) Output
+}
+
+// SubmitAll proposes cmds through the engine's native batch path when it
+// has one, and otherwise submits them one at a time, merging the outputs.
+func SubmitAll(e Engine, cmds []Command) Output {
+	switch len(cmds) {
+	case 0:
+		return Output{}
+	case 1:
+		return e.Submit(cmds[0])
+	}
+	if b, ok := e.(BatchSubmitter); ok {
+		return b.SubmitBatch(cmds)
+	}
+	var out Output
+	for _, c := range cmds {
+		out.Merge(e.Submit(c))
+	}
+	return out
 }
 
 // ErrNotLeader is returned in ClientReply.Err when a write was submitted to

@@ -177,6 +177,44 @@ func (e *Engine) IsLeader() bool { return e.role == Leader }
 // Term returns the current term (ballot).
 func (e *Engine) Term() uint64 { return e.term }
 
+// VotedFor returns the replica voted for in the current term (None when
+// no vote was cast); live drivers persist it alongside the term.
+func (e *Engine) VotedFor() protocol.NodeID { return e.votedFor }
+
+// RestoreHardState primes term and vote from durable storage before the
+// engine processes any input, so a restarted replica cannot cast a
+// second vote in a term it already voted in.
+func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
+	if term > e.term {
+		e.term = term
+		e.votedFor = votedFor
+	}
+}
+
+// RestoreLog adopts a durably logged prefix after a restart, before the
+// engine processes any input. The driver persists entries at commit
+// time, so commit normally covers the whole prefix; it is clamped to
+// the restored length regardless.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	if len(e.log) > 0 || len(ents) == 0 {
+		return
+	}
+	e.log = append([]protocol.Entry(nil), ents...)
+	if commit > int64(len(e.log)) {
+		commit = int64(len(e.log))
+	}
+	if commit > e.commit {
+		e.commit = commit
+	}
+	// Entries were stamped with the uniform log ballot when they left the
+	// engine; adopt the highest seen.
+	for _, ent := range ents {
+		if ent.Bal > e.logBal {
+			e.logBal = ent.Bal
+		}
+	}
+}
+
 // Role returns the current role.
 func (e *Engine) Role() Role { return e.role }
 
@@ -288,9 +326,7 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 	case *MsgAppendResp:
 		e.stepAppendResp(from, m, &out)
 	case *MsgForward:
-		for _, cmd := range m.Cmds {
-			out.Merge(e.Submit(cmd))
-		}
+		out.Merge(e.SubmitBatch(m.Cmds))
 	}
 	return out
 }
@@ -393,20 +429,35 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 
 // Submit implements protocol.Engine.
 func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
+	return e.SubmitBatch([]protocol.Command{cmd})
+}
+
+// SubmitBatch implements protocol.BatchSubmitter: the leader appends the
+// whole batch locally and replicates it in one append broadcast — the
+// MultiPaxos batched-accept optimization, which ports to Raft* unchanged.
+func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 	var out protocol.Output
+	if len(cmds) == 0 {
+		return out
+	}
 	switch {
 	case e.role == Leader:
-		e.appendLocal(cmd, &out)
+		for _, cmd := range cmds {
+			e.appendLocal(cmd, &out)
+		}
 		e.broadcastAppend(&out, false)
 	case e.leader != protocol.None:
 		// etcd-style follower forwarding.
 		out.Msgs = append(out.Msgs, protocol.Envelope{
-			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: []protocol.Command{cmd}},
+			From: e.cfg.ID, To: e.leader,
+			Msg: &MsgForward{Cmds: append([]protocol.Command(nil), cmds...)},
 		})
 	default:
-		if len(e.pending) < 4096 {
-			e.pending = append(e.pending, cmd)
-		} else {
+		for _, cmd := range cmds {
+			if len(e.pending) < 4096 {
+				e.pending = append(e.pending, cmd)
+				continue
+			}
 			out.Replies = append(out.Replies, protocol.ClientReply{
 				Kind: ReplyKindFor(cmd), CmdID: cmd.ID, Client: cmd.Client, Err: protocol.ErrNotLeader,
 			})

@@ -142,6 +142,129 @@ func TestFileStoreTornTail(t *testing.T) {
 	}
 }
 
+// TestFileStoreTornMidFrame cuts the WAL mid-record — the torn final
+// frame must be dropped on reopen without losing any earlier entry.
+func TestFileStoreTornMidFrame(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	wal := filepath.Join(dir, "wal")
+	info, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the last record's body: the frame header survives but the
+	// payload is incomplete, exactly what a crash mid-write leaves behind.
+	if err := os.Truncate(wal, info.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	last, _ := re.LastIndex()
+	if last != 4 {
+		t.Fatalf("after mid-frame tear: last = %d, want 4", last)
+	}
+	ents, err := re.Entries(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range ents {
+		if e.Index != int64(i+1) || e.Cmd.Key != "k" {
+			t.Fatalf("entry %d lost or corrupted: %+v", i+1, e)
+		}
+	}
+}
+
+// TestFileStoreBadCRCTail flips a byte inside the final record's body —
+// the checksum mismatch must drop that record on reopen and keep the
+// earlier entries intact.
+func TestFileStoreBadCRCTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	wal := filepath.Join(dir, "wal")
+	raw, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // corrupt the last record's body
+	if err := os.WriteFile(wal, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	last, _ := re.LastIndex()
+	if last != 2 {
+		t.Fatalf("bad-CRC record not dropped: last = %d, want 2", last)
+	}
+}
+
+// TestFileStoreGroupCommitSyncCount asserts the group-commit contract:
+// one fsync per Append batch, however many entries the batch carries.
+func TestFileStoreGroupCommitSyncCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	batch := make([]protocol.Entry, 0, 64)
+	for i := int64(1); i <= 64; i++ {
+		batch = append(batch, entry(i, 1, "k"))
+	}
+	if err := s.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SyncCount(); got != 1 {
+		t.Fatalf("SyncCount after one 64-entry batch = %d, want 1", got)
+	}
+	if got := s.EntryCount(); got != 64 {
+		t.Fatalf("EntryCount = %d, want 64", got)
+	}
+	if err := s.Append([]protocol.Entry{entry(65, 1, "k")}); err != nil {
+		t.Fatal(err)
+	}
+	if got, appends := s.SyncCount(), s.AppendCount(); got != 2 || appends != 2 {
+		t.Fatalf("SyncCount = %d, AppendCount = %d, want 2 and 2", got, appends)
+	}
+	if err := s.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SyncCount(); got != 2 {
+		t.Fatalf("empty Append must not sync: SyncCount = %d, want 2", got)
+	}
+	// The batch is durable and replayable.
+	last, _ := s.LastIndex()
+	if last != 65 {
+		t.Fatalf("last = %d, want 65", last)
+	}
+}
+
 func TestMemTruncate(t *testing.T) {
 	m := storage.NewMem()
 	for i := int64(1); i <= 5; i++ {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -42,15 +43,26 @@ type wireFrame struct {
 	Msg  protocol.Message
 }
 
-// TCP is a TCP transport: one listener per node, one outbound connection
-// per peer (lazily dialed, re-dialed on failure).
+// outQueueDepth bounds each per-peer outbound queue; overflow drops, as a
+// lossy network would (consensus retries via timers).
+const outQueueDepth = 8192
+
+// TCP is a TCP transport: one listener per node and, per peer, an
+// outbound queue drained by a dedicated writer goroutine over one lazily
+// dialed (re-dialed on failure) connection. Send never blocks the caller
+// on dialing or encoding — the consensus event loop only enqueues. Each
+// writer drains whatever is queued into a single buffered gob stream and
+// flushes once per drain, so a burst of messages costs one syscall; the
+// single queue and single writer per destination preserve the per-pair
+// FIFO delivery the Mencius engines require.
 type TCP struct {
 	self  protocol.NodeID
 	addrs map[protocol.NodeID]string
 
-	mu    sync.Mutex
-	conns map[protocol.NodeID]*gob.Encoder
-	raw   map[protocol.NodeID]net.Conn
+	mu      sync.Mutex
+	peers   map[protocol.NodeID]chan wireFrame
+	conns   map[protocol.NodeID]net.Conn // live writer conns, closed to unblock writers
+	inbound map[net.Conn]struct{}        // accepted conns, closed to unblock readers
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -65,12 +77,13 @@ func NewTCP(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler) (
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
 	}
 	t := &TCP{
-		self:   self,
-		addrs:  addrs,
-		conns:  make(map[protocol.NodeID]*gob.Encoder),
-		raw:    make(map[protocol.NodeID]net.Conn),
-		ln:     ln,
-		closed: make(chan struct{}),
+		self:    self,
+		addrs:   addrs,
+		peers:   make(map[protocol.NodeID]chan wireFrame),
+		conns:   make(map[protocol.NodeID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		ln:      ln,
+		closed:  make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.accept(h)
@@ -92,10 +105,25 @@ func (t *TCP) accept(h Handler) {
 				continue
 			}
 		}
+		t.mu.Lock()
+		select {
+		case <-t.closed:
+			t.mu.Unlock()
+			conn.Close()
+			continue
+		default:
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				t.mu.Lock()
+				delete(t.inbound, conn)
+				t.mu.Unlock()
+			}()
 			dec := gob.NewDecoder(conn)
 			for {
 				var f wireFrame
@@ -108,32 +136,111 @@ func (t *TCP) accept(h Handler) {
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport: enqueue onto the peer's outbound queue,
+// spawning its writer on first use. Never blocks; overflow drops.
 func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	enc, ok := t.conns[to]
+	q, ok := t.peers[to]
 	if !ok {
-		addr, known := t.addrs[to]
-		if !known {
+		if _, known := t.addrs[to]; !known {
+			t.mu.Unlock()
 			return
 		}
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		select {
+		case <-t.closed:
+			t.mu.Unlock()
+			return
+		default:
+		}
+		q = make(chan wireFrame, outQueueDepth)
+		t.peers[to] = q
+		t.wg.Add(1)
+		go t.writer(to, q)
+	}
+	t.mu.Unlock()
+	select {
+	case q <- wireFrame{From: from, Msg: msg}:
+	default:
+		// Backpressure overflow: drop, as a lossy network would.
+	}
+}
+
+// writer owns the connection to one peer: it blocks for the next frame,
+// then drains everything queued behind it into the buffered gob stream
+// and flushes once.
+func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
+	defer t.wg.Done()
+	var bw *bufio.Writer
+	var enc *gob.Encoder
+	defer t.dropConn(to)
+	for {
+		var f wireFrame
+		select {
+		case <-t.closed:
+			return
+		case f = <-q:
+		}
+		if enc == nil {
+			conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
+			if err != nil {
+				// Peer down: shed everything queued behind this frame too.
+				// Retrying a dial per frame would throttle this writer to
+				// one frame per dial timeout while heartbeats keep
+				// refilling the queue; the lossy-delivery contract already
+				// permits the drop, and consensus retries via timers.
+			shed:
+				for {
+					select {
+					case <-q:
+					default:
+						break shed
+					}
+				}
+				continue
+			}
+			t.mu.Lock()
+			select {
+			case <-t.closed:
+				// Closed while dialing: don't register a conn nobody will
+				// close for us.
+				t.mu.Unlock()
+				conn.Close()
+				return
+			default:
+			}
+			t.conns[to] = conn
+			t.mu.Unlock()
+			bw = bufio.NewWriterSize(conn, 64<<10)
+			enc = gob.NewEncoder(bw)
+		}
+		err := enc.Encode(f)
+	drain:
+		for err == nil {
+			select {
+			case f = <-q:
+				err = enc.Encode(f)
+			default:
+				break drain
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
 		if err != nil {
-			return // peer down; consensus retries via timers
+			// Connection broke: drop it so the next frame re-dials.
+			t.dropConn(to)
+			bw, enc = nil, nil
 		}
-		enc = gob.NewEncoder(conn)
-		t.conns[to] = enc
-		t.raw[to] = conn
 	}
-	if err := enc.Encode(wireFrame{From: from, Msg: msg}); err != nil {
-		// Connection broke: drop it so the next send re-dials.
-		if c := t.raw[to]; c != nil {
-			c.Close()
-		}
+}
+
+func (t *TCP) dropConn(to protocol.NodeID) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		c.Close()
 		delete(t.conns, to)
-		delete(t.raw, to)
 	}
+	t.mu.Unlock()
 }
 
 // Close implements Transport.
@@ -141,10 +248,15 @@ func (t *TCP) Close() error {
 	close(t.closed)
 	err := t.ln.Close()
 	t.mu.Lock()
-	for id, c := range t.raw {
+	for id, c := range t.conns {
 		c.Close()
-		delete(t.raw, id)
 		delete(t.conns, id)
+	}
+	// Close accepted conns too: a blocked reader would otherwise hold
+	// wg.Wait until the remote side closed its outbound half, which
+	// deadlocks when peers close their transports one after another.
+	for c := range t.inbound {
+		c.Close()
 	}
 	t.mu.Unlock()
 	t.wg.Wait()

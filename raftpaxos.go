@@ -32,8 +32,8 @@ import (
 	"raftpaxos/internal/cluster"
 	"raftpaxos/internal/coorraft"
 	"raftpaxos/internal/multipaxos"
-	"raftpaxos/internal/protocol"
 	"raftpaxos/internal/pql"
+	"raftpaxos/internal/protocol"
 	"raftpaxos/internal/raft"
 	"raftpaxos/internal/raftstar"
 	"raftpaxos/internal/rql"
