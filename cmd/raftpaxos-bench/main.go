@@ -1,30 +1,99 @@
 // Command raftpaxos-bench regenerates the paper's evaluation figures on
-// the simulated 5-region deployment and prints paper-style tables.
+// the simulated 5-region deployment and prints paper-style tables, or —
+// with -live — runs the sustained-load trial against the real runtime
+// (snapshots + segmented-WAL compaction) and emits a machine-readable
+// BENCH_<ops>.json so CI can record the perf trajectory.
 //
 // Usage:
 //
 //	raftpaxos-bench -figure all          # every figure (slow)
 //	raftpaxos-bench -figure 9a           # one figure
 //	raftpaxos-bench -figure 10b -quick   # CI-sized run
+//	raftpaxos-bench -live -ops 50000 -snapshot-interval 1000
+//	raftpaxos-bench -live -ops 5000 -json out/BENCH_5000.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"raftpaxos"
+	"raftpaxos/internal/bench"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "figure to regenerate: 9a 9b 9c 9d 10a 10b 10c 10d all")
 	quick := flag.Bool("quick", false, "shrink client counts and windows")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	live := flag.Bool("live", false, "run the live longevity benchmark instead of simulated figures")
+	ops := flag.Int("ops", 50000, "total commits for -live")
+	snapInterval := flag.Int("snapshot-interval", 1000, "applied entries between snapshots for -live")
+	segmentBytes := flag.Int64("segment-bytes", 256<<10, "WAL segment rotation threshold for -live")
+	clients := flag.Int("clients", 32, "closed-loop client goroutines for -live")
+	jsonPath := flag.String("json", "", "output path for the -live JSON result (default BENCH_<ops>.json)")
 	flag.Parse()
+	if *live {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*figure, raftpaxos.EvalOptions{Quick: *quick, Seed: *seed}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runLive drives the sustained-load trial on temp storage and writes the
+// result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
+func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string) error {
+	dirs := make([]string, 3)
+	for i := range dirs {
+		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dirs[i] = d
+	}
+	res, err := bench.RunLongRun(bench.LongRunConfig{
+		Ops:              ops,
+		Clients:          clients,
+		SnapshotInterval: snapInterval,
+		SegmentBytes:     segmentBytes,
+		Dirs:             dirs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live longevity: %d commits at %.0f/s (first window %.0f/s, last %.0f/s)\n",
+		res.Ops, res.CommitsPerSec, res.FirstWindowPerSec, res.LastWindowPerSec)
+	fmt.Printf("  %.3f fsyncs/entry, WAL %d bytes in %d segments, snapshot@%d, engine tail %d\n",
+		res.FsyncsPerEntry, res.WALBytes, res.WALSegments, res.SnapshotIndex, res.EngineLogLen)
+	fmt.Printf("  restart %.1fms to applied %d\n", res.RestartMS, res.RestartAppliedIndex)
+
+	if jsonPath == "" {
+		jsonPath = fmt.Sprintf("BENCH_%d.json", ops)
+	}
+	if dir := filepath.Dir(jsonPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
 }
 
 func run(figure string, opt raftpaxos.EvalOptions) error {

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"raftpaxos/internal/cluster"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/storage"
+	"raftpaxos/internal/transport"
+)
+
+// LongRunConfig configures a sustained-load trial whose point is what the
+// hot-path trial cannot show: that with snapshots + segmented-WAL
+// compaction enabled, disk usage and engine memory stay bounded, the last
+// window of commits is as fast as the first (no degradation with history),
+// and a restart replays only the tail above the snapshot.
+type LongRunConfig struct {
+	// Replicas is the cluster size (default 3).
+	Replicas int
+	// Clients is the number of closed-loop writers (default 32).
+	Clients int
+	// Ops is the total number of writes (default 50000).
+	Ops int
+	// ValueSize is the write payload in bytes (default 16).
+	ValueSize int
+	// KeySpace recycles keys modulo this count so the snapshot stays small
+	// while the log grows (default 512).
+	KeySpace int
+	// SnapshotInterval triggers a snapshot + compaction every this many
+	// applied entries (default 1000).
+	SnapshotInterval int
+	// SegmentBytes is the WAL rotation threshold (default 256KB, small
+	// enough that compaction visibly deletes segments during the run).
+	SegmentBytes int64
+	// Dirs holds one storage directory per replica (required).
+	Dirs []string
+	// TickInterval drives the engines' logical clocks (default 1ms).
+	TickInterval time.Duration
+	// WindowOps sizes the first/last throughput windows (default Ops/5).
+	WindowOps int
+}
+
+func (c *LongRunConfig) withDefaults() LongRunConfig {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = 3
+	}
+	if out.Clients <= 0 {
+		out.Clients = 32
+	}
+	if out.Ops <= 0 {
+		out.Ops = 50000
+	}
+	if out.ValueSize <= 0 {
+		out.ValueSize = 16
+	}
+	if out.KeySpace <= 0 {
+		out.KeySpace = 512
+	}
+	if out.SnapshotInterval <= 0 {
+		out.SnapshotInterval = 1000
+	}
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 256 << 10
+	}
+	if out.TickInterval <= 0 {
+		out.TickInterval = time.Millisecond
+	}
+	if out.WindowOps <= 0 || out.WindowOps*2 > out.Ops {
+		out.WindowOps = out.Ops / 5
+	}
+	return out
+}
+
+// LongRunResult reports one sustained-load trial, JSON-tagged so
+// cmd/raftpaxos-bench can emit it as a machine-readable artifact.
+type LongRunResult struct {
+	Ops           int     `json:"ops"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// FirstWindowPerSec and LastWindowPerSec are the throughput of the
+	// first and last WindowOps commits: flat means no degradation as
+	// history accumulates.
+	FirstWindowPerSec float64 `json:"first_window_per_sec"`
+	LastWindowPerSec  float64 `json:"last_window_per_sec"`
+	WindowOps         int     `json:"window_ops"`
+	// FsyncsPerEntry is summed over all replicas' stores.
+	FsyncsPerEntry float64 `json:"fsyncs_per_entry"`
+	// WALBytes / WALSegments are the leader's on-disk totals after the
+	// run — the numbers compaction exists to bound.
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSegments int   `json:"wal_segments"`
+	// SnapshotIndex is the leader's last snapshot boundary.
+	SnapshotIndex int64 `json:"snapshot_index"`
+	// EngineLogLen is the leader engine's in-memory tail after the run.
+	EngineLogLen int `json:"engine_log_len"`
+	// RestartMS is the wall time to reopen the leader's store, rebuild
+	// the node, and reach the pre-shutdown applied index again —
+	// O(snapshot + tail), not O(history).
+	RestartMS float64 `json:"restart_ms"`
+	// RestartAppliedIndex is the applied index recovered on restart.
+	RestartAppliedIndex int64 `json:"restart_applied_index"`
+}
+
+// RunLongRun drives cfg.Ops closed-loop writes through a snapshotting
+// Raft* cluster, reports the boundedness metrics, then restarts the
+// leader's replica from disk and times recovery.
+func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
+	cfg := raw.withDefaults()
+	if len(cfg.Dirs) != cfg.Replicas {
+		return nil, fmt.Errorf("bench: %d dirs for %d replicas", len(cfg.Dirs), cfg.Replicas)
+	}
+
+	peers := make([]protocol.NodeID, cfg.Replicas)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	newEngine := func(i int) *raftstar.Engine {
+		return raftstar.New(raftstar.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7,
+		})
+	}
+	openStores := func() ([]*storage.File, error) {
+		stores := make([]*storage.File, cfg.Replicas)
+		for i := range stores {
+			fs, err := storage.OpenFileWith(cfg.Dirs[i], storage.Options{SegmentBytes: cfg.SegmentBytes})
+			if err != nil {
+				return nil, err
+			}
+			stores[i] = fs
+		}
+		return stores, nil
+	}
+	buildNodes := func(stores []*storage.File, net *transport.ChanNetwork) []*cluster.Node {
+		nodes := make([]*cluster.Node, cfg.Replicas)
+		for i := range peers {
+			nodes[i] = cluster.New(cluster.Config{
+				Engine:           newEngine(i),
+				Transport:        net,
+				Stable:           stores[i],
+				TickInterval:     cfg.TickInterval,
+				SnapshotInterval: cfg.SnapshotInterval,
+			})
+			net.Listen(peers[i], nodes[i].HandleMessage)
+		}
+		return nodes
+	}
+
+	stores, err := openStores()
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewChanNetwork()
+	nodes := buildNodes(stores, net)
+	for _, nd := range nodes {
+		nd.Start()
+	}
+
+	leader, err := awaitLeader(nodes, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	value := make([]byte, cfg.ValueSize)
+	var next, completed atomic.Int64
+	var tFirstWindow, tLastWindowStart atomic.Int64 // UnixNano marks
+	errCh := make(chan error, cfg.Clients)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				op := next.Add(1)
+				if op > int64(cfg.Ops) {
+					return
+				}
+				key := fmt.Sprintf("bench-%d", op%int64(cfg.KeySpace))
+				if err := leader.Put(ctx, key, value); err != nil {
+					errCh <- err
+					return
+				}
+				done := completed.Add(1)
+				switch {
+				case done == int64(cfg.WindowOps):
+					tFirstWindow.Store(time.Now().UnixNano())
+				case done == int64(cfg.Ops-cfg.WindowOps):
+					tLastWindowStart.Store(time.Now().UnixNano())
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		net.Close()
+		return nil, err
+	}
+
+	res := &LongRunResult{
+		Ops:           cfg.Ops,
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
+		CommitsPerSec: float64(cfg.Ops) / elapsed.Seconds(),
+		WindowOps:     cfg.WindowOps,
+	}
+	if ns := tFirstWindow.Load(); ns > 0 {
+		res.FirstWindowPerSec = float64(cfg.WindowOps) / time.Unix(0, ns).Sub(start).Seconds()
+	}
+	if ns := tLastWindowStart.Load(); ns > 0 {
+		res.LastWindowPerSec = float64(cfg.WindowOps) / time.Since(time.Unix(0, ns)).Seconds()
+	}
+	var syncs, entries uint64
+	for _, fs := range stores {
+		syncs += fs.SyncCount()
+		entries += fs.EntryCount()
+	}
+	if entries > 0 {
+		res.FsyncsPerEntry = float64(syncs) / float64(entries)
+	}
+
+	leaderID := leader.ID()
+	appliedBefore := leader.Store().AppliedIndex()
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+	net.Close()
+
+	lst := stores[leaderID]
+	res.WALBytes = lst.WALBytes()
+	res.WALSegments = lst.SegmentCount()
+	if snap, ok, _ := lst.LatestSnapshot(); ok {
+		res.SnapshotIndex = snap.Index
+	}
+	if ll, ok := nodes[leaderID].Engine().(interface{ LogLen() int }); ok {
+		res.EngineLogLen = ll.LogLen()
+	}
+	for _, fs := range stores {
+		fs.Close()
+	}
+
+	// Restart the leader's replica alone from its directory and time how
+	// long until the state machine is back at the pre-shutdown applied
+	// index: with compaction this is snapshot-load + tail-replay, however
+	// long the run was.
+	restartStart := time.Now()
+	refs, err := storage.OpenFileWith(cfg.Dirs[leaderID], storage.Options{SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	defer refs.Close()
+	renet := transport.NewChanNetwork()
+	defer renet.Close()
+	re := cluster.New(cluster.Config{
+		Engine: raftstar.New(raftstar.Config{
+			ID: leaderID, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7, Passive: true,
+		}),
+		Transport:        renet,
+		Stable:           refs,
+		TickInterval:     cfg.TickInterval,
+		SnapshotInterval: cfg.SnapshotInterval,
+	})
+	renet.Listen(leaderID, re.HandleMessage)
+	re.Start()
+	hs, _ := refs.HardState()
+	target := hs.Commit
+	if target > appliedBefore {
+		target = appliedBefore
+	}
+	deadline := time.Now().Add(time.Minute)
+	for re.Store().AppliedIndex() < target {
+		if time.Now().After(deadline) {
+			re.Stop()
+			return nil, fmt.Errorf("bench: restart never reached applied %d (at %d)", target, re.Store().AppliedIndex())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res.RestartMS = float64(time.Since(restartStart).Microseconds()) / 1e3
+	res.RestartAppliedIndex = re.Store().AppliedIndex()
+	re.Stop()
+	return res, nil
+}
+
+// awaitLeader waits for some node to observe itself leader.
+func awaitLeader(nodes []*cluster.Node, timeout time.Duration) (*cluster.Node, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, nd := range nodes {
+			if nd.IsLeader() {
+				return nd, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: no leader elected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,58 @@
+package bench_test
+
+import (
+	"testing"
+
+	"raftpaxos/internal/bench"
+)
+
+// TestLongRunBounded is a CI-sized version of the 50k-commit longevity
+// trial: enough writes to cross several snapshot intervals, asserting the
+// boundedness contract end to end — compaction ran, the WAL holds at most
+// a couple of segments above the snapshot, the engine's in-memory log
+// tracks the interval (not the history), and restart recovers the applied
+// state from snapshot + tail.
+func TestLongRunBounded(t *testing.T) {
+	const (
+		ops      = 4000
+		interval = 250
+	)
+	res, err := bench.RunLongRun(bench.LongRunConfig{
+		Ops:              ops,
+		SnapshotInterval: interval,
+		SegmentBytes:     16 << 10,
+		Dirs:             []string{t.TempDir(), t.TempDir(), t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotIndex < interval {
+		t.Fatalf("no snapshot taken: index = %d", res.SnapshotIndex)
+	}
+	// ~60 bytes/entry at 16KB rotation ≈ 270 entries/segment; a bounded
+	// tail of ~2 intervals plus the active segment stays well under what
+	// 4000 uncompacted entries (~15 segments) would occupy.
+	if res.WALSegments > 6 {
+		t.Fatalf("WAL segments = %d, want compacted down to the tail", res.WALSegments)
+	}
+	if res.EngineLogLen > 3*interval {
+		t.Fatalf("engine log len = %d after %d ops, want bounded near 2x interval %d",
+			res.EngineLogLen, ops, interval)
+	}
+	if res.RestartAppliedIndex < int64(ops) {
+		t.Fatalf("restart applied = %d, want >= %d", res.RestartAppliedIndex, ops)
+	}
+	if res.FsyncsPerEntry >= 1 {
+		t.Fatalf("fsyncs/entry = %.3f, group commit lost", res.FsyncsPerEntry)
+	}
+	// Throughput flatness: the last window must not collapse relative to
+	// the first (generous 3x bound — CI machines are noisy; without
+	// compaction the gap grows with history instead of staying constant).
+	if res.LastWindowPerSec < res.FirstWindowPerSec/3 {
+		t.Fatalf("throughput degraded: first window %.0f/s, last window %.0f/s",
+			res.FirstWindowPerSec, res.LastWindowPerSec)
+	}
+	t.Logf("longrun: %.0f commits/s overall (first %.0f/s, last %.0f/s), %d segments / %d KB WAL, engine tail %d, restart %.1fms",
+		res.CommitsPerSec, res.FirstWindowPerSec, res.LastWindowPerSec,
+		res.WALSegments, res.WALBytes/1024, res.EngineLogLen, res.RestartMS)
+}

@@ -61,6 +61,13 @@ type Config struct {
 	// event-loop iteration drains into a single engine batch and a single
 	// persistence round (default 256).
 	MaxBatch int
+	// SnapshotInterval, when > 0 and Stable implements
+	// storage.SnapshotStore, makes the applier snapshot the state machine
+	// every SnapshotInterval applied entries, persist the image off the
+	// consensus loop's critical path, compact the WAL below it, and ask
+	// the event loop to drop the engine's in-memory prefix. 0 disables
+	// snapshotting (the seed behavior: unbounded log and WAL).
+	SnapshotInterval int
 	// DisableBatching reverts the event loop to the unbatched behavior:
 	// one input per iteration, one storage.Append (and fsync) per
 	// committed entry. Kept as the baseline for throughput comparisons.
@@ -117,6 +124,10 @@ type Node struct {
 	inbox   chan inbound
 	submits chan submitReq
 	applyCh chan applyBatch
+	// truncCh carries snapshot watermarks from the applier back to the
+	// event loop, which owns the engine: the loop truncates the engine's
+	// in-memory prefix there, preserving the single-threaded contract.
+	truncCh chan int64
 
 	mu      sync.Mutex
 	waiters map[uint64]chan Response
@@ -150,6 +161,7 @@ func New(cfg Config) *Node {
 		inbox:     make(chan inbound, 4096),
 		submits:   make(chan submitReq, 1024),
 		applyCh:   make(chan applyBatch, 256),
+		truncCh:   make(chan int64, 1),
 		waiters:   make(map[uint64]chan Response),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -222,6 +234,13 @@ func (n *Node) run() {
 			n.stepInbound(in, &out)
 		case req := <-n.submits:
 			n.stepSubmit(req, &out, &writes)
+		case through := <-n.truncCh:
+			// The applier persisted a snapshot at `through` and compacted
+			// the WAL; drop the engine's in-memory prefix on the loop that
+			// owns the engine.
+			if tp, ok := n.cfg.Engine.(protocol.PrefixTruncator); ok {
+				tp.TruncatePrefix(through)
+			}
 		}
 		if !n.cfg.DisableBatching {
 			n.drain(&out, &writes)
@@ -234,10 +253,11 @@ func (n *Node) run() {
 }
 
 // restoreHardState primes the engine with the durably recorded term,
-// vote, and logged entries before it processes any input: the term/vote
-// keep a restarted replica from voting twice in a term it already voted
-// in, and the restored log keeps committed data alive across a full
-// cluster restart.
+// vote, snapshot, and logged entries before it processes any input: the
+// term/vote keep a restarted replica from voting twice in a term it
+// already voted in, and the snapshot + restored tail keep committed data
+// alive across a full cluster restart while making restart cost
+// O(snapshot + tail) instead of O(history).
 func (n *Node) restoreHardState() {
 	if n.cfg.Stable == nil {
 		return
@@ -249,15 +269,24 @@ func (n *Node) restoreHardState() {
 	if r, ok := n.cfg.Engine.(restorer); ok {
 		r.RestoreHardState(hs.Term, hs.VotedFor)
 	}
+	snapIdx, base, restorable := n.restoreSnapshot()
+	if !restorable {
+		// The directory was compacted but no decodable snapshot covers the
+		// compacted prefix: a partial restore would bring the replica up
+		// with entries silently missing from its state machine. Starting
+		// empty is safe — the replica cannot win elections against peers
+		// holding the data and never serves what it does not have.
+		return
+	}
 	lr, ok := n.cfg.Engine.(logRestorer)
 	if !ok {
 		return
 	}
 	last, err := n.cfg.Stable.LastIndex()
-	if err != nil || last == 0 {
+	if err != nil || last <= base {
 		return
 	}
-	ents, err := n.cfg.Stable.Entries(1, last)
+	ents, err := n.cfg.Stable.Entries(base+1, last)
 	if err != nil {
 		return
 	}
@@ -265,15 +294,65 @@ func (n *Node) restoreHardState() {
 	if commit > last {
 		commit = last
 	}
-	if commit < 0 {
-		commit = 0
+	if commit < snapIdx {
+		commit = snapIdx // the snapshot only ever covers applied commits
 	}
 	lr.RestoreLog(ents, commit)
-	// Prime the state machine with the committed prefix: the engine
-	// resumes at that commit index and will not re-emit those commits.
-	for _, ent := range ents[:commit] {
+	// Prime the state machine with the committed tail above the snapshot
+	// (entries at or below it are already inside the restored image): the
+	// engine resumes at that commit index and will not re-emit those
+	// commits.
+	for _, ent := range ents {
+		if ent.Index > commit {
+			break
+		}
+		if ent.Index <= snapIdx {
+			continue
+		}
 		n.store.Apply(ent)
 	}
+}
+
+// restoreSnapshot rebuilds the state machine from the latest durable
+// snapshot and anchors the engine's log at the storage compaction
+// watermark — which trails the snapshot by the compaction margin, so the
+// engine comes back holding the retained tail and can still serve appends
+// to peers that stopped slightly behind the snapshot. Returns the snapshot
+// index (0 when recovery starts from an empty state machine), the log
+// anchor, and whether restoring may proceed at all: false means the
+// directory was compacted but nothing decodable covers the compacted
+// prefix, so any restore would be partial.
+func (n *Node) restoreSnapshot() (snapIdx, base int64, restorable bool) {
+	ss, ok := n.cfg.Stable.(storage.SnapshotStore)
+	if !ok {
+		return 0, 0, true
+	}
+	base, baseTerm, err := ss.CompactionBase()
+	if err != nil {
+		return 0, 0, false
+	}
+	sr, ok := n.cfg.Engine.(protocol.SnapshotRestorer)
+	if !ok {
+		// An engine that cannot start from a boundary must replay from
+		// index 1; that only reconstructs history on an uncompacted store.
+		return 0, 0, base == 0
+	}
+	snap, ok, err := ss.LatestSnapshot()
+	if err != nil || !ok {
+		return 0, 0, base == 0
+	}
+	if snap.Index < base {
+		// Every decodable snapshot predates the compaction watermark:
+		// entries (snap.Index, base] are gone from both.
+		return 0, 0, false
+	}
+	if err := n.store.Restore(snap.State); err != nil {
+		return 0, 0, base == 0
+	}
+	if base > 0 {
+		sr.RestoreSnapshot(base, baseTerm)
+	}
+	return snap.Index, base, true
 }
 
 func (n *Node) stepInbound(in inbound, out *protocol.Output) {
@@ -378,12 +457,32 @@ func (n *Node) hardState() storage.HardState {
 
 // applier applies committed entries to the state machine and routes
 // client replies, decoupled from the consensus loop so a slow store or a
-// burst of waiting clients cannot stall replication.
+// burst of waiting clients cannot stall replication. It also drives log
+// compaction: every SnapshotInterval applied entries it serializes the
+// state machine, persists the snapshot, compacts the WAL below it, and
+// hands the watermark to the event loop for engine truncation — all off
+// the consensus loop's critical path.
 func (n *Node) applier() {
 	defer close(n.applyDone)
+	var (
+		snapStore storage.SnapshotStore
+		sinceSnap int
+		lastApply protocol.Entry
+	)
+	if n.cfg.SnapshotInterval > 0 {
+		if ss, ok := n.cfg.Stable.(storage.SnapshotStore); ok {
+			// Snapshots are only safe when the engine can restart from a
+			// boundary; otherwise recovery would need the compacted prefix.
+			if _, ok := n.cfg.Engine.(protocol.SnapshotRestorer); ok {
+				snapStore = ss
+			}
+		}
+	}
 	for b := range n.applyCh {
 		for _, ci := range b.commits {
 			n.store.Apply(ci.Entry)
+			lastApply = ci.Entry
+			sinceSnap++
 			if !ci.Reply {
 				continue
 			}
@@ -406,6 +505,51 @@ func (n *Node) applier() {
 				m.Value = v
 			}
 			n.respond(rep.Client, m)
+		}
+		// Snapshot after replying, between batches: clients never wait on
+		// serialization or the snapshot fsync. A persist failure skips the
+		// round — compacting the WAL below an unpersistable snapshot would
+		// lose the only durable copy of those entries.
+		if snapStore != nil && sinceSnap >= n.cfg.SnapshotInterval && b.persistErr == nil {
+			sinceSnap = 0
+			n.snapshotAndCompact(snapStore, lastApply)
+		}
+	}
+}
+
+// snapshotAndCompact persists one snapshot at the last applied entry,
+// drops the WAL one full interval behind it, and passes that watermark to
+// the event loop so the engine can release its in-memory prefix. The
+// margin keeps the last interval of entries individually readable, so a
+// replica (or peer) that stopped slightly behind the snapshot can catch up
+// by log replay instead of needing a snapshot transfer. Failures are
+// silent skips: the next interval retries, and nothing is compacted
+// without a durable snapshot covering it.
+func (n *Node) snapshotAndCompact(ss storage.SnapshotStore, last protocol.Entry) {
+	state, err := n.store.Snapshot()
+	if err != nil {
+		return
+	}
+	if err := ss.SaveSnapshot(storage.Snapshot{Index: last.Index, Term: last.Term, State: state}); err != nil {
+		return
+	}
+	through := last.Index - int64(n.cfg.SnapshotInterval)
+	if through <= 0 {
+		return
+	}
+	if err := ss.Compact(through); err != nil {
+		return
+	}
+	// Replace any undelivered watermark: only the newest matters.
+	for {
+		select {
+		case n.truncCh <- through:
+			return
+		default:
+		}
+		select {
+		case <-n.truncCh:
+		default:
 		}
 	}
 }

@@ -90,3 +90,34 @@ func (e *Engine) IsLeader() bool { return e.core.IsLeader() }
 
 // Board exposes the coordination state.
 func (e *Engine) Board() *mencius.Board { return e.core.Board() }
+
+// Term exposes the coordination core's revocation-ballot watermark for
+// the live driver's hard-state snapshot.
+func (e *Engine) Term() uint64 { return e.core.Term() }
+
+// CommitIndex exposes the executed prefix for the live driver's
+// hard-state snapshot.
+func (e *Engine) CommitIndex() int64 { return e.core.CommitIndex() }
+
+// RestoreHardState forwards the live driver's restart restore to the
+// coordination core.
+func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
+	e.core.RestoreHardState(term, votedFor)
+}
+
+// RestoreSnapshot forwards the snapshot boundary to the coordination core.
+func (e *Engine) RestoreSnapshot(index int64, term uint64) {
+	e.core.RestoreSnapshot(index, term)
+}
+
+// RestoreLog forwards the live driver's restart restore to the
+// coordination core.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	e.core.RestoreLog(ents, commit)
+}
+
+// TruncatePrefix implements protocol.PrefixTruncator.
+func (e *Engine) TruncatePrefix(through int64) { e.core.TruncatePrefix(through) }
+
+// LogLen returns the number of slots with materialized state.
+func (e *Engine) LogLen() int { return e.core.LogLen() }

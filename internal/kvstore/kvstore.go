@@ -4,6 +4,10 @@
 package kvstore
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
 
 	"raftpaxos/internal/protocol"
@@ -24,6 +28,8 @@ type Store struct {
 	applied int64
 	applies uint64
 }
+
+var _ protocol.StateMachine = (*Store)(nil)
 
 // New returns an empty store.
 func New() *Store {
@@ -72,4 +78,104 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.data)
+}
+
+// snapshotVersion tags the serialized format so it can evolve.
+const snapshotVersion = 1
+
+// Snapshot implements protocol.StateMachine: a deterministic binary image
+// of the applied state (keys serialized in sorted order) plus the applied
+// index, suitable for log compaction. The caller is responsible for
+// framing/checksumming the image (the storage layer CRC-frames snapshot
+// files).
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var buf []byte
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	buf = append(buf, snapshotVersion)
+	put64(uint64(s.applied))
+	put32(uint32(len(keys)))
+	for _, k := range keys {
+		v := s.data[k]
+		put32(uint32(len(k)))
+		buf = append(buf, k...)
+		put64(uint64(v.Index))
+		put32(uint32(len(v.Value)))
+		buf = append(buf, v.Value...)
+	}
+	return buf, nil
+}
+
+// Restore implements protocol.StateMachine: replace the applied state with
+// a Snapshot image.
+func (s *Store) Restore(data []byte) error {
+	if len(data) < 1+8+4 {
+		return errors.New("kvstore: short snapshot")
+	}
+	if data[0] != snapshotVersion {
+		return fmt.Errorf("kvstore: snapshot version %d, want %d", data[0], snapshotVersion)
+	}
+	off := 1
+	get64 := func() (uint64, bool) {
+		if off+8 > len(data) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(data[off : off+8])
+		off += 8
+		return v, true
+	}
+	get32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(data[off : off+4])
+		off += 4
+		return v, true
+	}
+	applied, _ := get64()
+	n, _ := get32()
+	m := make(map[string]Versioned, n)
+	for i := uint32(0); i < n; i++ {
+		klen, ok := get32()
+		if !ok || off+int(klen) > len(data) {
+			return errors.New("kvstore: truncated snapshot key")
+		}
+		k := string(data[off : off+int(klen)])
+		off += int(klen)
+		idx, ok := get64()
+		if !ok {
+			return errors.New("kvstore: truncated snapshot index")
+		}
+		vlen, ok := get32()
+		if !ok || off+int(vlen) > len(data) {
+			return errors.New("kvstore: truncated snapshot value")
+		}
+		var val []byte
+		if vlen > 0 {
+			val = append([]byte(nil), data[off:off+int(vlen)]...)
+		}
+		off += int(vlen)
+		m[k] = Versioned{Value: val, Index: int64(idx)}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = m
+	s.applied = int64(applied)
+	return nil
 }

@@ -1,6 +1,8 @@
 package kvstore_test
 
 import (
+	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -39,6 +41,89 @@ func TestNopsAdvanceAppliedOnly(t *testing.T) {
 	s.Apply(protocol.Entry{Index: 2, Cmd: protocol.Command{Op: protocol.OpGet, Key: "x"}})
 	if s.AppliedIndex() != 2 || s.Len() != 0 {
 		t.Fatalf("applied=%d len=%d", s.AppliedIndex(), s.Len())
+	}
+}
+
+// TestSnapshotRestoreRoundTrip serializes an applied state and rebuilds an
+// identical store from it — the state-machine half of log compaction.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := kvstore.New()
+	for i := int64(1); i <= 50; i++ {
+		s.Apply(protocol.Entry{Index: i, Cmd: protocol.Command{
+			Op: protocol.OpPut, Key: fmt.Sprintf("k%d", i%7), Value: []byte(fmt.Sprintf("v%d", i)),
+		}})
+	}
+	s.Apply(protocol.Entry{Index: 51, Cmd: protocol.Command{Op: protocol.OpNop}})
+	img, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re := kvstore.New()
+	if err := re.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if re.AppliedIndex() != 51 {
+		t.Fatalf("restored applied = %d, want 51", re.AppliedIndex())
+	}
+	if re.Len() != s.Len() {
+		t.Fatalf("restored len = %d, want %d", re.Len(), s.Len())
+	}
+	for i := 0; i < 7; i++ {
+		k := fmt.Sprintf("k%d", i)
+		want, wok := s.GetVersioned(k)
+		got, gok := re.GetVersioned(k)
+		if wok != gok || got.Index != want.Index || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("key %s: restored %+v, want %+v", k, got, want)
+		}
+	}
+	// Restore replaces, not merges: pre-existing junk must vanish.
+	dirty := kvstore.New()
+	dirty.Apply(protocol.Entry{Index: 1, Cmd: protocol.Command{Op: protocol.OpPut, Key: "junk", Value: []byte("x")}})
+	if err := dirty.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dirty.Get("junk"); ok {
+		t.Fatal("Restore merged instead of replacing")
+	}
+}
+
+// TestSnapshotDeterministic asserts two snapshots of identical state are
+// byte-identical (map iteration order must not leak into the image).
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *kvstore.Store {
+		s := kvstore.New()
+		for i := int64(1); i <= 100; i++ {
+			s.Apply(protocol.Entry{Index: i, Cmd: protocol.Command{
+				Op: protocol.OpPut, Key: fmt.Sprintf("key-%d", i), Value: []byte("v"),
+			}})
+		}
+		return s
+	}
+	a, err := build().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshots of identical state differ")
+	}
+}
+
+// TestRestoreRejectsGarbage must fail cleanly, never panic or half-apply.
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := kvstore.New()
+	s.Apply(protocol.Entry{Index: 1, Cmd: protocol.Command{Op: protocol.OpPut, Key: "keep", Value: []byte("v")}})
+	for _, bad := range [][]byte{nil, {0}, {99, 0, 0, 0, 0, 0, 0, 0, 0}, []byte("garbage-garbage")} {
+		if err := s.Restore(bad); err == nil {
+			t.Fatalf("garbage %v accepted", bad)
+		}
+	}
+	if _, ok := s.Get("keep"); !ok {
+		t.Fatal("failed restore clobbered state")
 	}
 }
 

@@ -223,6 +223,67 @@ func (b *Board) AdvanceFilled() {
 	}
 }
 
+// RestoreCommitted fast-forwards the board past a durably committed,
+// already-applied prefix after a restart: every slot at or below commit is
+// treated as executed without materializing per-slot state, barriers move
+// past it so new proposals land in fresh slots, and frontiers cover each
+// owner's slots in the prefix. Idempotent and monotonic: calling it again
+// with a smaller commit is a no-op.
+func (b *Board) RestoreCommitted(commit int64) {
+	if commit <= b.execPrefix {
+		return
+	}
+	b.execPrefix = commit
+	if commit > b.filledPrefix {
+		b.filledPrefix = commit
+	}
+	if commit > b.maxSlot {
+		b.maxSlot = commit
+	}
+	for o := range b.barrier {
+		b.AdvanceBarrier(protocol.NodeID(o), NextOwned(commit, protocol.NodeID(o), b.n))
+	}
+	for o := range b.frontier {
+		if f := lastOwned(commit, protocol.NodeID(o), b.n); f > b.frontier[o] {
+			b.frontier[o] = f
+		}
+	}
+	// Any slot state below the restored prefix is stale (it predates the
+	// restore and was already executed).
+	for s := range b.slots {
+		if s <= commit {
+			delete(b.slots, s)
+		}
+	}
+}
+
+// lastOwned returns the largest slot <= s owned by o (0 when none).
+func lastOwned(s int64, o protocol.NodeID, n int) int64 {
+	if s < int64(o)+1 {
+		return 0
+	}
+	return s - ((s-1-int64(o))%int64(n)+int64(n))%int64(n)
+}
+
+// TruncatePrefix drops per-slot state at or below through (clamped to the
+// executed prefix: unexecuted slots are still live protocol state). The
+// prefixes and barriers already summarize what was dropped, so memory
+// tracks the unexecuted tail instead of all history.
+func (b *Board) TruncatePrefix(through int64) {
+	if through > b.execPrefix {
+		through = b.execPrefix
+	}
+	for s := range b.slots {
+		if s <= through {
+			delete(b.slots, s)
+		}
+	}
+}
+
+// SlotCount returns the number of slots with materialized state (the
+// quantity TruncatePrefix bounds).
+func (b *Board) SlotCount() int { return len(b.slots) }
+
 // AdvanceExec extends the executable prefix and returns the newly
 // executable entries in global order (skips surface as no-op entries).
 // A proposed slot is executable once its owner's frontier covers it (it is

@@ -120,6 +120,77 @@ func (e *Engine) IsLeader() bool { return true }
 // Board exposes the coordination state for tests and drivers.
 func (e *Engine) Board() *Board { return e.board }
 
+// --- restart restore / compaction (live-driver parity with the
+// single-leader engines) ---
+
+// Term reports the highest revocation ballot this replica has promised or
+// used, under the name live drivers persist it as. Mencius has no single
+// leader ballot; the revocation ballots are the only fencing state that
+// must survive a restart.
+func (e *Engine) Term() uint64 {
+	var max uint64
+	for _, b := range e.promisedRev {
+		if b > max {
+			max = b
+		}
+	}
+	for _, b := range e.revBal {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// CommitIndex reports the executed prefix under the name live drivers
+// persist it as: every slot at or below it is committed or skipped and has
+// been emitted for execution.
+func (e *Engine) CommitIndex() int64 { return e.board.ExecPrefix() }
+
+// RestoreHardState primes the revocation-ballot floor from durable
+// storage. The persisted term is the max ballot this replica promised any
+// revoker; re-adopting it for every owner is conservative (a promise is
+// only ever a refusal to ack lower ballots) and keeps a restarted replica
+// from acking a revocation ballot it already promised away.
+func (e *Engine) RestoreHardState(term uint64, _ protocol.NodeID) {
+	for o := range e.promisedRev {
+		if term > e.promisedRev[o] {
+			e.promisedRev[o] = term
+		}
+	}
+}
+
+// RestoreSnapshot fast-forwards the board past a snapshotted prefix
+// before RestoreLog delivers the tail.
+func (e *Engine) RestoreSnapshot(index int64, _ uint64) {
+	e.board.RestoreCommitted(index)
+}
+
+// RestoreLog adopts a durably logged prefix after a restart. The driver
+// persists entries at execution time (including skip no-ops), so the
+// durable log is exactly the executed prefix: the board fast-forwards
+// past it and new proposals land in fresh slots. The entries themselves
+// are not re-materialized — the driver has already applied them to the
+// state machine.
+func (e *Engine) RestoreLog(_ []protocol.Entry, commit int64) {
+	e.board.RestoreCommitted(commit)
+}
+
+// TruncatePrefix implements protocol.PrefixTruncator: drop per-slot state
+// at or below through (clamped to the executed prefix inside the board).
+func (e *Engine) TruncatePrefix(through int64) {
+	e.board.TruncatePrefix(through)
+	for s := range e.acks {
+		if s <= through {
+			delete(e.acks, s)
+		}
+	}
+}
+
+// LogLen returns the number of slots with materialized state (the
+// uncompacted tail).
+func (e *Engine) LogLen() int { return e.board.SlotCount() }
+
 // --- protocol.Engine ---
 
 // Tick implements protocol.Engine.

@@ -163,8 +163,13 @@ type Engine struct {
 	leader    protocol.NodeID
 	preparing bool
 
-	insts        []instance // insts[i] is instance i+1
-	chosenPrefix int64      // all instances <= chosenPrefix are chosen
+	// insts holds the uncompacted instance tail: insts[i] is instance
+	// instBase+i+1 (global instance space). Instances at or below instBase
+	// are chosen, applied, and folded into a snapshot (TruncatePrefix), so
+	// memory tracks the tail instead of all history.
+	insts        []instance
+	instBase     int64
+	chosenPrefix int64 // all instances <= chosenPrefix are chosen
 
 	// Phase-1 state.
 	prepareOKs map[protocol.NodeID]*MsgPrepareOK
@@ -224,14 +229,31 @@ func (e *Engine) RestoreHardState(term uint64, _ protocol.NodeID) {
 	}
 }
 
+// RestoreSnapshot primes the engine at a snapshot boundary before
+// RestoreLog delivers the tail: instances at or below index are chosen and
+// live only in the snapshot.
+func (e *Engine) RestoreSnapshot(index int64, _ uint64) {
+	if e.LastIndex() > 0 {
+		return
+	}
+	e.instBase = index
+	if index > e.chosenPrefix {
+		e.chosenPrefix = index
+	}
+}
+
 // RestoreLog adopts durably logged instances after a restart, before the
 // engine processes any input; instances up to commit come back chosen.
+// The tail continues wherever RestoreSnapshot anchored the instance space.
 func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	if len(e.insts) > 0 || len(ents) == 0 {
 		return
 	}
 	for _, ent := range ents {
 		in := e.inst(ent.Index)
+		if in == nil {
+			continue // below the snapshot boundary: already covered
+		}
 		in.used = true
 		in.bal = ent.Bal
 		in.cmd = ent.Cmd
@@ -245,18 +267,46 @@ func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	}
 }
 
+// TruncatePrefix implements protocol.PrefixTruncator: drop in-memory
+// instance state at or below through (clamped to the chosen prefix —
+// unchosen instances may still be re-proposed and must stay). Index
+// arithmetic stays in global instance space.
+func (e *Engine) TruncatePrefix(through int64) {
+	if through > e.chosenPrefix {
+		through = e.chosenPrefix
+	}
+	if through <= e.instBase {
+		return
+	}
+	e.insts = append([]instance(nil), e.insts[through-e.instBase:]...)
+	e.instBase = through
+	for idx := range e.acks {
+		if idx <= through {
+			delete(e.acks, idx)
+		}
+	}
+}
+
+// LogLen returns the number of instances held in memory (the uncompacted
+// tail).
+func (e *Engine) LogLen() int { return len(e.insts) }
+
+// FirstIndex returns the lowest instance still held in memory.
+func (e *Engine) FirstIndex() int64 { return e.instBase + 1 }
+
 // ChosenPrefix returns the contiguous chosen (committed) prefix.
 func (e *Engine) ChosenPrefix() int64 { return e.chosenPrefix }
 
 // LastIndex returns the highest instance this replica has accepted.
-func (e *Engine) LastIndex() int64 { return int64(len(e.insts)) }
+func (e *Engine) LastIndex() int64 { return e.instBase + int64(len(e.insts)) }
 
-// InstanceAt returns (ballot, command, chosen) for instance i, if used.
+// InstanceAt returns (ballot, command, chosen) for instance i, if used;
+// compacted instances report false.
 func (e *Engine) InstanceAt(i int64) (InstanceInfo, bool) {
-	if i < 1 || i > e.LastIndex() || !e.insts[i-1].used {
+	if i <= e.instBase || i > e.LastIndex() || !e.insts[i-e.instBase-1].used {
 		return InstanceInfo{}, false
 	}
-	in := e.insts[i-1]
+	in := e.insts[i-e.instBase-1]
 	return InstanceInfo{Idx: i, Bal: in.bal, Cmd: in.cmd, Chosen: in.chosen}, true
 }
 
@@ -278,11 +328,17 @@ func (e *Engine) nextBallot(cur uint64) uint64 {
 	return b
 }
 
+// inst grows the tail to cover instance i and returns it; instances at or
+// below the compaction base are gone and yield nil (callers skip them —
+// anything below the base is already chosen and snapshotted).
 func (e *Engine) inst(i int64) *instance {
+	if i <= e.instBase {
+		return nil
+	}
 	for e.LastIndex() < i {
 		e.insts = append(e.insts, instance{})
 	}
-	return &e.insts[i-1]
+	return &e.insts[i-e.instBase-1]
 }
 
 // Tick implements protocol.Engine.
@@ -331,8 +387,14 @@ func (e *Engine) campaign(out *protocol.Output) {
 
 func (e *Engine) instancesFrom(idx int64) []InstanceInfo {
 	var infos []InstanceInfo
+	if idx <= e.instBase {
+		// The compacted prefix is chosen and snapshotted; only the held
+		// tail can be reported (a preparer that far behind needs a
+		// snapshot transfer to execute it anyway).
+		idx = e.instBase + 1
+	}
 	for i := idx; i <= e.LastIndex(); i++ {
-		in := e.insts[i-1]
+		in := e.insts[i-e.instBase-1]
 		if in.used {
 			infos = append(infos, InstanceInfo{Idx: i, Bal: in.bal, Cmd: in.cmd, Chosen: in.chosen})
 		}
@@ -419,6 +481,9 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 	var reproposal []InstanceInfo
 	for i := e.chosenPrefix + 1; i <= maxIdx; i++ {
 		in := e.inst(i)
+		if in == nil {
+			continue // below the compaction base: chosen and snapshotted
+		}
 		if info, ok := safe[i]; ok {
 			in.cmd = info.Cmd
 			in.chosen = in.chosen || info.Chosen
@@ -507,7 +572,7 @@ func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
 	e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix})
 	if len(e.cfg.Peers) == 1 {
 		for _, info := range insts {
-			e.insts[info.Idx-1].chosen = true
+			e.insts[info.Idx-e.instBase-1].chosen = true
 		}
 		e.advanceChosen(out)
 	}
@@ -544,6 +609,9 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 	var idxs []int64
 	for _, info := range m.Insts {
 		in := e.inst(info.Idx)
+		if in == nil {
+			continue // already chosen and compacted here: stale accept
+		}
 		in.used = true
 		in.bal = m.Bal
 		in.cmd = info.Cmd
@@ -569,7 +637,7 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 
 func (e *Engine) markChosenUpTo(p int64) {
 	for i := e.chosenPrefix + 1; i <= p && i <= e.LastIndex(); i++ {
-		e.insts[i-1].chosen = true
+		e.insts[i-e.instBase-1].chosen = true
 	}
 }
 
@@ -603,7 +671,9 @@ func (e *Engine) tryChoose(idx int64, set map[protocol.NodeID]bool) {
 		return
 	}
 	delete(e.acks, idx)
-	e.inst(idx).chosen = true
+	if in := e.inst(idx); in != nil {
+		in.chosen = true
+	}
 }
 
 // RecheckChosen re-evaluates the chosen gate for every pending instance
@@ -623,7 +693,7 @@ func (e *Engine) RecheckChosen() protocol.Output {
 func (e *Engine) advanceChosen(out *protocol.Output) {
 	moved := false
 	for e.chosenPrefix < e.LastIndex() {
-		in := e.insts[e.chosenPrefix]
+		in := e.insts[e.chosenPrefix-e.instBase]
 		if !in.used || !in.chosen {
 			break
 		}

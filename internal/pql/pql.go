@@ -213,6 +213,17 @@ func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	e.inner.RestoreLog(ents, commit)
 }
 
+// RestoreSnapshot forwards the snapshot boundary to MultiPaxos.
+func (e *Engine) RestoreSnapshot(index int64, term uint64) {
+	e.inner.RestoreSnapshot(index, term)
+}
+
+// TruncatePrefix implements protocol.PrefixTruncator via MultiPaxos.
+func (e *Engine) TruncatePrefix(through int64) { e.inner.TruncatePrefix(through) }
+
+// LogLen reports MultiPaxos's in-memory tail length.
+func (e *Engine) LogLen() int { return e.inner.LogLen() }
+
 // SubmitRead implements protocol.Engine: the LocalRead subaction.
 func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
 	cmd.Op = protocol.OpGet

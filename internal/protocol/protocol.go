@@ -191,6 +191,38 @@ type Engine interface {
 	IsLeader() bool
 }
 
+// StateMachine is the replicated application the driver feeds committed
+// entries to. Snapshot and Restore bound recovery: a driver may serialize
+// the full applied state, persist it, and later rebuild the machine from
+// that image plus only the log tail above it, instead of replaying all
+// history.
+type StateMachine interface {
+	// Apply executes one committed entry; entries arrive in index order.
+	Apply(e Entry)
+	// Snapshot serializes the entire applied state deterministically.
+	Snapshot() ([]byte, error)
+	// Restore replaces the applied state with a Snapshot image.
+	Restore(data []byte) error
+}
+
+// PrefixTruncator is an optional Engine extension: engines whose in-memory
+// log supports dropping the compacted prefix (everything at or below a
+// persisted snapshot) expose it so drivers can bound replica memory.
+type PrefixTruncator interface {
+	// TruncatePrefix drops in-memory log state for indexes <= through.
+	// Only committed indexes may be truncated; engines clamp internally.
+	TruncatePrefix(through int64)
+}
+
+// SnapshotRestorer is an optional Engine extension: the driver calls it
+// before RestoreLog when recovery starts from a snapshot, so the engine
+// can begin its log at the snapshot boundary instead of index 1.
+type SnapshotRestorer interface {
+	// RestoreSnapshot primes the engine with the snapshot's last included
+	// index and term; the subsequent RestoreLog carries only the tail.
+	RestoreSnapshot(index int64, term uint64)
+}
+
 // BatchSubmitter is an optional Engine extension for engines whose wire
 // protocol already carries multi-entry accepts/appends (MultiPaxos,
 // Raft, Raft*): a whole batch of commands becomes one log extension and

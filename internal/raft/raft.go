@@ -134,7 +134,10 @@ type Engine struct {
 	role     Role
 	leader   protocol.NodeID
 
-	log    []protocol.Entry // log[i] has Index i+1
+	// log is the uncompacted tail in global index space: the prefix at or
+	// below log.Base() has been folded into a snapshot and truncated away
+	// (TruncatePrefix), bounding replica memory by the tail length.
+	log    protocol.Log
 	commit int64
 
 	votes map[protocol.NodeID]bool
@@ -192,41 +195,71 @@ func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
 	}
 }
 
-// RestoreLog adopts a durably logged prefix after a restart, before the
-// engine processes any input; commit is clamped to the restored length.
-func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
-	if len(e.log) > 0 || len(ents) == 0 {
+// RestoreSnapshot primes the engine at a snapshot boundary before
+// RestoreLog delivers the tail: the log starts at index (whose entry had
+// term) and everything at or below it is committed.
+func (e *Engine) RestoreSnapshot(index int64, term uint64) {
+	if e.log.LastIndex() > 0 {
 		return
 	}
-	e.log = append([]protocol.Entry(nil), ents...)
-	if commit > int64(len(e.log)) {
-		commit = int64(len(e.log))
+	e.log.Restore(index, term, nil)
+	if index > e.commit {
+		e.commit = index
+	}
+}
+
+// RestoreLog adopts a durably logged tail after a restart, before the
+// engine processes any input; the tail continues wherever RestoreSnapshot
+// anchored the log (index 1 on a snapshot-free store). Commit is clamped
+// to the restored length.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	if e.log.Len() > 0 || len(ents) == 0 {
+		return
+	}
+	if ents[0].Index != e.log.LastIndex()+1 {
+		return // tail does not meet the snapshot boundary: driver bug
+	}
+	for _, ent := range ents {
+		e.log.Append(ent)
+	}
+	if commit > e.log.LastIndex() {
+		commit = e.log.LastIndex()
 	}
 	if commit > e.commit {
 		e.commit = commit
 	}
 }
 
+// TruncatePrefix implements protocol.PrefixTruncator: drop in-memory
+// entries at or below through (clamped to the commit index). All index
+// arithmetic stays in global log-index space.
+func (e *Engine) TruncatePrefix(through int64) {
+	if through > e.commit {
+		through = e.commit
+	}
+	e.log.TruncatePrefix(through)
+}
+
+// LogLen returns the number of entries held in memory (the uncompacted
+// tail).
+func (e *Engine) LogLen() int { return e.log.Len() }
+
+// FirstIndex returns the lowest log index still held in memory.
+func (e *Engine) FirstIndex() int64 { return e.log.FirstIndex() }
+
 // CommitIndex returns the highest committed index.
 func (e *Engine) CommitIndex() int64 { return e.commit }
 
 // LastIndex returns the last log index.
-func (e *Engine) LastIndex() int64 { return int64(len(e.log)) }
+func (e *Engine) LastIndex() int64 { return e.log.LastIndex() }
 
-// EntryAt returns the entry at index i (1-based).
+// EntryAt returns the entry at index i (1-based); compacted indexes
+// report false.
 func (e *Engine) EntryAt(i int64) (protocol.Entry, bool) {
-	if i < 1 || i > e.LastIndex() {
-		return protocol.Entry{}, false
-	}
-	return e.log[i-1], true
+	return e.log.At(i)
 }
 
-func (e *Engine) termAt(i int64) uint64 {
-	if i <= 0 || i > e.LastIndex() {
-		return 0
-	}
-	return e.log[i-1].Term
-}
+func (e *Engine) termAt(i int64) uint64 { return e.log.TermAt(i) }
 
 func (e *Engine) quorum() int { return protocol.Quorum(len(e.cfg.Peers)) }
 
@@ -438,7 +471,7 @@ func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
 	// In standard Raft the per-entry ballot simply mirrors the creation
 	// term and is never rewritten.
 	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
-	e.log = append(e.log, ent)
+	e.log.Append(ent)
 	e.match[e.cfg.ID] = e.LastIndex()
 	out.StateChanged = true
 	if len(e.cfg.Peers) == 1 {
@@ -463,8 +496,11 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 	if e.inflight[p] >= e.cfg.MaxInflight && !heartbeat {
 		return
 	}
-	if next < 1 {
-		next = 1
+	if next < e.log.FirstIndex() {
+		// The compacted prefix cannot be resent entry-by-entry; start at
+		// the held tail (catching a peer up past the snapshot needs a
+		// snapshot transfer, not an append).
+		next = e.log.FirstIndex()
 	}
 	end := e.LastIndex()
 	if end > next-1+int64(e.cfg.MaxBatch) {
@@ -472,7 +508,7 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 	}
 	var ents []protocol.Entry
 	if end >= next {
-		ents = append([]protocol.Entry(nil), e.log[next-1:end]...)
+		ents = e.log.Slice(next, end)
 	}
 	req := &MsgAppendReq{
 		Term:      e.term,
@@ -500,19 +536,28 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	switch {
 	case m.PrevIndex > e.LastIndex():
 		resp.LastIndex = e.LastIndex()
-	case e.termAt(m.PrevIndex) != m.PrevTerm:
+	case m.PrevIndex >= e.log.Base() && e.termAt(m.PrevIndex) != m.PrevTerm:
+		// A PrevIndex below the compaction base cannot conflict: that
+		// prefix is committed, hence identical on any current leader.
 		resp.LastIndex = m.PrevIndex - 1
 	default:
 		// Accept. Standard Raft: find the first conflicting entry, ERASE
 		// everything from there on, then append — the follower's log is
 		// forced to match the leader's, even if that shortens it. This is
 		// the transition with no MultiPaxos counterpart (Section 3).
+		// Entries at or below the compaction base are committed and
+		// snapshotted here; they can never conflict and are skipped.
 		for k, ent := range m.Entries {
+			if ent.Index <= e.log.Base() {
+				continue
+			}
 			if ent.Index <= e.LastIndex() && e.termAt(ent.Index) != ent.Term {
-				e.log = e.log[:ent.Index-1] // erase conflicting suffix
+				e.log.TruncateSuffix(ent.Index - 1) // erase conflicting suffix
 			}
 			if ent.Index > e.LastIndex() {
-				e.log = append(e.log, m.Entries[k:]...)
+				for _, rest := range m.Entries[k:] {
+					e.log.Append(rest)
+				}
 				break
 			}
 		}
@@ -541,6 +586,13 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 		e.next[from] = min64(m.LastIndex+1, e.LastIndex()+1)
 		if e.next[from] < 1 {
 			e.next[from] = 1
+		}
+		if e.next[from] < e.log.FirstIndex() {
+			// The follower needs entries below our compaction base, which
+			// only a snapshot transfer could provide. Immediate resend
+			// would livelock on rejections; heartbeats keep probing at
+			// tick cadence instead.
+			return
 		}
 		e.sendAppend(from, out, false)
 		return
@@ -581,7 +633,7 @@ func (e *Engine) maybeCommit(out *protocol.Output) {
 
 func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
 	for i := e.commit + 1; i <= to; i++ {
-		ent := e.log[i-1]
+		ent, _ := e.log.At(i)
 		out.Commits = append(out.Commits, protocol.CommitInfo{
 			Entry: ent,
 			Reply: e.role == Leader && ent.Cmd.Client != protocol.None,

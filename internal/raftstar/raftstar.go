@@ -121,8 +121,10 @@ type Engine struct {
 	role     Role
 	leader   protocol.NodeID
 
-	// log[i] holds the entry with Index i+1 (first index is 1).
-	log    []protocol.Entry
+	// log is the uncompacted tail in global index space: the prefix at or
+	// below log.Base() has been folded into a snapshot and truncated away
+	// (TruncatePrefix), bounding replica memory by the tail length.
+	log    protocol.Log
 	commit int64
 	// logBal is the ballot of every entry in the log. Raft* stamps all
 	// covered entries with the append's term on every accept, so the
@@ -191,17 +193,40 @@ func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
 	}
 }
 
-// RestoreLog adopts a durably logged prefix after a restart, before the
-// engine processes any input. The driver persists entries at commit
-// time, so commit normally covers the whole prefix; it is clamped to
-// the restored length regardless.
-func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
-	if len(e.log) > 0 || len(ents) == 0 {
+// RestoreSnapshot primes the engine at a snapshot boundary before
+// RestoreLog delivers the tail: the log starts at index, whose entry had
+// term, and everything at or below it is committed (it was applied before
+// it was snapshotted).
+func (e *Engine) RestoreSnapshot(index int64, term uint64) {
+	if e.log.LastIndex() > 0 {
 		return
 	}
-	e.log = append([]protocol.Entry(nil), ents...)
-	if commit > int64(len(e.log)) {
-		commit = int64(len(e.log))
+	e.log.Restore(index, term, nil)
+	if index > e.commit {
+		e.commit = index
+	}
+	if term > e.logBal {
+		e.logBal = term
+	}
+}
+
+// RestoreLog adopts a durably logged tail after a restart, before the
+// engine processes any input. The tail continues wherever RestoreSnapshot
+// anchored the log (index 1 on a snapshot-free store). The driver persists
+// entries at commit time, so commit normally covers the whole tail; it is
+// clamped to the restored length regardless.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
+	if e.log.Len() > 0 || len(ents) == 0 {
+		return
+	}
+	if ents[0].Index != e.log.LastIndex()+1 {
+		return // tail does not meet the snapshot boundary: driver bug
+	}
+	for _, ent := range ents {
+		e.log.Append(ent)
+	}
+	if commit > e.log.LastIndex() {
+		commit = e.log.LastIndex()
 	}
 	if commit > e.commit {
 		e.commit = commit
@@ -215,6 +240,24 @@ func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	}
 }
 
+// TruncatePrefix implements protocol.PrefixTruncator: drop in-memory
+// entries at or below through (clamped to the commit index — uncommitted
+// entries may still be rewritten and must stay). Index arithmetic stays in
+// global log-index space throughout.
+func (e *Engine) TruncatePrefix(through int64) {
+	if through > e.commit {
+		through = e.commit
+	}
+	e.log.TruncatePrefix(through)
+}
+
+// LogLen returns the number of entries held in memory (the uncompacted
+// tail) — the quantity snapshots exist to bound.
+func (e *Engine) LogLen() int { return e.log.Len() }
+
+// FirstIndex returns the lowest log index still held in memory.
+func (e *Engine) FirstIndex() int64 { return e.log.FirstIndex() }
+
 // Role returns the current role.
 func (e *Engine) Role() Role { return e.role }
 
@@ -222,24 +265,20 @@ func (e *Engine) Role() Role { return e.role }
 func (e *Engine) CommitIndex() int64 { return e.commit }
 
 // LastIndex returns the last log index.
-func (e *Engine) LastIndex() int64 { return int64(len(e.log)) }
+func (e *Engine) LastIndex() int64 { return e.log.LastIndex() }
 
-// EntryAt returns the entry at index i (1-based) and whether it exists.
+// EntryAt returns the entry at index i (1-based) and whether it exists;
+// compacted indexes report false.
 func (e *Engine) EntryAt(i int64) (protocol.Entry, bool) {
-	if i < 1 || i > e.LastIndex() {
+	ent, ok := e.log.At(i)
+	if !ok {
 		return protocol.Entry{}, false
 	}
-	ent := e.log[i-1]
 	ent.Bal = e.logBal
 	return ent, true
 }
 
-func (e *Engine) termAt(i int64) uint64 {
-	if i <= 0 || i > e.LastIndex() {
-		return 0
-	}
-	return e.log[i-1].Term
-}
+func (e *Engine) termAt(i int64) uint64 { return e.log.TermAt(i) }
 
 func (e *Engine) quorum() int { return protocol.Quorum(len(e.cfg.Peers)) }
 
@@ -347,10 +386,16 @@ func (e *Engine) stepVoteReq(from protocol.NodeID, m *MsgVoteReq, out *protocol.
 		resp.Granted = true
 		out.StateChanged = true
 		// Raft* addition: ship entries beyond the candidate's log so the
-		// leader can adopt safe values (Figure 2a lines 14-15).
+		// leader can adopt safe values (Figure 2a lines 14-15). Compacted
+		// entries cannot be shipped, but any candidate that can win a
+		// quorum is up-to-date with some replica holding the committed
+		// (hence snapshotted) prefix, so clamping to the held tail is safe.
 		if e.LastIndex() > m.LastIndex {
-			start := m.LastIndex // entries with Index > m.LastIndex
-			resp.Extra = append([]protocol.Entry(nil), e.log[start:]...)
+			lo := m.LastIndex + 1
+			if lo < e.log.FirstIndex() {
+				lo = e.log.FirstIndex()
+			}
+			resp.Extra = e.log.Tail(lo)
 			for i := range resp.Extra {
 				resp.Extra[i].Bal = e.logBal
 			}
@@ -394,7 +439,7 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 			// impossible with contiguous logs, but guard anyway).
 			cmd = protocol.Command{Op: protocol.OpNop}
 		}
-		e.log = append(e.log, protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd})
+		e.log.Append(protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd})
 	}
 	// Re-propose the entire log at the current ballot: every subsequent
 	// append stamps Bal = term (Figure 2b lines 6-7).
@@ -411,8 +456,8 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 		e.match[p] = 0
 	}
 	e.match[e.cfg.ID] = e.LastIndex()
-	if h := e.cfg.Hooks.OnAccept; h != nil && len(e.log) > 0 {
-		h(e.log)
+	if h := e.cfg.Hooks.OnAccept; h != nil && e.log.Len() > 0 {
+		h(e.log.Tail(e.log.FirstIndex()))
 	}
 	out.StateChanged = true
 	e.hbElapsed = 0
@@ -501,11 +546,11 @@ func (e *Engine) flushPending(out *protocol.Output) {
 
 func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
 	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
-	e.log = append(e.log, ent)
+	e.log.Append(ent)
 	e.match[e.cfg.ID] = e.LastIndex()
 	out.StateChanged = true
 	if h := e.cfg.Hooks.OnAccept; h != nil {
-		h(e.log[len(e.log)-1:])
+		h([]protocol.Entry{ent})
 	}
 	if len(e.cfg.Peers) == 1 {
 		e.maybeCommit(out)
@@ -531,8 +576,12 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 	if e.inflight[p] >= e.cfg.MaxInflight && !heartbeat {
 		return // pipelining cap; the ack will trigger the next batch
 	}
-	if next < 1 {
-		next = 1
+	if next < e.log.FirstIndex() {
+		// The compacted prefix cannot be resent entry-by-entry; start at
+		// the held tail (the prefix is committed everywhere that matters —
+		// shipping state to a peer behind the snapshot needs a snapshot
+		// transfer, not an append).
+		next = e.log.FirstIndex()
 	}
 	end := e.LastIndex()
 	if end > next-1+int64(e.cfg.MaxBatch) {
@@ -540,7 +589,7 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 	}
 	var ents []protocol.Entry
 	if end >= next {
-		ents = append([]protocol.Entry(nil), e.log[next-1:end]...)
+		ents = e.log.Slice(next, end)
 	}
 	req := &MsgAppendReq{
 		Term:      e.term,
@@ -570,8 +619,10 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	case m.PrevIndex > e.LastIndex():
 		// Missing entries before PrevIndex: hint our last index.
 		resp.LastIndex = e.LastIndex()
-	case e.termAt(m.PrevIndex) != m.PrevTerm:
-		// Conflicting predecessor: hint one before PrevIndex.
+	case m.PrevIndex >= e.log.Base() && e.termAt(m.PrevIndex) != m.PrevTerm:
+		// Conflicting predecessor: hint one before PrevIndex. A PrevIndex
+		// below our compaction base cannot conflict — everything at or
+		// below the base is committed, hence identical on any leader.
 		resp.LastIndex = m.PrevIndex - 1
 	case end < e.LastIndex():
 		// Raft* addition (Figure 2b line 16): reject appends that do not
@@ -581,11 +632,16 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	default:
 		// Accept: overwrite the covered suffix, then re-stamp every ballot
 		// with the leader's term (Figure 2b: logBallot[i] = term for all i).
+		// Entries at or below the compaction base are already committed
+		// and snapshotted here; skip them.
 		for _, ent := range m.Entries {
+			if ent.Index <= e.log.Base() {
+				continue
+			}
 			if ent.Index <= e.LastIndex() {
-				e.log[ent.Index-1] = ent
+				e.log.Set(ent.Index, ent)
 			} else {
-				e.log = append(e.log, ent)
+				e.log.Append(ent)
 			}
 		}
 		e.logBal = m.Term
@@ -630,6 +686,13 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 		if e.next[from] < 1 {
 			e.next[from] = 1
 		}
+		if e.next[from] < e.log.FirstIndex() {
+			// The follower needs entries below our compaction base, which
+			// only a snapshot transfer could provide. Immediate resend
+			// would livelock on rejections; heartbeats keep probing at
+			// tick cadence instead.
+			return
+		}
 		e.sendAppend(from, out, false)
 		return
 	}
@@ -673,7 +736,7 @@ func (e *Engine) maybeCommit(out *protocol.Output) {
 
 func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
 	for i := e.commit + 1; i <= to; i++ {
-		ent := e.log[i-1]
+		ent, _ := e.log.At(i)
 		ent.Bal = e.logBal
 		out.Commits = append(out.Commits, protocol.CommitInfo{
 			Entry: ent,

@@ -1,0 +1,378 @@
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/storage"
+)
+
+// smallSeg opens a file store whose segments rotate after ~1KB, so a few
+// dozen entries span several files.
+func smallSeg(t *testing.T, dir string) *storage.File {
+	t.Helper()
+	s, err := storage.OpenFileWith(dir, storage.Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendN(t *testing.T, s storage.Store, lo, hi int64) {
+	t.Helper()
+	for i := lo; i <= hi; i++ {
+		if err := s.Append([]protocol.Entry{entry(i, 1, fmt.Sprintf("key-%d", i))}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func snapshotFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "snapshot-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestSegmentRotationAndCompaction drives enough entries to rotate several
+// segments, snapshots, compacts, and asserts dead segments are deleted
+// while reads below FirstIndex fail with ErrCompacted.
+func TestSegmentRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	defer s.Close()
+	appendN(t, s, 1, 200)
+	if n := s.SegmentCount(); n < 3 {
+		t.Fatalf("segments = %d, want >= 3 after 200 entries at 1KB rotation", n)
+	}
+	preBytes := s.WALBytes()
+
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 150, Term: 1, State: []byte("state@150")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(150); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WALBytes(); got >= preBytes {
+		t.Fatalf("compaction freed nothing: %d -> %d bytes", preBytes, got)
+	}
+	first, _ := s.FirstIndex()
+	if first != 151 {
+		t.Fatalf("FirstIndex = %d, want 151", first)
+	}
+	last, _ := s.LastIndex()
+	if last != 200 {
+		t.Fatalf("LastIndex = %d, want 200", last)
+	}
+	if _, err := s.Entries(100, 160); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("read below FirstIndex: err = %v, want ErrCompacted", err)
+	}
+	ents, err := s.Entries(151, 200)
+	if err != nil || len(ents) != 50 || ents[0].Index != 151 {
+		t.Fatalf("tail read: %d ents, %v", len(ents), err)
+	}
+	// The tail keeps appending across the compaction boundary.
+	appendN(t, s, 201, 210)
+	if _, err := s.Entries(201, 210); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryFromSnapshotPlusTail closes after snapshot+compact and
+// reopens: the store must come back with the snapshot and only the tail,
+// proving restart cost is O(snapshot + tail), not O(history).
+func TestRecoveryFromSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 120)
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 100, Term: 1, State: []byte("state@100")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(100); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re := smallSeg(t, dir)
+	defer re.Close()
+	snap, ok, err := re.LatestSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("no snapshot after reopen: %v", err)
+	}
+	if snap.Index != 100 || !bytes.Equal(snap.State, []byte("state@100")) {
+		t.Fatalf("recovered snapshot = %+v", snap)
+	}
+	first, _ := re.FirstIndex()
+	last, _ := re.LastIndex()
+	if first != 101 || last != 120 {
+		t.Fatalf("recovered range [%d, %d], want [101, 120]", first, last)
+	}
+	if _, err := re.Entries(1, 50); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("compacted read after reopen: %v, want ErrCompacted", err)
+	}
+	ents, err := re.Entries(101, 120)
+	if err != nil || len(ents) != 20 || ents[0].Cmd.Key != "key-101" {
+		t.Fatalf("tail after reopen: %d ents, %v", len(ents), err)
+	}
+}
+
+// TestCrashBetweenSnapshotAndCompact simulates dying after the snapshot
+// file is durable but before any segment was deleted: reopen must use the
+// new snapshot and skip the WAL records it covers.
+func TestCrashBetweenSnapshotAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 80)
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 60, Term: 1, State: []byte("state@60")}); err != nil {
+		t.Fatal(err)
+	}
+	// No Compact: every segment still on disk, exactly the crash window.
+	s.Close()
+
+	re := smallSeg(t, dir)
+	defer re.Close()
+	snap, ok, _ := re.LatestSnapshot()
+	if !ok || snap.Index != 60 {
+		t.Fatalf("snapshot after crash window = %+v, ok=%v", snap, ok)
+	}
+	// The watermark never moved, so the full log is still readable — the
+	// snapshot is a pure gain, never a loss, until Compact commits to it.
+	first, _ := re.FirstIndex()
+	last, _ := re.LastIndex()
+	if first != 1 || last != 80 {
+		t.Fatalf("range after crash window [%d, %d], want [1, 80]", first, last)
+	}
+	// Compaction can resume where the crash interrupted it.
+	if err := re.Compact(60); err != nil {
+		t.Fatal(err)
+	}
+	if base, term, _ := re.CompactionBase(); base != 60 || term != 1 {
+		t.Fatalf("compaction base = (%d, %d), want (60, 1)", base, term)
+	}
+	if _, err := re.Entries(61, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Entries(1, 80); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("err = %v, want ErrCompacted", err)
+	}
+}
+
+// TestCorruptSnapshotFallsBack corrupts the newest snapshot file: reopen
+// must fall back to the previous snapshot and replay the full tail above
+// it, losing nothing.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 60)
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 30, Term: 1, State: []byte("state@30")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(30); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 61, 90)
+	// Second snapshot written but its compaction never ran (crash window).
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 80, Term: 1, State: []byte("state@80")}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	snaps := snapshotFiles(t, dir)
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot files = %v, want 2", snaps)
+	}
+	// Corrupt the newest (snapshot-…80): flip a byte inside the body.
+	raw, err := os.ReadFile(snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(snaps[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := smallSeg(t, dir)
+	defer re.Close()
+	snap, ok, _ := re.LatestSnapshot()
+	if !ok || snap.Index != 30 || !bytes.Equal(snap.State, []byte("state@30")) {
+		t.Fatalf("fallback snapshot = %+v, ok=%v, want index 30", snap, ok)
+	}
+	// Full tail above the fallback must have replayed: nothing lost.
+	first, _ := re.FirstIndex()
+	last, _ := re.LastIndex()
+	if first != 31 || last != 90 {
+		t.Fatalf("fallback range [%d, %d], want [31, 90]", first, last)
+	}
+	ents, err := re.Entries(31, 90)
+	if err != nil || len(ents) != 60 {
+		t.Fatalf("fallback tail: %d ents, %v", len(ents), err)
+	}
+}
+
+// TestTornSnapshotTmpIgnored leaves a half-written snapshot tmp file (the
+// crash-before-rename window): reopen must ignore it entirely.
+func TestTornSnapshotTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 20)
+	s.Close()
+	tmp := filepath.Join(dir, fmt.Sprintf("snapshot-%016d.tmp", 15))
+	if err := os.WriteFile(tmp, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.LatestSnapshot(); ok {
+		t.Fatal("torn tmp snapshot adopted")
+	}
+	last, _ := re.LastIndex()
+	if last != 20 {
+		t.Fatalf("last = %d, want 20", last)
+	}
+}
+
+// TestSnapshotPruning keeps exactly the newest two snapshot files.
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	defer s.Close()
+	appendN(t, s, 1, 50)
+	for _, idx := range []int64{10, 20, 30, 40} {
+		if err := s.SaveSnapshot(storage.Snapshot{Index: idx, Term: 1, State: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := snapshotFiles(t, dir)
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot files after pruning = %v, want newest 2", snaps)
+	}
+	if filepath.Base(snaps[1]) != fmt.Sprintf("snapshot-%016d", 40) {
+		t.Fatalf("newest = %s", snaps[1])
+	}
+}
+
+// TestLegacyWALMigration opens a directory written by the pre-segmentation
+// format (a single file named "wal") and expects it adopted as segment 1.
+func TestLegacyWALMigration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 1, 5)
+	s.Close()
+	// Rewind to the legacy layout: one file called "wal".
+	segs := segmentFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("fresh store wrote %d segments, want 1", len(segs))
+	}
+	if err := os.Rename(segs[0], filepath.Join(dir, "wal")); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	last, _ := re.LastIndex()
+	if last != 5 {
+		t.Fatalf("migrated last = %d, want 5", last)
+	}
+	if segs := segmentFiles(t, dir); len(segs) != 1 {
+		t.Fatalf("migration left %v", segs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("legacy wal file still present after migration")
+	}
+}
+
+// TestLostWatermarkFallsBackToSnapshot deletes the compact watermark file
+// after a compaction: reopen must adopt the snapshot (which verifiably
+// covers the deleted prefix) as the base instead of losing the tail — and
+// must adopt the snapshot's exact index and term, not guess from the
+// oldest surviving record.
+func TestLostWatermarkFallsBackToSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 120)
+	if err := s.SaveSnapshot(storage.Snapshot{Index: 100, Term: 1, State: []byte("state@100")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(80); err != nil { // margin: watermark behind snapshot
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "compact")); err != nil {
+		t.Fatal(err)
+	}
+
+	re := smallSeg(t, dir)
+	defer re.Close()
+	base, term, _ := re.CompactionBase()
+	if base != 100 || term != 1 {
+		t.Fatalf("adopted base = (%d, %d), want snapshot boundary (100, 1)", base, term)
+	}
+	first, _ := re.FirstIndex()
+	last, _ := re.LastIndex()
+	if first != 101 || last != 120 {
+		t.Fatalf("range [%d, %d], want [101, 120]", first, last)
+	}
+	ents, err := re.Entries(101, 120)
+	if err != nil || len(ents) != 20 {
+		t.Fatalf("tail: %d, %v", len(ents), err)
+	}
+}
+
+// TestMemSnapshotCompact mirrors the file-store compaction contract on the
+// in-memory store so driver tests can exercise it without disk.
+func TestMemSnapshotCompact(t *testing.T) {
+	m := storage.NewMem()
+	appendN(t, m, 1, 10)
+	if err := m.SaveSnapshot(storage.Snapshot{Index: 6, Term: 1, State: []byte("s")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Compact(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Entries(5, 8); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("err = %v, want ErrCompacted", err)
+	}
+	first, _ := m.FirstIndex()
+	last, _ := m.LastIndex()
+	if first != 7 || last != 10 {
+		t.Fatalf("range [%d, %d], want [7, 10]", first, last)
+	}
+	ents, err := m.Entries(7, 10)
+	if err != nil || len(ents) != 4 {
+		t.Fatalf("tail: %d, %v", len(ents), err)
+	}
+	// Appends continue above the compaction in global index space.
+	appendN(t, m, 11, 12)
+	if last, _ = m.LastIndex(); last != 12 {
+		t.Fatalf("last = %d, want 12", last)
+	}
+}

@@ -1,10 +1,15 @@
 // Package storage provides the durable state consensus replicas require:
-// a stable store for the (term, votedFor, commit) triple and an
-// append-optimized log store, with in-memory and file-backed
-// implementations. The file backend writes a length-and-checksum-framed
-// record per entry (a minimal WAL) and group-commits each Append batch
-// with a single buffered flush + fsync, so drivers that drain many
-// submissions per iteration pay far less than one sync per entry.
+// a stable store for the (term, votedFor, commit) triple, an
+// append-optimized log store, and a snapshot store that bounds both, with
+// in-memory and file-backed implementations.
+//
+// The file backend writes a segmented WAL — length-and-checksum-framed
+// entry records in fixed-size segment files rotated at a byte threshold —
+// and group-commits each Append batch with a single buffered flush +
+// fsync. Snapshots are CRC-framed files written atomically (tmp + rename +
+// directory fsync); Compact deletes whole WAL segments whose records all
+// fall at or below the snapshot, so disk usage tracks the uncompacted tail
+// instead of all history and restart replays only that tail.
 package storage
 
 import (
@@ -16,6 +21,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +37,14 @@ type HardState struct {
 	Commit   int64
 }
 
+// Snapshot is a serialized state-machine image with the log position it
+// covers: every entry at or below Index is reflected in State.
+type Snapshot struct {
+	Index int64
+	Term  uint64
+	State []byte
+}
+
 // Store is the persistence contract engines' drivers rely on.
 type Store interface {
 	// SaveHardState durably records term/vote/commit.
@@ -39,27 +55,65 @@ type Store interface {
 	// entries at or after the first new index (Raft*'s covered-suffix
 	// overwrite; Raft's erase is the degenerate case of a shorter result).
 	Append(entries []protocol.Entry) error
-	// Entries returns entries in [lo, hi].
+	// Entries returns entries in [lo, hi]. Reads below FirstIndex return
+	// ErrCompacted; reads above LastIndex return ErrOutOfRange.
 	Entries(lo, hi int64) ([]protocol.Entry, error)
-	// LastIndex returns the last stored index (0 when empty).
+	// FirstIndex returns the lowest readable index (1 on a fresh store;
+	// snapshot index + 1 after compaction).
+	FirstIndex() (int64, error)
+	// LastIndex returns the last stored index (0 when empty; the snapshot
+	// index when everything is compacted).
 	LastIndex() (int64, error)
 	// Close releases resources.
 	Close() error
 }
 
+// SnapshotStore is the optional compaction extension of Store: drivers
+// that snapshot their state machine persist the image here and then drop
+// the covered log prefix.
+type SnapshotStore interface {
+	// SaveSnapshot durably records a state-machine image atomically. The
+	// previous snapshot is retained until the next save so recovery can
+	// fall back past a torn write.
+	SaveSnapshot(snap Snapshot) error
+	// LatestSnapshot returns the newest valid snapshot, if any.
+	LatestSnapshot() (Snapshot, bool, error)
+	// Compact drops log storage for entries at or below through. The
+	// caller must have saved a snapshot covering through first. Callers
+	// normally compact some margin behind the snapshot so recovery and
+	// peer catch-up retain a tail of individually readable entries.
+	Compact(through int64) error
+	// CompactionBase returns the current compaction watermark: the index
+	// of the last dropped entry and its term (0, 0 before any compaction).
+	// FirstIndex == base + 1.
+	CompactionBase() (index int64, term uint64, err error)
+}
+
 // ErrOutOfRange is returned for reads beyond the stored log.
 var ErrOutOfRange = errors.New("storage: index out of range")
 
+// ErrCompacted is returned for reads below FirstIndex: those entries were
+// folded into a snapshot and are no longer individually readable.
+var ErrCompacted = errors.New("storage: index compacted into snapshot")
+
 // --- In-memory implementation ---
 
-// Mem is the in-memory Store.
+// Mem is the in-memory Store (and SnapshotStore, for driver tests that
+// exercise compaction without touching disk).
 type Mem struct {
-	mu  sync.Mutex
-	hs  HardState
-	log []protocol.Entry // log[i] has Index i+1
+	mu       sync.Mutex
+	hs       HardState
+	base     int64            // entries <= base are compacted into snap
+	baseTerm uint64           // term of the entry at base
+	log      []protocol.Entry // log[i] has Index base+i+1
+	snap     Snapshot
+	has      bool
 }
 
-var _ Store = (*Mem)(nil)
+var (
+	_ Store         = (*Mem)(nil)
+	_ SnapshotStore = (*Mem)(nil)
+)
 
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem { return &Mem{} }
@@ -84,31 +138,34 @@ func (m *Mem) Append(entries []protocol.Entry) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, e := range entries {
+		rel := e.Index - m.base
 		switch {
 		case e.Index <= 0:
 			return fmt.Errorf("storage: bad index %d", e.Index)
-		case e.Index <= int64(len(m.log)):
-			m.log[e.Index-1] = e
+		case rel <= 0:
+			return fmt.Errorf("storage: append at %d below compaction %d: %w", e.Index, m.base, ErrCompacted)
+		case rel <= int64(len(m.log)):
+			m.log[rel-1] = e
 			// Overwriting inside the log invalidates any stale suffix the
 			// new entries do not cover only when the caller truncates; a
 			// covered overwrite leaves later entries in place.
-		case e.Index == int64(len(m.log))+1:
+		case rel == int64(len(m.log))+1:
 			m.log = append(m.log, e)
 		default:
-			return fmt.Errorf("storage: gap at index %d (last %d)", e.Index, len(m.log))
+			return fmt.Errorf("storage: gap at index %d (last %d)", e.Index, m.base+int64(len(m.log)))
 		}
 	}
 	return nil
 }
 
-// Truncate drops all entries after index.
+// Truncate drops all entries after index (global index space).
 func (m *Mem) Truncate(index int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if index < 0 || index > int64(len(m.log)) {
+	if index < m.base || index > m.base+int64(len(m.log)) {
 		return ErrOutOfRange
 	}
-	m.log = m.log[:index]
+	m.log = m.log[:index-m.base]
 	return nil
 }
 
@@ -116,19 +173,72 @@ func (m *Mem) Truncate(index int64) error {
 func (m *Mem) Entries(lo, hi int64) ([]protocol.Entry, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if lo < 1 || hi > int64(len(m.log)) || lo > hi {
+	if lo <= m.base && m.base > 0 {
+		return nil, ErrCompacted
+	}
+	if lo < 1 || hi > m.base+int64(len(m.log)) || lo > hi {
 		return nil, ErrOutOfRange
 	}
 	out := make([]protocol.Entry, hi-lo+1)
-	copy(out, m.log[lo-1:hi])
+	copy(out, m.log[lo-m.base-1:hi-m.base])
 	return out, nil
+}
+
+// FirstIndex implements Store.
+func (m *Mem) FirstIndex() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base + 1, nil
 }
 
 // LastIndex implements Store.
 func (m *Mem) LastIndex() (int64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return int64(len(m.log)), nil
+	return m.base + int64(len(m.log)), nil
+}
+
+// SaveSnapshot implements SnapshotStore.
+func (m *Mem) SaveSnapshot(snap Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.has && snap.Index < m.snap.Index {
+		return fmt.Errorf("storage: snapshot regresses %d -> %d", m.snap.Index, snap.Index)
+	}
+	snap.State = append([]byte(nil), snap.State...)
+	m.snap = snap
+	m.has = true
+	return nil
+}
+
+// LatestSnapshot implements SnapshotStore.
+func (m *Mem) LatestSnapshot() (Snapshot, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap, m.has, nil
+}
+
+// Compact implements SnapshotStore.
+func (m *Mem) Compact(through int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if last := m.base + int64(len(m.log)); through > last {
+		through = last
+	}
+	if through <= m.base {
+		return nil
+	}
+	m.baseTerm = m.log[through-m.base-1].Term
+	m.log = append([]protocol.Entry(nil), m.log[through-m.base:]...)
+	m.base = through
+	return nil
+}
+
+// CompactionBase implements SnapshotStore.
+func (m *Mem) CompactionBase() (int64, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base, m.baseTerm, nil
 }
 
 // Close implements Store.
@@ -136,51 +246,137 @@ func (m *Mem) Close() error { return nil }
 
 // --- File-backed implementation ---
 
-// File is the file-backed Store: a hard-state file rewritten atomically
-// and a WAL of framed, checksummed entry records. Appends are group
-// committed: a whole batch is staged through one buffered writer and made
-// durable with a single fsync, so the per-entry sync cost amortizes across
-// however many entries the driver drained into the batch.
+// DefaultSegmentBytes is the WAL rotation threshold when Options leaves it
+// zero.
+const DefaultSegmentBytes = 8 << 20
+
+// Options tunes the file-backed store.
+type Options struct {
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// many bytes (0 = DefaultSegmentBytes). Compaction deletes whole
+	// segments, so a smaller threshold reclaims space at a finer grain for
+	// more files.
+	SegmentBytes int64
+}
+
+// segment is one on-disk WAL file.
+type segment struct {
+	seq  uint64
+	path string
+	// maxIndex is the highest entry index recorded in the segment: the
+	// whole file is dead once a snapshot covers it.
+	maxIndex int64
+	size     int64
+}
+
+// File is the file-backed Store: a hard-state file rewritten atomically, a
+// segmented WAL of framed, checksummed entry records, and atomically
+// written snapshot files. Appends are group committed: a whole batch is
+// staged through one buffered writer and made durable with a single fsync,
+// so the per-entry sync cost amortizes across however many entries the
+// driver drained into the batch. Compact deletes whole segments below the
+// latest snapshot, keeping disk usage proportional to the tail.
 type File struct {
-	mu     sync.Mutex
-	dir    string
-	wal    *os.File
-	w      *bufio.Writer
-	hs     HardState
-	cached []protocol.Entry
+	mu      sync.Mutex
+	dir     string
+	segSize int64
+
+	segs     []segment // sealed + active, ascending seq; last is active
+	wal      *os.File  // active segment
+	w        *bufio.Writer
+	hs       HardState
+	base     int64            // compaction watermark: entries <= base are dropped
+	baseTerm uint64           // term of the entry at base
+	cached   []protocol.Entry // cached[i] has Index base+i+1
+	snap     Snapshot
+	hasSnap  bool
 
 	syncs     atomic.Uint64
 	appends   atomic.Uint64
 	entriesUp atomic.Uint64
 }
 
-var _ Store = (*File)(nil)
-
-const (
-	hsFile  = "hardstate"
-	walFile = "wal"
+var (
+	_ Store         = (*File)(nil)
+	_ SnapshotStore = (*File)(nil)
 )
 
-// OpenFile opens (or creates) a file-backed store in dir, replaying the
-// WAL into memory for reads.
+const (
+	hsFile     = "hardstate"
+	cmpFile    = "compact" // compaction watermark: base index + base term
+	legacyWAL  = "wal"     // pre-segmentation single-file WAL, migrated on open
+	segPrefix  = "wal-"
+	snapPrefix = "snapshot-"
+	// keepSnapshots is how many snapshot files survive a save: the newest
+	// plus one fallback, so a crash that tears the newest mid-write still
+	// recovers from the previous image plus a longer tail replay.
+	keepSnapshots = 2
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016d", segPrefix, seq) }
+func snapName(idx int64) string { return fmt.Sprintf("%s%016d", snapPrefix, idx) }
+
+// syncDir fsyncs a directory so recent creates/renames/deletes in it
+// survive power loss (file-content fsync alone does not pin the dirent).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// OpenFile opens (or creates) a file-backed store in dir with default
+// options, loading the latest valid snapshot and replaying the WAL tail
+// into memory for reads.
 func OpenFile(dir string) (*File, error) {
+	return OpenFileWith(dir, Options{})
+}
+
+// OpenFileWith is OpenFile with explicit Options.
+func OpenFileWith(dir string, opt Options) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
-	f := &File{dir: dir}
+	f := &File{dir: dir, segSize: opt.SegmentBytes}
+	if f.segSize <= 0 {
+		f.segSize = DefaultSegmentBytes
+	}
 	if err := f.loadHardState(); err != nil {
+		return nil, err
+	}
+	if err := f.migrateLegacyWAL(); err != nil {
+		return nil, err
+	}
+	if err := f.loadCompactionBase(); err != nil {
+		return nil, err
+	}
+	if err := f.loadSnapshot(); err != nil {
 		return nil, err
 	}
 	if err := f.replay(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("storage: open wal: %w", err)
+	if err := f.openActive(); err != nil {
+		return nil, err
 	}
-	f.wal = wal
-	f.w = bufio.NewWriterSize(wal, 256<<10)
 	return f, nil
+}
+
+// migrateLegacyWAL adopts a pre-segmentation single-file WAL as the first
+// segment so old data directories keep working.
+func (f *File) migrateLegacyWAL() error {
+	old := filepath.Join(f.dir, legacyWAL)
+	if _, err := os.Stat(old); errors.Is(err, os.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("storage: stat legacy wal: %w", err)
+	}
+	if err := os.Rename(old, filepath.Join(f.dir, segName(1))); err != nil {
+		return fmt.Errorf("storage: migrate legacy wal: %w", err)
+	}
+	return syncDir(f.dir)
 }
 
 func (f *File) loadHardState() error {
@@ -290,46 +486,297 @@ func decodeEntry(body []byte) (protocol.Entry, error) {
 	return e, nil
 }
 
-func (f *File) replay() error {
-	raw, err := os.ReadFile(filepath.Join(f.dir, walFile))
+// loadCompactionBase reads the persisted compaction watermark; WAL replay
+// skips records at or below it (the segments holding them were deleted, or
+// are about to be on the next Compact).
+func (f *File) loadCompactionBase() error {
+	raw, err := os.ReadFile(filepath.Join(f.dir, cmpFile))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("storage: read wal: %w", err)
+		return fmt.Errorf("storage: read compaction base: %w", err)
 	}
-	for off := 0; off+8 <= len(raw); {
-		size := int(binary.BigEndian.Uint32(raw[off : off+4]))
-		sum := binary.BigEndian.Uint32(raw[off+4 : off+8])
-		if off+8+size > len(raw) {
-			break // torn tail from a crash: discard
+	if len(raw) != 20 || crc32.ChecksumIEEE(raw[0:16]) != binary.BigEndian.Uint32(raw[16:20]) {
+		// A torn watermark is survivable: fall back to replaying from the
+		// oldest retained record (worst case: extra replay work).
+		return nil
+	}
+	f.base = int64(binary.BigEndian.Uint64(raw[0:8]))
+	f.baseTerm = binary.BigEndian.Uint64(raw[8:16])
+	return nil
+}
+
+// saveCompactionBaseLocked durably records the watermark before any
+// segment is deleted, so a crash mid-compaction cannot leave records
+// missing below an unrecorded base.
+func (f *File) saveCompactionBaseLocked(base int64, term uint64) error {
+	var buf [20]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(base))
+	binary.BigEndian.PutUint64(buf[8:16], term)
+	binary.BigEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(buf[0:16]))
+	tmp := filepath.Join(f.dir, cmpFile+".tmp")
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return fmt.Errorf("storage: write compaction base: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, cmpFile)); err != nil {
+		return fmt.Errorf("storage: rename compaction base: %w", err)
+	}
+	return syncDir(f.dir)
+}
+
+// loadSnapshot picks the newest decodable snapshot file, falling back past
+// torn or corrupt ones. The snapshot does not move the log base — that is
+// the compaction watermark's job — so entries retained behind the snapshot
+// stay readable for recovery margin and peer catch-up.
+func (f *File) loadSnapshot() error {
+	names, err := filepath.Glob(filepath.Join(f.dir, snapPrefix+"*"))
+	if err != nil {
+		return fmt.Errorf("storage: list snapshots: %w", err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names))) // zero-padded: newest first
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			continue // torn save that never reached its rename
 		}
-		body := raw[off+8 : off+8+size]
-		if crc32.ChecksumIEEE(body) != sum {
-			break // corruption: stop at last good record
-		}
-		ent, err := decodeEntry(body)
+		snap, err := readSnapshotFile(name)
 		if err != nil {
-			return err
+			continue // torn or corrupt: fall back to the previous one
 		}
-		f.applyToCache(ent)
-		off += 8 + size
+		f.snap = snap
+		f.hasSnap = true
+		return nil
 	}
 	return nil
 }
 
+func readSnapshotFile(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if len(raw) < 8 {
+		return Snapshot{}, errors.New("storage: short snapshot header")
+	}
+	size := int(binary.BigEndian.Uint32(raw[0:4]))
+	sum := binary.BigEndian.Uint32(raw[4:8])
+	if len(raw) < 8+size {
+		return Snapshot{}, errors.New("storage: torn snapshot")
+	}
+	body := raw[8 : 8+size]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Snapshot{}, errors.New("storage: snapshot checksum mismatch")
+	}
+	if len(body) < 16 {
+		return Snapshot{}, errors.New("storage: short snapshot body")
+	}
+	return Snapshot{
+		Index: int64(binary.BigEndian.Uint64(body[0:8])),
+		Term:  binary.BigEndian.Uint64(body[8:16]),
+		State: append([]byte(nil), body[16:]...),
+	}, nil
+}
+
+// SaveSnapshot implements SnapshotStore: CRC-framed body staged in a tmp
+// file, fsynced, renamed into place, directory fsynced, older snapshot
+// files pruned down to the newest two.
+func (f *File) SaveSnapshot(snap Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hasSnap && snap.Index < f.snap.Index {
+		return fmt.Errorf("storage: snapshot regresses %d -> %d", f.snap.Index, snap.Index)
+	}
+	body := make([]byte, 16, 16+len(snap.State))
+	binary.BigEndian.PutUint64(body[0:8], uint64(snap.Index))
+	binary.BigEndian.PutUint64(body[8:16], snap.Term)
+	body = append(body, snap.State...)
+	frame := make([]byte, 8, 8+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	frame = append(frame, body...)
+
+	final := filepath.Join(f.dir, snapName(snap.Index))
+	tmp := final + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot: %w", err)
+	}
+	if _, err := tf.Write(frame); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storage: rename snapshot: %w", err)
+	}
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	f.snap = Snapshot{Index: snap.Index, Term: snap.Term, State: append([]byte(nil), snap.State...)}
+	f.hasSnap = true
+	f.pruneSnapshotsLocked()
+	return nil
+}
+
+// pruneSnapshotsLocked deletes all but the newest keepSnapshots snapshot
+// files (best effort; stale files only waste space).
+func (f *File) pruneSnapshotsLocked() {
+	names, err := filepath.Glob(filepath.Join(f.dir, snapPrefix+"*"))
+	if err != nil {
+		return
+	}
+	var finals []string
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".tmp") {
+			finals = append(finals, name)
+		}
+	}
+	if len(finals) <= keepSnapshots {
+		return
+	}
+	sort.Strings(finals) // zero-padded: oldest first
+	for _, name := range finals[:len(finals)-keepSnapshots] {
+		os.Remove(name)
+	}
+	syncDir(f.dir)
+}
+
+// LatestSnapshot implements SnapshotStore.
+func (f *File) LatestSnapshot() (Snapshot, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snap, f.hasSnap, nil
+}
+
+// replay scans every WAL segment in sequence order, rebuilding the entry
+// cache (records at or below the snapshot base are skipped — the snapshot
+// already covers them) and each segment's maxIndex for compaction.
+func (f *File) replay() error {
+	names, err := filepath.Glob(filepath.Join(f.dir, segPrefix+"*"))
+	if err != nil {
+		return fmt.Errorf("storage: list segments: %w", err)
+	}
+	sort.Strings(names) // zero-padded seq: ascending
+	for _, name := range names {
+		seq, err := strconv.ParseUint(strings.TrimPrefix(filepath.Base(name), segPrefix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("storage: read segment: %w", err)
+		}
+		seg := segment{seq: seq, path: name, size: int64(len(raw))}
+		good := 0
+		for off := 0; off+8 <= len(raw); {
+			size := int(binary.BigEndian.Uint32(raw[off : off+4]))
+			sum := binary.BigEndian.Uint32(raw[off+4 : off+8])
+			if off+8+size > len(raw) {
+				break // torn tail from a crash: discard
+			}
+			body := raw[off+8 : off+8+size]
+			if crc32.ChecksumIEEE(body) != sum {
+				break // corruption: stop at last good record
+			}
+			ent, err := decodeEntry(body)
+			if err != nil {
+				return err
+			}
+			if ent.Index > seg.maxIndex {
+				seg.maxIndex = ent.Index
+			}
+			if len(f.cached) == 0 && f.base == 0 && ent.Index > 1 &&
+				f.hasSnap && ent.Index <= f.snap.Index+1 {
+				// Older segments are gone but the watermark file did not
+				// survive. Adopt the snapshot as the base — it verifiably
+				// covers everything below the oldest retained record, and
+				// its term is exact. Without a covering snapshot the gap
+				// is indistinguishable from corruption, so no base is
+				// fabricated and the records drop conservatively.
+				f.base = f.snap.Index
+				f.baseTerm = f.snap.Term
+			}
+			f.applyToCache(ent)
+			off += 8 + size
+			good = off
+		}
+		seg.size = int64(good) // a torn tail is overwritten by the next append
+		f.segs = append(f.segs, seg)
+	}
+	return nil
+}
+
+// openActive opens the newest segment for appending (creating the first
+// segment on a fresh store). A torn tail found during replay is truncated
+// away so new records land on a clean frame boundary.
+func (f *File) openActive() error {
+	if len(f.segs) == 0 {
+		return f.addSegmentLocked(1)
+	}
+	act := &f.segs[len(f.segs)-1]
+	if info, err := os.Stat(act.path); err == nil && info.Size() > act.size {
+		if err := os.Truncate(act.path, act.size); err != nil {
+			return fmt.Errorf("storage: trim torn tail: %w", err)
+		}
+	}
+	wal, err := os.OpenFile(act.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: open wal segment: %w", err)
+	}
+	f.wal = wal
+	f.w = bufio.NewWriterSize(wal, 256<<10)
+	return nil
+}
+
+// addSegmentLocked creates segment seq, fsyncs the directory so the new
+// file's dirent is durable, and makes it the active write target.
+func (f *File) addSegmentLocked(seq uint64) error {
+	path := filepath.Join(f.dir, segName(seq))
+	wal, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create wal segment: %w", err)
+	}
+	if err := syncDir(f.dir); err != nil {
+		wal.Close()
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	f.segs = append(f.segs, segment{seq: seq, path: path})
+	f.wal = wal
+	f.w = bufio.NewWriterSize(wal, 256<<10)
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one. The caller
+// has already flushed and fsynced the active file.
+func (f *File) rotateLocked() error {
+	if err := f.wal.Close(); err != nil {
+		return fmt.Errorf("storage: close segment: %w", err)
+	}
+	return f.addSegmentLocked(f.segs[len(f.segs)-1].seq + 1)
+}
+
 func (f *File) applyToCache(e protocol.Entry) {
+	rel := e.Index - f.base
 	switch {
-	case e.Index <= int64(len(f.cached)):
-		f.cached[e.Index-1] = e
-		f.cached = f.cached[:e.Index] // records overwrite the suffix
-	case e.Index == int64(len(f.cached))+1:
+	case rel <= 0:
+		// Covered by the snapshot: the record predates compaction.
+	case rel <= int64(len(f.cached)):
+		f.cached[rel-1] = e
+		f.cached = f.cached[:rel] // records overwrite the suffix
+	case rel == int64(len(f.cached))+1:
 		f.cached = append(f.cached, e)
 	}
 }
 
 // Append implements Store: the whole batch is framed through the buffered
-// writer and made durable with one fsync (group commit).
+// writer and made durable with one fsync (group commit), then the active
+// segment rotates if it crossed the size threshold.
 func (f *File) Append(entries []protocol.Entry) error {
 	if len(entries) == 0 {
 		return nil
@@ -338,9 +785,12 @@ func (f *File) Append(entries []protocol.Entry) error {
 	defer f.mu.Unlock()
 	// Validate the whole batch before staging any frame, so a bad index in
 	// the middle cannot leave a half-written batch in the buffer.
-	simLen := int64(len(f.cached))
+	simLen := f.base + int64(len(f.cached))
 	for _, e := range entries {
-		if e.Index <= 0 || e.Index > simLen+1 {
+		if e.Index <= f.base {
+			return fmt.Errorf("storage: append at %d below compaction %d: %w", e.Index, f.base, ErrCompacted)
+		}
+		if e.Index > simLen+1 {
 			return fmt.Errorf("storage: gap at index %d (last %d)", e.Index, simLen)
 		}
 		if e.Index == simLen+1 {
@@ -349,17 +799,17 @@ func (f *File) Append(entries []protocol.Entry) error {
 			simLen = e.Index // overwrite truncates the cached suffix
 		}
 	}
+	act := &f.segs[len(f.segs)-1]
 	for _, e := range entries {
-		if _, err := f.w.Write(encodeEntry(e)); err != nil {
+		frame := encodeEntry(e)
+		if _, err := f.w.Write(frame); err != nil {
 			return fmt.Errorf("storage: append wal: %w", err)
 		}
-		switch {
-		case e.Index <= int64(len(f.cached)):
-			f.cached[e.Index-1] = e
-			f.cached = f.cached[:e.Index]
-		default:
-			f.cached = append(f.cached, e)
+		act.size += int64(len(frame))
+		if e.Index > act.maxIndex {
+			act.maxIndex = e.Index
 		}
+		f.applyToCache(e)
 	}
 	if err := f.w.Flush(); err != nil {
 		return fmt.Errorf("storage: flush wal: %w", err)
@@ -370,6 +820,53 @@ func (f *File) Append(entries []protocol.Entry) error {
 	f.appends.Add(1)
 	f.syncs.Add(1)
 	f.entriesUp.Add(uint64(len(entries)))
+	if act.size >= f.segSize {
+		if err := f.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compact implements SnapshotStore: drop the in-memory prefix at or below
+// through and delete every sealed segment whose records all fall at or
+// below it. The active segment always survives.
+func (f *File) Compact(through int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if last := f.base + int64(len(f.cached)); through > last {
+		through = last
+	}
+	if through <= f.base {
+		return nil
+	}
+	term := f.cached[through-f.base-1].Term
+	if err := f.saveCompactionBaseLocked(through, term); err != nil {
+		return err
+	}
+	f.cached = append([]protocol.Entry(nil), f.cached[through-f.base:]...)
+	f.base = through
+	f.baseTerm = term
+
+	kept := f.segs[:0]
+	removed := false
+	for i := range f.segs {
+		seg := f.segs[i]
+		if i < len(f.segs)-1 && seg.maxIndex <= through {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("storage: remove segment: %w", err)
+			}
+			removed = true
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	f.segs = kept
+	if removed {
+		if err := syncDir(f.dir); err != nil {
+			return fmt.Errorf("storage: sync dir: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -384,23 +881,59 @@ func (f *File) AppendCount() uint64 { return f.appends.Load() }
 // EntryCount returns the number of entries written to the WAL since open.
 func (f *File) EntryCount() uint64 { return f.entriesUp.Load() }
 
+// CompactionBase implements SnapshotStore.
+func (f *File) CompactionBase() (int64, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.base, f.baseTerm, nil
+}
+
+// SegmentCount returns the number of live WAL segments (sealed + active).
+func (f *File) SegmentCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.segs)
+}
+
+// WALBytes returns the total bytes across live WAL segments — the number
+// compaction is there to bound.
+func (f *File) WALBytes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, seg := range f.segs {
+		n += seg.size
+	}
+	return n
+}
+
 // Entries implements Store.
 func (f *File) Entries(lo, hi int64) ([]protocol.Entry, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if lo < 1 || hi > int64(len(f.cached)) || lo > hi {
+	if lo <= f.base && f.base > 0 {
+		return nil, ErrCompacted
+	}
+	if lo < 1 || hi > f.base+int64(len(f.cached)) || lo > hi {
 		return nil, ErrOutOfRange
 	}
 	out := make([]protocol.Entry, hi-lo+1)
-	copy(out, f.cached[lo-1:hi])
+	copy(out, f.cached[lo-f.base-1:hi-f.base])
 	return out, nil
+}
+
+// FirstIndex implements Store.
+func (f *File) FirstIndex() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.base + 1, nil
 }
 
 // LastIndex implements Store.
 func (f *File) LastIndex() (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return int64(len(f.cached)), nil
+	return f.base + int64(len(f.cached)), nil
 }
 
 // Close implements Store.
@@ -419,7 +952,7 @@ func (f *File) Close() error {
 	return err
 }
 
-// CopyTo streams the WAL to w (debug/backup helper).
+// CopyTo streams the live WAL segments to w in order (debug/backup helper).
 func (f *File) CopyTo(w io.Writer) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -428,11 +961,16 @@ func (f *File) CopyTo(w io.Writer) error {
 			return err
 		}
 	}
-	src, err := os.Open(filepath.Join(f.dir, walFile))
-	if err != nil {
-		return err
+	for _, seg := range f.segs {
+		src, err := os.Open(seg.path)
+		if err != nil {
+			return err
+		}
+		_, err = io.Copy(w, src)
+		src.Close()
+		if err != nil {
+			return err
+		}
 	}
-	defer src.Close()
-	_, err = io.Copy(w, src)
-	return err
+	return nil
 }

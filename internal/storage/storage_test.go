@@ -3,11 +3,23 @@ package storage_test
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"raftpaxos/internal/protocol"
 	"raftpaxos/internal/storage"
 )
+
+// activeSegment returns the path of the newest WAL segment in dir.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no wal segments in %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
+}
 
 func entry(i int64, term uint64, key string) protocol.Entry {
 	return protocol.Entry{
@@ -120,8 +132,8 @@ func TestFileStoreTornTail(t *testing.T) {
 		}
 	}
 	s.Close()
-	// Simulate a crash mid-write: append garbage to the WAL.
-	wal := filepath.Join(dir, "wal")
+	// Simulate a crash mid-write: append garbage to the active segment.
+	wal := activeSegment(t, dir)
 	f, err := os.OpenFile(wal, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +168,7 @@ func TestFileStoreTornMidFrame(t *testing.T) {
 		}
 	}
 	s.Close()
-	wal := filepath.Join(dir, "wal")
+	wal := activeSegment(t, dir)
 	info, err := os.Stat(wal)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +214,7 @@ func TestFileStoreBadCRCTail(t *testing.T) {
 		}
 	}
 	s.Close()
-	wal := filepath.Join(dir, "wal")
+	wal := activeSegment(t, dir)
 	raw, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"raftpaxos/internal/lease"
@@ -47,14 +49,27 @@ type wireFrame struct {
 // lossy network would (consensus retries via timers).
 const outQueueDepth = 8192
 
+// Reconnect backoff bounds: a failed dial retries after dialBackoffMin
+// (+ jitter), doubling up to dialBackoffMax while the peer stays down.
+const (
+	dialBackoffMin = 20 * time.Millisecond
+	dialBackoffMax = 2 * time.Second
+)
+
 // TCP is a TCP transport: one listener per node and, per peer, an
 // outbound queue drained by a dedicated writer goroutine over one lazily
-// dialed (re-dialed on failure) connection. Send never blocks the caller
-// on dialing or encoding — the consensus event loop only enqueues. Each
-// writer drains whatever is queued into a single buffered gob stream and
-// flushes once per drain, so a burst of messages costs one syscall; the
-// single queue and single writer per destination preserve the per-pair
-// FIFO delivery the Mencius engines require.
+// dialed connection. Send never blocks the caller on dialing or encoding —
+// the consensus event loop only enqueues. Each writer drains whatever is
+// queued into a single buffered gob stream and flushes once per drain, so
+// a burst of messages costs one syscall; the single queue and single
+// writer per destination preserve the per-pair FIFO delivery the Mencius
+// engines require.
+//
+// A down peer does not shed the queue: the writer holds the head frame and
+// reconnects with exponential backoff plus jitter (so a restarted cluster
+// does not produce synchronized dial storms), while the bounded queue
+// absorbs or drops the backlog exactly as a lossy network would. Healthy
+// reports the per-peer link state.
 type TCP struct {
 	self  protocol.NodeID
 	addrs map[protocol.NodeID]string
@@ -63,6 +78,7 @@ type TCP struct {
 	peers   map[protocol.NodeID]chan wireFrame
 	conns   map[protocol.NodeID]net.Conn // live writer conns, closed to unblock writers
 	inbound map[net.Conn]struct{}        // accepted conns, closed to unblock readers
+	health  map[protocol.NodeID]*atomic.Bool
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -82,6 +98,7 @@ func NewTCP(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler) (
 		peers:   make(map[protocol.NodeID]chan wireFrame),
 		conns:   make(map[protocol.NodeID]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
+		health:  make(map[protocol.NodeID]*atomic.Bool),
 		ln:      ln,
 		closed:  make(chan struct{}),
 	}
@@ -154,6 +171,11 @@ func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 		}
 		q = make(chan wireFrame, outQueueDepth)
 		t.peers[to] = q
+		if _, ok := t.health[to]; !ok {
+			h := &atomic.Bool{}
+			h.Store(true) // optimistic until the first dial fails
+			t.health[to] = h
+		}
 		t.wg.Add(1)
 		go t.writer(to, q)
 	}
@@ -165,9 +187,60 @@ func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 	}
 }
 
+// Healthy reports the last known state of the outbound link to peer:
+// false from a failed dial or broken connection until the next successful
+// dial. Peers never sent to report true (nothing is known to be wrong).
+func (t *TCP) Healthy(to protocol.NodeID) bool {
+	t.mu.Lock()
+	h, ok := t.health[to]
+	t.mu.Unlock()
+	if !ok {
+		return true
+	}
+	return h.Load()
+}
+
+func (t *TCP) setHealthy(to protocol.NodeID, up bool) {
+	t.mu.Lock()
+	h, ok := t.health[to]
+	t.mu.Unlock()
+	if ok {
+		h.Store(up)
+	}
+}
+
+// dial connects to peer with exponential backoff and jitter, holding the
+// writer until a connection exists or the transport closes. The queue
+// keeps absorbing (and, when full, dropping) frames while the writer waits
+// here — a down peer costs queued memory, never a shed burst or a blocked
+// sender.
+func (t *TCP) dial(to protocol.NodeID) net.Conn {
+	backoff := dialBackoffMin
+	for {
+		conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
+		if err == nil {
+			t.setHealthy(to, true)
+			return conn
+		}
+		t.setHealthy(to, false)
+		// Full jitter on top of the exponential step: concurrent writers
+		// (a whole restarted cluster) decorrelate instead of thundering.
+		sleep := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+		select {
+		case <-t.closed:
+			return nil
+		case <-time.After(sleep):
+		}
+	}
+}
+
 // writer owns the connection to one peer: it blocks for the next frame,
 // then drains everything queued behind it into the buffered gob stream
-// and flushes once.
+// and flushes once. The head frame survives reconnects — it is held across
+// the backoff loop and sent on the fresh connection.
 func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 	defer t.wg.Done()
 	var bw *bufio.Writer
@@ -181,22 +254,9 @@ func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 		case f = <-q:
 		}
 		if enc == nil {
-			conn, err := net.DialTimeout("tcp", t.addrs[to], time.Second)
-			if err != nil {
-				// Peer down: shed everything queued behind this frame too.
-				// Retrying a dial per frame would throttle this writer to
-				// one frame per dial timeout while heartbeats keep
-				// refilling the queue; the lossy-delivery contract already
-				// permits the drop, and consensus retries via timers.
-			shed:
-				for {
-					select {
-					case <-q:
-					default:
-						break shed
-					}
-				}
-				continue
+			conn := t.dial(to)
+			if conn == nil {
+				return // transport closed while reconnecting
 			}
 			t.mu.Lock()
 			select {
@@ -227,8 +287,10 @@ func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 			err = bw.Flush()
 		}
 		if err != nil {
-			// Connection broke: drop it so the next frame re-dials.
+			// Connection broke: drop it so the next frame re-dials (with
+			// backoff) and flag the link until the reconnect lands.
 			t.dropConn(to)
+			t.setHealthy(to, false)
 			bw, enc = nil, nil
 		}
 	}

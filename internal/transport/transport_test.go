@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -143,4 +144,84 @@ func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
 	defer t0.Close()
 	t0.Send(0, 1, &raftstar.MsgVoteReq{}) // must not panic
 	t0.Send(0, 7, &raftstar.MsgVoteReq{}) // unknown peer: dropped
+
+	// The failed dial must flip the health flag (with a little patience:
+	// the first dial runs on the writer goroutine).
+	deadline := time.Now().Add(5 * time.Second)
+	for t0.Healthy(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("dead peer still reported healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if t0.Healthy(7) != true {
+		t.Fatal("never-dialed peer should report healthy (nothing known to be wrong)")
+	}
+}
+
+// TestTCPReconnectWithBackoff sends to a peer whose listener does not
+// exist yet: the writer must keep the frame, back off, flag the link
+// unhealthy, and deliver once the peer comes up — instead of shedding the
+// queue on the first failed dial.
+func TestTCPReconnectWithBackoff(t *testing.T) {
+	transport.RegisterMessages()
+	// Reserve a port for peer 1 without accepting on it yet.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := probe.Addr().String()
+	probe.Close()
+
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: peerAddr}
+	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	for i := uint64(1); i <= 3; i++ {
+		t0.Send(0, 1, &raftstar.MsgAppendReq{Term: i})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for t0.Healthy(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("down peer still reported healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Bring the peer up on the reserved address: the writer's backoff loop
+	// must find it and deliver the held + queued frames in order.
+	type rcv struct {
+		from protocol.NodeID
+		msg  protocol.Message
+	}
+	ch := make(chan rcv, 8)
+	t1, err := transport.NewTCP(1, addrs, func(from protocol.NodeID, msg protocol.Message) {
+		ch <- rcv{from, msg}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	for i := uint64(1); i <= 3; i++ {
+		select {
+		case r := <-ch:
+			m, ok := r.msg.(*raftstar.MsgAppendReq)
+			if !ok || m.Term != i {
+				t.Fatalf("message %d: got %+v", i, r.msg)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("message %d never delivered after reconnect", i)
+		}
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for !t0.Healthy(1) {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnected peer still reported unhealthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
