@@ -75,6 +75,8 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 	fmt.Printf("  %.3f fsyncs/entry, WAL %d bytes in %d segments, snapshot@%d, engine tail %d\n",
 		res.FsyncsPerEntry, res.WALBytes, res.WALSegments, res.SnapshotIndex, res.EngineLogLen)
 	fmt.Printf("  restart %.1fms to applied %d\n", res.RestartMS, res.RestartAppliedIndex)
+	fmt.Printf("  snapshot transfers %d (%d bytes, %d installs), snapshot failures %d\n",
+		res.SnapshotTransfers, res.SnapshotTransferBytes, res.SnapshotInstalls, res.SnapshotFailures)
 
 	if jsonPath == "" {
 		jsonPath = fmt.Sprintf("BENCH_%d.json", ops)

@@ -61,15 +61,16 @@ func main() {
 	proto := flag.String("protocol", "raftstar", "protocol: raft raftstar raftstar-pql raftstar-ll raftstar-mencius multipaxos paxos-pql")
 	demo := flag.Bool("demo", false, "run a self-contained 3-node TCP cluster and a demo workload")
 	dataDir := flag.String("data", "", "data directory for the WAL (empty = volatile)")
+	snapEvery := flag.Int("snapshot-interval", 0, "snapshot+compact every N applied entries (0 = never; needs -data)")
 	flag.Parse()
-	if err := run(*id, *peersFlag, *proto, *demo, *dataDir); err != nil {
+	if err := run(*id, *peersFlag, *proto, *demo, *dataDir, *snapEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
-	addrs map[protocol.NodeID]string, dataDir string) (*cluster.Node, *transport.TCP, error) {
+	addrs map[protocol.NodeID]string, dataDir string, snapEvery int) (*cluster.Node, *transport.TCP, error) {
 	eng := raftpaxos.NewEngine(raftpaxos.ClusterConfig{Protocol: p, Nodes: len(peers)}, id, peers)
 	lazy := &lazyTransport{}
 	var stable storage.Store
@@ -80,7 +81,7 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 		}
 		stable = fs
 	}
-	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy, Stable: stable})
+	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy, Stable: stable, SnapshotInterval: snapEvery})
 	tcp, err := transport.NewTCP(id, addrs, n.HandleMessage)
 	if err != nil {
 		return nil, nil, err
@@ -90,7 +91,7 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 	return n, tcp, nil
 }
 
-func run(id int, peersFlag, protoName string, demo bool, dataDir string) error {
+func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEvery int) error {
 	transport.RegisterMessages()
 	cluster.RegisterMessages()
 	p, err := raftpaxos.ParseProto(protoName)
@@ -114,7 +115,7 @@ func run(id int, peersFlag, protoName string, demo bool, dataDir string) error {
 	if id < 0 || id >= len(peers) {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
 	}
-	node, tcp, err := startNode(p, protocol.NodeID(id), peers, addrs, dataDir)
+	node, tcp, err := startNode(p, protocol.NodeID(id), peers, addrs, dataDir, snapEvery)
 	if err != nil {
 		return err
 	}
@@ -147,7 +148,7 @@ func runDemo(p raftpaxos.Proto) error {
 	}
 	// Second pass: start for real with the final address map.
 	for _, id := range peers {
-		n, tcp, err := startNode(p, id, peers, addrs, "")
+		n, tcp, err := startNode(p, id, peers, addrs, "", 0)
 		if err != nil {
 			return err
 		}

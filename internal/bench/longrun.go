@@ -105,6 +105,17 @@ type LongRunResult struct {
 	RestartMS float64 `json:"restart_ms"`
 	// RestartAppliedIndex is the applied index recovered on restart.
 	RestartAppliedIndex int64 `json:"restart_applied_index"`
+	// SnapshotTransfers / SnapshotTransferBytes count wire-level snapshot
+	// catch-up traffic (InstallSnapshot chunks and their payload bytes)
+	// shipped across all replicas; SnapshotInstalls counts images adopted
+	// from peers. All zero on a run where nobody falls behind compaction.
+	SnapshotTransfers     int64 `json:"snapshot_transfers"`
+	SnapshotTransferBytes int64 `json:"snapshot_transfer_bytes"`
+	SnapshotInstalls      int64 `json:"snapshot_installs"`
+	// SnapshotFailures is the lifetime count of failed snapshot /
+	// compaction rounds across all replicas — non-zero means the snapshot
+	// path wedged at some point (it is also logged at transition time).
+	SnapshotFailures int64 `json:"snapshot_failures"`
 }
 
 // RunLongRun drives cfg.Ops closed-loop writes through a snapshotting
@@ -233,6 +244,14 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 
 	leaderID := leader.ID()
 	appliedBefore := leader.Store().AppliedIndex()
+	for _, nd := range nodes {
+		chunks, bytes, installs := nd.SnapshotTransferStats()
+		res.SnapshotTransfers += chunks
+		res.SnapshotTransferBytes += bytes
+		res.SnapshotInstalls += installs
+		_, total := nd.SnapshotFailures()
+		res.SnapshotFailures += total
+	}
 	for _, nd := range nodes {
 		nd.Stop()
 	}

@@ -21,6 +21,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,13 @@ type submitReq struct {
 type applyBatch struct {
 	commits []protocol.CommitInfo
 	replies []protocol.ClientReply
+	// install, when non-nil, is a snapshot image the engine adopted over
+	// the wire this iteration: the applier restores the state machine from
+	// it strictly before applying the batch's commits (which continue
+	// above the image boundary). The durable half — persisting the image
+	// and jumping the WAL's compaction base — already ran on the event
+	// loop, before any entry above the boundary was appended.
+	install *protocol.SnapshotImage
 	// persistErr records a failed WAL append / hard-state save for the
 	// batch: entries stay chosen cluster-wide (a quorum acknowledged
 	// them) and are still applied, but acks become errors so no client
@@ -138,6 +146,18 @@ type Node struct {
 	isLeader atomic.Bool
 	leaderID atomic.Int64
 
+	// Snapshot-path observability. snapFailStreak counts consecutive
+	// snapshot/compaction round failures (0 = healthy), snapFailTotal the
+	// lifetime total; transitions are logged once, so a wedged snapshot
+	// path is visible without flooding. The transfer counters record
+	// wire-level catch-up work: chunks/bytes shipped to stranded peers and
+	// images installed from peers.
+	snapFailStreak atomic.Int64
+	snapFailTotal  atomic.Int64
+	snapChunksSent atomic.Int64
+	snapBytesSent  atomic.Int64
+	snapInstalls   atomic.Int64
+
 	stop      chan struct{}
 	done      chan struct{}
 	applyDone chan struct{}
@@ -146,6 +166,8 @@ type Node struct {
 // ErrStopped is returned for calls against a stopped node.
 var ErrStopped = errors.New("cluster: node stopped")
 
+var _ protocol.SnapshotInstaller = (*Node)(nil)
+
 // New assembles a node (call Start to run it).
 func New(cfg Config) *Node {
 	if cfg.TickInterval <= 0 {
@@ -153,6 +175,20 @@ func New(cfg Config) *Node {
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
+	}
+	// Wire the snapshot provider before the engine processes any input:
+	// a leader whose compaction stranded a peer ships the newest durable
+	// image over the wire instead of probing forever.
+	if ss, ok := cfg.Stable.(storage.SnapshotStore); ok {
+		if sender, ok := cfg.Engine.(protocol.SnapshotSender); ok {
+			sender.SetSnapshotProvider(protocol.SnapshotProviderFunc(func() (protocol.SnapshotImage, bool) {
+				snap, ok, err := ss.LatestSnapshot()
+				if err != nil || !ok {
+					return protocol.SnapshotImage{}, false
+				}
+				return protocol.SnapshotImage{Index: snap.Index, Term: snap.Term, Data: snap.State}, true
+			}))
+		}
 	}
 	return &Node{
 		cfg:       cfg,
@@ -402,6 +438,19 @@ func (n *Node) drain(out *protocol.Output, writes *[]protocol.Command) {
 func (n *Node) finish(out protocol.Output) {
 	var perr error
 	if n.cfg.Stable != nil {
+		if img := out.InstalledSnapshot; img != nil {
+			// The engine adopted a wire snapshot this iteration: make it
+			// durable and jump the WAL's compaction base first, so commits
+			// in this batch (and every later append above the boundary)
+			// land on a store whose log starts at the image.
+			if ss, ok := n.cfg.Stable.(storage.SnapshotStore); ok {
+				if err := ss.InstallSnapshot(storage.Snapshot{
+					Index: img.Index, Term: img.Term, State: img.Data,
+				}); err != nil && perr == nil {
+					perr = err
+				}
+			}
+		}
 		if len(out.Commits) > 0 {
 			if n.cfg.DisableBatching {
 				for _, ci := range out.Commits {
@@ -427,11 +476,18 @@ func (n *Node) finish(out protocol.Output) {
 	// durable, and this keeps a Stop racing the hand-off from eating a
 	// just-persisted vote grant or append response.
 	for _, env := range out.Msgs {
+		if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
+			n.snapChunksSent.Add(1)
+			n.snapBytesSent.Add(int64(len(chunk.Data)))
+		}
 		n.cfg.Transport.Send(env.From, env.To, env.Msg)
 	}
-	if len(out.Commits) > 0 || len(out.Replies) > 0 {
+	if len(out.Commits) > 0 || len(out.Replies) > 0 || out.InstalledSnapshot != nil {
 		select {
-		case n.applyCh <- applyBatch{commits: out.Commits, replies: out.Replies, persistErr: perr}:
+		case n.applyCh <- applyBatch{
+			commits: out.Commits, replies: out.Replies,
+			install: out.InstalledSnapshot, persistErr: perr,
+		}:
 		case <-n.stop:
 		}
 	}
@@ -479,6 +535,21 @@ func (n *Node) applier() {
 		}
 	}
 	for b := range n.applyCh {
+		if b.install != nil {
+			// A snapshot arrived over the wire: rebuild the state machine
+			// from it before this batch's commits, which continue above the
+			// boundary. Earlier batches were already applied — the restore
+			// supersedes them wholesale. This shares the restart path's
+			// primitive (StateMachine.Restore), so install and restart
+			// recover through the same code.
+			if err := n.InstallSnapshot(*b.install); err != nil {
+				log.Printf("cluster: node %d failed to restore installed snapshot at %d: %v",
+					n.id, b.install.Index, err)
+			} else {
+				lastApply = protocol.Entry{Index: b.install.Index, Term: b.install.Term}
+				sinceSnap = 0
+			}
+		}
 		for _, ci := range b.commits {
 			n.store.Apply(ci.Entry)
 			lastApply = ci.Entry
@@ -522,24 +593,31 @@ func (n *Node) applier() {
 // the event loop so the engine can release its in-memory prefix. The
 // margin keeps the last interval of entries individually readable, so a
 // replica (or peer) that stopped slightly behind the snapshot can catch up
-// by log replay instead of needing a snapshot transfer. Failures are
-// silent skips: the next interval retries, and nothing is compacted
-// without a durable snapshot covering it.
+// by log replay instead of needing a snapshot transfer. A failed round is
+// skipped (nothing is compacted without a durable snapshot covering it)
+// and retried next interval — but never silently: consecutive failures
+// are counted, surfaced through SnapshotFailures, and logged once per
+// wedged/recovered transition.
 func (n *Node) snapshotAndCompact(ss storage.SnapshotStore, last protocol.Entry) {
 	state, err := n.store.Snapshot()
 	if err != nil {
+		n.noteSnapshotFailure("serialize", err)
 		return
 	}
 	if err := ss.SaveSnapshot(storage.Snapshot{Index: last.Index, Term: last.Term, State: state}); err != nil {
+		n.noteSnapshotFailure("save", err)
 		return
 	}
 	through := last.Index - int64(n.cfg.SnapshotInterval)
 	if through <= 0 {
+		n.noteSnapshotSuccess()
 		return
 	}
 	if err := ss.Compact(through); err != nil {
+		n.noteSnapshotFailure("compact", err)
 		return
 	}
+	n.noteSnapshotSuccess()
 	// Replace any undelivered watermark: only the newest matters.
 	for {
 		select {
@@ -552,6 +630,51 @@ func (n *Node) snapshotAndCompact(ss storage.SnapshotStore, last protocol.Entry)
 		default:
 		}
 	}
+}
+
+// InstallSnapshot implements protocol.SnapshotInstaller: rebuild the
+// state machine from a snapshot image received over the wire. It runs on
+// the applier, strictly ordered between the apply batches before and
+// after the install; the durable half (SnapshotStore.InstallSnapshot —
+// persisting the image and jumping the WAL base) already ran on the event
+// loop before any entry above the boundary was appended.
+func (n *Node) InstallSnapshot(img protocol.SnapshotImage) error {
+	if err := n.store.Restore(img.Data); err != nil {
+		return err
+	}
+	n.snapInstalls.Add(1)
+	return nil
+}
+
+// noteSnapshotFailure records one failed snapshot/compaction round,
+// logging only the transition into the failed state so a wedged snapshot
+// path is observable without flooding.
+func (n *Node) noteSnapshotFailure(stage string, err error) {
+	n.snapFailTotal.Add(1)
+	if n.snapFailStreak.Add(1) == 1 {
+		log.Printf("cluster: node %d snapshot %s failed (retrying every interval): %v", n.id, stage, err)
+	}
+}
+
+// noteSnapshotSuccess closes a failure streak, logging the recovery once.
+func (n *Node) noteSnapshotSuccess() {
+	if streak := n.snapFailStreak.Swap(0); streak > 0 {
+		log.Printf("cluster: node %d snapshot path recovered after %d consecutive failures", n.id, streak)
+	}
+}
+
+// SnapshotFailures reports the snapshot path's health: the current
+// consecutive-failure streak (0 = healthy) and the lifetime failure
+// total.
+func (n *Node) SnapshotFailures() (streak, total int64) {
+	return n.snapFailStreak.Load(), n.snapFailTotal.Load()
+}
+
+// SnapshotTransferStats reports wire-level catch-up work: snapshot chunks
+// and payload bytes shipped to stranded peers, and images installed from
+// peers.
+func (n *Node) SnapshotTransferStats() (chunksSent, bytesSent, installs int64) {
+	return n.snapChunksSent.Load(), n.snapBytesSent.Load(), n.snapInstalls.Load()
 }
 
 func (n *Node) readFor(cmd protocol.Command) []byte {

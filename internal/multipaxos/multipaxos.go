@@ -35,6 +35,14 @@ func (m *MsgPrepare) WireSize() int { return 16 }
 type MsgPrepareOK struct {
 	Bal   uint64
 	Insts []InstanceInfo
+	// Base is the responder's compaction base: instances at or below it
+	// are chosen, applied, and folded into its snapshot, so they cannot be
+	// reported individually. A preparer whose unchosen position lies at or
+	// below a quorum member's Base is stranded — it must not fill that gap
+	// with no-op proposals (the instances are chosen with real values) and
+	// instead waits for the snapshot the responder ships alongside this
+	// promise.
+	Base int64
 }
 
 // WireSize implements protocol.Message.
@@ -77,10 +85,18 @@ type MsgAcceptOK struct {
 	// responder (PQL's modified Phase2b: Figure 11 line 16); empty unless
 	// the PQL extension is active.
 	Holders []protocol.NodeID
+	// NeedFrom, when non-zero, is the first instance the responder is
+	// missing below the leader's announced chosen prefix — a gap log
+	// replay at the responder can never fill on its own, since MultiPaxos
+	// has no per-peer retransmission. The leader re-sends the run of
+	// instances from there, or ships its snapshot when the gap starts at
+	// or below its own compaction base. This is the ported counterpart of
+	// Raft's next/match catch-up plus InstallSnapshot.
+	NeedFrom int64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgAcceptOK) WireSize() int { return 16 + 8*len(m.Idxs) + 4*len(m.Holders) }
+func (m *MsgAcceptOK) WireSize() int { return 24 + 8*len(m.Idxs) + 4*len(m.Holders) }
 
 // MsgForward carries client commands from an acceptor to the leader.
 type MsgForward struct {
@@ -178,6 +194,15 @@ type Engine struct {
 	// ballot (the leader's own acceptance is implicit).
 	acks map[int64]map[protocol.NodeID]bool
 
+	// provider supplies the durable snapshot image shipped to peers
+	// stranded behind this replica's compaction base (a lagging acceptor,
+	// or a preparer whose unchosen position we compacted); xfers tracks
+	// one chunked transfer per such peer, snapAsm reassembles an inbound
+	// one.
+	provider protocol.SnapshotProvider
+	xfers    map[protocol.NodeID]*protocol.SnapshotXfer
+	snapAsm  protocol.SnapshotAssembly
+
 	elapsed   int
 	timeout   int
 	hbElapsed int
@@ -228,6 +253,11 @@ func (e *Engine) RestoreHardState(term uint64, _ protocol.NodeID) {
 		e.ballot = term
 	}
 }
+
+// SetSnapshotProvider implements protocol.SnapshotSender: the driver
+// wires its snapshot store so this replica can ship images to peers that
+// fell behind its compaction base.
+func (e *Engine) SetSnapshotProvider(p protocol.SnapshotProvider) { e.provider = p }
 
 // RestoreSnapshot primes the engine at a snapshot boundary before
 // RestoreLog delivers the tail: instances at or below index are chosen and
@@ -378,7 +408,7 @@ func (e *Engine) campaign(out *protocol.Output) {
 	e.resetTimeout()
 	out.StateChanged = true
 	// Self-promise.
-	e.prepareOKs[e.cfg.ID] = &MsgPrepareOK{Bal: e.ballot, Insts: e.instancesFrom(e.chosenPrefix + 1)}
+	e.prepareOKs[e.cfg.ID] = &MsgPrepareOK{Bal: e.ballot, Insts: e.instancesFrom(e.chosenPrefix + 1), Base: e.instBase}
 	e.broadcast(out, &MsgPrepare{Bal: e.ballot, Unchosen: e.chosenPrefix + 1})
 	if len(e.cfg.Peers) == 1 {
 		e.phase1Succeed(out)
@@ -423,6 +453,10 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		e.stepAccept(from, m, &out)
 	case *MsgAcceptOK:
 		e.stepAcceptOK(from, m, &out)
+	case *protocol.MsgInstallSnapshot:
+		e.stepInstallSnapshot(from, m, &out)
+	case *protocol.MsgInstallSnapshotResp:
+		e.stepInstallSnapshotResp(from, m, &out)
 	case *MsgForward:
 		out.Merge(e.SubmitBatch(m.Cmds))
 	}
@@ -437,10 +471,18 @@ func (e *Engine) stepPrepare(from protocol.NodeID, m *MsgPrepare, out *protocol.
 	e.ballot = m.Bal
 	e.phase1OK = false
 	e.preparing = false
+	e.xfers = nil // transfers carry the old ballot: restart on demand
 	e.resetTimeout()
 	out.StateChanged = true
-	resp := &MsgPrepareOK{Bal: m.Bal, Insts: e.instancesFrom(m.Unchosen)}
+	resp := &MsgPrepareOK{Bal: m.Bal, Insts: e.instancesFrom(m.Unchosen), Base: e.instBase}
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+	if m.Unchosen <= e.instBase {
+		// The preparer's first unchosen instance is inside our compacted
+		// prefix: nothing we report can fill it. Ship our snapshot so the
+		// new leader can jump past the gap — the acceptor-to-preparer
+		// direction of the ported InstallSnapshot.
+		e.beginSnapshotTransfer(from, out)
+	}
 }
 
 // stepPrepareOK is Phase1Succeed once a quorum of promises arrives.
@@ -462,10 +504,18 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 	out.StateChanged = true
 
 	// Adopt the safe value (highest accepted ballot) for every instance
-	// reported by the quorum; unreported gaps become no-ops.
+	// reported by the quorum; unreported gaps become no-ops — except below
+	// a quorum member's compaction base, where unreported instances are
+	// chosen with real values this preparer simply cannot see. Proposing
+	// no-ops there could overwrite a chosen value on a straggler acceptor;
+	// the gap is instead filled by the snapshot the compacted acceptor
+	// ships alongside its promise.
 	safe := map[int64]InstanceInfo{}
-	var maxIdx int64
+	var maxIdx, maxBase int64
 	for _, ok := range e.prepareOKs {
+		if ok.Base > maxBase {
+			maxBase = ok.Base
+		}
 		for _, info := range ok.Insts {
 			cur, seen := safe[info.Idx]
 			if !seen || info.Bal > cur.Bal || (info.Chosen && !cur.Chosen) {
@@ -480,6 +530,9 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 
 	var reproposal []InstanceInfo
 	for i := e.chosenPrefix + 1; i <= maxIdx; i++ {
+		if i <= maxBase {
+			continue // compacted on a quorum member: arrives via snapshot
+		}
 		in := e.inst(i)
 		if in == nil {
 			continue // below the compaction base: chosen and snapshotted
@@ -602,6 +655,7 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 		e.ballot = m.Bal
 		e.phase1OK = false
 		e.preparing = false
+		e.xfers = nil // transfers carry the old ballot: restart on demand
 		out.StateChanged = true
 	}
 	e.leader = from
@@ -625,8 +679,17 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 		e.markChosenUpTo(m.ChosenPrefix)
 		e.advanceChosen(out)
 	}
-	if len(idxs) > 0 {
-		resp := &MsgAcceptOK{Bal: m.Bal, Idxs: idxs}
+	// The leader's prefix ran past us and every held instance below it is
+	// already marked: whatever still blocks us is an instance we never
+	// received and can never receive again by normal accepts. Report the
+	// first missing one so the leader refills the run (or ships its
+	// snapshot when the gap starts inside its compacted prefix).
+	var needFrom int64
+	if m.ChosenPrefix > e.chosenPrefix {
+		needFrom = e.chosenPrefix + 1
+	}
+	if len(idxs) > 0 || needFrom > 0 {
+		resp := &MsgAcceptOK{Bal: m.Bal, Idxs: idxs, NeedFrom: needFrom}
 		if h := e.cfg.Hooks.LocalHolders; h != nil {
 			resp.Holders = h()
 		}
@@ -659,6 +722,176 @@ func (e *Engine) stepAcceptOK(from protocol.NodeID, m *MsgAcceptOK, out *protoco
 		e.tryChoose(idx, set)
 	}
 	e.advanceChosen(out)
+	if m.NeedFrom > 0 {
+		if m.NeedFrom <= e.instBase {
+			// The acceptor's gap starts inside our compacted prefix: only
+			// the snapshot image can carry it there.
+			e.beginSnapshotTransfer(from, out)
+		} else {
+			e.resendInstances(from, m.NeedFrom, out)
+		}
+	}
+}
+
+// resendInstances re-sends the run of held instances starting at lo to
+// one lagging acceptor — the catch-up retransmission MultiPaxos lacks
+// natively and Raft gets from next/match. Values already chosen are
+// simply re-accepted at the current ballot; the piggybacked prefix lets
+// the receiver mark and execute them.
+func (e *Engine) resendInstances(p protocol.NodeID, lo int64, out *protocol.Output) {
+	if !e.phase1OK || lo <= e.instBase {
+		return
+	}
+	hi := e.LastIndex()
+	if hi > lo-1+int64(e.cfg.MaxBatch) {
+		hi = lo - 1 + int64(e.cfg.MaxBatch)
+	}
+	var insts []InstanceInfo
+	for i := lo; i <= hi; i++ {
+		if in := e.insts[i-e.instBase-1]; in.used {
+			insts = append(insts, InstanceInfo{Idx: i, Bal: e.ballot, Cmd: in.cmd})
+		}
+	}
+	if len(insts) == 0 {
+		return
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{
+		From: e.cfg.ID, To: p,
+		Msg: &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix},
+	})
+}
+
+// beginSnapshotTransfer starts (or nudges) the chunked shipment of the
+// latest durable snapshot to p, which needs instances inside this
+// replica's compacted prefix — a lagging acceptor reporting a gap, or a
+// preparer whose unchosen position we compacted. Same pacing as the raft
+// engines: one chunk in flight, advanced per ack, so heartbeats never
+// queue behind a multi-megabyte image.
+func (e *Engine) beginSnapshotTransfer(p protocol.NodeID, out *protocol.Output) {
+	if x, ok := e.xfers[p]; ok {
+		// Already transferring: re-send the current chunk only after a
+		// full retry interval of silence (chunk or ack lost).
+		if x.Retry() {
+			if chunk := x.Chunk(e.ballot); chunk != nil {
+				out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: chunk})
+			}
+		}
+		return
+	}
+	if e.provider == nil {
+		return // no image source: the peer stays parked until one exists
+	}
+	img, ok := e.provider.LatestSnapshotImage()
+	if !ok || img.Index < e.instBase {
+		// No durable image, or it predates our held tail: the peer could
+		// not resume instance replay above it, so shipping would not help.
+		return
+	}
+	if e.xfers == nil {
+		e.xfers = make(map[protocol.NodeID]*protocol.SnapshotXfer)
+	}
+	x := &protocol.SnapshotXfer{Img: img}
+	e.xfers[p] = x
+	if chunk := x.Chunk(e.ballot); chunk != nil {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: chunk})
+	}
+}
+
+// stepInstallSnapshot receives one chunk of a peer's snapshot, assembling
+// the image and adopting it when complete: the chosen prefix jumps to the
+// image boundary and the driver is told (Output.InstalledSnapshot) to
+// persist it and restore the state machine, after which instance replay
+// resumes above the boundary.
+func (e *Engine) stepInstallSnapshot(from protocol.NodeID, m *protocol.MsgInstallSnapshot, out *protocol.Output) {
+	resp := &protocol.MsgInstallSnapshotResp{Term: e.ballot, Index: m.Index}
+	if m.Term < e.ballot {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+		return
+	}
+	if m.Term > e.ballot {
+		e.ballot = m.Term
+		e.phase1OK = false
+		e.preparing = false
+		e.xfers = nil
+		out.StateChanged = true
+	}
+	resp.Term = e.ballot
+	e.resetTimeout()
+	if m.Index <= e.chosenPrefix {
+		// Already covered locally (duplicate transfer or a stale chunk):
+		// nothing to install; the ack lets the sender resume.
+		e.snapAsm.Reset()
+		resp.Installed = true
+		resp.NextOffset = m.Offset + int64(len(m.Data))
+	} else {
+		img, done, next := e.snapAsm.Accept(m)
+		if next < 0 {
+			// A better transfer is in progress: no ack, so this sender's
+			// damped retries cannot clobber the winning image's progress.
+			return
+		}
+		resp.NextOffset = next
+		if done {
+			e.installSnapshot(img, out)
+			resp.Installed = true
+		}
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+// installSnapshot adopts a fully assembled image: every instance at or
+// below its index is chosen and lives in the image, so the instance space
+// re-anchors there (keeping any held suffix beyond it) and the driver
+// persists the image before applying anything above it.
+func (e *Engine) installSnapshot(img protocol.SnapshotImage, out *protocol.Output) {
+	if img.Index <= e.chosenPrefix {
+		return
+	}
+	if img.Index >= e.LastIndex() {
+		e.insts = nil
+	} else {
+		e.insts = append([]instance(nil), e.insts[img.Index-e.instBase:]...)
+	}
+	e.instBase = img.Index
+	e.chosenPrefix = img.Index
+	for idx := range e.acks {
+		if idx <= img.Index {
+			delete(e.acks, idx)
+		}
+	}
+	out.StateChanged = true
+	out.InstalledSnapshot = &img
+	e.advanceChosen(out)
+}
+
+// stepInstallSnapshotResp paces an outbound transfer: each ack releases
+// the next chunk, and the final Installed ack immediately re-sends the
+// instance run above the boundary so the receiver resumes execution
+// without waiting for the next gap report.
+func (e *Engine) stepInstallSnapshotResp(from protocol.NodeID, m *protocol.MsgInstallSnapshotResp, out *protocol.Output) {
+	if m.Term > e.ballot {
+		e.ballot = m.Term
+		e.phase1OK = false
+		e.preparing = false
+		e.xfers = nil
+		out.StateChanged = true
+		return
+	}
+	x := e.xfers[from]
+	if x == nil || x.Img.Index != m.Index || m.Term != e.ballot {
+		return // ack from an older transfer or ballot
+	}
+	if m.Installed {
+		delete(e.xfers, from)
+		e.resendInstances(from, m.Index+1, out)
+		return
+	}
+	x.Ack(m.NextOffset)
+	if chunk := x.Chunk(e.ballot); chunk != nil {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: chunk})
+	} else {
+		delete(e.xfers, from) // receiver ran past the image end: abandon
+	}
 }
 
 // tryChoose declares instance idx chosen if a quorum voted and the

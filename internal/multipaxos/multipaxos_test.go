@@ -156,3 +156,323 @@ func TestDuplicatedMessagesAreIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// fixedCluster builds a cluster with explicit passivity per node, so
+// tests can keep a wiped acceptor from campaigning.
+func fixedCluster(t *testing.T, seed int64, passive map[protocol.NodeID]bool) *testcluster.Cluster {
+	t.Helper()
+	peers := []protocol.NodeID{0, 1, 2}
+	engines := make([]protocol.Engine, len(peers))
+	for i, p := range peers {
+		engines[i] = multipaxos.New(multipaxos.Config{
+			ID: p, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: seed,
+			Passive: passive[p],
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+// compactAndProvide truncates eng to its chosen prefix and hands it a
+// provider serving an image at that boundary.
+func compactAndProvide(t *testing.T, eng *multipaxos.Engine, imgSize int) protocol.SnapshotImage {
+	t.Helper()
+	base := eng.ChosenPrefix()
+	info, ok := eng.InstanceAt(base)
+	if !ok {
+		t.Fatalf("no instance at chosen prefix %d", base)
+	}
+	img := protocol.SnapshotImage{Index: base, Term: info.Bal, Data: make([]byte, imgSize)}
+	eng.TruncatePrefix(base)
+	eng.SetSnapshotProvider(protocol.SnapshotProviderFunc(func() (protocol.SnapshotImage, bool) { return img, true }))
+	if eng.FirstIndex() != base+1 {
+		t.Fatalf("FirstIndex = %d after compaction, want %d", eng.FirstIndex(), base+1)
+	}
+	return img
+}
+
+// TestSnapshotTransferCatchesUpStrandedAcceptor: an acceptor that missed
+// instances now buried under the leader's compaction base reports the gap
+// (NeedFrom), receives the snapshot, and the leader re-sends the tail so
+// execution resumes — the MultiPaxos port of Raft's InstallSnapshot plus
+// next/match catch-up.
+func TestSnapshotTransferCatchesUpStrandedAcceptor(t *testing.T) {
+	// Node 2 is passive: a pure acceptor that never campaigns, so the
+	// test exercises exactly the leader-to-acceptor direction.
+	c := fixedCluster(t, 11, map[protocol.NodeID]bool{2: true})
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderID := leader.ID()
+	if leaderID == 2 {
+		t.Fatal("passive node won the election")
+	}
+	for i := 0; i < 5; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	c.Isolate(2, true)
+	for i := 5; i < 30; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	lead := c.Engines[leaderID].(*multipaxos.Engine)
+	img := compactAndProvide(t, lead, 3*protocol.SnapshotChunkSize+9)
+
+	c.Isolate(2, false)
+	c.Settle(30)
+
+	if len(c.Installed[2]) == 0 {
+		t.Fatal("stranded acceptor never installed a snapshot")
+	}
+	if got := c.Installed[2][0]; got.Index != img.Index {
+		t.Fatalf("installed at %d, want %d", got.Index, img.Index)
+	}
+	veng := c.Engines[2].(*multipaxos.Engine)
+	if veng.ChosenPrefix() != lead.ChosenPrefix() {
+		t.Fatalf("acceptor prefix %d != leader prefix %d", veng.ChosenPrefix(), lead.ChosenPrefix())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// Replication is live again: a fresh write reaches the rejoined node.
+	c.Submit(leaderID, protocol.Command{ID: 999, Op: protocol.OpPut, Key: "post"})
+	c.Settle(5)
+	if veng.ChosenPrefix() != lead.ChosenPrefix() {
+		t.Fatalf("post-install write did not reach the acceptor: %d vs %d", veng.ChosenPrefix(), lead.ChosenPrefix())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// strandReplica elects a leader, commits a first batch everywhere,
+// isolates one non-leader replica and commits more past it. Returns the
+// leader and victim IDs.
+func strandReplica(t *testing.T, c *testcluster.Cluster) (leaderID, victim protocol.NodeID) {
+	t.Helper()
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderID = leader.ID()
+	for i := 0; i < 5; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	victim = protocol.NodeID(-1)
+	for id := range c.Engines {
+		if id != leaderID {
+			victim = id
+		}
+	}
+	c.Isolate(victim, true)
+	for i := 5; i < 30; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	return leaderID, victim
+}
+
+// TestStrandedPreparerCatchesUpViaTransfer: a replica behind every peer's
+// compaction base campaigns. No acceptor can report the compacted
+// instances, so the preparer can only converge by installing a shipped
+// snapshot — the acceptor-to-preparer direction of the ported
+// InstallSnapshot.
+func TestStrandedPreparerCatchesUpViaTransfer(t *testing.T) {
+	c := fixedCluster(t, 12, nil)
+	leaderID, victim := strandReplica(t, c)
+	lead := c.Engines[leaderID].(*multipaxos.Engine)
+	img := compactAndProvide(t, lead, 2*protocol.SnapshotChunkSize)
+	for id, e := range c.Engines {
+		if id != leaderID && id != victim {
+			compactAndProvide(t, e.(*multipaxos.Engine), 2*protocol.SnapshotChunkSize)
+		}
+	}
+
+	// The stranded replica rejoins and campaigns with its ancient
+	// unchosen position.
+	c.Isolate(victim, false)
+	c.Collect(victim, c.Engines[victim].(*multipaxos.Engine).Campaign())
+	c.Settle(40)
+
+	if len(c.Installed[victim]) == 0 {
+		t.Fatal("stranded preparer never installed a snapshot")
+	}
+	if got := c.Installed[victim][len(c.Installed[victim])-1]; got.Index != img.Index {
+		t.Fatalf("installed at %d, want %d", got.Index, img.Index)
+	}
+	veng := c.Engines[victim].(*multipaxos.Engine)
+	if veng.ChosenPrefix() < img.Index {
+		t.Fatalf("preparer prefix %d did not reach the image boundary %d", veng.ChosenPrefix(), img.Index)
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// The rejoined replica is a functional proposer: a fresh write chosen
+	// under whoever leads now reaches everyone.
+	cur := c.Leader()
+	if cur == nil {
+		t.Fatal("no unique leader after the stranded campaign")
+	}
+	c.Submit(cur.ID(), protocol.Command{ID: 999, Op: protocol.OpPut, Key: "post"})
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparerDoesNotNoopOverwriteCompactedGap is the regression test for
+// the silent-skip bug: a stranded preparer whose promise quorum consists
+// of itself and a compacted acceptor used to fill the invisible gap with
+// no-op proposals — which a third, uncompacted acceptor would then accept
+// over its chosen real values. With the Base report the preparer proposes
+// nothing at or below the quorum's compaction base, and the keeper's
+// values survive.
+func TestPreparerDoesNotNoopOverwriteCompactedGap(t *testing.T) {
+	// Fixed roles: only node 0 campaigns on timeout, so it leads; node 2
+	// is the stranded replica (campaigning explicitly); node 1 is the
+	// keeper, a connected acceptor that never compacted. The victim's
+	// prepare reaches node 0 first (broadcast order), so the promise
+	// quorum is exactly {victim, compacted leader} — the configuration
+	// where the old code fabricated no-ops for the invisible gap and the
+	// keeper would have accepted them over its chosen real values.
+	c := fixedCluster(t, 14, map[protocol.NodeID]bool{1: true, 2: true})
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderID := leader.ID()
+	if leaderID != 0 {
+		t.Fatalf("leader = %d, want the only active node 0", leaderID)
+	}
+	const victim, keeper = protocol.NodeID(2), protocol.NodeID(1)
+	for i := 0; i < 5; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	c.Isolate(victim, true)
+	for i := 5; i < 30; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+
+	// Two in-flight proposals reach nobody (keeper cut too): the leader
+	// now holds unchosen instances 31..32 above its compacted prefix. A
+	// preparer's phase 1 will see them reported — and the old code then
+	// fabricated no-ops for every unreported instance below them, i.e.
+	// the whole compacted gap 6..30.
+	c.Partition(keeper, leaderID, true)
+	c.Queue = nil
+	c.Submit(leaderID, protocol.Command{ID: 201, Op: protocol.OpPut, Key: "inflight"})
+	c.Submit(leaderID, protocol.Command{ID: 202, Op: protocol.OpPut, Key: "inflight"})
+	c.DeliverAll(100000)
+	c.Partition(keeper, leaderID, false)
+
+	lead := c.Engines[leaderID].(*multipaxos.Engine)
+	if lead.LastIndex() <= lead.ChosenPrefix() {
+		t.Fatalf("no unchosen tail: last %d, prefix %d", lead.LastIndex(), lead.ChosenPrefix())
+	}
+	img := compactAndProvide(t, lead, protocol.SnapshotChunkSize/2)
+	keepEng := c.Engines[keeper].(*multipaxos.Engine)
+	wantCmds := map[int64]uint64{}
+	for i := int64(1); i <= keepEng.ChosenPrefix(); i++ {
+		if info, ok := keepEng.InstanceAt(i); ok && !info.Cmd.IsNop() {
+			wantCmds[i] = info.Cmd.ID
+		}
+	}
+	if len(wantCmds) < 25 {
+		t.Fatalf("keeper holds %d real instances, want the full uncompacted log", len(wantCmds))
+	}
+
+	c.Isolate(victim, false)
+	c.Collect(victim, c.Engines[victim].(*multipaxos.Engine).Campaign())
+	c.Settle(40)
+
+	if len(c.Installed[victim]) == 0 {
+		t.Fatal("stranded preparer never installed a snapshot")
+	}
+	veng := c.Engines[victim].(*multipaxos.Engine)
+	if veng.ChosenPrefix() < img.Index {
+		t.Fatalf("preparer prefix %d did not reach the image boundary %d", veng.ChosenPrefix(), img.Index)
+	}
+	// The bugfix assertion: every chosen instance the keeper held below
+	// the leader's compaction base still carries its original command —
+	// no instance was overwritten by a fabricated no-op.
+	for i, want := range wantCmds {
+		info, ok := keepEng.InstanceAt(i)
+		if !ok {
+			continue // compacted locally since
+		}
+		if info.Cmd.ID != want || info.Cmd.IsNop() {
+			t.Fatalf("instance %d was overwritten: cmd %d (nop=%v), want %d", i, info.Cmd.ID, info.Cmd.IsNop(), want)
+		}
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcceptorCrashMidInstall wipes the receiving acceptor after it
+// buffered part of an image: the torn assembly dies with it and the
+// restarted transfer still converges.
+func TestAcceptorCrashMidInstall(t *testing.T) {
+	c := fixedCluster(t, 13, map[protocol.NodeID]bool{2: true})
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderID := leader.ID()
+	if leaderID == 2 {
+		t.Fatal("passive node won the election")
+	}
+	for i := 0; i < 5; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	c.Isolate(2, true)
+	for i := 5; i < 30; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	lead := c.Engines[leaderID].(*multipaxos.Engine)
+	img := compactAndProvide(t, lead, 4*protocol.SnapshotChunkSize)
+	c.Isolate(2, false)
+
+	started := false
+	for r := 0; r < 3000 && !started; r++ {
+		c.Tick()
+		c.DeliverAll(1)
+		for _, env := range c.Queue {
+			if _, ok := env.Msg.(*protocol.MsgInstallSnapshotResp); ok && env.From == 2 {
+				started = true
+			}
+		}
+	}
+	if !started {
+		t.Fatal("transfer never started")
+	}
+	if len(c.Installed[2]) != 0 {
+		t.Skip("transfer completed before the crash point at this seed")
+	}
+
+	peers := []protocol.NodeID{0, 1, 2}
+	c.Engines[2] = multipaxos.New(multipaxos.Config{
+		ID: 2, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2, Seed: 77, Passive: true,
+	})
+	c.Settle(40)
+
+	if len(c.Installed[2]) == 0 {
+		t.Fatal("reborn acceptor never installed a snapshot")
+	}
+	if got := c.Installed[2][len(c.Installed[2])-1]; got.Index != img.Index {
+		t.Fatalf("installed at %d, want %d", got.Index, img.Index)
+	}
+	veng := c.Engines[2].(*multipaxos.Engine)
+	if veng.ChosenPrefix() != lead.ChosenPrefix() {
+		t.Fatalf("acceptor prefix %d != leader prefix %d", veng.ChosenPrefix(), lead.ChosenPrefix())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -159,6 +159,12 @@ type Output struct {
 	// must be durably stored before Msgs are released. Live drivers use it;
 	// the simulator models it as CPU cost.
 	StateChanged bool
+	// InstalledSnapshot, when non-nil, reports that the engine adopted a
+	// snapshot received over the wire (MsgInstallSnapshot): its log now
+	// starts at the image boundary. The driver must persist the image and
+	// restore its state machine from it — strictly before applying any
+	// Commits in the same output, which continue above the boundary.
+	InstalledSnapshot *SnapshotImage
 }
 
 // Merge appends other's outputs into o.
@@ -167,6 +173,9 @@ func (o *Output) Merge(other Output) {
 	o.Commits = append(o.Commits, other.Commits...)
 	o.Replies = append(o.Replies, other.Replies...)
 	o.StateChanged = o.StateChanged || other.StateChanged
+	if other.InstalledSnapshot != nil {
+		o.InstalledSnapshot = other.InstalledSnapshot
+	}
 }
 
 // Engine is the contract every consensus implementation satisfies. Engines

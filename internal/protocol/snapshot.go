@@ -1,0 +1,230 @@
+package protocol
+
+// Wire-level snapshot transfer (InstallSnapshot), built once here and
+// shared by every engine that can strand a peer behind its compaction
+// base. The paper's thesis is that optimizations port across the
+// Paxos/Raft family through the shared refinement; the same holds for the
+// catch-up machinery that complements log compaction: Raft and Raft*
+// leaders ship the image when next[peer] falls below the held tail, and
+// MultiPaxos does the equivalent for acceptors (and preparers) behind a
+// peer's compaction base — all over the one message pair defined here.
+//
+// Transfers are chunked: a multi-megabyte state-machine image must not
+// ride the single per-peer FIFO stream as one frame, or every heartbeat
+// behind it would be head-of-line blocked for the whole encode/transmit.
+// The sender keeps one chunk in flight and advances on each ack
+// (MsgInstallSnapshotResp.NextOffset), so heartbeats interleave freely
+// and a lost chunk costs one retry round, not the transfer.
+
+// SnapshotChunkSize caps the payload of one MsgInstallSnapshot frame.
+// Heartbeats queued behind a chunk on the same per-peer stream wait for
+// at most this many bytes.
+const SnapshotChunkSize = 64 << 10
+
+// SnapshotImage is a serialized state-machine image plus the log position
+// it covers: every entry at or below Index (whose entry had Term) is
+// reflected in Data.
+type SnapshotImage struct {
+	Index int64
+	Term  uint64
+	Data  []byte
+}
+
+// SnapshotProvider hands an engine the newest durable snapshot image so
+// it can ship it to a stranded peer. Live drivers adapt their snapshot
+// store; tests supply fixtures.
+type SnapshotProvider interface {
+	// LatestSnapshotImage returns the newest durable image, if any.
+	LatestSnapshotImage() (SnapshotImage, bool)
+}
+
+// SnapshotProviderFunc adapts a function to SnapshotProvider.
+type SnapshotProviderFunc func() (SnapshotImage, bool)
+
+// LatestSnapshotImage implements SnapshotProvider.
+func (f SnapshotProviderFunc) LatestSnapshotImage() (SnapshotImage, bool) { return f() }
+
+// SnapshotSender is an optional Engine extension: engines that can ship
+// snapshots accept the provider from their driver before the first step.
+type SnapshotSender interface {
+	SetSnapshotProvider(p SnapshotProvider)
+}
+
+// SnapshotInstaller is the driver-side half of the transfer contract: a
+// node that can persist a received image and restore its state machine
+// from it. Engines never call it directly — they adopt the image into
+// their own log state during Step and surface it via
+// Output.InstalledSnapshot; the driver installs it in apply order,
+// reusing the same snapshot-restore path it uses at restart.
+type SnapshotInstaller interface {
+	InstallSnapshot(img SnapshotImage) error
+}
+
+// MsgInstallSnapshot carries one chunk of a snapshot image to a peer that
+// cannot be caught up by log replay (its next needed index fell below the
+// sender's compaction base).
+type MsgInstallSnapshot struct {
+	// Term is the sender's term (ballot); stale transfers are rejected
+	// exactly like stale appends.
+	Term uint64
+	// Index/SnapTerm identify the snapshot: its last included entry.
+	Index    int64
+	SnapTerm uint64
+	// Offset is the byte position of Data within the image; chunks arrive
+	// in offset order on the per-pair FIFO stream.
+	Offset int64
+	Data   []byte
+	// Done marks the final chunk.
+	Done bool
+}
+
+// WireSize implements Message.
+func (m *MsgInstallSnapshot) WireSize() int { return 40 + len(m.Data) }
+
+// MsgInstallSnapshotResp acks one chunk (NextOffset paces the sender) or
+// reports the whole image installed, at which point replication resumes
+// from Index+1.
+type MsgInstallSnapshotResp struct {
+	Term  uint64
+	Index int64
+	// NextOffset is the byte the receiver expects next; a duplicate or
+	// gapped chunk re-synchronizes the sender here.
+	NextOffset int64
+	// Installed reports the image was adopted (or was already covered by
+	// the receiver's commit): the sender may resume appends above Index.
+	Installed bool
+}
+
+// WireSize implements Message.
+func (m *MsgInstallSnapshotResp) WireSize() int { return 32 }
+
+// SnapshotXfer is the sender side of one in-flight transfer: one chunk
+// outstanding, advanced by acks. Engines keep one per stranded peer.
+type SnapshotXfer struct {
+	Img    SnapshotImage
+	Offset int64
+	// idle damps retries: a stalled transfer re-sends its current chunk
+	// only after two consecutive retry triggers with no ack between them,
+	// so the regular heartbeat-cadence probe does not duplicate chunks
+	// that are merely still in flight.
+	idle bool
+}
+
+// Chunk builds the frame at the current offset (nil when the image is
+// exhausted, which only happens after the final ack).
+func (x *SnapshotXfer) Chunk(term uint64) *MsgInstallSnapshot {
+	total := int64(len(x.Img.Data))
+	if x.Offset > total || (x.Offset == total && total > 0) {
+		return nil
+	}
+	end := x.Offset + SnapshotChunkSize
+	if end > total {
+		end = total
+	}
+	x.idle = false
+	return &MsgInstallSnapshot{
+		Term:     term,
+		Index:    x.Img.Index,
+		SnapTerm: x.Img.Term,
+		Offset:   x.Offset,
+		Data:     x.Img.Data[x.Offset:end],
+		Done:     end == total,
+	}
+}
+
+// Ack adopts the receiver's expected offset; the caller then sends
+// Chunk() from there.
+func (x *SnapshotXfer) Ack(next int64) {
+	if next < 0 {
+		next = 0
+	}
+	x.Offset = next
+	x.idle = false
+}
+
+// Retry reports whether a stalled transfer should re-send its current
+// chunk now: the first trigger after an ack only arms the retry, the
+// second (nothing heard for a whole retry interval) fires it.
+func (x *SnapshotXfer) Retry() bool {
+	if x.idle {
+		return true
+	}
+	x.idle = true
+	return false
+}
+
+// SnapshotAssembly is the receiver side: it accumulates chunks arriving
+// in offset order and yields the complete image. A chunk from a different
+// snapshot (new leader, newer snapshot) restarts assembly from offset 0 —
+// unless it is the same image, in which case a new sender may resume
+// exactly where the old one stopped, since images at one index are
+// deterministic and identical across replicas.
+type SnapshotAssembly struct {
+	index      int64
+	term       uint64
+	senderTerm uint64
+	buf        []byte
+	started    bool
+}
+
+// Accept ingests one chunk. It returns the completed image (valid only
+// when done is true) and the byte offset the assembly expects next, which
+// the receiver acks so the sender re-synchronizes after loss, duplication
+// or a mid-transfer leader change. next < 0 means the chunk belongs to a
+// transfer the assembly is deliberately ignoring (an older image, or an
+// older sender, while a better transfer is in progress): send no ack at
+// all, so the competing senders cannot clobber each other's progress —
+// the loser's damped retries resolve via the already-covered path once
+// the winning image installs.
+func (a *SnapshotAssembly) Accept(m *MsgInstallSnapshot) (img SnapshotImage, done bool, next int64) {
+	switch {
+	case a.started && a.index == m.Index && a.term == m.SnapTerm:
+		if m.Term < a.senderTerm {
+			return SnapshotImage{}, false, -1 // stale sender of the same image
+		}
+		// Same image, possibly resumed by a newer sender after a leader
+		// change: images at one index are deterministic and identical
+		// across replicas, so the new sender continues where the old one
+		// stopped.
+		a.senderTerm = m.Term
+	case a.started && m.Term < a.senderTerm:
+		return SnapshotImage{}, false, -1 // stale sender shipping an old image
+	case a.started && m.Term == a.senderTerm && m.Index < a.index:
+		// A competing transfer of an older image at the same term (two
+		// MultiPaxos acceptors answering one stranded prepare): keep the
+		// newer image in flight.
+		return SnapshotImage{}, false, -1
+	default:
+		if m.Offset != 0 {
+			// Mid-image chunk of a transfer we hold no prefix for: ask the
+			// sender to restart from the beginning. Any current assembly
+			// is kept — adoption happens only on an offset-0 chunk.
+			return SnapshotImage{}, false, 0
+		}
+		a.index, a.term, a.senderTerm, a.buf, a.started = m.Index, m.SnapTerm, m.Term, nil, true
+	}
+	if m.Offset != int64(len(a.buf)) {
+		// Duplicate or gapped chunk: report where we actually are.
+		return SnapshotImage{}, false, int64(len(a.buf))
+	}
+	a.buf = append(a.buf, m.Data...)
+	if !m.Done {
+		return SnapshotImage{}, false, int64(len(a.buf))
+	}
+	img = SnapshotImage{Index: a.index, Term: a.term, Data: a.buf}
+	next = int64(len(a.buf))
+	a.reset()
+	return img, true, next
+}
+
+// InProgress reports whether a partial image is buffered (used by tests
+// asserting a crash mid-install drops the torn image).
+func (a *SnapshotAssembly) InProgress() bool { return a.started }
+
+// Reset discards any partial image (the receiver turned out not to need
+// the transfer after all).
+func (a *SnapshotAssembly) Reset() { a.reset() }
+
+func (a *SnapshotAssembly) reset() {
+	a.index, a.term, a.senderTerm, a.buf, a.started = 0, 0, 0, nil, false
+}

@@ -1,0 +1,161 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+func image(index int64, term uint64, size int) SnapshotImage {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return SnapshotImage{Index: index, Term: term, Data: data}
+}
+
+// TestSnapshotTransferRoundTrip drives a multi-chunk image through the
+// sender and receiver halves, acking each chunk, and checks the
+// reassembled image is byte-identical.
+func TestSnapshotTransferRoundTrip(t *testing.T) {
+	img := image(100, 3, 3*SnapshotChunkSize+17)
+	x := &SnapshotXfer{Img: img}
+	var asm SnapshotAssembly
+
+	chunks := 0
+	for {
+		chunk := x.Chunk(7)
+		if chunk == nil {
+			t.Fatal("chunk exhausted before Done")
+		}
+		if len(chunk.Data) > SnapshotChunkSize {
+			t.Fatalf("chunk carries %d bytes, cap is %d", len(chunk.Data), SnapshotChunkSize)
+		}
+		chunks++
+		got, done, next := asm.Accept(chunk)
+		if done {
+			if !bytes.Equal(got.Data, img.Data) || got.Index != img.Index || got.Term != img.Term {
+				t.Fatalf("reassembled image differs: index %d term %d len %d", got.Index, got.Term, len(got.Data))
+			}
+			if chunks != 4 {
+				t.Fatalf("took %d chunks, want 4", chunks)
+			}
+			return
+		}
+		x.Ack(next)
+	}
+}
+
+// TestSnapshotTransferEmptyImage: a zero-byte image still completes in
+// one Done chunk.
+func TestSnapshotTransferEmptyImage(t *testing.T) {
+	x := &SnapshotXfer{Img: SnapshotImage{Index: 5, Term: 1}}
+	var asm SnapshotAssembly
+	chunk := x.Chunk(1)
+	if chunk == nil || !chunk.Done {
+		t.Fatalf("empty image chunk = %+v, want single Done chunk", chunk)
+	}
+	img, done, _ := asm.Accept(chunk)
+	if !done || img.Index != 5 || len(img.Data) != 0 {
+		t.Fatalf("empty image install = %+v done=%v", img, done)
+	}
+}
+
+// TestSnapshotAssemblyDuplicateAndGap: duplicates re-sync the sender to
+// the expected offset; a mid-image chunk for an unknown transfer asks for
+// a restart from zero without clobbering a transfer in progress.
+func TestSnapshotAssemblyDuplicateAndGap(t *testing.T) {
+	img := image(50, 2, 2*SnapshotChunkSize)
+	x := &SnapshotXfer{Img: img}
+	var asm SnapshotAssembly
+
+	first := x.Chunk(3)
+	if _, done, next := asm.Accept(first); done || next != int64(SnapshotChunkSize) {
+		t.Fatalf("first chunk: done=%v next=%d", done, next)
+	}
+	// Duplicate of the first chunk: no progress, expected offset reported.
+	if _, done, next := asm.Accept(first); done || next != int64(SnapshotChunkSize) {
+		t.Fatalf("duplicate chunk: done=%v next=%d", done, next)
+	}
+	// A mid-image chunk of a different snapshot at a newer term: the
+	// assembly has no prefix for it and asks for offset 0.
+	other := &MsgInstallSnapshot{Term: 9, Index: 80, SnapTerm: 4, Offset: 4096, Data: []byte("x")}
+	if _, done, next := asm.Accept(other); done || next != 0 {
+		t.Fatalf("foreign mid-image chunk: done=%v next=%d", done, next)
+	}
+	// The original transfer still resumes where it stopped.
+	x.Ack(int64(SnapshotChunkSize))
+	second := x.Chunk(3)
+	got, done, _ := asm.Accept(second)
+	if !done || !bytes.Equal(got.Data, img.Data) {
+		t.Fatalf("transfer did not survive the foreign chunk: done=%v", done)
+	}
+}
+
+// TestSnapshotAssemblyCompetingSenders: two same-term senders shipping
+// different images (two MultiPaxos acceptors answering one stranded
+// prepare) must not clobber each other — the newer image wins, the older
+// one is ignored without an ack.
+func TestSnapshotAssemblyCompetingSenders(t *testing.T) {
+	lo := image(100, 2, SnapshotChunkSize*2)
+	hi := image(150, 3, SnapshotChunkSize*2)
+	xLo := &SnapshotXfer{Img: lo}
+	xHi := &SnapshotXfer{Img: hi}
+	var asm SnapshotAssembly
+
+	if _, done, next := asm.Accept(xLo.Chunk(5)); done || next != int64(SnapshotChunkSize) {
+		t.Fatalf("adopting low image: done=%v next=%d", done, next)
+	}
+	// The higher-index image takes over at offset 0.
+	if _, done, next := asm.Accept(xHi.Chunk(5)); done || next != int64(SnapshotChunkSize) {
+		t.Fatalf("takeover by high image: done=%v next=%d", done, next)
+	}
+	// The low sender's next chunk is ignored entirely (next < 0: no ack).
+	xLo.Ack(int64(SnapshotChunkSize))
+	if _, done, next := asm.Accept(xLo.Chunk(5)); done || next >= 0 {
+		t.Fatalf("low image chunk not ignored: done=%v next=%d", done, next)
+	}
+	// Even a restart of the low transfer from zero is ignored.
+	xLo.Ack(0)
+	if _, done, next := asm.Accept(xLo.Chunk(5)); done || next >= 0 {
+		t.Fatalf("low image restart not ignored: done=%v next=%d", done, next)
+	}
+	// The high transfer completes untouched.
+	xHi.Ack(int64(SnapshotChunkSize))
+	got, done, _ := asm.Accept(xHi.Chunk(5))
+	if !done || !bytes.Equal(got.Data, hi.Data) {
+		t.Fatalf("high image did not complete: done=%v", done)
+	}
+}
+
+// TestSnapshotAssemblyLeaderChangeResume: a new leader at a higher term
+// shipping the same image resumes exactly where the old leader stopped
+// (images at one index are deterministic and identical across replicas).
+func TestSnapshotAssemblyLeaderChangeResume(t *testing.T) {
+	img := image(70, 2, SnapshotChunkSize*3)
+	old := &SnapshotXfer{Img: img}
+	var asm SnapshotAssembly
+	if _, _, next := asm.Accept(old.Chunk(4)); next != int64(SnapshotChunkSize) {
+		t.Fatalf("first chunk next=%d", next)
+	}
+	// Old leader dies; new leader at term 5 starts its own transfer of the
+	// same snapshot, from offset 0: the duplicate re-syncs it to the
+	// buffered offset instead of restarting.
+	fresh := &SnapshotXfer{Img: img}
+	if _, done, next := asm.Accept(fresh.Chunk(5)); done || next != int64(SnapshotChunkSize) {
+		t.Fatalf("new leader offset-0 chunk: done=%v next=%d", done, next)
+	}
+	fresh.Ack(int64(SnapshotChunkSize))
+	if _, _, next := asm.Accept(fresh.Chunk(5)); next != 2*int64(SnapshotChunkSize) {
+		t.Fatalf("resume next=%d", next)
+	}
+	// And the dead leader's stale retry is now outranked (no ack).
+	old.Ack(int64(SnapshotChunkSize))
+	if _, done, next := asm.Accept(old.Chunk(4)); done || next >= 0 {
+		t.Fatalf("stale-term chunk not ignored: done=%v next=%d", done, next)
+	}
+	fresh.Ack(2 * int64(SnapshotChunkSize))
+	got, done, _ := asm.Accept(fresh.Chunk(5))
+	if !done || !bytes.Equal(got.Data, img.Data) {
+		t.Fatal("transfer did not complete after leader change")
+	}
+}

@@ -143,6 +143,13 @@ type Engine struct {
 	match    map[protocol.NodeID]int64
 	inflight map[protocol.NodeID]int
 
+	// provider supplies the durable snapshot image a leader ships to a
+	// peer stranded below the compaction base; xfers tracks one chunked
+	// transfer per such peer, snapAsm reassembles an inbound one.
+	provider protocol.SnapshotProvider
+	xfers    map[protocol.NodeID]*protocol.SnapshotXfer
+	snapAsm  protocol.SnapshotAssembly
+
 	elapsed   int
 	timeout   int
 	hbElapsed int
@@ -192,6 +199,11 @@ func (e *Engine) RestoreHardState(term uint64, votedFor protocol.NodeID) {
 		e.votedFor = votedFor
 	}
 }
+
+// SetSnapshotProvider implements protocol.SnapshotSender: the driver
+// wires its snapshot store so a leader can ship images to peers that
+// fell behind the compaction base.
+func (e *Engine) SetSnapshotProvider(p protocol.SnapshotProvider) { e.provider = p }
 
 // RestoreSnapshot primes the engine at a snapshot boundary before
 // RestoreLog delivers the tail: the log starts at index, whose entry had
@@ -345,6 +357,7 @@ func (e *Engine) becomeFollower(term uint64, leader protocol.NodeID, out *protoc
 		out.StateChanged = true
 	}
 	e.role = Follower
+	e.xfers = nil // outbound transfers are leader state
 	if leader != protocol.None {
 		e.leader = leader
 		e.flushPending(out)
@@ -364,6 +377,10 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		e.stepAppendReq(from, m, &out)
 	case *MsgAppendResp:
 		e.stepAppendResp(from, m, &out)
+	case *protocol.MsgInstallSnapshot:
+		e.stepInstallSnapshot(from, m, &out)
+	case *protocol.MsgInstallSnapshotResp:
+		e.stepInstallSnapshotResp(from, m, &out)
 	case *MsgForward:
 		out.Merge(e.SubmitBatch(m.Cmds))
 	}
@@ -451,6 +468,7 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 	e.next = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
 	e.match = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
 	e.inflight = make(map[protocol.NodeID]int, len(e.cfg.Peers))
+	e.xfers = make(map[protocol.NodeID]*protocol.SnapshotXfer)
 	for _, p := range e.cfg.Peers {
 		e.next[p] = e.LastIndex() + 1
 		e.match[p] = 0
@@ -688,9 +706,9 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 		}
 		if e.next[from] < e.log.FirstIndex() {
 			// The follower needs entries below our compaction base, which
-			// only a snapshot transfer could provide. Immediate resend
-			// would livelock on rejections; heartbeats keep probing at
-			// tick cadence instead.
+			// log replay can never provide: ship the snapshot image instead.
+			// (Without a provider this degrades to heartbeat-cadence probes.)
+			e.beginSnapshotTransfer(from, out)
 			return
 		}
 		e.sendAppend(from, out, false)
@@ -709,6 +727,137 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 	// Continue pipelining if the follower is still behind.
 	if e.next[from] <= e.LastIndex() {
 		e.sendAppend(from, out, false)
+	}
+}
+
+// beginSnapshotTransfer starts (or nudges) the chunked shipment of the
+// latest durable snapshot to p, whose next index fell below the held
+// tail. Chunks are ack-paced — one in flight, advanced per response — so
+// heartbeats on the same per-peer stream are never head-of-line blocked
+// behind a multi-megabyte image. This is the same mechanism the raft and
+// multipaxos engines use: the transfer machinery ports across the family
+// unchanged, like the paper's other optimizations.
+func (e *Engine) beginSnapshotTransfer(p protocol.NodeID, out *protocol.Output) {
+	if x, ok := e.xfers[p]; ok {
+		// Already transferring: re-send the current chunk only after a
+		// full heartbeat-cadence interval of silence (chunk or ack lost).
+		if x.Retry() {
+			if chunk := x.Chunk(e.term); chunk != nil {
+				out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: chunk})
+			}
+		}
+		return
+	}
+	if e.provider == nil {
+		return // no image source: heartbeat probing is all we can do
+	}
+	img, ok := e.provider.LatestSnapshotImage()
+	if !ok || img.Index+1 < e.log.FirstIndex() {
+		// No durable image, or it predates our held tail: the peer could
+		// not resume replay above it, so shipping it would not help.
+		return
+	}
+	x := &protocol.SnapshotXfer{Img: img}
+	e.xfers[p] = x
+	if chunk := x.Chunk(e.term); chunk != nil {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: chunk})
+	}
+}
+
+// stepInstallSnapshot receives one chunk of a leader's snapshot,
+// assembling the image and adopting it when complete: the log re-anchors
+// at the image boundary and the driver is told (Output.InstalledSnapshot)
+// to persist it and restore the state machine, after which replication
+// resumes from the snapshot index.
+func (e *Engine) stepInstallSnapshot(from protocol.NodeID, m *protocol.MsgInstallSnapshot, out *protocol.Output) {
+	resp := &protocol.MsgInstallSnapshotResp{Term: e.term, Index: m.Index}
+	if m.Term < e.term {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+		return
+	}
+	e.becomeFollower(m.Term, from, out)
+	resp.Term = e.term
+	if m.Index <= e.commit {
+		// Already covered locally (duplicate transfer or a stale chunk):
+		// nothing to install; the ack lets the leader resume appends.
+		e.snapAsm.Reset()
+		resp.Installed = true
+		resp.NextOffset = m.Offset + int64(len(m.Data))
+	} else {
+		img, done, next := e.snapAsm.Accept(m)
+		if next < 0 {
+			// A better transfer is in progress: no ack, so this sender's
+			// damped retries cannot clobber the winning image's progress.
+			return
+		}
+		resp.NextOffset = next
+		if done {
+			e.installSnapshot(img, out)
+			resp.Installed = true
+		}
+	}
+	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
+}
+
+// installSnapshot adopts a fully assembled image: everything at or below
+// its index is chosen and lives in the image, so the in-memory log
+// re-anchors there and the driver persists the image before applying
+// anything above it. A held suffix beyond the image survives only when
+// its entry at the boundary agrees with the image's term (etcd-raft's
+// rule) — keeping a conflicting suffix would also record the conflicting
+// local term as the base term, and every resumed append at
+// PrevIndex=img.Index would then be rejected forever.
+func (e *Engine) installSnapshot(img protocol.SnapshotImage, out *protocol.Output) {
+	if img.Index <= e.commit {
+		return
+	}
+	if ent, ok := e.log.At(img.Index); ok && ent.Term == img.Term && img.Index < e.log.LastIndex() {
+		e.log.TruncatePrefix(img.Index)
+	} else {
+		e.log.Restore(img.Index, img.Term, nil)
+	}
+	e.commit = img.Index
+	if img.Term > e.logBal {
+		e.logBal = img.Term
+	}
+	out.StateChanged = true
+	out.InstalledSnapshot = &img
+}
+
+// stepInstallSnapshotResp paces an outbound transfer: each ack releases
+// the next chunk, and the final Installed ack resets the follower's
+// replication state to the snapshot boundary so pipelining resumes
+// immediately instead of stalling until the next heartbeat probe.
+func (e *Engine) stepInstallSnapshotResp(from protocol.NodeID, m *protocol.MsgInstallSnapshotResp, out *protocol.Output) {
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+		return
+	}
+	if e.role != Leader || m.Term != e.term {
+		return
+	}
+	x := e.xfers[from]
+	if x == nil || x.Img.Index != m.Index {
+		return // ack from an older transfer
+	}
+	if m.Installed {
+		delete(e.xfers, from)
+		if m.Index > e.match[from] {
+			e.match[from] = m.Index
+		}
+		e.next[from] = e.match[from] + 1
+		e.inflight[from] = 0
+		e.maybeCommit(out)
+		if e.next[from] <= e.LastIndex() {
+			e.sendAppend(from, out, false)
+		}
+		return
+	}
+	x.Ack(m.NextOffset)
+	if chunk := x.Chunk(e.term); chunk != nil {
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: chunk})
+	} else {
+		delete(e.xfers, from) // receiver ran past the image end: abandon
 	}
 }
 

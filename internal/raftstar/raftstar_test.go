@@ -158,3 +158,225 @@ func TestAgreementUnderMessageShuffling(t *testing.T) {
 		}
 	}
 }
+
+// strandVictim commits a first batch everywhere, isolates one follower,
+// commits more, then compacts the connected replicas' logs past the
+// victim and wires them a snapshot provider with imgSize bytes of state.
+func strandVictim(t *testing.T, c *testcluster.Cluster, leaderID protocol.NodeID, imgSize int) (protocol.NodeID, int64) {
+	t.Helper()
+	victim := protocol.NodeID(-1)
+	for id := range c.Engines {
+		if id != leaderID {
+			victim = id
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	c.Isolate(victim, true)
+	for i := 5; i < 25; i++ {
+		c.Submit(leaderID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	lead := c.Engines[leaderID].(*raftstar.Engine)
+	base := lead.CommitIndex()
+	ent, ok := lead.EntryAt(base)
+	if !ok {
+		t.Fatalf("no entry at commit %d", base)
+	}
+	img := protocol.SnapshotImage{Index: base, Term: ent.Term, Data: make([]byte, imgSize)}
+	provider := protocol.SnapshotProviderFunc(func() (protocol.SnapshotImage, bool) { return img, true })
+	for id, e := range c.Engines {
+		if id == victim {
+			continue
+		}
+		eng := e.(*raftstar.Engine)
+		eng.TruncatePrefix(base)
+		eng.SetSnapshotProvider(provider)
+	}
+	return victim, base
+}
+
+// TestSnapshotTransferCatchesUpStrandedFollower: the same stranded-peer
+// catch-up the raft engine gets — the transfer machinery ports across the
+// refinement unchanged. The install ack must also reset the leader's
+// replication state (next/match/inflight) so pipelining resumes at once;
+// MatchIndex makes that directly observable here.
+func TestSnapshotTransferCatchesUpStrandedFollower(t *testing.T) {
+	c := newCluster(t, 3, 7)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, base := strandVictim(t, c, leader.ID(), 3*protocol.SnapshotChunkSize+57)
+	c.Isolate(victim, false)
+	c.Settle(60)
+
+	if len(c.Installed[victim]) == 0 {
+		t.Fatal("stranded follower never installed a snapshot")
+	}
+	if got := c.Installed[victim][0]; got.Index != base {
+		t.Fatalf("installed snapshot at %d, want %d", got.Index, base)
+	}
+	cur := c.Leader()
+	if cur == nil {
+		t.Fatal("no unique leader after catch-up")
+	}
+	lead := cur.(*raftstar.Engine)
+	veng := c.Engines[victim].(*raftstar.Engine)
+	if veng.CommitIndex() != lead.CommitIndex() {
+		t.Fatalf("victim commit %d != leader commit %d", veng.CommitIndex(), lead.CommitIndex())
+	}
+	if veng.FirstIndex() != base+1 {
+		t.Fatalf("victim log anchored at %d, want %d (replay resumed from the image)", veng.FirstIndex(), base+1)
+	}
+	if got := lead.MatchIndex(victim); got < base {
+		t.Fatalf("leader match for victim = %d after install, want >= %d", got, base)
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(lead.ID(), protocol.Command{ID: 999, Op: protocol.OpPut, Key: "post"})
+	c.Settle(5)
+	if veng.CommitIndex() != lead.CommitIndex() {
+		t.Fatalf("post-install write did not replicate: victim %d leader %d", veng.CommitIndex(), lead.CommitIndex())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaderChangeMidTransfer: a Raft* leader dies mid-shipment; the
+// successor (same compacted log, same snapshot) restarts the transfer and
+// the stranded follower converges under it.
+func TestLeaderChangeMidTransfer(t *testing.T) {
+	c := newCluster(t, 3, 8)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldID := leader.ID()
+	victim, base := strandVictim(t, c, oldID, 4*protocol.SnapshotChunkSize)
+	c.Isolate(victim, false)
+
+	started := false
+	for r := 0; r < 3000 && !started; r++ {
+		c.Tick()
+		c.DeliverAll(1)
+		for _, env := range c.Queue {
+			if _, ok := env.Msg.(*protocol.MsgInstallSnapshotResp); ok && env.From == victim {
+				started = true
+			}
+		}
+	}
+	if !started {
+		t.Fatal("transfer never started")
+	}
+	if len(c.Installed[victim]) != 0 {
+		t.Skip("transfer completed before the leader could be killed")
+	}
+
+	c.Isolate(oldID, true)
+	var successor protocol.NodeID
+	for id := range c.Engines {
+		if id != oldID && id != victim {
+			successor = id
+		}
+	}
+	c.Collect(successor, c.Engines[successor].(*raftstar.Engine).Campaign())
+	c.Settle(60)
+
+	if len(c.Installed[victim]) == 0 {
+		t.Fatal("victim never installed after the leader change")
+	}
+	if got := c.Installed[victim][len(c.Installed[victim])-1]; got.Index != base {
+		t.Fatalf("installed at %d, want %d", got.Index, base)
+	}
+	veng := c.Engines[victim].(*raftstar.Engine)
+	seng := c.Engines[successor].(*raftstar.Engine)
+	if !seng.IsLeader() || veng.CommitIndex() != seng.CommitIndex() {
+		t.Fatalf("no convergence under new leader: victim %d, successor %d (leader=%v)",
+			veng.CommitIndex(), seng.CommitIndex(), seng.IsLeader())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallOverConflictingSuffix mirrors the raft test: a snapshot
+// whose boundary lands inside a deposed leader's stale suffix must
+// discard that suffix on install, or the recorded base term conflicts
+// with the image and resumed appends livelock.
+func TestInstallOverConflictingSuffix(t *testing.T) {
+	c := newCluster(t, 3, 10)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldID := leader.ID()
+	for i := 0; i < 5; i++ {
+		c.Submit(oldID, protocol.Command{ID: uint64(i + 1), Op: protocol.OpPut, Key: "k"})
+	}
+	c.Settle(3)
+	c.Isolate(oldID, true)
+	c.Queue = nil
+	for i := 0; i < 10; i++ {
+		c.Submit(oldID, protocol.Command{ID: uint64(100 + i), Op: protocol.OpPut, Key: "stale"})
+	}
+	c.DeliverAll(100000)
+
+	var succ protocol.NodeID = -1
+	for id := range c.Engines {
+		if id != oldID {
+			succ = id
+		}
+	}
+	c.Collect(succ, c.Engines[succ].(*raftstar.Engine).Campaign())
+	c.Settle(10)
+	seng := c.Engines[succ].(*raftstar.Engine)
+	if !seng.IsLeader() {
+		t.Fatal("no successor leader")
+	}
+	for i := 0; i < 15; i++ {
+		c.Submit(succ, protocol.Command{ID: uint64(200 + i), Op: protocol.OpPut, Key: "new"})
+	}
+	c.Settle(5)
+	old := c.Engines[oldID].(*raftstar.Engine)
+	base := int64(10) // inside the stale suffix 6..15
+	if base >= seng.CommitIndex() {
+		t.Fatalf("setup: successor commit %d must cover base %d", seng.CommitIndex(), base)
+	}
+	if base <= 5 || base >= old.LastIndex() {
+		t.Fatalf("setup: base %d must land inside the stale suffix (5, %d)", base, old.LastIndex())
+	}
+	ent, _ := seng.EntryAt(base)
+	img := protocol.SnapshotImage{Index: base, Term: ent.Term, Data: []byte("img")}
+	for id, e := range c.Engines {
+		if id == oldID {
+			continue
+		}
+		eng := e.(*raftstar.Engine)
+		eng.TruncatePrefix(base)
+		eng.SetSnapshotProvider(protocol.SnapshotProviderFunc(func() (protocol.SnapshotImage, bool) { return img, true }))
+	}
+
+	c.Isolate(oldID, false)
+	c.Settle(60)
+
+	if len(c.Installed[oldID]) == 0 {
+		t.Fatal("deposed leader never installed the snapshot")
+	}
+	cur := c.Leader()
+	if cur == nil {
+		t.Fatal("no unique leader")
+	}
+	oeng := c.Engines[oldID].(*raftstar.Engine)
+	if oeng.CommitIndex() != cur.(*raftstar.Engine).CommitIndex() {
+		t.Fatalf("livelock: deposed leader stuck at commit %d, leader at %d",
+			oeng.CommitIndex(), cur.(*raftstar.Engine).CommitIndex())
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -376,3 +376,136 @@ func TestMemSnapshotCompact(t *testing.T) {
 		t.Fatalf("last = %d, want 12", last)
 	}
 }
+
+// TestInstallSnapshotBeyondLog adopts a received snapshot whose index lies
+// far past the stored log — the wiped/stranded-replica case Compact can
+// never express — and checks the base jumps, appends resume at the
+// boundary, dead segments are deleted, and a reopen recovers everything.
+func TestInstallSnapshotBeyondLog(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	appendN(t, s, 1, 30)
+
+	state := []byte("received-image")
+	if err := s.InstallSnapshot(storage.Snapshot{Index: 500, Term: 7, State: state}); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ := s.FirstIndex(); first != 501 {
+		t.Fatalf("FirstIndex = %d, want 501", first)
+	}
+	if last, _ := s.LastIndex(); last != 500 {
+		t.Fatalf("LastIndex = %d, want 500", last)
+	}
+	if base, term, _ := s.CompactionBase(); base != 500 || term != 7 {
+		t.Fatalf("base = %d/%d, want 500/7", base, term)
+	}
+	if _, err := s.Entries(1, 30); !errors.Is(err, storage.ErrCompacted) {
+		t.Fatalf("old entries err = %v, want ErrCompacted", err)
+	}
+	if len(segmentFiles(t, dir)) != 1 {
+		t.Fatalf("sealed segments not deleted: %v", segmentFiles(t, dir))
+	}
+	// Replication resumes from the boundary.
+	if err := s.Append([]protocol.Entry{entry(501, 7, "after")}); err != nil {
+		t.Fatalf("append above boundary: %v", err)
+	}
+	// A gapped append below or above stays invalid.
+	if err := s.Append([]protocol.Entry{entry(600, 7, "gap")}); err == nil {
+		t.Fatal("gapped append accepted")
+	}
+	s.Close()
+
+	re, err := storage.OpenFileWith(dir, storage.Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	snap, ok, _ := re.LatestSnapshot()
+	if !ok || snap.Index != 500 || !bytes.Equal(snap.State, state) {
+		t.Fatalf("reopened snapshot = %+v ok=%v", snap, ok)
+	}
+	if base, term, _ := re.CompactionBase(); base != 500 || term != 7 {
+		t.Fatalf("reopened base = %d/%d", base, term)
+	}
+	ents, err := re.Entries(501, 501)
+	if err != nil || ents[0].Cmd.Key != "after" {
+		t.Fatalf("tail above installed snapshot lost: %v %v", ents, err)
+	}
+}
+
+// TestInstallSnapshotKeepsSuffix installs an image that lands inside the
+// stored log: entries above the boundary survive.
+func TestInstallSnapshotKeepsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	defer s.Close()
+	appendN(t, s, 1, 30)
+	if err := s.InstallSnapshot(storage.Snapshot{Index: 20, Term: 1, State: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ := s.FirstIndex(); first != 21 {
+		t.Fatalf("FirstIndex = %d, want 21", first)
+	}
+	ents, err := s.Entries(21, 30)
+	if err != nil || len(ents) != 10 || ents[0].Cmd.Key != "key-21" {
+		t.Fatalf("suffix lost: %d ents, err %v", len(ents), err)
+	}
+}
+
+// TestInstallSnapshotPrunesObsolete: images made obsolete by an installed
+// (received) snapshot are deleted exactly like locally-taken ones, so
+// install-heavy nodes keep the newest-two retention invariant.
+func TestInstallSnapshotPrunesObsolete(t *testing.T) {
+	dir := t.TempDir()
+	s := smallSeg(t, dir)
+	defer s.Close()
+	appendN(t, s, 1, 20)
+	for _, idx := range []int64{5, 10, 15} {
+		if err := s.SaveSnapshot(storage.Snapshot{Index: idx, Term: 1, State: []byte("local")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.InstallSnapshot(storage.Snapshot{Index: 900, Term: 3, State: []byte("wire")}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := snapshotFiles(t, dir)
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot files after install = %v, want newest 2", snaps)
+	}
+	if filepath.Base(snaps[1]) != fmt.Sprintf("snapshot-%016d", 900) {
+		t.Fatalf("newest = %s", snaps[1])
+	}
+	// A regressing install is refused, matching SaveSnapshot.
+	if err := s.InstallSnapshot(storage.Snapshot{Index: 100, Term: 3, State: []byte("old")}); err == nil {
+		t.Fatal("regressing install accepted")
+	}
+}
+
+// TestMemInstallSnapshot gives the in-memory store the same semantics.
+func TestMemInstallSnapshot(t *testing.T) {
+	m := storage.NewMem()
+	appendN(t, m, 1, 10)
+	if err := m.InstallSnapshot(storage.Snapshot{Index: 50, Term: 2, State: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ := m.FirstIndex(); first != 51 {
+		t.Fatalf("FirstIndex = %d, want 51", first)
+	}
+	if base, term, _ := m.CompactionBase(); base != 50 || term != 2 {
+		t.Fatalf("base = %d/%d", base, term)
+	}
+	snap, ok, _ := m.LatestSnapshot()
+	if !ok || snap.Index != 50 {
+		t.Fatalf("snapshot = %+v ok=%v", snap, ok)
+	}
+	if err := m.Append([]protocol.Entry{entry(51, 2, "after")}); err != nil {
+		t.Fatalf("append above boundary: %v", err)
+	}
+	// Mid-log install keeps the suffix.
+	if err := m.InstallSnapshot(storage.Snapshot{Index: 50, Term: 2, State: []byte("img")}); err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := m.LastIndex(); last != 51 {
+		t.Fatalf("suffix lost: last = %d, want 51", last)
+	}
+}

@@ -87,6 +87,14 @@ type SnapshotStore interface {
 	// of the last dropped entry and its term (0, 0 before any compaction).
 	// FirstIndex == base + 1.
 	CompactionBase() (index int64, term uint64, err error)
+	// InstallSnapshot atomically adopts a snapshot received from a peer
+	// (wire transfer): it persists the image like SaveSnapshot — including
+	// pruning snapshot files the received image makes obsolete — and then
+	// advances the compaction base to the image's index even when that is
+	// beyond the last stored entry, dropping every entry the image covers.
+	// Unlike Compact, the new base needs no locally stored entry at it:
+	// the received image is the durable record of that prefix.
+	InstallSnapshot(snap Snapshot) error
 }
 
 // ErrOutOfRange is returned for reads beyond the stored log.
@@ -228,10 +236,22 @@ func (m *Mem) Compact(through int64) error {
 	if through <= m.base {
 		return nil
 	}
-	m.baseTerm = m.log[through-m.base-1].Term
-	m.log = append([]protocol.Entry(nil), m.log[through-m.base:]...)
-	m.base = through
+	m.compactToLocked(through, m.log[through-m.base-1].Term)
 	return nil
+}
+
+// compactToLocked is the shared tail of Compact and InstallSnapshot:
+// trim the log to whatever survives above base (nothing when base jumped
+// past the log end) and adopt the new watermark. The caller has verified
+// base > m.base.
+func (m *Mem) compactToLocked(base int64, term uint64) {
+	if last := m.base + int64(len(m.log)); base < last {
+		m.log = append([]protocol.Entry(nil), m.log[base-m.base:]...)
+	} else {
+		m.log = nil
+	}
+	m.base = base
+	m.baseTerm = term
 }
 
 // CompactionBase implements SnapshotStore.
@@ -239,6 +259,22 @@ func (m *Mem) CompactionBase() (int64, uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.base, m.baseTerm, nil
+}
+
+// InstallSnapshot implements SnapshotStore.
+func (m *Mem) InstallSnapshot(snap Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.has && snap.Index < m.snap.Index {
+		return fmt.Errorf("storage: snapshot regresses %d -> %d", m.snap.Index, snap.Index)
+	}
+	m.snap = Snapshot{Index: snap.Index, Term: snap.Term, State: append([]byte(nil), snap.State...)}
+	m.has = true
+	if snap.Index <= m.base {
+		return nil
+	}
+	m.compactToLocked(snap.Index, snap.Term)
+	return nil
 }
 
 // Close implements Store.
@@ -583,6 +619,10 @@ func readSnapshotFile(path string) (Snapshot, error) {
 func (f *File) SaveSnapshot(snap Snapshot) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.saveSnapshotLocked(snap)
+}
+
+func (f *File) saveSnapshotLocked(snap Snapshot) error {
 	if f.hasSnap && snap.Index < f.snap.Index {
 		return fmt.Errorf("storage: snapshot regresses %d -> %d", f.snap.Index, snap.Index)
 	}
@@ -840,19 +880,32 @@ func (f *File) Compact(through int64) error {
 	if through <= f.base {
 		return nil
 	}
-	term := f.cached[through-f.base-1].Term
-	if err := f.saveCompactionBaseLocked(through, term); err != nil {
+	return f.compactToLocked(through, f.cached[through-f.base-1].Term)
+}
+
+// compactToLocked is the shared tail of Compact and InstallSnapshot: it
+// durably records the new watermark before anything is dropped, trims the
+// entry cache to whatever survives above base (which may be nothing when
+// base jumped past the log end), and deletes every sealed segment the
+// watermark covers, fsyncing the directory after removals. The caller has
+// verified base > f.base.
+func (f *File) compactToLocked(base int64, term uint64) error {
+	if err := f.saveCompactionBaseLocked(base, term); err != nil {
 		return err
 	}
-	f.cached = append([]protocol.Entry(nil), f.cached[through-f.base:]...)
-	f.base = through
+	if last := f.base + int64(len(f.cached)); base < last {
+		f.cached = append([]protocol.Entry(nil), f.cached[base-f.base:]...)
+	} else {
+		f.cached = nil
+	}
+	f.base = base
 	f.baseTerm = term
 
 	kept := f.segs[:0]
 	removed := false
 	for i := range f.segs {
 		seg := f.segs[i]
-		if i < len(f.segs)-1 && seg.maxIndex <= through {
+		if i < len(f.segs)-1 && seg.maxIndex <= base {
 			if err := os.Remove(seg.path); err != nil {
 				return fmt.Errorf("storage: remove segment: %w", err)
 			}
@@ -868,6 +921,24 @@ func (f *File) Compact(through int64) error {
 		}
 	}
 	return nil
+}
+
+// InstallSnapshot implements SnapshotStore: persist the received image
+// (with the same atomic write + obsolete-snapshot pruning as a local
+// save), record the new compaction base — which may lie beyond the last
+// stored entry, something Compact never allows — and drop every entry and
+// whole sealed segment the image covers. Records left in the active
+// segment below the new base are skipped on replay by the watermark.
+func (f *File) InstallSnapshot(snap Snapshot) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.saveSnapshotLocked(snap); err != nil {
+		return err
+	}
+	if snap.Index <= f.base {
+		return nil
+	}
+	return f.compactToLocked(snap.Index, snap.Term)
 }
 
 // SyncCount returns the number of WAL fsyncs since open. Under group

@@ -26,15 +26,20 @@ type Cluster struct {
 	// Observed behaviour.
 	Applied map[protocol.NodeID][]protocol.Entry
 	Replies []protocol.ClientReply
+	// Installed records snapshot images adopted over the wire per node, in
+	// order — the driver-side install a live cluster.Node performs
+	// (persist + state-machine restore) reduced to bookkeeping here.
+	Installed map[protocol.NodeID][]protocol.SnapshotImage
 }
 
 // New builds a cluster over the given engines.
 func New(seed int64, engines ...protocol.Engine) *Cluster {
 	c := &Cluster{
-		Engines: make(map[protocol.NodeID]protocol.Engine, len(engines)),
-		Rng:     rand.New(rand.NewSource(seed)),
-		cut:     make(map[[2]protocol.NodeID]bool),
-		Applied: make(map[protocol.NodeID][]protocol.Entry),
+		Engines:   make(map[protocol.NodeID]protocol.Engine, len(engines)),
+		Rng:       rand.New(rand.NewSource(seed)),
+		cut:       make(map[[2]protocol.NodeID]bool),
+		Applied:   make(map[protocol.NodeID][]protocol.Entry),
+		Installed: make(map[protocol.NodeID][]protocol.SnapshotImage),
 	}
 	for _, e := range engines {
 		c.Engines[e.ID()] = e
@@ -62,6 +67,9 @@ func (c *Cluster) Isolate(n protocol.NodeID, cut bool) {
 // answered to the client on the engine's behalf.
 func (c *Cluster) Collect(id protocol.NodeID, out protocol.Output) {
 	c.Queue = append(c.Queue, out.Msgs...)
+	if out.InstalledSnapshot != nil {
+		c.Installed[id] = append(c.Installed[id], *out.InstalledSnapshot)
+	}
 	for _, ci := range out.Commits {
 		c.Applied[id] = append(c.Applied[id], ci.Entry)
 		if ci.Reply {
@@ -206,24 +214,43 @@ func (c *Cluster) ElectLeader(maxRounds int) (protocol.Engine, error) {
 	return nil, fmt.Errorf("no leader after %d rounds", maxRounds)
 }
 
-// CheckAgreement verifies that every node's applied sequence is a prefix
-// of the longest one, comparing (Index, Cmd.ID, Cmd.Op, Key): the core
-// safety property shared by all protocols here.
+// CheckAgreement verifies the core safety property shared by all
+// protocols here, aligned on log index so a node that jumped forward via
+// a snapshot install (its applied sequence starts mid-stream) is still
+// fully checked: every node applies a contiguous run of indexes (the
+// only permitted jump is the recorded install boundary), and any two
+// nodes that applied the same index applied the same (Cmd.ID, Op, Key)
+// there.
 func (c *Cluster) CheckAgreement() error {
-	var longest []protocol.Entry
-	for _, app := range c.Applied {
-		if len(app) > len(longest) {
-			longest = app
-		}
-	}
+	ref := make(map[int64]protocol.Entry)
+	refOwner := make(map[int64]protocol.NodeID)
 	for id, app := range c.Applied {
-		for i, ent := range app {
-			ref := longest[i]
-			if ent.Index != ref.Index || ent.Cmd.ID != ref.Cmd.ID ||
-				ent.Cmd.Op != ref.Cmd.Op || ent.Cmd.Key != ref.Cmd.Key {
+		imgIdx := int64(0)
+		if imgs := c.Installed[id]; len(imgs) > 0 {
+			// Entries at or below the last installed image are covered by
+			// the image itself; anything the node applied individually
+			// before the install is superseded by it.
+			imgIdx = imgs[len(imgs)-1].Index
+		}
+		last := imgIdx
+		for _, ent := range app {
+			if ent.Index <= imgIdx {
+				continue
+			}
+			if last > 0 && ent.Index != last+1 {
+				return fmt.Errorf("node %d applied index %d after %d (gap or regression)", id, ent.Index, last)
+			}
+			last = ent.Index
+			got, seen := ref[ent.Index]
+			if !seen {
+				ref[ent.Index] = ent
+				refOwner[ent.Index] = id
+				continue
+			}
+			if ent.Cmd.ID != got.Cmd.ID || ent.Cmd.Op != got.Cmd.Op || ent.Cmd.Key != got.Cmd.Key {
 				return fmt.Errorf(
-					"node %d applied %+v at position %d, but reference has %+v",
-					id, ent, i, ref)
+					"node %d applied %+v at index %d, but node %d applied %+v",
+					id, ent, ent.Index, refOwner[ent.Index], got)
 			}
 		}
 	}

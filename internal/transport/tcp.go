@@ -34,6 +34,9 @@ func RegisterMessages() {
 		&mencius.MsgRevokePrep{}, &mencius.MsgRevokePromise{},
 		&lease.MsgGrant{}, &lease.MsgGrantAck{},
 		&rql.MsgReadReq{}, &pql.MsgReadReq{},
+		// Snapshot transfer is defined once at the protocol layer and
+		// shared by every engine that can strand a peer behind compaction.
+		&protocol.MsgInstallSnapshot{}, &protocol.MsgInstallSnapshotResp{},
 	} {
 		gob.Register(m)
 	}
