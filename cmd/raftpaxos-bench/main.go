@@ -34,9 +34,10 @@ func main() {
 	segmentBytes := flag.Int64("segment-bytes", 256<<10, "WAL segment rotation threshold for -live")
 	clients := flag.Int("clients", 32, "closed-loop client goroutines for -live")
 	jsonPath := flag.String("json", "", "output path for the -live JSON result (default BENCH_<ops>.json)")
+	useTCP := flag.Bool("tcp", false, "run -live over the real TCP transport on loopback (adds framing/compression stats)")
 	flag.Parse()
 	if *live {
-		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath); err != nil {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -50,7 +51,7 @@ func main() {
 
 // runLive drives the sustained-load trial on temp storage and writes the
 // result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
-func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string) error {
+func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool) error {
 	dirs := make([]string, 3)
 	for i := range dirs {
 		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
@@ -66,6 +67,7 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 		SnapshotInterval: snapInterval,
 		SegmentBytes:     segmentBytes,
 		Dirs:             dirs,
+		UseTCP:           useTCP,
 	})
 	if err != nil {
 		return err
@@ -77,6 +79,10 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 	fmt.Printf("  restart %.1fms to applied %d\n", res.RestartMS, res.RestartAppliedIndex)
 	fmt.Printf("  snapshot transfers %d (%d bytes, %d installs), snapshot failures %d\n",
 		res.SnapshotTransfers, res.SnapshotTransferBytes, res.SnapshotInstalls, res.SnapshotFailures)
+	if res.TransportFrames > 0 {
+		fmt.Printf("  transport: %d frames (%d compressed), %d raw -> %d wire bytes\n",
+			res.TransportFrames, res.TransportFramesCompressed, res.TransportRawBytes, res.TransportWireBytes)
+	}
 
 	if jsonPath == "" {
 		jsonPath = fmt.Sprintf("BENCH_%d.json", ops)

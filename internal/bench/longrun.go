@@ -43,6 +43,12 @@ type LongRunConfig struct {
 	TickInterval time.Duration
 	// WindowOps sizes the first/last throughput windows (default Ops/5).
 	WindowOps int
+	// UseTCP runs the cluster over the real TCP transport on loopback
+	// instead of the in-process channel network, so the trial also
+	// measures the wire: length-prefixed framing, snappy compression of
+	// large frames, and the raw-vs-wire byte ratio reported in the JSON
+	// artifact.
+	UseTCP bool
 }
 
 func (c *LongRunConfig) withDefaults() LongRunConfig {
@@ -116,7 +122,36 @@ type LongRunResult struct {
 	// compaction rounds across all replicas — non-zero means the snapshot
 	// path wedged at some point (it is also logged at transition time).
 	SnapshotFailures int64 `json:"snapshot_failures"`
+	// Transport framing totals, summed over all replicas' TCP transports
+	// (zero on a channel-network run): frames sent, frames that shipped
+	// snappy-compressed, pre-compression gob bytes, and bytes actually
+	// written to the wire.
+	TransportFrames           int64 `json:"transport_frames,omitempty"`
+	TransportFramesCompressed int64 `json:"transport_frames_compressed,omitempty"`
+	TransportRawBytes         int64 `json:"transport_raw_bytes,omitempty"`
+	TransportWireBytes        int64 `json:"transport_wire_bytes,omitempty"`
 }
+
+// lazyTransport breaks the node<->transport construction cycle when
+// running over TCP (the transport needs the node's inbound handler, the
+// node needs the transport).
+type lazyTransport struct {
+	mu sync.RWMutex
+	t  transport.Transport
+}
+
+func (l *lazyTransport) set(t transport.Transport) { l.mu.Lock(); l.t = t; l.mu.Unlock() }
+
+func (l *lazyTransport) Send(from, to protocol.NodeID, msg protocol.Message) {
+	l.mu.RLock()
+	t := l.t
+	l.mu.RUnlock()
+	if t != nil {
+		t.Send(from, to, msg)
+	}
+}
+
+func (l *lazyTransport) Close() error { return nil }
 
 // RunLongRun drives cfg.Ops closed-loop writes through a snapshotting
 // Raft* cluster, reports the boundedness metrics, then restarts the
@@ -147,27 +182,64 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		}
 		return stores, nil
 	}
-	buildNodes := func(stores []*storage.File, net *transport.ChanNetwork) []*cluster.Node {
-		nodes := make([]*cluster.Node, cfg.Replicas)
-		for i := range peers {
-			nodes[i] = cluster.New(cluster.Config{
-				Engine:           newEngine(i),
-				Transport:        net,
-				Stable:           stores[i],
-				TickInterval:     cfg.TickInterval,
-				SnapshotInterval: cfg.SnapshotInterval,
-			})
-			net.Listen(peers[i], nodes[i].HandleMessage)
-		}
-		return nodes
+	newNode := func(i int, tr transport.Transport, stores []*storage.File) *cluster.Node {
+		return cluster.New(cluster.Config{
+			Engine:           newEngine(i),
+			Transport:        tr,
+			Stable:           stores[i],
+			TickInterval:     cfg.TickInterval,
+			SnapshotInterval: cfg.SnapshotInterval,
+		})
 	}
 
 	stores, err := openStores()
 	if err != nil {
 		return nil, err
 	}
-	net := transport.NewChanNetwork()
-	nodes := buildNodes(stores, net)
+	var (
+		nodes    = make([]*cluster.Node, cfg.Replicas)
+		tcps     []*transport.TCP
+		closeNet func()
+	)
+	if cfg.UseTCP {
+		transport.RegisterMessages()
+		cluster.RegisterMessages()
+		// Every transport listens on :0 first, then the shared address map
+		// is filled from the live listeners before any node starts — no
+		// reserve-close-rebind window another process could steal a port
+		// in. Dials read the map only from writer goroutines spawned after
+		// the first Send, which happens after Start below.
+		addrs := map[protocol.NodeID]string{}
+		for _, id := range peers {
+			addrs[id] = "127.0.0.1:0"
+		}
+		tcps = make([]*transport.TCP, cfg.Replicas)
+		for i := range peers {
+			lazy := &lazyTransport{}
+			nodes[i] = newNode(i, lazy, stores)
+			tcp, err := transport.NewTCP(peers[i], addrs, nodes[i].HandleMessage)
+			if err != nil {
+				return nil, err
+			}
+			lazy.set(tcp)
+			tcps[i] = tcp
+		}
+		for i, id := range peers {
+			addrs[id] = tcps[i].Addr()
+		}
+		closeNet = func() {
+			for _, tcp := range tcps {
+				tcp.Close()
+			}
+		}
+	} else {
+		chnet := transport.NewChanNetwork()
+		for i := range peers {
+			nodes[i] = newNode(i, chnet, stores)
+			chnet.Listen(peers[i], nodes[i].HandleMessage)
+		}
+		closeNet = func() { chnet.Close() }
+	}
 	for _, nd := range nodes {
 		nd.Start()
 	}
@@ -217,7 +289,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		for _, nd := range nodes {
 			nd.Stop()
 		}
-		net.Close()
+		closeNet()
 		return nil, err
 	}
 
@@ -252,10 +324,17 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		_, total := nd.SnapshotFailures()
 		res.SnapshotFailures += total
 	}
+	for _, tcp := range tcps {
+		st := tcp.Stats()
+		res.TransportFrames += st.FramesSent
+		res.TransportFramesCompressed += st.FramesCompressed
+		res.TransportRawBytes += st.RawBytes
+		res.TransportWireBytes += st.WireBytes
+	}
 	for _, nd := range nodes {
 		nd.Stop()
 	}
-	net.Close()
+	closeNet()
 
 	lst := stores[leaderID]
 	res.WALBytes = lst.WALBytes()

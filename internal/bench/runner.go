@@ -165,6 +165,11 @@ type node struct {
 	eng   protocol.Engine
 	store *kvstore.Store
 	net   *simnet.Network
+	// sendFloor is the earliest time the next outbound message may leave:
+	// a step whose messages wait on the fsync barrier must not be
+	// overtaken by a later step that has nothing to persist, or per-pair
+	// FIFO (which Mencius requires and TCP provides) would break.
+	sendFloor simnet.Time
 }
 
 // Deliver implements simnet.Endpoint.
@@ -185,9 +190,25 @@ func (n *node) tick() { n.handle(n.eng.Tick()) }
 // handle realizes an engine output: apply commits (answering flagged
 // entries), route messages, answer engine-level replies (lease reads).
 // Completing a client request costs the serving replica ReplyCost of CPU
-// (proposal bookkeeping, WAL write, response encoding) before the reply
-// leaves — the dominant per-op cost in the calibrated model.
+// (proposal bookkeeping, response encoding) before the reply leaves — the
+// dominant per-op cost in the calibrated model.
+//
+// The persist-before-ack barrier is modeled as latency on the ack edge:
+// when the step accepted entries or changed hard state, FsyncTime is
+// charged to the replica's serial CPU/disk queue FIRST, so every message
+// and reply the step produced leaves after the fsync a live driver would
+// have paid — the simulated figures stay honest about accept-time
+// durability instead of reporting in-memory-toy latencies.
 func (n *node) handle(out protocol.Output) {
+	var barrier simnet.Time
+	if len(out.AppendedEntries) > 0 || out.StateChanged {
+		if d := n.net.Cost().FsyncTime; d > 0 {
+			// Charging the CPU queue serializes the fsync before the
+			// reply costs below and the message release — matching the
+			// live event loop, which blocks on the fsync before sending.
+			barrier = n.net.ChargeCPU(n.id, d)
+		}
+	}
 	for _, ci := range out.Commits {
 		n.store.Apply(ci.Entry)
 		if !ci.Reply {
@@ -208,6 +229,23 @@ func (n *node) handle(out protocol.Output) {
 			cost = n.net.Cost().LeaseReadCost
 		}
 		n.reply(rep.Client, resp, cost)
+	}
+	release := n.net.Clock().Now()
+	if barrier > release {
+		release = barrier
+	}
+	if n.sendFloor > release {
+		release = n.sendFloor
+	}
+	n.sendFloor = release
+	if release > n.net.Clock().Now() {
+		msgs := out.Msgs
+		n.net.Clock().At(release, func() {
+			for _, env := range msgs {
+				n.net.Send(env.From, env.To, env.Msg)
+			}
+		})
+		return
 	}
 	for _, env := range out.Msgs {
 		n.net.Send(env.From, env.To, env.Msg)

@@ -7,13 +7,17 @@
 // iteration drains the submit and inbox channels (bounded by MaxBatch)
 // and feeds the engine a whole batch of writes at once — engines whose
 // wire protocols carry multi-entry accepts/appends turn that into one
-// broadcast via protocol.BatchSubmitter. Persistence is group committed:
-// one storage.Append and one SaveHardState per iteration, regardless of
-// how many entries the drain produced. Commit application and client
-// reply routing run on a dedicated applier goroutine, so the consensus
-// loop never blocks on the state machine or on waiting clients. All
-// engine access stays serialized through the one event loop, matching
-// the engines' single-threaded contract.
+// broadcast via protocol.BatchSubmitter. Persistence is accept-time and
+// group committed, realizing the protocol.Output durability barrier: the
+// iteration's accepted entries (Output.AppendedEntries) are fsynced with
+// one storage.Append, hard state with one SaveHardState, and only then
+// are the iteration's messages released — so every vote grant and
+// append/accept ack a peer receives refers to state that survives a
+// full-cluster power loss (quorum ack ⇒ durable). Commit application and
+// client reply routing run on a dedicated applier goroutine, so the
+// consensus loop never blocks on the state machine or on waiting
+// clients. All engine access stays serialized through the one event
+// loop, matching the engines' single-threaded contract.
 package cluster
 
 import (
@@ -22,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,7 +76,7 @@ type Config struct {
 	SnapshotInterval int
 	// DisableBatching reverts the event loop to the unbatched behavior:
 	// one input per iteration, one storage.Append (and fsync) per
-	// committed entry. Kept as the baseline for throughput comparisons.
+	// accepted entry. Kept as the baseline for throughput comparisons.
 	DisableBatching bool
 }
 
@@ -103,9 +108,10 @@ type applyBatch struct {
 	// loop, before any entry above the boundary was appended.
 	install *protocol.SnapshotImage
 	// persistErr records a failed WAL append / hard-state save for the
-	// batch: entries stay chosen cluster-wide (a quorum acknowledged
-	// them) and are still applied, but acks become errors so no client
-	// is told success for a write this replica failed to log.
+	// batch: the iteration's outbound messages were withheld (no ack may
+	// reference state that is not durable), commits already chosen
+	// cluster-wide are still applied, but client acks become errors so no
+	// client is told success for a write this replica failed to log.
 	persistErr error
 }
 
@@ -140,6 +146,13 @@ type Node struct {
 	mu      sync.Mutex
 	waiters map[uint64]chan Response
 	nextID  atomic.Uint64
+	// epoch makes command IDs unique across process incarnations. Entries
+	// are persisted at accept time and re-committed after a restart with
+	// their original command IDs; if a fresh node reused the same ID
+	// space (the counter restarts at zero), the replies for those
+	// restored commits would complete the new incarnation's first
+	// waiters with the old commands' results.
+	epoch uint64
 
 	// Leadership view cached by the event loop: engines are
 	// single-threaded, so outside readers must not touch them directly.
@@ -157,6 +170,26 @@ type Node struct {
 	snapChunksSent atomic.Int64
 	snapBytesSent  atomic.Int64
 	snapInstalls   atomic.Int64
+
+	// Persistence-path observability: consecutive failed persistence
+	// rounds (each of which withheld its acks) and the lifetime total.
+	persistFailStreak atomic.Int64
+	persistFailTotal  atomic.Int64
+
+	// lastSaved caches the hard-state triple most recently persisted
+	// (valid once hardSaved is set), so the event loop skips the
+	// hard-state file rewrite on iterations where only the log grew, and
+	// lastCommitSave throttles commit-only rewrites to
+	// commitSaveInterval. Only the event loop touches these.
+	lastSaved      storage.HardState
+	hardSaved      bool
+	lastCommitSave time.Time
+	// redo carries a failed append batch forward: the engine never
+	// re-emits entries it already holds, but it re-acks them on
+	// retransmissions, so the driver must keep retrying the write (acks
+	// stay withheld meanwhile) rather than let a later ack release over
+	// entries that reached no disk. Event loop only.
+	redo []protocol.Entry
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -193,6 +226,7 @@ func New(cfg Config) *Node {
 	return &Node{
 		cfg:       cfg,
 		id:        cfg.Engine.ID(),
+		epoch:     uint64(rand.Uint32() & 0xffffff),
 		store:     kvstore.New(),
 		inbox:     make(chan inbound, 4096),
 		submits:   make(chan submitReq, 1024),
@@ -256,6 +290,11 @@ func (n *Node) run() {
 	defer close(n.done)
 	n.leaderID.Store(int64(protocol.None))
 	n.restoreHardState()
+	// Commit-only hard-state saves are throttled (see finish); flush the
+	// final watermark on clean shutdown so a restart resumes exactly
+	// where the applier left off instead of re-committing the last
+	// interval. Runs before done closes, hence before Stop returns.
+	defer n.flushHardState()
 	ticker := time.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
 	for {
@@ -291,9 +330,15 @@ func (n *Node) run() {
 // restoreHardState primes the engine with the durably recorded term,
 // vote, snapshot, and logged entries before it processes any input: the
 // term/vote keep a restarted replica from voting twice in a term it
-// already voted in, and the snapshot + restored tail keep committed data
-// alive across a full cluster restart while making restart cost
-// O(snapshot + tail) instead of O(history).
+// already voted in, and the snapshot + restored tail keep data alive
+// across a full cluster restart while making restart cost O(snapshot +
+// tail) instead of O(history). Entries are persisted at accept time, so
+// the restored tail runs past the saved commit index: commit anchors at
+// the hard state's watermark and the engine receives the whole persisted
+// tail, including an accepted-but-uncommitted (possibly conflicting, to
+// be overwritten by the next leader) suffix — the half of the durability
+// barrier that makes a quorum-acked suffix commit after the crash instead
+// of vanishing.
 func (n *Node) restoreHardState() {
 	if n.cfg.Stable == nil {
 		return
@@ -430,19 +475,65 @@ func (n *Node) drain(out *protocol.Output, writes *[]protocol.Command) {
 	}
 }
 
-// finish realizes one iteration's merged output: persist durable state
-// (one Append, one SaveHardState), release outbound messages, then hand
-// commits and replies to the applier. A persistence failure travels with
-// the batch so the applier fails the acks instead of reporting success
-// for writes this replica could not log.
+// commitSaveInterval throttles hard-state rewrites whose only change is
+// the commit index. Unlike term and vote — fencing state that must be
+// durable before the grant leaves — the persisted commit is a recovery
+// accelerator: entries are already durable at accept time, so a stale
+// watermark merely means a restart re-commits (and idempotently
+// re-applies) the last interval through the normal protocol.
+const commitSaveInterval = 25 * time.Millisecond
+
+// finish realizes one iteration's merged output under the durability
+// barrier (see protocol.Output): the iteration's accepted entries reach
+// the log store, hard state is saved, and a single fsync makes everything
+// durable before any promise — a vote grant, an append/accept ack
+// (protocol.BarrierMessage), a commit hand-off that will answer a client —
+// leaves the replica. That ordering is what lets a quorum of acks imply a
+// value survives a full-cluster crash.
+//
+// Two latency refinements keep the fsync off paths it does not protect:
+//
+//   - Messages that promise nothing about stable storage (proposals,
+//     requests, heartbeats, snapshot chunks) are released before the
+//     fsync on iterations that commit nothing, so followers chew on an
+//     append while the leader's own disk write completes.
+//   - When an iteration only appends (a leader extending its log, with no
+//     ack to send and no commit counting the local copy), the append is
+//     staged without the fsync (storage.DeferredSync): the sync happens
+//     in the later iteration whose commit makes the entries load-bearing,
+//     amortizing the leader's disk barrier across pipelined rounds. This
+//     is safe because commit advancement always surfaces in out.Commits,
+//     and any iteration with commits syncs before releasing anything —
+//     including non-promise messages, which piggyback the commit index.
+//
+// On a persistence failure every message is withheld (peers retry) and
+// the error travels with the batch so the applier fails the client acks
+// instead of reporting success for writes this replica could not log.
 func (n *Node) finish(out protocol.Output) {
+	// Anything observable that depends on this iteration's durability:
+	// acks in the message batch, or commits/replies about to be handed to
+	// the applier (whose client responses are promises too).
+	hasAck := false
+	for _, env := range out.Msgs {
+		if _, ok := env.Msg.(protocol.BarrierMessage); ok {
+			hasAck = true
+			break
+		}
+	}
+	committing := len(out.Commits) > 0 || len(out.Replies) > 0 || out.InstalledSnapshot != nil
+	if !committing {
+		// No commit left this step: non-promise messages cannot leak an
+		// unsynced commit index, so they overlap with the fsync below.
+		n.sendEarly(out.Msgs)
+	}
+
 	var perr error
 	if n.cfg.Stable != nil {
 		if img := out.InstalledSnapshot; img != nil {
 			// The engine adopted a wire snapshot this iteration: make it
-			// durable and jump the WAL's compaction base first, so commits
-			// in this batch (and every later append above the boundary)
-			// land on a store whose log starts at the image.
+			// durable and jump the WAL's compaction base first, so appends
+			// in this batch (and every later one above the boundary) land
+			// on a store whose log starts at the image.
 			if ss, ok := n.cfg.Stable.(storage.SnapshotStore); ok {
 				if err := ss.InstallSnapshot(storage.Snapshot{
 					Index: img.Index, Term: img.Term, State: img.Data,
@@ -451,38 +542,38 @@ func (n *Node) finish(out protocol.Output) {
 				}
 			}
 		}
-		if len(out.Commits) > 0 {
-			if n.cfg.DisableBatching {
-				for _, ci := range out.Commits {
-					if err := n.cfg.Stable.Append([]protocol.Entry{ci.Entry}); err != nil && perr == nil {
-						perr = err
-					}
-				}
-			} else {
-				ents := make([]protocol.Entry, len(out.Commits))
-				for i, ci := range out.Commits {
-					ents[i] = ci.Entry
-				}
-				perr = n.cfg.Stable.Append(ents)
-			}
-		}
+		perr = n.persistEntries(out.AppendedEntries, hasAck || committing, perr)
 		if out.StateChanged || len(out.Commits) > 0 {
-			if err := n.cfg.Stable.SaveHardState(n.hardState()); err != nil && perr == nil {
+			if err := n.saveHardState(); err != nil && perr == nil {
 				perr = err
 			}
 		}
 	}
-	// Messages go out before the apply hand-off: hard state is already
-	// durable, and this keeps a Stop racing the hand-off from eating a
-	// just-persisted vote grant or append response.
+	if perr != nil {
+		// Barrier violated: nothing this iteration accepted is durable, so
+		// no promise may leave the replica. Withheld messages look like
+		// loss to peers, which consensus already tolerates and retries.
+		n.notePersistFailure(perr)
+	} else {
+		n.notePersistSuccess()
+	}
+	// Promises go out before the apply hand-off: entries and hard state
+	// are already durable, and this keeps a Stop racing the hand-off from
+	// eating a just-persisted vote grant or append response.
 	for _, env := range out.Msgs {
+		if perr != nil {
+			break
+		}
+		if _, ack := env.Msg.(protocol.BarrierMessage); !ack && !committing {
+			continue // already released pre-fsync
+		}
 		if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
 			n.snapChunksSent.Add(1)
 			n.snapBytesSent.Add(int64(len(chunk.Data)))
 		}
 		n.cfg.Transport.Send(env.From, env.To, env.Msg)
 	}
-	if len(out.Commits) > 0 || len(out.Replies) > 0 || out.InstalledSnapshot != nil {
+	if committing {
 		select {
 		case n.applyCh <- applyBatch{
 			commits: out.Commits, replies: out.Replies,
@@ -491,6 +582,163 @@ func (n *Node) finish(out protocol.Output) {
 		case <-n.stop:
 		}
 	}
+}
+
+// sendEarly releases the non-promise half of a message batch before the
+// durability barrier.
+func (n *Node) sendEarly(msgs []protocol.Envelope) {
+	for _, env := range msgs {
+		if _, ack := env.Msg.(protocol.BarrierMessage); ack {
+			continue
+		}
+		if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
+			n.snapChunksSent.Add(1)
+			n.snapBytesSent.Add(int64(len(chunk.Data)))
+		}
+		n.cfg.Transport.Send(env.From, env.To, env.Msg)
+	}
+}
+
+// persistEntries writes the iteration's accepted entries to the log,
+// fsyncing when anything observable depends on them (needSync) and
+// otherwise staging them for the next load-bearing iteration's sync when
+// the store supports it. Even with nothing new to append, needSync
+// flushes entries buffered by earlier iterations — the promise about to
+// be released may rest on them.
+//
+// A failed write is retried, not dropped: the engine already holds the
+// entries in memory and will never re-emit them, but it WILL re-ack them
+// on retransmissions — so if the failed batch simply vanished, a later
+// heartbeat's ack would release over entries on no disk and silently
+// void the quorum-ack-implies-durable guarantee. The failed batch is
+// therefore carried forward (redo) and re-appended ahead of each
+// subsequent iteration's entries until the store accepts it; every
+// iteration in between reports a persist failure and withholds its acks.
+func (n *Node) persistEntries(appended []protocol.Entry, needSync bool, perr error) error {
+	if len(n.redo) > 0 {
+		appended = append(n.redo, appended...)
+		n.redo = nil
+	}
+	ents := n.persistable(appended)
+	aerr := n.appendEntries(ents, needSync)
+	if aerr != nil {
+		// Redo owns its backing array: appended may alias the engine
+		// output merged next iteration.
+		n.redo = append([]protocol.Entry(nil), ents...)
+		if perr == nil {
+			perr = aerr
+		}
+	}
+	return perr
+}
+
+func (n *Node) appendEntries(ents []protocol.Entry, needSync bool) error {
+	if n.cfg.DisableBatching {
+		for _, ent := range ents {
+			if err := n.cfg.Stable.Append([]protocol.Entry{ent}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ds, deferred := n.cfg.Stable.(storage.DeferredSync)
+	if !deferred {
+		if len(ents) == 0 {
+			return nil
+		}
+		return n.cfg.Stable.Append(ents)
+	}
+	if len(ents) > 0 {
+		if err := ds.AppendBuffered(ents); err != nil {
+			return err
+		}
+	}
+	if needSync {
+		return ds.Sync()
+	}
+	return nil
+}
+
+// persistable trims an iteration's appended entries to what the log store
+// can hold: entries at or below the store's compaction base were already
+// folded into a durable snapshot (the engine's in-memory base can trail
+// the store's briefly while a truncation round is in flight, and a merged
+// output may restate a suffix from below an install adopted in the same
+// iteration). Emissions are contiguous per step, so the surviving run
+// still lines up with the store's tail.
+func (n *Node) persistable(ents []protocol.Entry) []protocol.Entry {
+	if len(ents) == 0 {
+		return nil
+	}
+	first, err := n.cfg.Stable.FirstIndex()
+	if err != nil || first <= 1 {
+		return ents
+	}
+	kept := ents[:0]
+	for _, ent := range ents {
+		if ent.Index >= first {
+			kept = append(kept, ent)
+		}
+	}
+	return kept
+}
+
+// saveHardState persists the engine's (term, vote, commit) triple when it
+// moved. Fencing changes (term/vote) save immediately — a vote grant is
+// only releasable once the vote is durable; commit-only movement saves at
+// commitSaveInterval cadence, keeping the file rewrite (and its fsyncs)
+// off the per-iteration hot path. Runs on the event loop only.
+func (n *Node) saveHardState() error {
+	hs := n.hardState()
+	if n.hardSaved && hs == n.lastSaved {
+		return nil
+	}
+	fenceMoved := !n.hardSaved || hs.Term != n.lastSaved.Term || hs.VotedFor != n.lastSaved.VotedFor
+	if !fenceMoved && time.Since(n.lastCommitSave) < commitSaveInterval {
+		return nil
+	}
+	if err := n.cfg.Stable.SaveHardState(hs); err != nil {
+		return err
+	}
+	n.lastSaved, n.hardSaved = hs, true
+	n.lastCommitSave = time.Now()
+	return nil
+}
+
+// flushHardState persists any throttled commit movement on shutdown, so a
+// clean restart resumes from the exact applied watermark.
+func (n *Node) flushHardState() {
+	if n.cfg.Stable == nil {
+		return
+	}
+	if hs := n.hardState(); !n.hardSaved || hs != n.lastSaved {
+		if err := n.cfg.Stable.SaveHardState(hs); err == nil {
+			n.lastSaved, n.hardSaved = hs, true
+		}
+	}
+}
+
+// notePersistFailure records one failed persistence round, logging only
+// the transition into the failed state so a dead disk is observable
+// without flooding.
+func (n *Node) notePersistFailure(err error) {
+	n.persistFailTotal.Add(1)
+	if n.persistFailStreak.Add(1) == 1 {
+		log.Printf("cluster: node %d persistence failed (withholding acks until it recovers): %v", n.id, err)
+	}
+}
+
+// notePersistSuccess closes a failure streak, logging the recovery once.
+func (n *Node) notePersistSuccess() {
+	if streak := n.persistFailStreak.Swap(0); streak > 0 {
+		log.Printf("cluster: node %d persistence recovered after %d consecutive failures", n.id, streak)
+	}
+}
+
+// PersistFailures reports the persistence path's health: the current
+// consecutive-failure streak (0 = healthy) and the lifetime total.
+func (n *Node) PersistFailures() (streak, total int64) {
+	return n.persistFailStreak.Load(), n.persistFailTotal.Load()
 }
 
 // hardState snapshots the engine's durable state through whichever
@@ -742,9 +990,13 @@ func (n *Node) abandon(id uint64) {
 	n.mu.Unlock()
 }
 
+// newCmd mints a command whose ID is unique per node (high byte), per
+// incarnation (24-bit random epoch), and per request (32-bit counter), so
+// a reply for a command accepted before a crash can never complete a
+// waiter created after it.
 func (n *Node) newCmd(op protocol.Op, key string, value []byte) protocol.Command {
 	return protocol.Command{
-		ID:     uint64(n.id)<<40 | n.nextID.Add(1),
+		ID:     uint64(n.id)<<56 | n.epoch<<32 | (n.nextID.Add(1) & 0xffffffff),
 		Client: n.id,
 		Op:     op,
 		Key:    key,

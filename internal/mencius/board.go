@@ -136,6 +136,17 @@ func (b *Board) Proposed(s int64) (protocol.Command, bool) {
 	return st.cmd, true
 }
 
+// ProposalAt reports the accepted proposal for s with its ballot, for
+// materializing the slot as a persistable log entry (false when no
+// proposal is known — the slot persists as a contiguity filler).
+func (b *Board) ProposalAt(s int64) (protocol.Command, uint64, bool) {
+	st, ok := b.slots[s]
+	if !ok || !st.proposed {
+		return protocol.Command{}, 0, false
+	}
+	return st.cmd, st.bal, true
+}
+
 // Committed reports whether s is known committed locally.
 func (b *Board) Committed(s int64) bool {
 	st, ok := b.slots[s]

@@ -83,6 +83,14 @@ type Engine struct {
 	revoking    map[protocol.NodeID]*revocation
 	lastHeard   []int
 
+	// walTail is the highest slot ever emitted for pre-ack persistence
+	// (Output.AppendedEntries). Mencius accepts slots out of order across
+	// owners, but the driver's log store is contiguous: emissions always
+	// cover [touched-or-walTail+1, max(touched, walTail)], materializing
+	// unaccepted slots in between as filler entries, so the durable log
+	// stays an exact, gap-free mirror of the board's accepted state.
+	walTail int64
+
 	hbElapsed int
 }
 
@@ -161,19 +169,39 @@ func (e *Engine) RestoreHardState(term uint64, _ protocol.NodeID) {
 }
 
 // RestoreSnapshot fast-forwards the board past a snapshotted prefix
-// before RestoreLog delivers the tail.
+// before RestoreLog delivers the tail. The durable-log watermark starts
+// at the boundary: everything below it lives in the snapshot, so the
+// first post-restart emission must not pad it with fillers.
 func (e *Engine) RestoreSnapshot(index int64, _ uint64) {
 	e.board.RestoreCommitted(index)
+	if index > e.walTail {
+		e.walTail = index
+	}
 }
 
 // RestoreLog adopts a durably logged prefix after a restart. The driver
-// persists entries at execution time (including skip no-ops), so the
-// durable log is exactly the executed prefix: the board fast-forwards
-// past it and new proposals land in fresh slots. The entries themselves
-// are not re-materialized — the driver has already applied them to the
-// state machine.
-func (e *Engine) RestoreLog(_ []protocol.Entry, commit int64) {
+// persists entries at accept time, so the durable log holds the executed
+// prefix plus every proposal this replica accepted (and acked) beyond it.
+// The board fast-forwards past the commit point — those entries are
+// already applied by the driver — and re-observes the accepted tail above
+// it, so a revocation after a full-cluster crash still learns values a
+// quorum acknowledged before the crash (the persist-before-ack guarantee).
+// Filler entries are contiguity padding for slots never accepted here and
+// restore as nothing.
+func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	e.board.RestoreCommitted(commit)
+	for _, ent := range ents {
+		if ent.Index > e.walTail {
+			e.walTail = ent.Index
+		}
+		if ent.Index <= commit || ent.IsFiller() {
+			continue
+		}
+		e.board.ObserveProposal(ent.Index, ent.Cmd, ent.Bal)
+	}
+	if commit > e.walTail {
+		e.walTail = commit
+	}
 }
 
 // TruncatePrefix implements protocol.PrefixTruncator: drop per-slot state
@@ -190,6 +218,42 @@ func (e *Engine) TruncatePrefix(through int64) {
 // LogLen returns the number of slots with materialized state (the
 // uncompacted tail).
 func (e *Engine) LogLen() int { return e.board.SlotCount() }
+
+// emitSlots queues slots [lo, hi] for pre-ack persistence
+// (Output.AppendedEntries), widened to stay contiguous with everything
+// emitted before: the range is pulled back to walTail+1 when it starts
+// beyond it — materializing every slot the emission crosses, including
+// trailing skips the executable prefix may already have run past, since a
+// skip is never accepted anywhere and exists in the durable log only as
+// the filler some later emission writes — and extended to walTail when it
+// ends below it (restating the suffix, because the driver's store
+// overwrites with suffix truncation). Call sites skip slots at or below
+// the executed prefix (immutable, already durable), so the range never
+// rewrites executed history; walTail >= the restored commit after a
+// restart (RestoreSnapshot/RestoreLog), so it never dips into board state
+// a restart discarded.
+func (e *Engine) emitSlots(lo, hi int64, out *protocol.Output) {
+	if lo > e.walTail+1 {
+		lo = e.walTail + 1
+	}
+	if hi < e.walTail {
+		hi = e.walTail
+	}
+	if lo > hi {
+		return
+	}
+	for s := lo; s <= hi; s++ {
+		if cmd, bal, ok := e.board.ProposalAt(s); ok {
+			out.AppendedEntries = append(out.AppendedEntries,
+				protocol.Entry{Index: s, Term: bal, Bal: bal, Cmd: cmd})
+		} else {
+			out.AppendedEntries = append(out.AppendedEntries, protocol.Entry{Index: s})
+		}
+	}
+	if hi > e.walTail {
+		e.walTail = hi
+	}
+}
 
 // --- protocol.Engine ---
 
@@ -219,6 +283,9 @@ func (e *Engine) Submit(cmd protocol.Command) protocol.Output {
 	slot := e.board.Barrier()
 	e.board.AdvanceBarrier(e.cfg.ID, NextOwned(slot, e.cfg.ID, e.n))
 	e.board.ObserveProposal(slot, cmd, 0)
+	// Self-accept: the owner counts toward its slot's quorum, so its copy
+	// is durable before the proposal broadcast below leaves.
+	e.emitSlots(slot, slot, &out)
 	e.mine[slot] = cmd
 	e.acks[slot] = map[protocol.NodeID]bool{e.cfg.ID: true}
 	if cmd.Client != protocol.None {
@@ -285,13 +352,32 @@ func (e *Engine) stepPropose(from protocol.NodeID, m *MsgPropose, out *protocol.
 	}
 	var acked []int64
 	maxSlot := int64(0)
+	minAcc, maxAcc := int64(0), int64(0)
+	exec := e.board.ExecPrefix()
 	for _, sc := range m.Slots {
 		if e.board.ObserveProposal(sc.Slot, sc.Cmd, m.Bal) {
 			acked = append(acked, sc.Slot)
+			// Track the emission range over newly accepted, still-mutable
+			// slots (an executed slot's value cannot change, so a stale
+			// re-accept below the executed prefix needs no re-persist).
+			if sc.Slot > exec {
+				if minAcc == 0 || sc.Slot < minAcc {
+					minAcc = sc.Slot
+				}
+				if sc.Slot > maxAcc {
+					maxAcc = sc.Slot
+				}
+			}
 		}
 		if sc.Slot > maxSlot {
 			maxSlot = sc.Slot
 		}
+	}
+	if minAcc > 0 {
+		// Persist-before-ack: the accepted proposals (and any holes the
+		// range grew past) are durable before the MsgProposeOK below
+		// releases — a quorum-acked slot survives a full-cluster crash.
+		e.emitSlots(minAcc, maxAcc, out)
 	}
 	e.board.AdvanceBarrier(m.Owner, m.Barrier)
 	e.board.MergeFrontier(m.Frontier)
@@ -416,6 +502,7 @@ func (e *Engine) maybeRevoke(out *protocol.Output) {
 	bal := e.nextRevBal(o)
 	e.revBal[o] = bal
 	e.promisedRev[o] = bal
+	out.StateChanged = true // the ballot floor (Term) fences after restart
 	e.revoking[o] = &revocation{
 		bal:  bal,
 		from: blocked,
@@ -460,6 +547,10 @@ func (e *Engine) stepRevokePrep(from protocol.NodeID, m *MsgRevokePrep, out *pro
 		return
 	}
 	e.promisedRev[m.Owner] = m.Bal
+	// Persist-before-ack for the promise itself: the raised ballot floor
+	// must be durable before the reply releases, or a restarted replica
+	// could ack a lower revocation ballot it already promised away.
+	out.StateChanged = true
 	if m.Owner == e.cfg.ID {
 		// Our own slots are being revoked (we were presumed dead). Stop
 		// proposing in the contested range; in-flight commands will be
@@ -498,6 +589,7 @@ func (e *Engine) stepRevokePromise(from protocol.NodeID, m *MsgRevokePromise, ou
 		}
 	}
 	var slots []SlotCmd
+	minS, maxS := int64(0), int64(0)
 	for s := rv.from; s <= horizon; s++ {
 		if Owner(s, e.n) != m.Owner {
 			continue
@@ -506,12 +598,24 @@ func (e *Engine) stepRevokePromise(from protocol.NodeID, m *MsgRevokePromise, ou
 		if p, seen := best[s]; seen {
 			cmd = p.Cmd
 		}
-		e.board.ObserveProposal(s, cmd, rv.bal)
+		if e.board.ObserveProposal(s, cmd, rv.bal) {
+			if minS == 0 || s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
 		e.acks[s] = map[protocol.NodeID]bool{e.cfg.ID: true}
 		slots = append(slots, SlotCmd{Slot: s, Cmd: cmd})
 	}
 	if len(slots) == 0 {
 		return
+	}
+	if minS > 0 {
+		// The revoker self-accepts its re-proposals at the revocation
+		// ballot: durable before the proposal broadcast leaves.
+		e.emitSlots(minS, maxS, out)
 	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i].Slot < slots[j].Slot })
 	e.broadcast(out, &MsgPropose{

@@ -5,6 +5,7 @@ import (
 
 	"raftpaxos/internal/mencius"
 	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/storage"
 	"raftpaxos/internal/testcluster"
 )
 
@@ -191,5 +192,141 @@ func TestAgreementUnderShuffledDelivery(t *testing.T) {
 		if err := c.CheckAgreement(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// TestAcceptTimeEmission pins the coordinated engines' persist-before-ack
+// contract: a proposal accepted from a peer is emitted for persistence in
+// the same output as its MsgProposeOK, an own-slot submission emits its
+// self-accept, and slots the contiguous emission range crosses without a
+// proposal are padded as fillers.
+func TestAcceptTimeEmission(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	e := mencius.New(mencius.Config{ID: 1, Peers: peers, HeartbeatTicks: 1, Seed: 1})
+
+	// Peer 0 proposes in its slot 1: the accept and its ack share an output.
+	out := e.Step(0, &mencius.MsgPropose{
+		Owner: 0, Proposer: 0,
+		Slots:   []mencius.SlotCmd{{Slot: 1, Cmd: protocol.Command{ID: 1, Client: 0, Op: protocol.OpPut, Key: "a"}}},
+		Barrier: 4, Frontier: []int64{0, 0, 0},
+	})
+	if len(out.AppendedEntries) != 1 || out.AppendedEntries[0].Index != 1 || out.AppendedEntries[0].IsFiller() {
+		t.Fatalf("accepted slot 1 not emitted before ack: %+v", out.AppendedEntries)
+	}
+	ackSeen := false
+	for _, env := range out.Msgs {
+		if _, ok := env.Msg.(*mencius.MsgProposeOK); ok {
+			ackSeen = true
+		}
+	}
+	if !ackSeen {
+		t.Fatal("no MsgProposeOK for the accepted slot")
+	}
+
+	// Peer 2 proposes in slot 6, far ahead: slots 2-5 (not yet proposed
+	// locally beyond slot 1) pad as fillers so the durable log stays
+	// contiguous.
+	out = e.Step(2, &mencius.MsgPropose{
+		Owner: 2, Proposer: 2,
+		Slots:   []mencius.SlotCmd{{Slot: 6, Cmd: protocol.Command{ID: 6, Client: 2, Op: protocol.OpPut, Key: "c"}}},
+		Barrier: 9, Frontier: []int64{0, 0, 0},
+	})
+	if len(out.AppendedEntries) != 5 {
+		t.Fatalf("emitted %d entries for slot 6, want 5 (fillers 2-5 + slot 6): %+v",
+			len(out.AppendedEntries), out.AppendedEntries)
+	}
+	for i, ent := range out.AppendedEntries {
+		want := int64(i + 2)
+		if ent.Index != want {
+			t.Fatalf("emission not contiguous: got %d want %d", ent.Index, want)
+		}
+		if want < 6 && !ent.IsFiller() {
+			t.Fatalf("unproposed slot %d not a filler: %+v", want, ent)
+		}
+	}
+
+	// An own submission (slot 5 is replica 1's next own slot after the
+	// barrier advanced past 1 and 6 was seen... its barrier now sits at
+	// the next owned slot): the self-accept re-emits its slot.
+	out = e.Submit(protocol.Command{ID: 9, Client: 1, Op: protocol.OpPut, Key: "mine"})
+	found := false
+	for _, ent := range out.AppendedEntries {
+		if !ent.IsFiller() && ent.Cmd.ID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("own submission's self-accept not emitted: %+v", out.AppendedEntries)
+	}
+}
+
+// TestRestoreLogReobservesAcceptedTail: after a full-cluster crash, the
+// accepted-but-unexecuted suffix must come back into the board (the
+// persist-before-ack guarantee is useless if restart forgets the accepted
+// values a revoker might need), while fillers restore as nothing.
+func TestRestoreLogReobservesAcceptedTail(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	e := mencius.New(mencius.Config{ID: 1, Peers: peers, HeartbeatTicks: 1, Seed: 1})
+	e.RestoreLog([]protocol.Entry{
+		{Index: 1, Cmd: protocol.Command{ID: 1, Client: 0, Op: protocol.OpPut, Key: "done"}},
+		{Index: 2}, // filler
+		{Index: 4, Term: 0, Bal: 0, Cmd: protocol.Command{ID: 4, Client: 0, Op: protocol.OpPut, Key: "pending"}},
+	}, 1)
+	if cmd, ok := e.Board().Proposed(4); !ok || cmd.ID != 4 {
+		t.Fatalf("accepted slot 4 not re-observed after restart: %+v ok=%v", cmd, ok)
+	}
+	if _, ok := e.Board().Proposed(2); ok {
+		t.Fatal("filler slot 2 restored as a proposal")
+	}
+	if _, ok := e.Board().Proposed(1); ok {
+		t.Fatal("executed slot 1 re-materialized below the commit point")
+	}
+	if e.CommitIndex() != 1 {
+		t.Fatalf("executed prefix = %d, want 1", e.CommitIndex())
+	}
+}
+
+// TestEmissionCoversTrailingSkips is the regression for a gap bug: skips
+// are never accepted anywhere, so when the executable prefix runs past
+// the durable-log watermark over trailing skips, the next emission must
+// still pad those slots as fillers — starting from the watermark, not
+// from the executed prefix — or the driver's contiguous store would
+// reject every subsequent append and wedge the replica with its acks
+// permanently withheld. The whole emission stream is replayed into a
+// real store to prove it stays storage-legal.
+func TestEmissionCoversTrailingSkips(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	e := mencius.New(mencius.Config{ID: 1, Peers: peers, HeartbeatTicks: 1, Seed: 1})
+	st := storage.NewMem()
+	persist := func(out protocol.Output) {
+		t.Helper()
+		if len(out.AppendedEntries) == 0 {
+			return
+		}
+		if err := st.Append(out.AppendedEntries); err != nil {
+			t.Fatalf("emission stream not storage-legal: %v", err)
+		}
+	}
+
+	// Own slot 2: emission [1 filler, 2].
+	persist(e.Submit(protocol.Command{ID: 1, Client: 1, Op: protocol.OpPut, Key: "a"}))
+	// A peer ack commits slot 2.
+	persist(e.Step(0, &mencius.MsgProposeOK{Slots: []int64{2}, Barrier: 1, Frontier: []int64{0, 0, 0}}))
+	// Peer heartbeats advance their barriers: slots 1, 3, 4 become skips
+	// and the executable prefix runs to 4 — past the durable watermark.
+	persist(e.Step(0, &mencius.MsgCoordHB{Barrier: 7, Frontier: []int64{0, 0, 0}}))
+	persist(e.Step(2, &mencius.MsgCoordHB{Barrier: 6, Frontier: []int64{0, 0, 0}}))
+	if e.CommitIndex() < 4 {
+		t.Fatalf("exec prefix = %d, want >= 4 (trailing skips)", e.CommitIndex())
+	}
+	// The next own submission lands at slot 5: its emission must cover
+	// the skipped 3 and 4 as fillers, not jump the gap.
+	out := e.Submit(protocol.Command{ID: 2, Client: 1, Op: protocol.OpPut, Key: "b"})
+	if len(out.AppendedEntries) < 3 || out.AppendedEntries[0].Index != 3 {
+		t.Fatalf("emission after trailing skips = %+v, want to start at slot 3", out.AppendedEntries)
+	}
+	persist(out)
+	if last, _ := st.LastIndex(); last != 5 {
+		t.Fatalf("store last = %d, want 5", last)
 	}
 }

@@ -53,6 +53,10 @@ type MsgProposeOK struct {
 // WireSize implements protocol.Message.
 func (m *MsgProposeOK) WireSize() int { return 24 + 8*len(m.Slots) + 8*len(m.Frontier) }
 
+// RequiresBarrier implements protocol.BarrierMessage: a coordinated
+// phase-2b ack promises the accepted slots are durable.
+func (m *MsgProposeOK) RequiresBarrier() {}
+
 // MsgCoordHB is the periodic barrier/frontier exchange that keeps idle
 // replicas from stalling the global order ("each replica keeps committing
 // skip to keep the system moving forward").
@@ -94,6 +98,10 @@ func (m *MsgRevokePromise) WireSize() int {
 	}
 	return n
 }
+
+// RequiresBarrier implements protocol.BarrierMessage: a revocation
+// promise commits this replica to its recorded ballot floor.
+func (m *MsgRevokePromise) RequiresBarrier() {}
 
 // CmdCount implements simnet.CmdCounter.
 func (m *MsgRevokePromise) CmdCount() int { return len(m.Props) }

@@ -57,6 +57,10 @@ func (m *MsgPrepareOK) WireSize() int {
 // CmdCount implements simnet.CmdCounter.
 func (m *MsgPrepareOK) CmdCount() int { return len(m.Insts) }
 
+// RequiresBarrier implements protocol.BarrierMessage: a promise commits
+// the acceptor to its recorded ballot.
+func (m *MsgPrepareOK) RequiresBarrier() {}
+
 // MsgAccept is Paxos phase 2a for a batch of consecutive instances, with
 // the contiguous chosen prefix piggybacked.
 type MsgAccept struct {
@@ -97,6 +101,10 @@ type MsgAcceptOK struct {
 
 // WireSize implements protocol.Message.
 func (m *MsgAcceptOK) WireSize() int { return 24 + 8*len(m.Idxs) + 4*len(m.Holders) }
+
+// RequiresBarrier implements protocol.BarrierMessage: a Phase2b ack
+// promises the accepted instances are durable.
+func (m *MsgAcceptOK) RequiresBarrier() {}
 
 // MsgForward carries client commands from an acceptor to the leader.
 type MsgForward struct {
@@ -273,8 +281,14 @@ func (e *Engine) RestoreSnapshot(index int64, _ uint64) {
 }
 
 // RestoreLog adopts durably logged instances after a restart, before the
-// engine processes any input; instances up to commit come back chosen.
-// The tail continues wherever RestoreSnapshot anchored the instance space.
+// engine processes any input; instances up to commit come back chosen and
+// instances above it come back accepted-but-unchosen (the driver persists
+// at accept time, so a quorum-acked suffix survives a full-cluster crash
+// and is re-learned through the next leader's phase 1). Filler entries —
+// contiguity padding for instances this acceptor never received — grow the
+// tail but restore as "nothing accepted", exactly the gap state the
+// NeedFrom catch-up path refills. The tail continues wherever
+// RestoreSnapshot anchored the instance space.
 func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	if len(e.insts) > 0 || len(ents) == 0 {
 		return
@@ -283,6 +297,9 @@ func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 		in := e.inst(ent.Index)
 		if in == nil {
 			continue // below the snapshot boundary: already covered
+		}
+		if ent.IsFiller() {
+			continue // hole: the instance was never accepted here
 		}
 		in.used = true
 		in.bal = ent.Bal
@@ -369,6 +386,34 @@ func (e *Engine) inst(i int64) *instance {
 		e.insts = append(e.insts, instance{})
 	}
 	return &e.insts[i-e.instBase-1]
+}
+
+// entryAt materializes instance i as a persistable log entry: accepted
+// instances carry their ballot and command, unaccepted holes become
+// contiguity fillers (Entry.IsFiller) that restore as "nothing accepted".
+func (e *Engine) entryAt(i int64) protocol.Entry {
+	in := e.insts[i-e.instBase-1]
+	if !in.used {
+		return protocol.Entry{Index: i}
+	}
+	return protocol.Entry{Index: i, Term: in.bal, Bal: in.bal, Cmd: in.cmd}
+}
+
+// emitAppended queues instances [lo, LastIndex] for pre-ack persistence
+// (Output.AppendedEntries). The range always runs through the end of the
+// held tail because the driver's store overwrites with suffix truncation:
+// re-stating everything above the lowest touched instance keeps the
+// durable log an exact mirror of the in-memory tail, holes included. In
+// the steady state lo is yesterday's LastIndex+1 and this is just the new
+// batch; only gap-filling accepts (the NeedFrom catch-up path) rewrite a
+// longer suffix.
+func (e *Engine) emitAppended(lo int64, out *protocol.Output) {
+	if lo <= e.instBase {
+		lo = e.instBase + 1
+	}
+	for i := lo; i <= e.LastIndex(); i++ {
+		out.AppendedEntries = append(out.AppendedEntries, e.entryAt(i))
+	}
 }
 
 // Tick implements protocol.Engine.
@@ -529,6 +574,8 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 	e.prepareOKs = nil
 
 	var reproposal []InstanceInfo
+	oldLast := e.LastIndex()
+	firstTouched := int64(0)
 	for i := e.chosenPrefix + 1; i <= maxIdx; i++ {
 		if i <= maxBase {
 			continue // compacted on a quorum member: arrives via snapshot
@@ -545,8 +592,21 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 		}
 		in.used = true
 		in.bal = e.ballot
+		if firstTouched == 0 {
+			firstTouched = i
+		}
 		e.acks[i] = map[protocol.NodeID]bool{e.cfg.ID: true}
 		reproposal = append(reproposal, InstanceInfo{Idx: i, Bal: e.ballot, Cmd: in.cmd})
+	}
+	if firstTouched > 0 {
+		// The new leader self-accepts its re-proposals: durable before the
+		// Phase2a broadcast below announces them. Growth past the old tail
+		// (a quorum member's compaction base beyond it) emits the grown
+		// holes too, keeping the durable log contiguous.
+		if firstTouched > oldLast+1 {
+			firstTouched = oldLast + 1
+		}
+		e.emitAppended(firstTouched, out)
 	}
 	if len(reproposal) > 0 {
 		if h := e.cfg.Hooks.OnAccept; h != nil {
@@ -609,6 +669,7 @@ func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
 
 func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
 	insts := make([]InstanceInfo, 0, len(cmds))
+	firstNew := e.LastIndex() + 1
 	for _, cmd := range cmds {
 		idx := e.LastIndex() + 1
 		in := e.inst(idx)
@@ -618,6 +679,9 @@ func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
 		e.acks[idx] = map[protocol.NodeID]bool{e.cfg.ID: true}
 		insts = append(insts, InstanceInfo{Idx: idx, Bal: e.ballot, Cmd: cmd})
 	}
+	// Self-accept: the proposer counts toward the quorum, so its copy is
+	// made durable before the Phase2a broadcast leaves.
+	e.emitAppended(firstNew, out)
 	out.StateChanged = true
 	if h := e.cfg.Hooks.OnAccept; h != nil {
 		h(insts)
@@ -661,6 +725,8 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 	e.leader = from
 	e.resetTimeout()
 	var idxs []int64
+	oldLast := e.LastIndex()
+	firstTouched := int64(0)
 	for _, info := range m.Insts {
 		in := e.inst(info.Idx)
 		if in == nil {
@@ -670,7 +736,20 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 		in.bal = m.Bal
 		in.cmd = info.Cmd
 		idxs = append(idxs, info.Idx)
+		if firstTouched == 0 || info.Idx < firstTouched {
+			firstTouched = info.Idx
+		}
 		out.StateChanged = true
+	}
+	if firstTouched > 0 {
+		// Persist-before-ack (Phase2b): everything accepted this step —
+		// plus any holes the tail grew past — is durable before the
+		// acceptOK below releases. Gap fills below the old tail re-emit
+		// the suffix so the store's truncating overwrite loses nothing.
+		if firstTouched > oldLast+1 {
+			firstTouched = oldLast + 1
+		}
+		e.emitAppended(firstTouched, out)
 	}
 	if h := e.cfg.Hooks.OnAccept; h != nil && len(m.Insts) > 0 {
 		h(m.Insts)

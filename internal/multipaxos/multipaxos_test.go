@@ -476,3 +476,85 @@ func TestAcceptorCrashMidInstall(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAcceptTimeEmissionContiguity pins the AppendedEntries contract on an
+// acceptor: accepts emit before the ack, gaps the tail grows past are
+// padded with filler entries, and a later gap-filling accept re-emits the
+// suffix so a store whose overwrite truncates loses nothing.
+func TestAcceptTimeEmissionContiguity(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	e := multipaxos.New(multipaxos.Config{ID: 1, Peers: peers, Seed: 1})
+
+	cmd := func(id uint64) protocol.Command {
+		return protocol.Command{ID: id, Client: 0, Op: protocol.OpPut, Key: "k"}
+	}
+	// Instances 5 and 6 arrive first (1-4 were lost in flight): the
+	// emission must cover 1-6, padding 1-4 as fillers, so the durable log
+	// stays contiguous.
+	out := e.Step(0, &multipaxos.MsgAccept{Bal: 3, Insts: []multipaxos.InstanceInfo{
+		{Idx: 5, Bal: 3, Cmd: cmd(5)}, {Idx: 6, Bal: 3, Cmd: cmd(6)},
+	}})
+	if len(out.AppendedEntries) != 6 {
+		t.Fatalf("emitted %d entries, want 6 (4 fillers + 2 accepts): %+v",
+			len(out.AppendedEntries), out.AppendedEntries)
+	}
+	for i, ent := range out.AppendedEntries {
+		if ent.Index != int64(i+1) {
+			t.Fatalf("emission not contiguous at %d: %+v", i, out.AppendedEntries)
+		}
+		if i < 4 && !ent.IsFiller() {
+			t.Fatalf("gap instance %d not a filler: %+v", ent.Index, ent)
+		}
+		if i >= 4 && (ent.IsFiller() || ent.Bal != 3) {
+			t.Fatalf("accepted instance %d mangled: %+v", ent.Index, ent)
+		}
+	}
+	// The ack leaves in the same output the entries rode in on.
+	if len(out.Msgs) == 0 {
+		t.Fatal("acceptOK missing")
+	}
+
+	// The gap-filling retransmission (NeedFrom path) lands at 1-4: the
+	// emission must restate through the tail end (6), because the store's
+	// overwriting append truncates the suffix.
+	out = e.Step(0, &multipaxos.MsgAccept{Bal: 3, Insts: []multipaxos.InstanceInfo{
+		{Idx: 1, Bal: 3, Cmd: cmd(1)}, {Idx: 2, Bal: 3, Cmd: cmd(2)},
+		{Idx: 3, Bal: 3, Cmd: cmd(3)}, {Idx: 4, Bal: 3, Cmd: cmd(4)},
+	}})
+	if len(out.AppendedEntries) != 6 {
+		t.Fatalf("gap fill emitted %d entries, want 6 (suffix restated): %+v",
+			len(out.AppendedEntries), out.AppendedEntries)
+	}
+	for i, ent := range out.AppendedEntries {
+		if ent.Index != int64(i+1) || ent.IsFiller() || ent.Cmd.ID != uint64(i+1) {
+			t.Fatalf("restated suffix wrong at %d: %+v", i, ent)
+		}
+	}
+}
+
+// TestRestoreLogSkipsFillers proves a restart round-trips the hole state:
+// fillers restore as "nothing accepted here", real instances come back
+// with their ballots, and the tail length is preserved so later appends
+// stay aligned with the durable log.
+func TestRestoreLogSkipsFillers(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	e := multipaxos.New(multipaxos.Config{ID: 1, Peers: peers, Seed: 1})
+	e.RestoreHardState(3, protocol.None)
+	e.RestoreLog([]protocol.Entry{
+		{Index: 1, Term: 3, Bal: 3, Cmd: protocol.Command{ID: 1, Op: protocol.OpPut, Key: "k"}},
+		{Index: 2}, // filler: never accepted here
+		{Index: 3, Term: 3, Bal: 3, Cmd: protocol.Command{ID: 3, Op: protocol.OpPut, Key: "k"}},
+	}, 1)
+	if e.LastIndex() != 3 {
+		t.Fatalf("tail length lost: last = %d, want 3", e.LastIndex())
+	}
+	if _, ok := e.InstanceAt(2); ok {
+		t.Fatal("filler restored as an accepted instance")
+	}
+	if info, ok := e.InstanceAt(3); !ok || info.Bal != 3 || info.Cmd.ID != 3 {
+		t.Fatalf("real instance lost: %+v ok=%v", info, ok)
+	}
+	if e.ChosenPrefix() != 1 {
+		t.Fatalf("chosen prefix = %d, want 1", e.ChosenPrefix())
+	}
+}

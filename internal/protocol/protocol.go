@@ -149,33 +149,94 @@ type ClientReply struct {
 }
 
 // Output is everything an engine wants the driver to do after one step:
-// send messages, surface commits (in order), and deliver client replies.
-// Slices are owned by the caller after return.
+// persist what the step accepted, send messages, surface commits (in
+// order), and deliver client replies. Slices are owned by the caller after
+// return.
+//
+// Durability barrier (the accept-time persistence contract): both protocol
+// formulations assume an acceptor/follower makes accepted state durable
+// BEFORE answering — that is what lets a quorum of acks imply a chosen
+// value survives a full-cluster crash. Drivers therefore realize an Output
+// strictly in this order:
+//
+//  1. AppendedEntries are fsynced to the log store (one group-committed
+//     append for the whole batch; suffix overwrite on conflict),
+//  2. hard state (term/vote/commit) is fsynced,
+//  3. Msgs are released — only now can a vote grant, append/accept ack, or
+//     any other promise leave the replica,
+//  4. Commits are applied and Replies delivered.
+//
+// The simulator models steps 1–2 as latency on the ack edge so its figures
+// stay honest about the fsync a real deployment pays.
 type Output struct {
 	Msgs    []Envelope
 	Commits []CommitInfo
 	Replies []ClientReply
-	// StateChanged hints that persistent state (term/vote/log) changed and
-	// must be durably stored before Msgs are released. Live drivers use it;
-	// the simulator models it as CPU cost.
+	// AppendedEntries are the log entries this step accepted/appended that
+	// must be durable before Msgs are released (barrier step 1). Engines
+	// emit every entry they newly wrote to their in-memory log — leader
+	// local appends, follower/acceptor accepts, safe-value adoptions — in
+	// log order. When a step overwrites inside the existing log (conflict
+	// truncation, gap fill), the emission restates the suffix through the
+	// engine's last index so the driver's store, whose append semantics
+	// overwrite-and-truncate, mirrors the in-memory log exactly. Slots an
+	// engine grew but did not accept (MultiPaxos/Mencius holes) appear as
+	// zero-valued filler entries (Bal == 0) so the persisted log stays
+	// contiguous; fillers restore as "no proposal accepted".
+	AppendedEntries []Entry
+	// StateChanged hints that hard state (term/vote/commit) changed and
+	// must be durably stored after AppendedEntries and before Msgs are
+	// released (barrier step 2). Live drivers fsync on it; the simulator
+	// charges it as ack-edge latency like the entry fsync.
 	StateChanged bool
 	// InstalledSnapshot, when non-nil, reports that the engine adopted a
 	// snapshot received over the wire (MsgInstallSnapshot): its log now
 	// starts at the image boundary. The driver must persist the image and
-	// restore its state machine from it — strictly before applying any
-	// Commits in the same output, which continue above the boundary.
+	// restore its state machine from it — strictly before persisting any
+	// AppendedEntries or applying any Commits in the same output, which
+	// continue above the boundary.
 	InstalledSnapshot *SnapshotImage
 }
 
-// Merge appends other's outputs into o.
+// Merge appends other's outputs into o. When both sides of the merge
+// carry an installed snapshot (two installs folded into one driver
+// iteration), the highest-index image wins: installs are monotonic, and
+// letting a later-merged but lower-index image clobber a newer one would
+// rewind the state machine below entries already re-anchored above it.
 func (o *Output) Merge(other Output) {
 	o.Msgs = append(o.Msgs, other.Msgs...)
 	o.Commits = append(o.Commits, other.Commits...)
 	o.Replies = append(o.Replies, other.Replies...)
+	o.AppendedEntries = append(o.AppendedEntries, other.AppendedEntries...)
 	o.StateChanged = o.StateChanged || other.StateChanged
-	if other.InstalledSnapshot != nil {
+	if other.InstalledSnapshot != nil &&
+		(o.InstalledSnapshot == nil || other.InstalledSnapshot.Index > o.InstalledSnapshot.Index) {
 		o.InstalledSnapshot = other.InstalledSnapshot
 	}
+}
+
+// IsFiller reports whether e is a contiguity filler emitted for a log slot
+// the engine grew but has not accepted a value in (see
+// Output.AppendedEntries). Real accepted entries always carry a non-zero
+// ballot (Raft stamps Bal = Term >= 1; Paxos ballots are >= 1), so Bal == 0
+// with no operation identifies a hole.
+func (e Entry) IsFiller() bool { return e.Bal == 0 && e.Term == 0 && e.Cmd.Op == 0 }
+
+// BarrierMessage marks message types whose send is a promise about the
+// sender's durable state: vote grants, prepare promises, append/accept
+// acknowledgements, snapshot-install acks. Drivers must hold these until
+// the durability barrier completes (entries fsynced, hard state fsynced)
+// — that is the whole persist-before-ack contract. Every other message
+// (proposals, requests, forwards, heartbeats, snapshot chunks) claims
+// nothing about stable storage and may be released concurrently with the
+// fsync, which keeps the leader's disk off the replication round trip:
+// followers chew on the proposal while the proposer's own write commits
+// to disk. Protocols here tolerate the resulting same-iteration reorder
+// (they survive arbitrary reordering, and Mencius's barrier announcements
+// are max-merged, so an overtaking proposal cannot unskip anything).
+type BarrierMessage interface {
+	// RequiresBarrier is a marker; it is never called.
+	RequiresBarrier()
 }
 
 // Engine is the contract every consensus implementation satisfies. Engines

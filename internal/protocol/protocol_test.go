@@ -59,14 +59,56 @@ func TestIsNop(t *testing.T) {
 func TestOutputMerge(t *testing.T) {
 	var a protocol.Output
 	b := protocol.Output{
-		Msgs:         []protocol.Envelope{{From: 1, To: 2}},
-		Commits:      []protocol.CommitInfo{{}},
-		Replies:      []protocol.ClientReply{{CmdID: 9}},
-		StateChanged: true,
+		Msgs:            []protocol.Envelope{{From: 1, To: 2}},
+		Commits:         []protocol.CommitInfo{{}},
+		Replies:         []protocol.ClientReply{{CmdID: 9}},
+		AppendedEntries: []protocol.Entry{{Index: 4, Term: 2, Bal: 2}},
+		StateChanged:    true,
 	}
 	a.Merge(b)
 	if len(a.Msgs) != 1 || len(a.Commits) != 1 || len(a.Replies) != 1 || !a.StateChanged {
 		t.Fatalf("merge lost data: %+v", a)
+	}
+	if len(a.AppendedEntries) != 1 || a.AppendedEntries[0].Index != 4 {
+		t.Fatalf("merge lost appended entries: %+v", a.AppendedEntries)
+	}
+}
+
+// TestOutputMergeKeepsNewestSnapshot pins the install-merge rule: when two
+// snapshot installs fold into one driver iteration, the highest-index
+// image must win regardless of merge order — a later-merged older image
+// must not rewind the adopted boundary.
+func TestOutputMergeKeepsNewestSnapshot(t *testing.T) {
+	newer := &protocol.SnapshotImage{Index: 20, Term: 3}
+	older := &protocol.SnapshotImage{Index: 10, Term: 2}
+
+	var a protocol.Output
+	a.Merge(protocol.Output{InstalledSnapshot: newer})
+	a.Merge(protocol.Output{InstalledSnapshot: older})
+	if a.InstalledSnapshot == nil || a.InstalledSnapshot.Index != 20 {
+		t.Fatalf("older install clobbered newer: %+v", a.InstalledSnapshot)
+	}
+
+	var b protocol.Output
+	b.Merge(protocol.Output{InstalledSnapshot: older})
+	b.Merge(protocol.Output{InstalledSnapshot: newer})
+	if b.InstalledSnapshot == nil || b.InstalledSnapshot.Index != 20 {
+		t.Fatalf("newer install not adopted: %+v", b.InstalledSnapshot)
+	}
+}
+
+func TestEntryIsFiller(t *testing.T) {
+	if !(protocol.Entry{Index: 7}).IsFiller() {
+		t.Fatal("zero-valued slot not detected as filler")
+	}
+	for _, real := range []protocol.Entry{
+		{Index: 7, Term: 1, Bal: 1, Cmd: protocol.Command{Op: protocol.OpPut}},
+		{Index: 7, Cmd: protocol.Command{Op: protocol.OpPut}},                  // Mencius default-leader proposal, ballot 0
+		{Index: 7, Term: 2, Bal: 2, Cmd: protocol.Command{Op: protocol.OpNop}}, // revocation no-op
+	} {
+		if real.IsFiller() {
+			t.Fatalf("real entry misdetected as filler: %+v", real)
+		}
 	}
 }
 

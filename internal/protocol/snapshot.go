@@ -98,6 +98,11 @@ type MsgInstallSnapshotResp struct {
 // WireSize implements Message.
 func (m *MsgInstallSnapshotResp) WireSize() int { return 32 }
 
+// RequiresBarrier implements BarrierMessage: chunk acks pace a transfer
+// the receiver must be able to resume, and the final Installed ack
+// promises the image is durably adopted.
+func (m *MsgInstallSnapshotResp) RequiresBarrier() {}
+
 // SnapshotXfer is the sender side of one in-flight transfer: one chunk
 // outstanding, advanced by acks. Engines keep one per stranded peer.
 type SnapshotXfer struct {

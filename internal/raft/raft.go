@@ -44,6 +44,10 @@ type MsgVoteResp struct {
 // WireSize implements protocol.Message.
 func (m *MsgVoteResp) WireSize() int { return 9 }
 
+// RequiresBarrier implements protocol.BarrierMessage: a vote grant
+// promises the recorded term and vote are durable.
+func (m *MsgVoteResp) RequiresBarrier() {}
+
 // MsgAppendReq is Raft's AppendEntries RPC.
 type MsgAppendReq struct {
 	Term      uint64
@@ -74,6 +78,10 @@ type MsgAppendResp struct {
 
 // WireSize implements protocol.Message.
 func (m *MsgAppendResp) WireSize() int { return 24 }
+
+// RequiresBarrier implements protocol.BarrierMessage: an append ack
+// promises the accepted entries are durable.
+func (m *MsgAppendResp) RequiresBarrier() {}
 
 // MsgForward carries client commands from a follower to the leader
 // (etcd-style batched forwarding).
@@ -222,8 +230,12 @@ func (e *Engine) RestoreSnapshot(index int64, term uint64) {
 
 // RestoreLog adopts a durably logged tail after a restart, before the
 // engine processes any input; the tail continues wherever RestoreSnapshot
-// anchored the log (index 1 on a snapshot-free store). Commit is clamped
-// to the restored length.
+// anchored the log (index 1 on a snapshot-free store). Entries are
+// persisted at accept time, so the tail normally extends past the saved
+// commit index: the suffix comes back accepted-but-uncommitted (it may
+// even conflict with the next leader's log and be overwritten), which is
+// exactly what lets a quorum-acked suffix survive a full-cluster crash.
+// Commit is clamped to the restored length.
 func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	if e.log.Len() > 0 || len(ents) == 0 {
 		return
@@ -491,6 +503,10 @@ func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
 	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
 	e.log.Append(ent)
 	e.match[e.cfg.ID] = e.LastIndex()
+	// The leader is part of the commit quorum: its own entry must be
+	// durable before it can count itself, so the local append rides the
+	// same persist-before-ack barrier as a follower's accept.
+	out.AppendedEntries = append(out.AppendedEntries, ent)
 	out.StateChanged = true
 	if len(e.cfg.Peers) == 1 {
 		e.maybeCommit(out)
@@ -565,6 +581,10 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		// the transition with no MultiPaxos counterpart (Section 3).
 		// Entries at or below the compaction base are committed and
 		// snapshotted here; they can never conflict and are skipped.
+		// Everything newly written — from the first conflicting or fresh
+		// index on — is emitted for persistence before the ack leaves
+		// (Output.AppendedEntries): the store's overwriting append erases
+		// the same stale suffix the in-memory truncation did.
 		for k, ent := range m.Entries {
 			if ent.Index <= e.log.Base() {
 				continue
@@ -576,6 +596,7 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 				for _, rest := range m.Entries[k:] {
 					e.log.Append(rest)
 				}
+				out.AppendedEntries = append(out.AppendedEntries, m.Entries[k:]...)
 				break
 			}
 		}

@@ -47,6 +47,10 @@ type MsgVoteResp struct {
 // WireSize implements protocol.Message.
 func (m *MsgVoteResp) WireSize() int { return 16 + entriesWireSize(m.Extra) }
 
+// RequiresBarrier implements protocol.BarrierMessage: a vote grant
+// promises the recorded term, vote, and shipped extras are durable.
+func (m *MsgVoteResp) RequiresBarrier() {}
+
 // CmdCount implements simnet.CmdCounter.
 func (m *MsgVoteResp) CmdCount() int { return len(m.Extra) }
 
@@ -82,6 +86,10 @@ type MsgAppendResp struct {
 
 // WireSize implements protocol.Message.
 func (m *MsgAppendResp) WireSize() int { return 24 + 4*len(m.Holders) }
+
+// RequiresBarrier implements protocol.BarrierMessage: an append ack
+// promises the accepted (re-stamped) entries are durable.
+func (m *MsgAppendResp) RequiresBarrier() {}
 
 // MsgForward carries client commands from a follower to the leader,
 // batched as in etcd.

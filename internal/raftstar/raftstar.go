@@ -225,8 +225,10 @@ func (e *Engine) RestoreSnapshot(index int64, term uint64) {
 // RestoreLog adopts a durably logged tail after a restart, before the
 // engine processes any input. The tail continues wherever RestoreSnapshot
 // anchored the log (index 1 on a snapshot-free store). The driver persists
-// entries at commit time, so commit normally covers the whole tail; it is
-// clamped to the restored length regardless.
+// entries at accept time, so the tail normally extends past the saved
+// commit index: the suffix comes back accepted-but-uncommitted, preserving
+// a quorum-acked suffix across a full-cluster crash. Commit is clamped to
+// the restored length regardless.
 func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 	if e.log.Len() > 0 || len(ents) == 0 {
 		return
@@ -456,7 +458,11 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 			// impossible with contiguous logs, but guard anyway).
 			cmd = protocol.Command{Op: protocol.OpNop}
 		}
-		e.log.Append(protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd})
+		adopted := protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd}
+		e.log.Append(adopted)
+		// Safe-value adoptions are accepted entries like any other: durable
+		// before the leadership announcement (the appends below) goes out.
+		out.AppendedEntries = append(out.AppendedEntries, adopted)
 	}
 	// Re-propose the entire log at the current ballot: every subsequent
 	// append stamps Bal = term (Figure 2b lines 6-7).
@@ -566,6 +572,10 @@ func (e *Engine) appendLocal(cmd protocol.Command, out *protocol.Output) {
 	ent := protocol.Entry{Index: e.LastIndex() + 1, Term: e.term, Bal: e.term, Cmd: cmd}
 	e.log.Append(ent)
 	e.match[e.cfg.ID] = e.LastIndex()
+	// Leader-local appends ride the persist-before-ack barrier too: the
+	// leader counts itself toward the commit quorum, so its copy must be
+	// durable before any follower ack can complete that quorum.
+	out.AppendedEntries = append(out.AppendedEntries, ent)
 	out.StateChanged = true
 	if h := e.cfg.Hooks.OnAccept; h != nil {
 		h([]protocol.Entry{ent})
@@ -651,7 +661,11 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		// Accept: overwrite the covered suffix, then re-stamp every ballot
 		// with the leader's term (Figure 2b: logBallot[i] = term for all i).
 		// Entries at or below the compaction base are already committed
-		// and snapshotted here; skip them.
+		// and snapshotted here; skip them. Every entry written is emitted
+		// for persistence, stamped with the accepting term as its ballot —
+		// the re-stamp is what a restarted replica's RestoreLog rebuilds
+		// the uniform log ballot from — and must be durable before the ack
+		// leaves (Output.AppendedEntries).
 		for _, ent := range m.Entries {
 			if ent.Index <= e.log.Base() {
 				continue
@@ -661,6 +675,8 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 			} else {
 				e.log.Append(ent)
 			}
+			ent.Bal = m.Term
+			out.AppendedEntries = append(out.AppendedEntries, ent)
 		}
 		e.logBal = m.Term
 		if h := e.cfg.Hooks.OnAccept; h != nil && len(m.Entries) > 0 {

@@ -1,0 +1,227 @@
+// Package snappy is a minimal, dependency-free implementation of the
+// snappy block format (the framing-less variant golang/snappy calls
+// Encode/Decode), used by the TCP transport to compress large frames.
+//
+// The decoder handles the full tag set of the format specification
+// (literals and copies with 1-, 2- and 4-byte offsets). The encoder is a
+// greedy single-pass matcher that emits literals and 2-byte-offset copies
+// only — always a valid snappy stream, just not always the smallest one a
+// reference encoder would produce. Both ends of our transport use this
+// package, and the decoder accepts any spec-conformant stream.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt is returned when a stream violates the block format.
+var ErrCorrupt = errors.New("snappy: corrupt input")
+
+// ErrTooLarge is returned when a stream declares an unreasonable
+// decompressed size.
+var ErrTooLarge = errors.New("snappy: decoded block too large")
+
+// maxBlockSize bounds what Decode will allocate (a defensive cap well
+// above any frame the transport produces).
+const maxBlockSize = 1 << 28
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+)
+
+// MaxEncodedLen returns the worst-case size of encoding n source bytes
+// (the spec's bound: preamble + n + n/6 slack).
+func MaxEncodedLen(n int) int {
+	return binary.MaxVarintLen32 + n + n/6 + 16
+}
+
+// DecodedLen returns the decompressed length a block declares.
+func DecodedLen(src []byte) (int, error) {
+	n, read := binary.Uvarint(src)
+	if read <= 0 || n > maxBlockSize {
+		return 0, ErrCorrupt
+	}
+	return int(n), nil
+}
+
+// Encode compresses src into the snappy block format, appending to dst
+// (pass nil for a fresh buffer) and returning the result.
+func Encode(dst, src []byte) []byte {
+	var pre [binary.MaxVarintLen32]byte
+	dst = append(dst, pre[:binary.PutUvarint(pre[:], uint64(len(src)))]...)
+	if len(src) == 0 {
+		return dst
+	}
+
+	// Greedy matcher: hash every position's 4-byte window, look back for
+	// a match within the 2-byte-offset range, extend it, emit the
+	// pending literal run plus copies.
+	const minMatch = 4
+	var table [1 << 14]int32 // position+1 of the last occurrence per hash
+	hash := func(u uint32) uint32 { return (u * 0x1e35a7bd) >> (32 - 14) }
+
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		u := binary.LittleEndian.Uint32(src[i:])
+		h := hash(u)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || i-cand > 0xffff || binary.LittleEndian.Uint32(src[cand:]) != u {
+			i++
+			continue
+		}
+		// Extend the match.
+		length := minMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		dst = emitLiteral(dst, src[litStart:i])
+		dst = emitCopy(dst, i-cand, length)
+		i += length
+		litStart = i
+	}
+	return emitLiteral(dst, src[litStart:])
+}
+
+// emitLiteral appends a literal run (split as needed for the length
+// encoding's 4-byte cap, which in practice means one element).
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		switch {
+		case n <= 60:
+			dst = append(dst, byte(n-1)<<2|tagLiteral)
+		case n < 1<<8:
+			dst = append(dst, 60<<2|tagLiteral, byte(n-1))
+		case n < 1<<16:
+			dst = append(dst, 61<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+		case n < 1<<24:
+			dst = append(dst, 62<<2|tagLiteral, byte(n-1), byte((n-1)>>8), byte((n-1)>>16))
+		default:
+			dst = append(dst, 63<<2|tagLiteral, byte(n-1), byte((n-1)>>8), byte((n-1)>>16), byte((n-1)>>24))
+		}
+		dst = append(dst, lit...)
+		lit = nil
+	}
+	return dst
+}
+
+// emitCopy appends copies of (offset, length), chunking lengths beyond
+// the per-element cap of 64.
+func emitCopy(dst []byte, offset, length int) []byte {
+	for length > 0 {
+		n := length
+		if n > 64 {
+			n = 64
+			if length-n < 4 {
+				// Leave a tail the next element can legally encode
+				// (copy lengths below 4 only exist for the 1-byte form).
+				n = length - 4
+			}
+		}
+		dst = append(dst, byte(n-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= n
+	}
+	return dst
+}
+
+// Decode decompresses a snappy block, appending to dst (pass nil) and
+// returning the result.
+func Decode(dst, src []byte) ([]byte, error) {
+	want, read := binary.Uvarint(src)
+	if read <= 0 {
+		return nil, ErrCorrupt
+	}
+	if want > maxBlockSize {
+		return nil, ErrTooLarge
+	}
+	src = src[read:]
+	base := len(dst)
+	if cap(dst)-base < int(want) {
+		grown := make([]byte, base, base+int(want))
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(src) > 0 {
+		tag := src[0]
+		var length, offset int
+		switch tag & 0x03 {
+		case tagLiteral:
+			length = int(tag >> 2)
+			switch {
+			case length < 60:
+				length++
+				src = src[1:]
+			case length == 60:
+				if len(src) < 2 {
+					return nil, ErrCorrupt
+				}
+				length = int(src[1]) + 1
+				src = src[2:]
+			case length == 61:
+				if len(src) < 3 {
+					return nil, ErrCorrupt
+				}
+				length = int(binary.LittleEndian.Uint16(src[1:])) + 1
+				src = src[3:]
+			case length == 62:
+				if len(src) < 4 {
+					return nil, ErrCorrupt
+				}
+				length = int(uint32(src[1])|uint32(src[2])<<8|uint32(src[3])<<16) + 1
+				src = src[4:]
+			default:
+				if len(src) < 5 {
+					return nil, ErrCorrupt
+				}
+				length = int(binary.LittleEndian.Uint32(src[1:])) + 1
+				src = src[5:]
+			}
+			if length > len(src) || len(dst)-base+length > int(want) {
+				return nil, ErrCorrupt
+			}
+			dst = append(dst, src[:length]...)
+			src = src[length:]
+			continue
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length = 4 + int(tag>>2)&0x7
+			offset = int(tag&0xe0)<<3 | int(src[1])
+			src = src[2:]
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint16(src[1:]))
+			src = src[3:]
+		case tagCopy4:
+			if len(src) < 5 {
+				return nil, ErrCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint32(src[1:]))
+			src = src[5:]
+		}
+		if offset <= 0 || offset > len(dst)-base || len(dst)-base+length > int(want) {
+			return nil, ErrCorrupt
+		}
+		// Byte-at-a-time copy: overlapping copies (offset < length) are
+		// the format's run-length mechanism and must see freshly written
+		// bytes.
+		for ; length > 0; length-- {
+			dst = append(dst, dst[len(dst)-offset])
+		}
+	}
+	if len(dst)-base != int(want) {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}

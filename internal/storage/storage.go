@@ -51,9 +51,12 @@ type Store interface {
 	SaveHardState(hs HardState) error
 	// HardState returns the last saved hard state.
 	HardState() (HardState, error)
-	// Append adds entries at the end of the log, overwriting any existing
-	// entries at or after the first new index (Raft*'s covered-suffix
-	// overwrite; Raft's erase is the degenerate case of a shorter result).
+	// Append adds entries at the end of the log. An entry at an index
+	// already stored overwrites it and truncates everything after it (the
+	// rest of the batch then rebuilds the suffix): engines emit a
+	// conflicting overwrite restated through their last index, so the
+	// stored log always mirrors the in-memory one — Raft's conflicting-
+	// suffix erase is the case where the restated suffix is shorter.
 	Append(entries []protocol.Entry) error
 	// Entries returns entries in [lo, hi]. Reads below FirstIndex return
 	// ErrCompacted; reads above LastIndex return ErrOutOfRange.
@@ -95,6 +98,22 @@ type SnapshotStore interface {
 	// Unlike Compact, the new base needs no locally stored entry at it:
 	// the received image is the durable record of that prefix.
 	InstallSnapshot(snap Snapshot) error
+}
+
+// DeferredSync is an optional Store extension for drivers that group
+// commit across event-loop iterations: AppendBuffered stages entries in
+// the log's write path without forcing them to disk, and Sync makes
+// everything staged durable with one fsync. A driver may buffer appends
+// exactly while nothing observable depends on them — the moment an ack, a
+// client reply, or a commit that counts the local copy toward a quorum is
+// about to be released, it must Sync first. Reads (Entries/LastIndex)
+// see buffered entries immediately; a crash before Sync loses them, which
+// is indistinguishable from crashing before the append.
+type DeferredSync interface {
+	// AppendBuffered is Append minus the durability barrier.
+	AppendBuffered(entries []protocol.Entry) error
+	// Sync makes every buffered append durable (no-op when clean).
+	Sync() error
 }
 
 // ErrOutOfRange is returned for reads beyond the stored log.
@@ -153,10 +172,12 @@ func (m *Mem) Append(entries []protocol.Entry) error {
 		case rel <= 0:
 			return fmt.Errorf("storage: append at %d below compaction %d: %w", e.Index, m.base, ErrCompacted)
 		case rel <= int64(len(m.log)):
+			// Overwrite truncates the suffix (matching the file backend):
+			// the batch restates whatever survives above the overwrite, so
+			// a stale suffix the new entries do not cover is erased rather
+			// than resurrected on restart.
 			m.log[rel-1] = e
-			// Overwriting inside the log invalidates any stale suffix the
-			// new entries do not cover only when the caller truncates; a
-			// covered overwrite leaves later entries in place.
+			m.log = m.log[:rel]
 		case rel == int64(len(m.log))+1:
 			m.log = append(m.log, e)
 		default:
@@ -320,6 +341,7 @@ type File struct {
 	segs     []segment // sealed + active, ascending seq; last is active
 	wal      *os.File  // active segment
 	w        *bufio.Writer
+	dirty    bool // buffered appends staged since the last sync
 	hs       HardState
 	base     int64            // compaction watermark: entries <= base are dropped
 	baseTerm uint64           // term of the entry at base
@@ -433,7 +455,13 @@ func (f *File) loadHardState() error {
 	return nil
 }
 
-// SaveHardState implements Store (atomic rename).
+// SaveHardState implements Store: staged in a tmp file, fsynced, renamed
+// into place, directory fsynced. The fsyncs are what make the persist-
+// before-ack barrier real for fencing state — a vote grant released after
+// an unsynced rename could still evaporate in a power loss, letting the
+// restarted replica double-vote (and a torn, partially written hard-state
+// file would block recovery entirely). Callers throttle commit-only
+// updates, so this cost lands on election paths, not the append hot path.
 func (f *File) SaveHardState(hs HardState) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -442,11 +470,26 @@ func (f *File) SaveHardState(hs HardState) error {
 	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(hs.VotedFor)))
 	binary.BigEndian.PutUint64(buf[16:24], uint64(hs.Commit))
 	tmp := filepath.Join(f.dir, hsFile+".tmp")
-	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create hardstate: %w", err)
+	}
+	if _, err := tf.Write(buf[:]); err != nil {
+		tf.Close()
 		return fmt.Errorf("storage: write hardstate: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("storage: sync hardstate: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("storage: close hardstate: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(f.dir, hsFile)); err != nil {
 		return fmt.Errorf("storage: rename hardstate: %w", err)
+	}
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
 	}
 	f.hs = hs
 	return nil
@@ -818,6 +861,21 @@ func (f *File) applyToCache(e protocol.Entry) {
 // writer and made durable with one fsync (group commit), then the active
 // segment rotates if it crossed the size threshold.
 func (f *File) Append(entries []protocol.Entry) error {
+	return f.append(entries, true)
+}
+
+// AppendBuffered implements DeferredSync: stage the batch without the
+// fsync. The frames live in the buffered writer (and the read cache)
+// until the next Sync — or Append — makes them durable.
+func (f *File) AppendBuffered(entries []protocol.Entry) error {
+	return f.append(entries, false)
+}
+
+var (
+	_ DeferredSync = (*File)(nil)
+)
+
+func (f *File) append(entries []protocol.Entry, sync bool) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -851,16 +909,38 @@ func (f *File) Append(entries []protocol.Entry) error {
 		}
 		f.applyToCache(e)
 	}
+	f.appends.Add(1)
+	f.entriesUp.Add(uint64(len(entries)))
+	if !sync {
+		f.dirty = true
+		return nil
+	}
+	return f.syncLocked()
+}
+
+// Sync implements DeferredSync: flush and fsync everything staged by
+// AppendBuffered. A clean log costs nothing.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.dirty {
+		return nil
+	}
+	return f.syncLocked()
+}
+
+// syncLocked flushes the write buffer, fsyncs the active segment, and
+// performs any rotation that was deferred while appends were buffered.
+func (f *File) syncLocked() error {
 	if err := f.w.Flush(); err != nil {
 		return fmt.Errorf("storage: flush wal: %w", err)
 	}
 	if err := f.wal.Sync(); err != nil {
 		return fmt.Errorf("storage: sync wal: %w", err)
 	}
-	f.appends.Add(1)
 	f.syncs.Add(1)
-	f.entriesUp.Add(uint64(len(entries)))
-	if act.size >= f.segSize {
+	f.dirty = false
+	if f.segs[len(f.segs)-1].size >= f.segSize {
 		if err := f.rotateLocked(); err != nil {
 			return err
 		}

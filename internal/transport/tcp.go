@@ -2,8 +2,11 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -18,6 +21,7 @@ import (
 	"raftpaxos/internal/raft"
 	"raftpaxos/internal/raftstar"
 	"raftpaxos/internal/rql"
+	"raftpaxos/internal/snappy"
 )
 
 // RegisterMessages registers every engine message type with gob so the
@@ -46,6 +50,53 @@ func RegisterMessages() {
 type wireFrame struct {
 	From protocol.NodeID
 	Msg  protocol.Message
+}
+
+// Wire framing: every gob message travels as one length-prefixed frame —
+// a 4-byte big-endian body length, a 1-byte flag, then the body (the gob
+// stream's bytes for exactly one message, snappy-compressed when the flag
+// says so). The length prefix makes frame boundaries explicit and
+// independently skippable/checkable, and gives compression a unit to work
+// on; the gob type-descriptor state still spans the connection, so the
+// per-frame overhead stays five bytes.
+const (
+	frameHeaderLen = 5
+	flagSnappy     = 0x01
+	// maxFrameBytes bounds what a reader will allocate for one frame
+	// (far above any message the engines produce; a violation means a
+	// corrupt or hostile stream).
+	maxFrameBytes = 64 << 20
+)
+
+// DefaultCompressMin is the body size, in bytes, above which frames are
+// compressed when compression is enabled: small control messages
+// (heartbeats, votes, acks) are not worth the CPU, while batched appends
+// and snapshot chunks shrink substantially.
+const DefaultCompressMin = 1 << 10
+
+// TCPOptions tunes the TCP transport's framing.
+type TCPOptions struct {
+	// DisableCompression turns snappy frame compression off (default on:
+	// bodies at or above CompressMin bytes are compressed when that
+	// actually shrinks them).
+	DisableCompression bool
+	// CompressMin overrides the compression threshold in bytes
+	// (0 = DefaultCompressMin).
+	CompressMin int
+}
+
+// TCPStats reports the transport's framing counters.
+type TCPStats struct {
+	// FramesSent counts frames written to peer connections.
+	FramesSent int64
+	// FramesCompressed counts frames that went out snappy-compressed.
+	FramesCompressed int64
+	// RawBytes is the total pre-compression (gob) body size.
+	RawBytes int64
+	// WireBytes is the total bytes actually written (headers + bodies,
+	// post-compression): RawBytes - WireBytes + 5*FramesSent is the
+	// payload volume compression saved.
+	WireBytes int64
 }
 
 // outQueueDepth bounds each per-peer outbound queue; overflow drops, as a
@@ -77,11 +128,19 @@ type TCP struct {
 	self  protocol.NodeID
 	addrs map[protocol.NodeID]string
 
+	compress    bool
+	compressMin int
+
 	mu      sync.Mutex
 	peers   map[protocol.NodeID]chan wireFrame
 	conns   map[protocol.NodeID]net.Conn // live writer conns, closed to unblock writers
 	inbound map[net.Conn]struct{}        // accepted conns, closed to unblock readers
 	health  map[protocol.NodeID]*atomic.Bool
+
+	framesSent       atomic.Int64
+	framesCompressed atomic.Int64
+	rawBytes         atomic.Int64
+	wireBytes        atomic.Int64
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -89,25 +148,46 @@ type TCP struct {
 }
 
 // NewTCP starts a TCP transport listening on addrs[self] and dispatching
-// inbound messages to h.
+// inbound messages to h, with default options (compression on).
 func NewTCP(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler) (*TCP, error) {
+	return NewTCPWith(self, addrs, h, TCPOptions{})
+}
+
+// NewTCPWith is NewTCP with explicit framing options.
+func NewTCPWith(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler, opt TCPOptions) (*TCP, error) {
 	ln, err := net.Listen("tcp", addrs[self])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
 	}
 	t := &TCP{
-		self:    self,
-		addrs:   addrs,
-		peers:   make(map[protocol.NodeID]chan wireFrame),
-		conns:   make(map[protocol.NodeID]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
-		health:  make(map[protocol.NodeID]*atomic.Bool),
-		ln:      ln,
-		closed:  make(chan struct{}),
+		self:        self,
+		addrs:       addrs,
+		compress:    !opt.DisableCompression,
+		compressMin: opt.CompressMin,
+		peers:       make(map[protocol.NodeID]chan wireFrame),
+		conns:       make(map[protocol.NodeID]net.Conn),
+		inbound:     make(map[net.Conn]struct{}),
+		health:      make(map[protocol.NodeID]*atomic.Bool),
+		ln:          ln,
+		closed:      make(chan struct{}),
+	}
+	if t.compressMin <= 0 {
+		t.compressMin = DefaultCompressMin
 	}
 	t.wg.Add(1)
 	go t.accept(h)
 	return t, nil
+}
+
+// Stats returns the framing counters accumulated since the transport
+// started.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		FramesSent:       t.framesSent.Load(),
+		FramesCompressed: t.framesCompressed.Load(),
+		RawBytes:         t.rawBytes.Load(),
+		WireBytes:        t.wireBytes.Load(),
+	}
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -144,7 +224,10 @@ func (t *TCP) accept(h Handler) {
 				delete(t.inbound, conn)
 				t.mu.Unlock()
 			}()
-			dec := gob.NewDecoder(conn)
+			// The gob decoder reads through the frame layer: frames are
+			// length-prefixed and individually decompressed, while the
+			// gob type-descriptor state spans the whole connection.
+			dec := gob.NewDecoder(&frameReader{br: bufio.NewReaderSize(conn, 64<<10)})
 			for {
 				var f wireFrame
 				if err := dec.Decode(&f); err != nil {
@@ -240,14 +323,104 @@ func (t *TCP) dial(to protocol.NodeID) net.Conn {
 	}
 }
 
+// frameReader unwraps the length-prefixed frame layer for a gob decoder:
+// Read serves the current frame's (decompressed) body and pulls the next
+// frame off the connection when it runs dry. TCP delivers frames intact
+// and in order, so the gob stream the decoder sees is contiguous.
+type frameReader struct {
+	br   *bufio.Reader
+	body []byte
+	off  int
+	dec  []byte // decompression scratch, reused across frames
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.off >= len(fr.body) {
+		if err := fr.next(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, fr.body[fr.off:])
+	fr.off += n
+	return n, nil
+}
+
+func (fr *frameReader) next() error {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return err
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size > maxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	if cap(fr.body) < int(size) {
+		fr.body = make([]byte, size)
+	}
+	fr.body = fr.body[:size]
+	fr.off = 0
+	if _, err := io.ReadFull(fr.br, fr.body); err != nil {
+		return err
+	}
+	if hdr[4]&flagSnappy != 0 {
+		out, err := snappy.Decode(fr.dec[:0], fr.body)
+		if err != nil {
+			return fmt.Errorf("transport: bad compressed frame: %w", err)
+		}
+		fr.dec = fr.body[:0] // recycle the wire buffer as next scratch
+		fr.body = out
+	}
+	return nil
+}
+
+// frameWriter wraps one outbound connection: the persistent gob encoder
+// stages each message into buf, writeFrame length-prefixes it (compressing
+// bodies at or above the threshold when that shrinks them) and writes it
+// to the buffered connection.
+type frameWriter struct {
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+	buf  bytes.Buffer
+	comp []byte // compression scratch, reused across frames
+}
+
+func (t *TCP) writeFrame(fw *frameWriter, f wireFrame) error {
+	fw.buf.Reset()
+	if err := fw.enc.Encode(f); err != nil {
+		return err
+	}
+	body := fw.buf.Bytes()
+	t.rawBytes.Add(int64(len(body)))
+	flag := byte(0)
+	if t.compress && len(body) >= t.compressMin {
+		fw.comp = snappy.Encode(fw.comp[:0], body)
+		if len(fw.comp) < len(body) {
+			body = fw.comp
+			flag = flagSnappy
+			t.framesCompressed.Add(1)
+		}
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = flag
+	if _, err := fw.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.bw.Write(body); err != nil {
+		return err
+	}
+	t.framesSent.Add(1)
+	t.wireBytes.Add(int64(frameHeaderLen + len(body)))
+	return nil
+}
+
 // writer owns the connection to one peer: it blocks for the next frame,
-// then drains everything queued behind it into the buffered gob stream
-// and flushes once. The head frame survives reconnects — it is held across
+// then drains everything queued behind it into the framed gob stream and
+// flushes once. The head frame survives reconnects — it is held across
 // the backoff loop and sent on the fresh connection.
 func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 	defer t.wg.Done()
-	var bw *bufio.Writer
-	var enc *gob.Encoder
+	var fw *frameWriter
 	defer t.dropConn(to)
 	for {
 		var f wireFrame
@@ -256,7 +429,7 @@ func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 			return
 		case f = <-q:
 		}
-		if enc == nil {
+		if fw == nil {
 			conn := t.dial(to)
 			if conn == nil {
 				return // transport closed while reconnecting
@@ -273,28 +446,29 @@ func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 			}
 			t.conns[to] = conn
 			t.mu.Unlock()
-			bw = bufio.NewWriterSize(conn, 64<<10)
-			enc = gob.NewEncoder(bw)
+			bw := bufio.NewWriterSize(conn, 64<<10)
+			fw = &frameWriter{bw: bw}
+			fw.enc = gob.NewEncoder(&fw.buf)
 		}
-		err := enc.Encode(f)
+		err := t.writeFrame(fw, f)
 	drain:
 		for err == nil {
 			select {
 			case f = <-q:
-				err = enc.Encode(f)
+				err = t.writeFrame(fw, f)
 			default:
 				break drain
 			}
 		}
 		if err == nil {
-			err = bw.Flush()
+			err = fw.bw.Flush()
 		}
 		if err != nil {
 			// Connection broke: drop it so the next frame re-dials (with
 			// backoff) and flag the link until the reconnect lands.
 			t.dropConn(to)
 			t.setHealthy(to, false)
-			bw, enc = nil, nil
+			fw = nil
 		}
 	}
 }
