@@ -35,9 +35,10 @@ func main() {
 	clients := flag.Int("clients", 32, "closed-loop client goroutines for -live")
 	jsonPath := flag.String("json", "", "output path for the -live JSON result (default BENCH_<ops>.json)")
 	useTCP := flag.Bool("tcp", false, "run -live over the real TCP transport on loopback (adds framing/compression stats)")
+	reads := flag.Float64("reads", 0, "fraction of -live ops issued as ReadIndex reads (0..1)")
 	flag.Parse()
 	if *live {
-		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP); err != nil {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP, *reads); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -51,7 +52,7 @@ func main() {
 
 // runLive drives the sustained-load trial on temp storage and writes the
 // result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
-func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool) error {
+func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool, readRatio float64) error {
 	dirs := make([]string, 3)
 	for i := range dirs {
 		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
@@ -68,17 +69,22 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 		SegmentBytes:     segmentBytes,
 		Dirs:             dirs,
 		UseTCP:           useTCP,
+		ReadRatio:        readRatio,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("live longevity: %d commits at %.0f/s (first window %.0f/s, last %.0f/s)\n",
+	fmt.Printf("live longevity: %d ops, %.0f write-commits/s (first window %.0f ops/s, last %.0f ops/s)\n",
 		res.Ops, res.CommitsPerSec, res.FirstWindowPerSec, res.LastWindowPerSec)
 	fmt.Printf("  %.3f fsyncs/entry, WAL %d bytes in %d segments, snapshot@%d, engine tail %d\n",
 		res.FsyncsPerEntry, res.WALBytes, res.WALSegments, res.SnapshotIndex, res.EngineLogLen)
 	fmt.Printf("  restart %.1fms to applied %d\n", res.RestartMS, res.RestartAppliedIndex)
 	fmt.Printf("  snapshot transfers %d (%d bytes, %d installs), snapshot failures %d\n",
 		res.SnapshotTransfers, res.SnapshotTransferBytes, res.SnapshotInstalls, res.SnapshotFailures)
+	if res.Reads > 0 {
+		fmt.Printf("  reads: %d at %.0f/s, p50 %.2fms p99 %.2fms, %d through the log\n",
+			res.Reads, res.ReadsPerSec, res.ReadP50MS, res.ReadP99MS, res.ReadLogAppends)
+	}
 	if res.TransportFrames > 0 {
 		fmt.Printf("  transport: %d frames (%d compressed), %d raw -> %d wire bytes\n",
 			res.TransportFrames, res.TransportFramesCompressed, res.TransportRawBytes, res.TransportWireBytes)

@@ -3,6 +3,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +26,14 @@ type LongRunConfig struct {
 	Replicas int
 	// Clients is the number of closed-loop writers (default 32).
 	Clients int
-	// Ops is the total number of writes (default 50000).
+	// Ops is the total number of operations (default 50000).
 	Ops int
+	// ReadRatio is the fraction of ops issued as strongly consistent
+	// reads (0..1, default 0). Reads ride the ReadIndex fast path: no log
+	// append, no fsync — the result records their rate, latency
+	// percentiles, and the (necessarily zero) count that replicated
+	// through the log anyway.
+	ReadRatio float64
 	// ValueSize is the write payload in bytes (default 16).
 	ValueSize int
 	// KeySpace recycles keys modulo this count so the snapshot stays small
@@ -122,6 +130,16 @@ type LongRunResult struct {
 	// compaction rounds across all replicas — non-zero means the snapshot
 	// path wedged at some point (it is also logged at transition time).
 	SnapshotFailures int64 `json:"snapshot_failures"`
+	// Read-mix metrics (present when ReadRatio > 0): reads completed and
+	// their rate, latency percentiles, and ReadLogAppends — reads that
+	// replicated through the log as entries instead of taking the
+	// ReadIndex fast path. The whole point of the fast path is that this
+	// stays 0.
+	Reads          int     `json:"reads,omitempty"`
+	ReadsPerSec    float64 `json:"reads_per_sec,omitempty"`
+	ReadP50MS      float64 `json:"read_p50_ms,omitempty"`
+	ReadP99MS      float64 `json:"read_p99_ms,omitempty"`
+	ReadLogAppends int64   `json:"read_log_appends"`
 	// Transport framing totals, summed over all replicas' TCP transports
 	// (zero on a channel-network run): frames sent, frames that shipped
 	// snappy-compressed, pre-compression gob bytes, and bytes actually
@@ -169,6 +187,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	newEngine := func(i int) *raftstar.Engine {
 		return raftstar.New(raftstar.Config{
 			ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7,
+			ReadIndex: true,
 		})
 	}
 	openStores := func() ([]*storage.File, error) {
@@ -256,19 +275,30 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	var tFirstWindow, tLastWindowStart atomic.Int64 // UnixNano marks
 	errCh := make(chan error, cfg.Clients)
 	var wg sync.WaitGroup
+	// Per-client read latency samples, merged after the run (no shared
+	// state on the hot path).
+	readDurs := make([][]time.Duration, cfg.Clients)
 
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*997 + 1))
 			for {
 				op := next.Add(1)
 				if op > int64(cfg.Ops) {
 					return
 				}
 				key := fmt.Sprintf("bench-%d", op%int64(cfg.KeySpace))
-				if err := leader.Put(ctx, key, value); err != nil {
+				if cfg.ReadRatio > 0 && rng.Float64() < cfg.ReadRatio {
+					t0 := time.Now()
+					if _, err := leader.Get(ctx, key); err != nil {
+						errCh <- err
+						return
+					}
+					readDurs[c] = append(readDurs[c], time.Since(t0))
+				} else if err := leader.Put(ctx, key, value); err != nil {
 					errCh <- err
 					return
 				}
@@ -293,10 +323,20 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		return nil, err
 	}
 
+	// Read-mix metrics first: CommitsPerSec must count only the writes —
+	// reads commit nothing, and diluting the commit rate with them would
+	// make runs at different -reads ratios incomparable. (The first/last
+	// window rates intentionally count all ops: they exist to compare the
+	// run against itself for degradation, and both windows carry the same
+	// mix.)
+	var allReads []time.Duration
+	for _, durs := range readDurs {
+		allReads = append(allReads, durs...)
+	}
 	res := &LongRunResult{
 		Ops:           cfg.Ops,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
-		CommitsPerSec: float64(cfg.Ops) / elapsed.Seconds(),
+		CommitsPerSec: float64(cfg.Ops-len(allReads)) / elapsed.Seconds(),
 		WindowOps:     cfg.WindowOps,
 	}
 	if ns := tFirstWindow.Load(); ns > 0 {
@@ -312,6 +352,20 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	}
 	if entries > 0 {
 		res.FsyncsPerEntry = float64(syncs) / float64(entries)
+	}
+
+	// Merged read samples plus the per-node fast/log read counters —
+	// ReadLogAppends is the count the fast path exists to keep at zero.
+	if len(allReads) > 0 {
+		sort.Slice(allReads, func(i, j int) bool { return allReads[i] < allReads[j] })
+		res.Reads = len(allReads)
+		res.ReadsPerSec = float64(len(allReads)) / elapsed.Seconds()
+		res.ReadP50MS = float64(allReads[len(allReads)/2].Microseconds()) / 1e3
+		res.ReadP99MS = float64(allReads[len(allReads)*99/100].Microseconds()) / 1e3
+	}
+	for _, nd := range nodes {
+		_, logged := nd.ReadStats()
+		res.ReadLogAppends += logged
 	}
 
 	leaderID := leader.ID()
@@ -364,6 +418,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	re := cluster.New(cluster.Config{
 		Engine: raftstar.New(raftstar.Config{
 			ID: leaderID, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7, Passive: true,
+			ReadIndex: true,
 		}),
 		Transport:        renet,
 		Stable:           refs,

@@ -170,6 +170,11 @@ type node struct {
 	// overtaken by a later step that has nothing to persist, or per-pair
 	// FIFO (which Mencius requires and TCP provides) would break.
 	sendFloor simnet.Time
+	// pendingReads parks confirmed ReadIndex states whose read index the
+	// store has not applied through yet — possible during a fresh
+	// leader's election-barrier window, when the confirmation quorum (a
+	// pure leadership echo) completes before the barrier entry commits.
+	pendingReads []protocol.ReadState
 }
 
 // Deliver implements simnet.Endpoint.
@@ -229,6 +234,26 @@ func (n *node) handle(out protocol.Output) {
 			cost = n.net.Cost().LeaseReadCost
 		}
 		n.reply(rep.Client, resp, cost)
+	}
+	// Confirmed ReadIndex states: serve once the store has applied
+	// through the read index — commits apply synchronously above, so
+	// parking only happens while a fresh leader's barrier entry is still
+	// uncommitted, and drains on the step that commits it.
+	if n.pendingReads = append(n.pendingReads, out.ReadStates...); len(n.pendingReads) > 0 {
+		applied := n.store.AppliedIndex()
+		keep := n.pendingReads[:0]
+		for _, rs := range n.pendingReads {
+			if rs.Index > applied {
+				keep = append(keep, rs)
+				continue
+			}
+			for _, cmd := range rs.Cmds {
+				resp := &MsgClientResp{CmdID: cmd.ID}
+				resp.Value, _ = n.store.Get(cmd.Key)
+				n.reply(cmd.Client, resp, n.net.Cost().ReplyCost)
+			}
+		}
+		n.pendingReads = keep
 	}
 	release := n.net.Clock().Now()
 	if barrier > release {

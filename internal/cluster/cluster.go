@@ -100,6 +100,11 @@ type submitReq struct {
 type applyBatch struct {
 	commits []protocol.CommitInfo
 	replies []protocol.ClientReply
+	// reads are confirmed ReadIndex states: each is served from the state
+	// machine once the applier's watermark reaches its read index —
+	// strictly after this batch's commits, so a read can never observe a
+	// quorum-acked-but-unapplied suffix.
+	reads []protocol.ReadState
 	// install, when non-nil, is a snapshot image the engine adopted over
 	// the wire this iteration: the applier restores the state machine from
 	// it strictly before applying the batch's commits (which continue
@@ -175,6 +180,13 @@ type Node struct {
 	// rounds (each of which withheld its acks) and the lifetime total.
 	persistFailStreak atomic.Int64
 	persistFailTotal  atomic.Int64
+
+	// Read-path observability: readsFast counts reads served without a
+	// log append (ReadIndex states and lease-engine local reads answered
+	// at this node), readsLog reads that replicated through the log as
+	// entries (the slow path — zero when the fast path is on).
+	readsFast atomic.Int64
+	readsLog  atomic.Int64
 
 	// lastSaved caches the hard-state triple most recently persisted
 	// (valid once hardSaved is set), so the event loop skips the
@@ -299,7 +311,7 @@ func (n *Node) run() {
 	defer ticker.Stop()
 	for {
 		var out protocol.Output
-		var writes []protocol.Command
+		var writes, reads []protocol.Command
 		select {
 		case <-n.stop:
 			return
@@ -308,7 +320,7 @@ func (n *Node) run() {
 		case in := <-n.inbox:
 			n.stepInbound(in, &out)
 		case req := <-n.submits:
-			n.stepSubmit(req, &out, &writes)
+			n.stepSubmit(req, &out, &writes, &reads)
 		case through := <-n.truncCh:
 			// The applier persisted a snapshot at `through` and compacted
 			// the WAL; drop the engine's in-memory prefix on the loop that
@@ -318,9 +330,13 @@ func (n *Node) run() {
 			}
 		}
 		if !n.cfg.DisableBatching {
-			n.drain(&out, &writes)
+			n.drain(&out, &writes, &reads)
 		}
 		out.Merge(protocol.SubmitAll(n.cfg.Engine, writes))
+		// Reads after writes: the batch's reads share one read index and
+		// one confirmation round (ReadIndex engines), or hit the lease
+		// fast path per command.
+		out.Merge(protocol.SubmitReads(n.cfg.Engine, reads))
 		n.finish(out)
 		n.isLeader.Store(n.cfg.Engine.IsLeader())
 		n.leaderID.Store(int64(n.cfg.Engine.Leader()))
@@ -444,16 +460,20 @@ func (n *Node) stepInbound(in inbound, out *protocol.Output) {
 	out.Merge(n.cfg.Engine.Step(in.from, in.msg))
 }
 
-// stepSubmit collects writes for one batched SubmitAll at the end of the
-// drain; reads go through the engine immediately (lease engines treat
-// them specially, and a read never extends the proposal batch).
-func (n *Node) stepSubmit(req submitReq, out *protocol.Output, writes *[]protocol.Command) {
-	if req.read {
-		out.Merge(n.cfg.Engine.SubmitRead(req.cmd))
+// stepSubmit collects writes and reads for one batched submission each at
+// the end of the drain (a read never extends the proposal batch; batched
+// reads share one ReadIndex confirmation round).
+func (n *Node) stepSubmit(req submitReq, out *protocol.Output, writes, reads *[]protocol.Command) {
+	if n.cfg.DisableBatching {
+		if req.read {
+			out.Merge(n.cfg.Engine.SubmitRead(req.cmd))
+		} else {
+			out.Merge(n.cfg.Engine.Submit(req.cmd))
+		}
 		return
 	}
-	if n.cfg.DisableBatching {
-		out.Merge(n.cfg.Engine.Submit(req.cmd))
+	if req.read {
+		*reads = append(*reads, req.cmd)
 		return
 	}
 	*writes = append(*writes, req.cmd)
@@ -462,13 +482,13 @@ func (n *Node) stepSubmit(req submitReq, out *protocol.Output, writes *[]protoco
 // drain pulls whatever else is already queued — bounded by MaxBatch — into
 // the same iteration, so one persistence round and one broadcast cover
 // the whole burst. Inbox order is preserved (per-pair FIFO depends on it).
-func (n *Node) drain(out *protocol.Output, writes *[]protocol.Command) {
+func (n *Node) drain(out *protocol.Output, writes, reads *[]protocol.Command) {
 	for budget := n.cfg.MaxBatch; budget > 0; budget-- {
 		select {
 		case in := <-n.inbox:
 			n.stepInbound(in, out)
 		case req := <-n.submits:
-			n.stepSubmit(req, out, writes)
+			n.stepSubmit(req, out, writes, reads)
 		default:
 			return
 		}
@@ -573,10 +593,14 @@ func (n *Node) finish(out protocol.Output) {
 		}
 		n.cfg.Transport.Send(env.From, env.To, env.Msg)
 	}
-	if committing {
+	if committing || len(out.ReadStates) > 0 {
+		// Confirmed reads ride the same ordered channel as the commits
+		// they may be waiting on; they do not depend on this iteration's
+		// persistence (the fast path appends nothing), so a persist
+		// failure does not taint them.
 		select {
 		case n.applyCh <- applyBatch{
-			commits: out.Commits, replies: out.Replies,
+			commits: out.Commits, replies: out.Replies, reads: out.ReadStates,
 			install: out.InstalledSnapshot, persistErr: perr,
 		}:
 		case <-n.stop:
@@ -772,6 +796,13 @@ func (n *Node) applier() {
 		snapStore storage.SnapshotStore
 		sinceSnap int
 		lastApply protocol.Entry
+		// parked holds confirmed ReadIndex states whose read index is
+		// ahead of the applied watermark; they are re-checked after every
+		// batch. In steady state a state's commits precede it through
+		// applyCh, so parking is momentary — but it is the structural
+		// guarantee that a read never observes a quorum-acked suffix the
+		// applier has not executed yet.
+		parked []protocol.ReadState
 	)
 	if n.cfg.SnapshotInterval > 0 {
 		if ss, ok := n.cfg.Stable.(storage.SnapshotStore); ok {
@@ -805,6 +836,9 @@ func (n *Node) applier() {
 			if !ci.Reply {
 				continue
 			}
+			if ci.Entry.Cmd.Op == protocol.OpGet {
+				n.readsLog.Add(1) // a read that replicated as a log entry
+			}
 			m := &MsgReply{CmdID: ci.Entry.Cmd.ID}
 			if b.persistErr != nil {
 				m.ErrText = b.persistErr.Error()
@@ -820,10 +854,17 @@ func (n *Node) applier() {
 			if rep.Err != nil {
 				m.ErrText = rep.Err.Error()
 			} else if rep.Kind == protocol.ReplyRead {
+				n.readsFast.Add(1) // lease-engine local read
 				v, _ := n.store.Get(rep.Key)
 				m.Value = v
 			}
 			n.respond(rep.Client, m)
+		}
+		// Serve confirmed ReadIndex reads whose index the watermark has
+		// reached — after this batch's commits, never before, so the read
+		// waits out any quorum-acked-but-unapplied suffix.
+		if parked = append(parked, b.reads...); len(parked) > 0 {
+			parked = n.serveReads(parked)
 		}
 		// Snapshot after replying, between batches: clients never wait on
 		// serialization or the snapshot fsync. A persist failure skips the
@@ -878,6 +919,36 @@ func (n *Node) snapshotAndCompact(ss storage.SnapshotStore, last protocol.Entry)
 		default:
 		}
 	}
+}
+
+// serveReads answers every parked ReadIndex read whose read index the
+// state machine has applied through, returning the still-parked rest.
+// Serving from the current store is linearizable: the confirmation round
+// postdates each read's invocation, and the store reflects at least the
+// read index. Runs on the applier.
+func (n *Node) serveReads(parked []protocol.ReadState) []protocol.ReadState {
+	applied := n.store.AppliedIndex()
+	keep := parked[:0]
+	for _, rs := range parked {
+		if rs.Index > applied {
+			keep = append(keep, rs)
+			continue
+		}
+		for _, cmd := range rs.Cmds {
+			n.readsFast.Add(1)
+			v, _ := n.store.Get(cmd.Key)
+			n.respond(cmd.Client, &MsgReply{CmdID: cmd.ID, Value: v})
+		}
+	}
+	return keep
+}
+
+// ReadStats reports the read paths taken: fast is reads served with no
+// log append (ReadIndex confirmations and lease-engine local reads
+// answered at this node), logged is reads that replicated through the
+// log as entries — zero when the fast path is active.
+func (n *Node) ReadStats() (fast, logged int64) {
+	return n.readsFast.Load(), n.readsLog.Load()
 }
 
 // InstallSnapshot implements protocol.SnapshotInstaller: rebuild the
@@ -1010,8 +1081,11 @@ func (n *Node) Put(ctx context.Context, key string, value []byte) error {
 	return err
 }
 
-// Get performs a strongly consistent read at this replica (through the
-// log, or locally under an active lease, depending on the engine).
+// Get performs a strongly consistent read at this replica. With a
+// ReadIndex engine the leader serves it from the state machine after one
+// confirmation round (followers forward to the leader) — no log append,
+// no fsync; lease engines serve it locally under an active quorum lease;
+// otherwise it replicates through the log like a write.
 func (n *Node) Get(ctx context.Context, key string) ([]byte, error) {
 	resp, err := n.enqueue(ctx, n.newCmd(protocol.OpGet, key, nil), true)
 	return resp.Value, err

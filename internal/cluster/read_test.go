@@ -1,0 +1,374 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"raftpaxos/internal/cluster"
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/pql"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/rql"
+	"raftpaxos/internal/storage"
+	"raftpaxos/internal/transport"
+)
+
+// TestReadIndexSkipsLogAndFsync is the fast path's acceptance test at
+// the storage layer: a burst of reads — at the leader and forwarded from
+// a follower — appends zero entries and pays zero WAL fsyncs, asserted
+// via the storage counters, while every read returns the committed value.
+func TestReadIndexSkipsLogAndFsync(t *testing.T) {
+	peers := []protocol.NodeID{0, 1, 2}
+	net := transport.NewChanNetwork()
+	defer net.Close()
+	stores := make([]*storage.File, 3)
+	nodes := make([]*cluster.Node, 3)
+	for i := range peers {
+		fs, err := storage.OpenFile(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		stores[i] = fs
+		nodes[i] = cluster.New(cluster.Config{
+			Engine: raftstar.New(raftstar.Config{
+				ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2,
+				Seed: 51, ReadIndex: true,
+			}),
+			Transport:    net,
+			Stable:       fs,
+			TickInterval: 2 * time.Millisecond,
+		})
+		net.Listen(peers[i], nodes[i].HandleMessage)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+	leader := waitLeader(t, nodes)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if err := leader.Put(ctx, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesce past the commit-save throttle so the only storage activity
+	// left is whatever the reads cause — which must be nothing.
+	time.Sleep(100 * time.Millisecond)
+	var entries, syncs, appends uint64
+	for _, fs := range stores {
+		entries += fs.EntryCount()
+		syncs += fs.SyncCount()
+		appends += fs.AppendCount()
+	}
+
+	var follower *cluster.Node
+	for _, nd := range nodes {
+		if nd != leader {
+			follower = nd
+			break
+		}
+	}
+	const reads = 100
+	for i := 0; i < reads; i++ {
+		at := leader
+		if i%2 == 1 {
+			at = follower // forwarded to the leader over the transport
+		}
+		got, err := at.Get(ctx, fmt.Sprintf("k%d", i%3))
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("v%d", i%3); string(got) != want {
+			t.Fatalf("read %d = %q, want %s", i, got, want)
+		}
+	}
+
+	var entries2, syncs2, appends2 uint64
+	for _, fs := range stores {
+		entries2 += fs.EntryCount()
+		syncs2 += fs.SyncCount()
+		appends2 += fs.AppendCount()
+	}
+	if entries2 != entries {
+		t.Fatalf("reads appended %d log entries, want 0", entries2-entries)
+	}
+	if appends2 != appends {
+		t.Fatalf("reads caused %d append batches, want 0", appends2-appends)
+	}
+	if syncs2 != syncs {
+		t.Fatalf("reads caused %d fsyncs, want 0", syncs2-syncs)
+	}
+	var fast, logged int64
+	for _, nd := range nodes {
+		f, l := nd.ReadStats()
+		fast += f
+		logged += l
+	}
+	if fast < reads {
+		t.Fatalf("fast reads = %d, want >= %d", fast, reads)
+	}
+	if logged != 0 {
+		t.Fatalf("%d reads replicated through the log, want 0", logged)
+	}
+}
+
+// TestReadIndexAcrossFullClusterKillRestart reuses the durability
+// harness's construction: writes replicate and persist on every node but
+// never commit (acks dropped), the whole cluster is killed without
+// closing the stores, and the restarted cluster commits the restored
+// suffix. ReadIndex reads issued immediately after restart must return
+// those restored values — the read index waits out both the new leader's
+// election barrier and the applier's replay of the recovered suffix, so
+// a read can never observe the pre-crash state machine.
+func TestReadIndexAcrossFullClusterKillRestart(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine
+	}{
+		{"raftstar", func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine {
+			return raftstar.New(raftstar.Config{
+				ID: id, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 4, Seed: 11, ReadIndex: true,
+			})
+		}},
+		{"multipaxos", func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine {
+			return multipaxos.New(multipaxos.Config{
+				ID: id, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 4, Seed: 11, ReadIndex: true,
+			})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+			peers := []protocol.NodeID{0, 1, 2}
+			open := func() []storage.Store {
+				stores := make([]storage.Store, 3)
+				for i, d := range dirs {
+					fs, err := storage.OpenFile(d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stores[i] = fs
+				}
+				return stores
+			}
+			build := func(stores []storage.Store, fn *filterNet) ([]*cluster.Node, func()) {
+				nodes := make([]*cluster.Node, 3)
+				for i := range peers {
+					nodes[i] = cluster.New(cluster.Config{
+						Engine:       tc.mk(peers[i], peers),
+						Transport:    fn,
+						Stable:       stores[i],
+						TickInterval: 2 * time.Millisecond,
+					})
+					fn.inner.Listen(peers[i], nodes[i].HandleMessage)
+				}
+				for _, nd := range nodes {
+					nd.Start()
+				}
+				return nodes, func() {
+					for _, nd := range nodes {
+						nd.Stop()
+					}
+				}
+			}
+
+			fn := &filterNet{inner: transport.NewChanNetwork()}
+			fn.SetDrop(dropAcks)
+			stores := open()
+			nodes, stop := build(stores, fn)
+			leader := waitLeader(t, nodes)
+
+			const writes = 3
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var wg sync.WaitGroup
+			for i := 0; i < writes; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_ = leader.Put(ctx, fmt.Sprintf("acked-%d", i), []byte(fmt.Sprintf("v-%d", i)))
+				}(i)
+			}
+			// Wait until the suffix is identically persisted everywhere but
+			// committed nowhere (the durability gate from durability_test).
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				lo, hi := int64(1<<62), int64(0)
+				for _, st := range stores {
+					last, _ := st.LastIndex()
+					if last < lo {
+						lo = last
+					}
+					if last > hi {
+						hi = last
+					}
+				}
+				if lo == hi && lo >= writes {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("accepted suffix never reached the WALs")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			// Full-cluster kill: abandon the stores without Close.
+			stop()
+			wg.Wait()
+
+			// Restart healthy and read immediately through the fast path:
+			// every restored write must be visible, from any replica.
+			fn2 := &filterNet{inner: transport.NewChanNetwork()}
+			stores = open()
+			nodes, stop = build(stores, fn2)
+			defer func() {
+				stop()
+				for _, st := range stores {
+					st.Close()
+				}
+			}()
+			waitLeader(t, nodes)
+			for i := 0; i < writes; i++ {
+				key := fmt.Sprintf("acked-%d", i)
+				got, err := nodes[i%3].Get(ctx, key)
+				if err != nil {
+					t.Fatalf("get %s after crash: %v", key, err)
+				}
+				if string(got) != fmt.Sprintf("v-%d", i) {
+					t.Fatalf("get %s after crash = %q, want v-%d", key, got, i)
+				}
+			}
+			var logged int64
+			for _, nd := range nodes {
+				_, l := nd.ReadStats()
+				logged += l
+			}
+			if logged != 0 {
+				t.Fatalf("%d post-restart reads replicated through the log, want 0", logged)
+			}
+		})
+	}
+}
+
+// TestQuorumLeaseReadsOverTCP proves the lease engines run in the live
+// cluster end to end: quorum leases circulate over the real TCP
+// transport (wall-clock ticks), and a follower holding a quorum lease
+// serves a strongly consistent read locally — observed via its own
+// fast-read counter — with zero reads through the log.
+func TestQuorumLeaseReadsOverTCP(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine
+	}{
+		{"rql", func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine {
+			return rql.New(rql.Config{
+				Raft: raftstar.Config{
+					ID: id, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2,
+					Seed: 61, ReadIndex: true,
+				},
+				Mode: rql.QuorumLease, LeaseTicks: 150, RenewTicks: 15,
+			})
+		}},
+		{"pql", func(id protocol.NodeID, peers []protocol.NodeID) protocol.Engine {
+			return pql.New(pql.Config{
+				Paxos: multipaxos.Config{
+					ID: id, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2,
+					Seed: 61, ReadIndex: true,
+				},
+				LeaseTicks: 150, RenewTicks: 15,
+			})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			transport.RegisterMessages()
+			cluster.RegisterMessages()
+			peers := []protocol.NodeID{0, 1, 2}
+			addrs := map[protocol.NodeID]string{}
+			for _, id := range peers {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				addrs[id] = ln.Addr().String()
+				ln.Close()
+			}
+			nodes := make([]*cluster.Node, 3)
+			tcps := make([]*transport.TCP, 3)
+			for i := range peers {
+				lazy := &lazyTransport{}
+				nodes[i] = cluster.New(cluster.Config{
+					Engine:       tc.mk(peers[i], peers),
+					Transport:    lazy,
+					Stable:       storage.NewMem(),
+					TickInterval: time.Millisecond,
+				})
+				tcp, err := transport.NewTCP(peers[i], addrs, nodes[i].HandleMessage)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lazy.set(tcp)
+				tcps[i] = tcp
+				nodes[i].Start()
+			}
+			defer func() {
+				for i := range nodes {
+					nodes[i].Stop()
+					tcps[i].Close()
+				}
+			}()
+			leader := waitLeader(t, nodes)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := leader.Put(ctx, "hot", []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			var follower *cluster.Node
+			for _, nd := range nodes {
+				if nd != leader {
+					follower = nd
+					break
+				}
+			}
+			// Leases need a few renew periods to circulate; keep reading at
+			// the follower until one is served locally (before the lease
+			// arrives, reads are forwarded — also correct, just not local).
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				got, err := follower.Get(ctx, "hot")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != "v1" {
+					t.Fatalf("lease read = %q, want v1", got)
+				}
+				if fast, _ := follower.ReadStats(); fast > 0 {
+					break // served from the follower's own store
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("follower never served a local quorum-lease read")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			var logged int64
+			for _, nd := range nodes {
+				_, l := nd.ReadStats()
+				logged += l
+			}
+			if logged != 0 {
+				t.Fatalf("%d lease-mode reads replicated through the log, want 0", logged)
+			}
+		})
+	}
+}

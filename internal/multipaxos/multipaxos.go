@@ -67,11 +67,17 @@ type MsgAccept struct {
 	Bal          uint64
 	Insts        []InstanceInfo
 	ChosenPrefix int64
+	// ReadCtx is the highest pending ReadIndex confirmation context at the
+	// leader (0 = none); the acceptor echoes it in its acceptOK. A quorum
+	// of echoes proves the leader's ballot was still the highest after the
+	// reads arrived — the accept-round counterpart of Raft's heartbeat
+	// confirmation (see protocol.ReadTracker).
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
 func (m *MsgAccept) WireSize() int {
-	n := 24
+	n := 32
 	for i := range m.Insts {
 		n += 24 + m.Insts[i].Cmd.WireSize()
 	}
@@ -97,10 +103,14 @@ type MsgAcceptOK struct {
 	// or below its own compaction base. This is the ported counterpart of
 	// Raft's next/match catch-up plus InstallSnapshot.
 	NeedFrom int64
+	// ReadCtx echoes the accept's ReadIndex confirmation context: the
+	// acceptor still recognized the sender's ballot as the highest when it
+	// processed the accept, which is all the read path needs.
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgAcceptOK) WireSize() int { return 24 + 8*len(m.Idxs) + 4*len(m.Holders) }
+func (m *MsgAcceptOK) WireSize() int { return 32 + 8*len(m.Idxs) + 4*len(m.Holders) }
 
 // RequiresBarrier implements protocol.BarrierMessage: a Phase2b ack
 // promises the accepted instances are durable.
@@ -152,6 +162,17 @@ type Config struct {
 	MaxBatch       int
 	Seed           int64
 	Passive        bool
+	// ReadIndex enables the fast linearizable read path, ported from Raft
+	// per the paper's method: the leader captures the chosen prefix as the
+	// read's index, confirms its ballot is still the highest with one
+	// accept-round echo, and serves the read from the state machine — no
+	// instance, no fsync. Followers forward reads to the leader. Off,
+	// reads replicate through the log (Section 4.4, the paper's baseline).
+	ReadIndex bool
+	// UnsafeSkipReadQuorum serves ReadIndex reads without the ballot
+	// confirmation round (testing only: the linearizability checker's
+	// sabotage regression). Never enable in a deployment.
+	UnsafeSkipReadQuorum bool
 
 	Hooks Hooks
 }
@@ -216,6 +237,15 @@ type Engine struct {
 	hbElapsed int
 
 	pending []protocol.Command
+	// ReadIndex state: reads tracks confirmation rounds at the leader;
+	// readBarrier is the last instance touched by this leadership's
+	// phase 1 — anything a predecessor might have chosen was re-proposed
+	// at or below it, so a read's index is clamped up to it until the
+	// re-proposals are chosen; pendingReads buffers reads submitted while
+	// no leader is known.
+	reads        protocol.ReadTracker
+	readBarrier  int64
+	pendingReads []protocol.Command
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -423,7 +453,7 @@ func (e *Engine) Tick() protocol.Output {
 		e.hbElapsed++
 		if e.hbElapsed >= e.cfg.HeartbeatTicks {
 			e.hbElapsed = 0
-			e.broadcast(&out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
+			e.broadcastAccept(&out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
 		}
 		return out
 	}
@@ -447,6 +477,7 @@ func (e *Engine) Campaign() protocol.Output {
 func (e *Engine) campaign(out *protocol.Output) {
 	e.ballot = e.nextBallot(e.ballot)
 	e.phase1OK = false
+	e.reads.FailAll(out) // confirmation rounds die with the leadership
 	e.preparing = true
 	e.leader = protocol.None
 	e.prepareOKs = map[protocol.NodeID]*MsgPrepareOK{}
@@ -486,6 +517,17 @@ func (e *Engine) broadcast(out *protocol.Output, msg protocol.Message) {
 	}
 }
 
+// broadcastAccept broadcasts a Phase2a message with the highest pending
+// ReadIndex confirmation context piggybacked: every acceptOK echoing it
+// doubles as a ballot confirmation for the reads awaiting one.
+func (e *Engine) broadcastAccept(out *protocol.Output, msg *MsgAccept) {
+	msg.ReadCtx = e.reads.MaxCtx()
+	// The ctx is now in flight: later reads must open a fresh one (an
+	// echo of this ctx only proves ballot currency up to this send).
+	e.reads.MarkSent()
+	e.broadcast(out, msg)
+}
+
 // Step implements protocol.Engine.
 func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Output {
 	var out protocol.Output
@@ -504,6 +546,8 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		e.stepInstallSnapshotResp(from, m, &out)
 	case *MsgForward:
 		out.Merge(e.SubmitBatch(m.Cmds))
+	case *protocol.MsgReadForward:
+		out.Merge(e.SubmitReadBatch(m.Cmds))
 	}
 	return out
 }
@@ -515,6 +559,7 @@ func (e *Engine) stepPrepare(from protocol.NodeID, m *MsgPrepare, out *protocol.
 	}
 	e.ballot = m.Bal
 	e.phase1OK = false
+	e.reads.FailAll(out) // a higher ballot deposed us: pending reads fail
 	e.preparing = false
 	e.xfers = nil // transfers carry the old ballot: restart on demand
 	e.resetTimeout()
@@ -608,14 +653,20 @@ func (e *Engine) phase1Succeed(out *protocol.Output) {
 		}
 		e.emitAppended(firstTouched, out)
 	}
+	// ReadIndex reads may not be served below the phase-1 re-proposals:
+	// anything a predecessor might have chosen was re-proposed at or below
+	// this watermark and is only reflected in the chosen prefix once the
+	// re-proposals are chosen at this ballot.
+	e.readBarrier = e.LastIndex()
+	e.reads.Reset(e.quorum(), e.cfg.UnsafeSkipReadQuorum)
 	if len(reproposal) > 0 {
 		if h := e.cfg.Hooks.OnAccept; h != nil {
 			h(reproposal)
 		}
-		e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: reproposal, ChosenPrefix: e.chosenPrefix})
+		e.broadcastAccept(out, &MsgAccept{Bal: e.ballot, Insts: reproposal, ChosenPrefix: e.chosenPrefix})
 	} else {
 		// Announce leadership.
-		e.broadcast(out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
+		e.broadcastAccept(out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
 	}
 	e.advanceChosen(out)
 	e.flushPending(out)
@@ -660,11 +711,49 @@ func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 	return out
 }
 
-// SubmitRead implements protocol.Engine: a strongly consistent read is
-// persisted into the log as if it were a write (Section 4.4 of the paper).
+// SubmitRead implements protocol.Engine: with ReadIndex enabled, the
+// leader serves the read from the state machine after one accept-round
+// ballot confirmation — no instance, no fsync; otherwise a strongly
+// consistent read is persisted into the log as if it were a write
+// (Section 4.4 of the paper).
 func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
-	cmd.Op = protocol.OpGet
-	return e.Submit(cmd)
+	return e.SubmitReadBatch([]protocol.Command{cmd})
+}
+
+// SubmitReadBatch implements protocol.ReadBatchSubmitter: the whole batch
+// shares one read index and one confirmation round.
+func (e *Engine) SubmitReadBatch(cmds []protocol.Command) protocol.Output {
+	var out protocol.Output
+	if len(cmds) == 0 {
+		return out
+	}
+	for i := range cmds {
+		cmds[i].Op = protocol.OpGet
+	}
+	if !e.cfg.ReadIndex {
+		return e.SubmitBatch(cmds)
+	}
+	if e.phase1OK {
+		e.addReads(cmds, &out)
+	} else {
+		protocol.RouteReads(e.cfg.ID, e.leader, &e.pendingReads, cmds, &out)
+	}
+	return out
+}
+
+// addReads opens a ReadIndex confirmation round at the leader: the read
+// index is the chosen prefix clamped up to the phase-1 barrier, and an
+// empty accept broadcast carrying the batch's ctx starts the
+// confirmation immediately instead of waiting out the heartbeat interval.
+func (e *Engine) addReads(cmds []protocol.Command, out *protocol.Output) {
+	idx := e.chosenPrefix
+	if e.readBarrier > idx {
+		idx = e.readBarrier
+	}
+	e.reads.Add(cmds, idx, out)
+	if e.reads.Pending() > 0 {
+		e.broadcastAccept(out, &MsgAccept{Bal: e.ballot, ChosenPrefix: e.chosenPrefix})
+	}
 }
 
 func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
@@ -686,7 +775,7 @@ func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
 	if h := e.cfg.Hooks.OnAccept; h != nil {
 		h(insts)
 	}
-	e.broadcast(out, &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix})
+	e.broadcastAccept(out, &MsgAccept{Bal: e.ballot, Insts: insts, ChosenPrefix: e.chosenPrefix})
 	if len(e.cfg.Peers) == 1 {
 		for _, info := range insts {
 			e.insts[info.Idx-e.instBase-1].chosen = true
@@ -696,6 +785,10 @@ func (e *Engine) propose(cmds []protocol.Command, out *protocol.Output) {
 }
 
 func (e *Engine) flushPending(out *protocol.Output) {
+	if reads := e.pendingReads; len(reads) > 0 {
+		e.pendingReads = nil
+		out.Merge(e.SubmitReadBatch(reads))
+	}
 	if len(e.pending) == 0 {
 		return
 	}
@@ -718,6 +811,7 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 	if m.Bal > e.ballot {
 		e.ballot = m.Bal
 		e.phase1OK = false
+		e.reads.FailAll(out) // a higher ballot deposed us: pending reads fail
 		e.preparing = false
 		e.xfers = nil // transfers carry the old ballot: restart on demand
 		out.StateChanged = true
@@ -755,20 +849,24 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 		h(m.Insts)
 	}
 	if m.ChosenPrefix > e.chosenPrefix {
-		e.markChosenUpTo(m.ChosenPrefix)
+		e.markChosenUpTo(m.ChosenPrefix, m.Bal)
 		e.advanceChosen(out)
 	}
-	// The leader's prefix ran past us and every held instance below it is
-	// already marked: whatever still blocks us is an instance we never
-	// received and can never receive again by normal accepts. Report the
-	// first missing one so the leader refills the run (or ships its
-	// snapshot when the gap starts inside its compacted prefix).
+	// The leader's prefix ran past us and every current-ballot instance
+	// below it is already marked: whatever still blocks us is an instance
+	// we never received at this ballot — a hole, or a stale value whose
+	// replacing accept we missed — and can never receive again by normal
+	// accepts. Report the first such instance so the leader refills the
+	// run, re-accepted at its ballot (or ships its snapshot when the gap
+	// starts inside its compacted prefix).
 	var needFrom int64
 	if m.ChosenPrefix > e.chosenPrefix {
 		needFrom = e.chosenPrefix + 1
 	}
-	if len(idxs) > 0 || needFrom > 0 {
-		resp := &MsgAcceptOK{Bal: m.Bal, Idxs: idxs, NeedFrom: needFrom}
+	// A ReadCtx demands a response even when nothing was accepted: the
+	// echo is the ballot confirmation the leader's pending reads wait on.
+	if len(idxs) > 0 || needFrom > 0 || m.ReadCtx > 0 {
+		resp := &MsgAcceptOK{Bal: m.Bal, Idxs: idxs, NeedFrom: needFrom, ReadCtx: m.ReadCtx}
 		if h := e.cfg.Hooks.LocalHolders; h != nil {
 			resp.Holders = h()
 		}
@@ -777,9 +875,18 @@ func (e *Engine) stepAccept(from protocol.NodeID, m *MsgAccept, out *protocol.Ou
 	e.flushPending(out)
 }
 
-func (e *Engine) markChosenUpTo(p int64) {
+// markChosenUpTo marks held instances at or below the leader's announced
+// chosen prefix — but ONLY those accepted at the announcing ballot. A
+// held instance from an older ballot may differ from the value actually
+// chosen (its replacing accept may have been lost), and blindly marking
+// it would execute an unchosen value: exactly the divergence the
+// linearizability harness caught. Stale instances instead stall the
+// local prefix, and the NeedFrom report below fetches the real run.
+func (e *Engine) markChosenUpTo(p int64, bal uint64) {
 	for i := e.chosenPrefix + 1; i <= p && i <= e.LastIndex(); i++ {
-		e.insts[i-e.instBase-1].chosen = true
+		if in := &e.insts[i-e.instBase-1]; in.used && in.bal == bal {
+			in.chosen = true
+		}
 	}
 }
 
@@ -788,6 +895,11 @@ func (e *Engine) markChosenUpTo(p int64) {
 func (e *Engine) stepAcceptOK(from protocol.NodeID, m *MsgAcceptOK, out *protocol.Output) {
 	if !e.phase1OK || m.Bal != e.ballot {
 		return
+	}
+	if m.ReadCtx > 0 {
+		// The acceptor processed an accept we sent while still leading:
+		// that confirms every read batch at or below the echoed ctx.
+		e.reads.Ack(from, m.ReadCtx, out)
 	}
 	if h := e.cfg.Hooks.OnAcceptOK; h != nil {
 		h(from, m.Idxs, m.Holders)
@@ -890,6 +1002,7 @@ func (e *Engine) stepInstallSnapshot(from protocol.NodeID, m *protocol.MsgInstal
 	if m.Term > e.ballot {
 		e.ballot = m.Term
 		e.phase1OK = false
+		e.reads.FailAll(out)
 		e.preparing = false
 		e.xfers = nil
 		out.StateChanged = true
@@ -951,6 +1064,7 @@ func (e *Engine) stepInstallSnapshotResp(from protocol.NodeID, m *protocol.MsgIn
 	if m.Term > e.ballot {
 		e.ballot = m.Term
 		e.phase1OK = false
+		e.reads.FailAll(out)
 		e.preparing = false
 		e.xfers = nil
 		out.StateChanged = true

@@ -558,3 +558,57 @@ func TestRestoreLogSkipsFillers(t *testing.T) {
 		t.Fatalf("chosen prefix = %d, want 1", e.ChosenPrefix())
 	}
 }
+
+// TestStalePrefixAnnouncementDoesNotChooseLocalValue is the regression
+// for a divergence the linearizability harness caught: an acceptor
+// holding an instance accepted at an OLD ballot must not mark it chosen
+// just because a newer leader's announced chosen prefix covers the index
+// — the value actually chosen there may differ (the accept that would
+// have replaced the stale copy was lost). The stale instance must instead
+// stall the local prefix and be refetched through the NeedFrom catch-up,
+// re-accepted at the announcing ballot. Reverting markChosenUpTo's ballot
+// check makes this test fail with node 0 executing the unchosen value A.
+func TestStalePrefixAnnouncementDoesNotChooseLocalValue(t *testing.T) {
+	c := newCluster(t, 3, 9)
+	// Node 0 leads first and proposes A, whose accepts reach nobody.
+	c.Collect(0, c.Engines[0].(*multipaxos.Engine).Campaign())
+	c.DeliverAll(100000)
+	if !c.Engines[0].IsLeader() {
+		t.Fatal("node 0 did not take leadership")
+	}
+	c.Isolate(0, true)
+	c.Submit(0, protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("A")})
+	c.DeliverAll(100000) // accepts for A die at the partition
+
+	// Node 1 takes over and chooses B at the same instance.
+	c.Collect(1, c.Engines[1].(*multipaxos.Engine).Campaign())
+	c.DeliverAll(100000)
+	if !c.Engines[1].IsLeader() {
+		t.Fatal("node 1 did not take leadership")
+	}
+	c.Submit(1, protocol.Command{ID: 2, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("B")})
+	for r := 0; r < 10; r++ {
+		c.TickNode(1)
+		c.TickNode(2)
+		c.DeliverAll(100000)
+	}
+
+	// Heal node 0: the new leader's prefix announcement covers A's
+	// instance, but node 0's stale copy of A must not execute — the
+	// NeedFrom round replaces it with B first.
+	c.Isolate(0, false)
+	c.Settle(10)
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, ent := range c.Applied[0] {
+		if ent.Cmd.Key == "k" {
+			got = string(ent.Cmd.Value)
+			break
+		}
+	}
+	if got != "B" {
+		t.Fatalf("node 0 executed %q at the contested instance, want B", got)
+	}
+}

@@ -1,0 +1,119 @@
+package multipaxos_test
+
+import (
+	"bytes"
+	"testing"
+
+	"raftpaxos/internal/multipaxos"
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/testcluster"
+)
+
+func newReadIndexCluster(t *testing.T, n int, seed int64) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = multipaxos.New(multipaxos.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
+			Seed: seed, ReadIndex: true,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func findReply(c *testcluster.Cluster, id uint64) (protocol.ClientReply, bool) {
+	for _, rep := range c.Replies {
+		if rep.CmdID == id {
+			return rep, true
+		}
+	}
+	return protocol.ClientReply{}, false
+}
+
+// TestReadIndexServesWithoutInstanceGrowth is the ported fast read path:
+// the leader confirms its ballot with one accept-round echo and serves
+// the read from the state machine — no Paxos instance is consumed.
+func TestReadIndexServesWithoutInstanceGrowth(t *testing.T) {
+	c := newReadIndexCluster(t, 3, 1)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("v1")})
+	c.Settle(5)
+
+	last := leader.(*multipaxos.Engine).LastIndex()
+	c.SubmitRead(leader.ID(), protocol.Command{ID: 2, Client: 900, Key: "k"})
+	if _, done := findReply(c, 2); done {
+		t.Fatal("read served before the ballot confirmation round")
+	}
+	c.Settle(3)
+	rep, done := findReply(c, 2)
+	if !done || rep.Err != nil || !bytes.Equal(rep.Value, []byte("v1")) {
+		t.Fatalf("read: done=%v rep=%+v", done, rep)
+	}
+	if got := leader.(*multipaxos.Engine).LastIndex(); got != last {
+		t.Fatalf("read consumed instances: %d -> %d", last, got)
+	}
+}
+
+// TestReadIndexAcrossLeaderChange: a read at a fresh leader is clamped up
+// to its phase-1 re-proposals, so it observes everything the predecessor
+// chose.
+func TestReadIndexAcrossLeaderChange(t *testing.T) {
+	c := newReadIndexCluster(t, 3, 2)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("v1")})
+	c.Settle(5)
+
+	var next protocol.NodeID = -1
+	for id := range c.Engines {
+		if id != leader.ID() {
+			next = id
+			break
+		}
+	}
+	c.Collect(next, c.Engines[next].(*multipaxos.Engine).Campaign())
+	c.Settle(5)
+	c.SubmitRead(next, protocol.Command{ID: 2, Client: 900, Key: "k"})
+	c.Settle(5)
+	rep, done := findReply(c, 2)
+	if !done || rep.Err != nil || !bytes.Equal(rep.Value, []byte("v1")) {
+		t.Fatalf("read after leader change: done=%v rep=%+v", done, rep)
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadIndexFollowerForwards: an acceptor forwards reads to the
+// leader and the reply routes back to the origin's client.
+func TestReadIndexFollowerForwards(t *testing.T) {
+	c := newReadIndexCluster(t, 3, 3)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("v1")})
+	c.Settle(5)
+	var follower protocol.NodeID = -1
+	for id := range c.Engines {
+		if id != leader.ID() {
+			follower = id
+			break
+		}
+	}
+	c.SubmitRead(follower, protocol.Command{ID: 2, Client: 900, Key: "k"})
+	c.Settle(3)
+	rep, done := findReply(c, 2)
+	if !done || rep.Err != nil || !bytes.Equal(rep.Value, []byte("v1")) {
+		t.Fatalf("forwarded read: done=%v rep=%+v", done, rep)
+	}
+}

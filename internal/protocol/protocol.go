@@ -196,6 +196,22 @@ type Output struct {
 	// AppendedEntries or applying any Commits in the same output, which
 	// continue above the boundary.
 	InstalledSnapshot *SnapshotImage
+	// ReadStates are read batches that passed the ReadIndex leadership
+	// confirmation round: once the driver's state machine has applied
+	// through a state's Index, serving its commands from the local store is
+	// linearizable. Nothing here needs persisting — the whole point of the
+	// fast read path is that it appends no log entry and pays no fsync —
+	// but the driver must park each state until its applied watermark
+	// (which trails the commit index by the applier's backlog) reaches
+	// Index before answering.
+	ReadStates []ReadState
+}
+
+// ReadState is one confirmed ReadIndex batch: Cmds may be served from the
+// local state machine as soon as it has applied through Index.
+type ReadState struct {
+	Index int64
+	Cmds  []Command
 }
 
 // Merge appends other's outputs into o. When both sides of the merge
@@ -208,6 +224,7 @@ func (o *Output) Merge(other Output) {
 	o.Commits = append(o.Commits, other.Commits...)
 	o.Replies = append(o.Replies, other.Replies...)
 	o.AppendedEntries = append(o.AppendedEntries, other.AppendedEntries...)
+	o.ReadStates = append(o.ReadStates, other.ReadStates...)
 	o.StateChanged = o.StateChanged || other.StateChanged
 	if other.InstalledSnapshot != nil &&
 		(o.InstalledSnapshot == nil || other.InstalledSnapshot.Index > o.InstalledSnapshot.Index) {
@@ -323,6 +340,54 @@ func SubmitAll(e Engine, cmds []Command) Output {
 	}
 	return out
 }
+
+// ReadBatchSubmitter is an optional Engine extension for engines with a
+// ReadIndex fast path: a whole batch of reads shares one read index and
+// one leadership-confirmation round instead of one per read.
+type ReadBatchSubmitter interface {
+	// SubmitReadBatch requests a strongly consistent read for every
+	// command in cmds at this replica, as a single protocol step.
+	SubmitReadBatch(cmds []Command) Output
+}
+
+// SubmitReads requests cmds through the engine's native read-batch path
+// when it has one, and otherwise one at a time, merging the outputs.
+func SubmitReads(e Engine, cmds []Command) Output {
+	switch len(cmds) {
+	case 0:
+		return Output{}
+	case 1:
+		return e.SubmitRead(cmds[0])
+	}
+	if b, ok := e.(ReadBatchSubmitter); ok {
+		return b.SubmitReadBatch(cmds)
+	}
+	var out Output
+	for _, c := range cmds {
+		out.Merge(e.SubmitRead(c))
+	}
+	return out
+}
+
+// MsgReadForward carries read commands from a follower to the leader,
+// which serves them through its ReadIndex fast path and routes the
+// replies back to the origin's clients. Shared by every engine with a
+// ReadIndex port, like the snapshot-transfer messages.
+type MsgReadForward struct {
+	Cmds []Command
+}
+
+// WireSize implements Message.
+func (m *MsgReadForward) WireSize() int {
+	n := 8
+	for i := range m.Cmds {
+		n += m.Cmds[i].WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgReadForward) CmdCount() int { return len(m.Cmds) }
 
 // ErrNotLeader is returned in ClientReply.Err when a write was submitted to
 // a replica that cannot serve it and cannot forward it.

@@ -1,0 +1,180 @@
+package protocol
+
+// ReadTracker is the leader half of the ReadIndex read path, built once
+// here and shared by the raft, raftstar, and multipaxos engines the same
+// way the snapshot-transfer machinery is (the paper's porting direction:
+// one optimization, expressed at the protocol layer, inherited by the
+// family).
+//
+// The protocol: when a read arrives at the leader it captures the current
+// commit index (clamped up to the leader's election barrier) as the
+// read's index and opens a confirmation batch identified by a
+// monotonically increasing context (ctx). The ctx is piggybacked on the
+// next append/accept broadcast and echoed back in the acks; an ack
+// echoing ctx c proves the follower still recognized this leader's
+// term/ballot when it processed a message sent AFTER every batch with
+// ctx <= c was opened — which is exactly what rules out a newer leader
+// having committed writes this leader has not seen before the read was
+// invoked. Once a quorum (the leader included) has echoed a batch's ctx,
+// the batch is released as an Output.ReadState; the driver serves it from
+// the state machine as soon as its applied watermark reaches the read
+// index. No log append, no fsync.
+//
+// Joining an open batch is only legal before any message carrying its ctx
+// has left the replica: an echo of a ctx that was already in flight when
+// the read arrived would prove leadership only up to a point BEFORE the
+// read's invocation, and a leader deposed in between could then serve a
+// stale value. MarkSent closes the open batch; later reads open a new ctx.
+type ReadTracker struct {
+	// quorum is the confirmation threshold, counting the leader itself.
+	quorum int
+	// unsafeNoQuorum releases reads immediately, without the confirmation
+	// round. Testing only: it exists so the linearizability checker's
+	// sabotage regression can demonstrate the checker catches the stale
+	// reads a deposed leader then serves.
+	unsafeNoQuorum bool
+
+	nextCtx uint64
+	batches []*readBatch
+}
+
+type readBatch struct {
+	ctx   uint64
+	index int64
+	cmds  []Command
+	acks  map[NodeID]bool
+	sent  bool
+}
+
+// Reset arms the tracker for a new leadership: quorum is the confirmation
+// threshold including the leader itself; unsafeNoQuorum skips the
+// confirmation round entirely (testing only). Any stale batches are
+// dropped silently — callers fail pending reads on the way OUT of
+// leadership (FailAll), so a fresh leader starts empty.
+func (t *ReadTracker) Reset(quorum int, unsafeNoQuorum bool) {
+	t.quorum = quorum
+	t.unsafeNoQuorum = unsafeNoQuorum
+	t.batches = nil
+}
+
+// Add opens (or joins) a confirmation batch for cmds at read index. When
+// no confirmation round is needed — a single-replica cluster, or the
+// sabotaged test mode — the ReadState is released into out immediately.
+func (t *ReadTracker) Add(cmds []Command, index int64, out *Output) {
+	if len(cmds) == 0 {
+		return
+	}
+	cmds = append([]Command(nil), cmds...)
+	if t.quorum <= 1 || t.unsafeNoQuorum {
+		out.ReadStates = append(out.ReadStates, ReadState{Index: index, Cmds: cmds})
+		return
+	}
+	if n := len(t.batches); n > 0 && !t.batches[n-1].sent {
+		// The open batch's ctx has not been broadcast yet, so its eventual
+		// echoes postdate this read too; raising the index to the current
+		// commit only makes the earlier reads in the batch fresher.
+		b := t.batches[n-1]
+		if index > b.index {
+			b.index = index
+		}
+		b.cmds = append(b.cmds, cmds...)
+		return
+	}
+	t.nextCtx++
+	t.batches = append(t.batches, &readBatch{
+		ctx:   t.nextCtx,
+		index: index,
+		cmds:  cmds,
+		acks:  make(map[NodeID]bool),
+	})
+}
+
+// Pending reports how many unconfirmed read commands the tracker holds.
+func (t *ReadTracker) Pending() int {
+	n := 0
+	for _, b := range t.batches {
+		n += len(b.cmds)
+	}
+	return n
+}
+
+// MaxCtx returns the context to piggyback on outgoing appends/accepts (0
+// when no batch awaits confirmation). Followers echo the value; an echo
+// confirms every batch at or below it.
+func (t *ReadTracker) MaxCtx() uint64 {
+	if len(t.batches) == 0 {
+		return 0
+	}
+	return t.batches[len(t.batches)-1].ctx
+}
+
+// MarkSent records that a message carrying MaxCtx left the replica: every
+// open batch is now closed to joiners (see the type comment for why).
+func (t *ReadTracker) MarkSent() {
+	for _, b := range t.batches {
+		b.sent = true
+	}
+}
+
+// Ack records a follower's echo of ctx, confirming every batch at or
+// below it; batches reaching quorum (the leader's implicit
+// self-acknowledgement included) release their ReadState into out.
+func (t *ReadTracker) Ack(from NodeID, ctx uint64, out *Output) {
+	kept := t.batches[:0]
+	for _, b := range t.batches {
+		if b.ctx <= ctx {
+			b.acks[from] = true
+		}
+		if len(b.acks)+1 >= t.quorum {
+			out.ReadStates = append(out.ReadStates, ReadState{Index: b.index, Cmds: b.cmds})
+			continue
+		}
+		kept = append(kept, b)
+	}
+	t.batches = kept
+}
+
+// maxPendingReads bounds the reads an engine buffers while no leader is
+// known; overflow rejects with ErrNotLeader, like the write-side cap.
+const maxPendingReads = 4096
+
+// RouteReads is the non-leader half of SubmitReadBatch, shared by every
+// engine with a ReadIndex port: forward the batch to a known leader, or
+// buffer it (bounded) until one is discovered and flushPending re-routes.
+// A leader view still pointing at self (a deposed leader that has only
+// seen a higher term, not the new leader) counts as unknown — forwarding
+// to self would loop the batch through the transport forever.
+func RouteReads(self, leader NodeID, pending *[]Command, cmds []Command, out *Output) {
+	if leader != None && leader != self {
+		out.Msgs = append(out.Msgs, Envelope{
+			From: self, To: leader,
+			Msg: &MsgReadForward{Cmds: append([]Command(nil), cmds...)},
+		})
+		return
+	}
+	for _, cmd := range cmds {
+		if len(*pending) < maxPendingReads {
+			*pending = append(*pending, cmd)
+			continue
+		}
+		out.Replies = append(out.Replies, ClientReply{
+			Kind: ReplyRead, CmdID: cmd.ID, Client: cmd.Client, Key: cmd.Key,
+			Err: ErrNotLeader,
+		})
+	}
+}
+
+// FailAll rejects every pending read with ErrNotLeader — called when the
+// replica loses (or abdicates) leadership, so parked reads fail fast and
+// clients retry against the new leader instead of hanging.
+func (t *ReadTracker) FailAll(out *Output) {
+	for _, b := range t.batches {
+		for _, cmd := range b.cmds {
+			out.Replies = append(out.Replies, ClientReply{
+				Kind: ReplyRead, CmdID: cmd.ID, Client: cmd.Client, Key: cmd.Key,
+				Err: ErrNotLeader,
+			})
+		}
+	}
+	t.batches = nil
+}

@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+)
+
+func rcmd(id uint64) Command {
+	return Command{ID: id, Client: 900, Op: OpGet, Key: "k"}
+}
+
+func TestReadTrackerQuorumConfirmation(t *testing.T) {
+	var tr ReadTracker
+	tr.Reset(2, false) // 3-replica cluster: leader + 1 echo
+
+	var out Output
+	tr.Add([]Command{rcmd(1), rcmd(2)}, 7, &out)
+	if len(out.ReadStates) != 0 {
+		t.Fatalf("released before confirmation: %+v", out.ReadStates)
+	}
+	ctx := tr.MaxCtx()
+	if ctx == 0 {
+		t.Fatal("no ctx assigned")
+	}
+	tr.MarkSent()
+
+	// An echo of an older ctx confirms nothing.
+	var o2 Output
+	tr.Ack(1, ctx-1, &o2)
+	if len(o2.ReadStates) != 0 {
+		t.Fatalf("stale echo released the batch")
+	}
+
+	var o3 Output
+	tr.Ack(1, ctx, &o3)
+	if len(o3.ReadStates) != 1 {
+		t.Fatalf("quorum echo did not release: %+v", o3.ReadStates)
+	}
+	if rs := o3.ReadStates[0]; rs.Index != 7 || len(rs.Cmds) != 2 {
+		t.Fatalf("wrong read state: %+v", rs)
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("pending after release: %d", tr.Pending())
+	}
+}
+
+func TestReadTrackerJoinsOnlyUnsentBatch(t *testing.T) {
+	var tr ReadTracker
+	tr.Reset(2, false)
+
+	var out Output
+	tr.Add([]Command{rcmd(1)}, 3, &out)
+	tr.Add([]Command{rcmd(2)}, 5, &out) // joins, raising the index
+	if got := tr.Pending(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	first := tr.MaxCtx()
+	tr.MarkSent()
+	tr.Add([]Command{rcmd(3)}, 5, &out) // sent: must open a new ctx
+	if tr.MaxCtx() == first {
+		t.Fatal("read joined a batch whose ctx was already in flight")
+	}
+
+	// An echo covering both ctxs releases both, the joined batch at the
+	// raised index.
+	tr.MarkSent()
+	var o2 Output
+	tr.Ack(2, tr.MaxCtx(), &o2)
+	if len(o2.ReadStates) != 2 {
+		t.Fatalf("want 2 read states, got %+v", o2.ReadStates)
+	}
+	if o2.ReadStates[0].Index != 5 || len(o2.ReadStates[0].Cmds) != 2 {
+		t.Fatalf("joined batch wrong: %+v", o2.ReadStates[0])
+	}
+}
+
+func TestReadTrackerCountsDistinctFollowers(t *testing.T) {
+	var tr ReadTracker
+	tr.Reset(3, false) // 5-replica cluster: leader + 2 echoes
+
+	var out Output
+	tr.Add([]Command{rcmd(1)}, 1, &out)
+	ctx := tr.MaxCtx()
+	tr.MarkSent()
+
+	var o2 Output
+	tr.Ack(1, ctx, &o2)
+	tr.Ack(1, ctx, &o2) // duplicate echo from the same follower
+	if len(o2.ReadStates) != 0 {
+		t.Fatal("duplicate echo counted toward quorum")
+	}
+	tr.Ack(2, ctx, &o2)
+	if len(o2.ReadStates) != 1 {
+		t.Fatal("two distinct echoes did not confirm")
+	}
+}
+
+func TestReadTrackerSingleReplicaAndSabotage(t *testing.T) {
+	var tr ReadTracker
+	tr.Reset(1, false)
+	var out Output
+	tr.Add([]Command{rcmd(1)}, 4, &out)
+	if len(out.ReadStates) != 1 || out.ReadStates[0].Index != 4 {
+		t.Fatalf("single-replica read not immediate: %+v", out.ReadStates)
+	}
+
+	tr.Reset(2, true) // sabotaged: no confirmation round
+	var o2 Output
+	tr.Add([]Command{rcmd(2)}, 9, &o2)
+	if len(o2.ReadStates) != 1 {
+		t.Fatalf("sabotaged tracker still confirmed: %+v", o2.ReadStates)
+	}
+}
+
+func TestReadTrackerFailAll(t *testing.T) {
+	var tr ReadTracker
+	tr.Reset(2, false)
+	var out Output
+	tr.Add([]Command{rcmd(1), rcmd(2)}, 1, &out)
+	tr.MarkSent()
+
+	var o2 Output
+	tr.FailAll(&o2)
+	if len(o2.Replies) != 2 {
+		t.Fatalf("want 2 failure replies, got %+v", o2.Replies)
+	}
+	for _, rep := range o2.Replies {
+		if rep.Kind != ReplyRead || !errors.Is(rep.Err, ErrNotLeader) {
+			t.Fatalf("wrong failure reply: %+v", rep)
+		}
+	}
+	if tr.Pending() != 0 {
+		t.Fatal("batches survived FailAll")
+	}
+}
+
+func TestOutputMergeCarriesReadStates(t *testing.T) {
+	var a, b Output
+	b.ReadStates = []ReadState{{Index: 3, Cmds: []Command{rcmd(1)}}}
+	a.Merge(b)
+	if len(a.ReadStates) != 1 || a.ReadStates[0].Index != 3 {
+		t.Fatalf("merge dropped read states: %+v", a.ReadStates)
+	}
+}

@@ -55,11 +55,16 @@ type MsgAppendReq struct {
 	PrevTerm  uint64
 	Entries   []protocol.Entry
 	Commit    int64
+	// ReadCtx is the highest pending ReadIndex confirmation context at the
+	// leader (0 = none); the follower echoes it in its response, and a
+	// quorum of echoes proves the leader's term was still current after
+	// the reads arrived (see protocol.ReadTracker).
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
 func (m *MsgAppendReq) WireSize() int {
-	n := 40
+	n := 48
 	for i := range m.Entries {
 		n += 24 + m.Entries[i].Cmd.WireSize()
 	}
@@ -74,10 +79,14 @@ type MsgAppendResp struct {
 	Term      uint64
 	Ok        bool
 	LastIndex int64
+	// ReadCtx echoes the request's ReadIndex confirmation context. A
+	// reject still echoes: even a log mismatch acknowledges the sender's
+	// leadership at this term, which is all the read path needs.
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgAppendResp) WireSize() int { return 24 }
+func (m *MsgAppendResp) WireSize() int { return 32 }
 
 // RequiresBarrier implements protocol.BarrierMessage: an append ack
 // promises the accepted entries are durable.
@@ -113,6 +122,18 @@ type Config struct {
 	Seed           int64
 	// Passive disables the election timer (for pinning a benchmark leader).
 	Passive bool
+	// ReadIndex enables the fast linearizable read path: the leader
+	// serves reads from the state machine after one leadership
+	// confirmation round, with no log append and no fsync, and followers
+	// forward reads to it. Off, reads replicate through the log like
+	// writes (Section 4.4 of the paper — the baseline the simulated
+	// figures measure).
+	ReadIndex bool
+	// UnsafeSkipReadQuorum serves ReadIndex reads without the leadership
+	// confirmation round. Testing only: it lets the linearizability
+	// checker's sabotage regression prove the checker catches the stale
+	// reads a deposed leader then serves. Never enable in a deployment.
+	UnsafeSkipReadQuorum bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -166,6 +187,15 @@ type Engine struct {
 	hbElapsed int
 
 	pending []protocol.Command
+	// ReadIndex state: reads tracks confirmation rounds at the leader;
+	// readBarrier is the leader's last log index at election — a read's
+	// index is clamped up to it, because entries a predecessor committed
+	// are only provably covered once this leader's own barrier entry
+	// commits (§6.4 / §8 of the Raft dissertation); pendingReads buffers
+	// reads submitted while no leader is known.
+	reads        protocol.ReadTracker
+	readBarrier  int64
+	pendingReads []protocol.Command
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -323,6 +353,10 @@ func (e *Engine) Campaign() protocol.Output {
 func (e *Engine) campaign(out *protocol.Output) {
 	e.term++
 	e.role = Candidate
+	// Pending confirmation rounds die with the leadership we just gave
+	// up: echoes are ignored while Candidate, and winning re-arms the
+	// tracker fresh — without this, forced re-election strands the reads.
+	e.reads.FailAll(out)
 	e.leader = protocol.None
 	e.votedFor = e.cfg.ID
 	e.votes = map[protocol.NodeID]bool{e.cfg.ID: true}
@@ -348,6 +382,10 @@ func (e *Engine) becomeFollower(term uint64, leader protocol.NodeID, out *protoc
 	}
 	e.role = Follower
 	e.xfers = nil // outbound transfers are leader state
+	// Reads awaiting confirmation die with the leadership: fail them fast
+	// so clients retry at the new leader instead of hanging (no-op unless
+	// this replica was leading).
+	e.reads.FailAll(out)
 	if leader != protocol.None {
 		e.leader = leader
 		e.flushPending(out)
@@ -373,6 +411,8 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		e.stepInstallSnapshotResp(from, m, &out)
 	case *MsgForward:
 		out.Merge(e.SubmitBatch(m.Cmds))
+	case *protocol.MsgReadForward:
+		out.Merge(e.SubmitReadBatch(m.Cmds))
 	}
 	return out
 }
@@ -428,6 +468,11 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 	// A no-op barrier entry lets the new leader commit its predecessors'
 	// entries despite the §5.4.2 restriction.
 	e.appendLocal(protocol.Command{Op: protocol.OpNop}, out)
+	// ReadIndex reads may not be served below the barrier entry: entries a
+	// predecessor committed are only provably reflected in our commit
+	// index once an entry of our own term (the no-op above) commits.
+	e.readBarrier = e.LastIndex()
+	e.reads.Reset(e.quorum(), e.cfg.UnsafeSkipReadQuorum)
 	e.broadcastAppend(out, true)
 	e.flushPending(out)
 }
@@ -473,13 +518,55 @@ func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 	return out
 }
 
-// SubmitRead implements protocol.Engine: reads replicate through the log.
+// SubmitRead implements protocol.Engine: with ReadIndex enabled, the
+// leader serves the read from the state machine after one leadership
+// confirmation round — no log append, no fsync; otherwise reads
+// replicate through the log.
 func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
-	cmd.Op = protocol.OpGet
-	return e.Submit(cmd)
+	return e.SubmitReadBatch([]protocol.Command{cmd})
+}
+
+// SubmitReadBatch implements protocol.ReadBatchSubmitter: the whole batch
+// shares one read index and one confirmation round.
+func (e *Engine) SubmitReadBatch(cmds []protocol.Command) protocol.Output {
+	var out protocol.Output
+	if len(cmds) == 0 {
+		return out
+	}
+	for i := range cmds {
+		cmds[i].Op = protocol.OpGet
+	}
+	if !e.cfg.ReadIndex {
+		return e.SubmitBatch(cmds)
+	}
+	if e.role == Leader {
+		e.addReads(cmds, &out)
+	} else {
+		protocol.RouteReads(e.cfg.ID, e.leader, &e.pendingReads, cmds, &out)
+	}
+	return out
+}
+
+// addReads opens a ReadIndex confirmation round at the leader: the read
+// index is the commit index, clamped up to the election barrier, and a
+// heartbeat broadcast carrying the batch's ctx starts the confirmation
+// immediately instead of waiting out the heartbeat interval.
+func (e *Engine) addReads(cmds []protocol.Command, out *protocol.Output) {
+	idx := e.commit
+	if e.readBarrier > idx {
+		idx = e.readBarrier
+	}
+	e.reads.Add(cmds, idx, out)
+	if e.reads.Pending() > 0 {
+		e.broadcastAppend(out, true)
+	}
 }
 
 func (e *Engine) flushPending(out *protocol.Output) {
+	if reads := e.pendingReads; len(reads) > 0 {
+		e.pendingReads = nil
+		out.Merge(e.SubmitReadBatch(reads))
+	}
 	if len(e.pending) == 0 {
 		return
 	}
@@ -550,7 +637,11 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 		PrevTerm:  e.termAt(next - 1),
 		Entries:   ents,
 		Commit:    e.commit,
+		ReadCtx:   e.reads.MaxCtx(),
 	}
+	// The ctx is now in flight: later reads must open a fresh one (an
+	// echo of this ctx only proves leadership up to this send).
+	e.reads.MarkSent()
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
 	if end >= next {
 		e.next[p] = end + 1
@@ -566,6 +657,10 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	}
 	e.becomeFollower(m.Term, from, out)
 	resp.Term = e.term
+	// Echo the read confirmation ctx whenever we answer at the sender's
+	// term — even a log-mismatch reject acknowledges its leadership,
+	// which is all the ReadIndex round needs.
+	resp.ReadCtx = m.ReadCtx
 
 	switch {
 	case m.PrevIndex > e.LastIndex():
@@ -617,6 +712,11 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 	}
 	if e.role != Leader || m.Term != e.term {
 		return
+	}
+	if m.ReadCtx > 0 {
+		// The follower processed a message we sent while still leading:
+		// that confirms every read batch at or below the echoed ctx.
+		e.reads.Ack(from, m.ReadCtx, out)
 	}
 	if e.inflight[from] > 0 {
 		e.inflight[from]--

@@ -64,10 +64,14 @@ type MsgAppendReq struct {
 	PrevTerm  uint64
 	Entries   []protocol.Entry
 	Commit    int64
+	// ReadCtx is the highest pending ReadIndex confirmation context at the
+	// leader (0 = none); the follower echoes it in its response (see
+	// protocol.ReadTracker).
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgAppendReq) WireSize() int { return 40 + entriesWireSize(m.Entries) }
+func (m *MsgAppendReq) WireSize() int { return 48 + entriesWireSize(m.Entries) }
 
 // CmdCount implements simnet.CmdCounter.
 func (m *MsgAppendReq) CmdCount() int { return len(m.Entries) }
@@ -82,10 +86,14 @@ type MsgAppendResp struct {
 	// Holders lists replicas currently holding a valid lease granted by the
 	// responder. Only used by the Raft*-PQL extension; empty otherwise.
 	Holders []protocol.NodeID
+	// ReadCtx echoes the request's ReadIndex confirmation context. A
+	// reject still echoes: even a log mismatch acknowledges the sender's
+	// leadership at this term, which is all the read path needs.
+	ReadCtx uint64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgAppendResp) WireSize() int { return 24 + 4*len(m.Holders) }
+func (m *MsgAppendResp) WireSize() int { return 32 + 4*len(m.Holders) }
 
 // RequiresBarrier implements protocol.BarrierMessage: an append ack
 // promises the accepted (re-stamped) entries are durable.

@@ -90,6 +90,16 @@ type Config struct {
 	// Passive disables the election timer (the replica still votes and
 	// accepts appends). Benchmarks use it to pin the leader at one site.
 	Passive bool
+	// ReadIndex enables the fast linearizable read path: the leader
+	// serves reads from the state machine after one leadership
+	// confirmation round, with no log append and no fsync, and followers
+	// forward reads to it. Off, reads replicate through the log like
+	// writes (the paper's baseline).
+	ReadIndex bool
+	// UnsafeSkipReadQuorum serves ReadIndex reads without the leadership
+	// confirmation round (testing only: the linearizability checker's
+	// sabotage regression). Never enable in a deployment.
+	UnsafeSkipReadQuorum bool
 
 	Hooks Hooks
 }
@@ -156,6 +166,15 @@ type Engine struct {
 
 	// Commands buffered while no leader is known.
 	pending []protocol.Command
+	// ReadIndex state: reads tracks confirmation rounds at the leader;
+	// readBarrier is the leader's last log index at election (safe-value
+	// adoptions included) — every entry a predecessor might have committed
+	// sits at or below it, so a read's index is clamped up to it until the
+	// re-proposed log commits at this ballot; pendingReads buffers reads
+	// submitted while no leader is known.
+	reads        protocol.ReadTracker
+	readBarrier  int64
+	pendingReads []protocol.Command
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -333,6 +352,10 @@ func (e *Engine) Campaign() protocol.Output {
 func (e *Engine) campaign(out *protocol.Output) {
 	e.term++
 	e.role = Candidate
+	// Pending confirmation rounds die with the leadership we just gave
+	// up: echoes are ignored while Candidate, and winning re-arms the
+	// tracker fresh — without this, forced re-election strands the reads.
+	e.reads.FailAll(out)
 	e.leader = protocol.None
 	e.votedFor = e.cfg.ID
 	e.votes = map[protocol.NodeID]bool{e.cfg.ID: true}
@@ -360,6 +383,10 @@ func (e *Engine) becomeFollower(term uint64, leader protocol.NodeID, out *protoc
 	}
 	e.role = Follower
 	e.xfers = nil // outbound transfers are leader state
+	// Reads awaiting confirmation die with the leadership: fail them fast
+	// so clients retry at the new leader instead of hanging (no-op unless
+	// this replica was leading).
+	e.reads.FailAll(out)
 	if leader != protocol.None {
 		e.leader = leader
 		e.flushPending(out)
@@ -385,6 +412,8 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		e.stepInstallSnapshotResp(from, m, &out)
 	case *MsgForward:
 		out.Merge(e.SubmitBatch(m.Cmds))
+	case *protocol.MsgReadForward:
+		out.Merge(e.SubmitReadBatch(m.Cmds))
 	}
 	return out
 }
@@ -485,6 +514,14 @@ func (e *Engine) becomeLeader(out *protocol.Output) {
 	}
 	out.StateChanged = true
 	e.hbElapsed = 0
+	// ReadIndex reads may not be served below the re-proposed log's end:
+	// everything a predecessor might have committed is in the log (the
+	// vote quorum shipped every possibly-chosen entry), and is reflected
+	// in our commit index only once the re-proposal commits at this
+	// ballot. Raft* needs no no-op barrier for that — unlike Raft, it may
+	// commit the adopted entries directly by counting.
+	e.readBarrier = e.LastIndex()
+	e.reads.Reset(e.quorum(), e.cfg.UnsafeSkipReadQuorum)
 	// Replicate everything we have (also acts as the leadership announcement).
 	for _, p := range e.cfg.Peers {
 		if p == e.cfg.ID {
@@ -543,14 +580,56 @@ func ReplyKindFor(cmd protocol.Command) protocol.ReplyKind {
 	return protocol.ReplyWrite
 }
 
-// SubmitRead implements protocol.Engine. Plain Raft* serves strongly
-// consistent reads by running them through the log, exactly like writes.
+// SubmitRead implements protocol.Engine: with ReadIndex enabled, the
+// leader serves the read from the state machine after one leadership
+// confirmation round — no log append, no fsync; otherwise Raft* serves
+// strongly consistent reads by running them through the log, exactly
+// like writes.
 func (e *Engine) SubmitRead(cmd protocol.Command) protocol.Output {
-	cmd.Op = protocol.OpGet
-	return e.Submit(cmd)
+	return e.SubmitReadBatch([]protocol.Command{cmd})
+}
+
+// SubmitReadBatch implements protocol.ReadBatchSubmitter: the whole batch
+// shares one read index and one confirmation round.
+func (e *Engine) SubmitReadBatch(cmds []protocol.Command) protocol.Output {
+	var out protocol.Output
+	if len(cmds) == 0 {
+		return out
+	}
+	for i := range cmds {
+		cmds[i].Op = protocol.OpGet
+	}
+	if !e.cfg.ReadIndex {
+		return e.SubmitBatch(cmds)
+	}
+	if e.role == Leader {
+		e.addReads(cmds, &out)
+	} else {
+		protocol.RouteReads(e.cfg.ID, e.leader, &e.pendingReads, cmds, &out)
+	}
+	return out
+}
+
+// addReads opens a ReadIndex confirmation round at the leader: the read
+// index is the commit index clamped up to the election barrier, and a
+// heartbeat broadcast carrying the batch's ctx starts the confirmation
+// immediately instead of waiting out the heartbeat interval.
+func (e *Engine) addReads(cmds []protocol.Command, out *protocol.Output) {
+	idx := e.commit
+	if e.readBarrier > idx {
+		idx = e.readBarrier
+	}
+	e.reads.Add(cmds, idx, out)
+	if e.reads.Pending() > 0 {
+		e.broadcastAppend(out, true)
+	}
 }
 
 func (e *Engine) flushPending(out *protocol.Output) {
+	if reads := e.pendingReads; len(reads) > 0 {
+		e.pendingReads = nil
+		out.Merge(e.SubmitReadBatch(reads))
+	}
 	if len(e.pending) == 0 {
 		return
 	}
@@ -625,7 +704,11 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 		PrevTerm:  e.termAt(next - 1),
 		Entries:   ents,
 		Commit:    e.commit,
+		ReadCtx:   e.reads.MaxCtx(),
 	}
+	// The ctx is now in flight: later reads must open a fresh one (an
+	// echo of this ctx only proves leadership up to this send).
+	e.reads.MarkSent()
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: req})
 	if end >= next {
 		e.next[p] = end + 1 // optimistic pipelining
@@ -641,6 +724,10 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	}
 	e.becomeFollower(m.Term, from, out)
 	resp.Term = e.term
+	// Echo the read confirmation ctx whenever we answer at the sender's
+	// term — even a reject acknowledges its leadership, which is all the
+	// ReadIndex round needs.
+	resp.ReadCtx = m.ReadCtx
 
 	end := m.PrevIndex + int64(len(m.Entries))
 	switch {
@@ -702,6 +789,11 @@ func (e *Engine) stepAppendResp(from protocol.NodeID, m *MsgAppendResp, out *pro
 	}
 	if e.role != Leader || m.Term != e.term {
 		return
+	}
+	if m.ReadCtx > 0 {
+		// The follower processed a message we sent while still leading:
+		// that confirms every read batch at or below the echoed ctx.
+		e.reads.Ack(from, m.ReadCtx, out)
 	}
 	if e.inflight[from] > 0 {
 		e.inflight[from]--

@@ -1,0 +1,95 @@
+package raftstar_test
+
+import (
+	"bytes"
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raftstar"
+	"raftpaxos/internal/testcluster"
+)
+
+func newReadIndexCluster(t *testing.T, n int, seed int64) *testcluster.Cluster {
+	t.Helper()
+	peers := make([]protocol.NodeID, n)
+	for i := range peers {
+		peers[i] = protocol.NodeID(i)
+	}
+	engines := make([]protocol.Engine, n)
+	for i := range peers {
+		engines[i] = raftstar.New(raftstar.Config{
+			ID: peers[i], Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
+			Seed: seed, ReadIndex: true,
+		})
+	}
+	return testcluster.New(seed, engines...)
+}
+
+func findReply(c *testcluster.Cluster, id uint64) (protocol.ClientReply, bool) {
+	for _, rep := range c.Replies {
+		if rep.CmdID == id {
+			return rep, true
+		}
+	}
+	return protocol.ClientReply{}, false
+}
+
+// TestReadIndexServesWithoutLogGrowth: the ReadIndex port works on Raft*
+// exactly as on Raft — no log growth, committed value returned — even
+// though Raft* elections adopt safe values instead of appending a no-op
+// barrier (its commit-by-counting rule makes the barrier unnecessary).
+func TestReadIndexServesWithoutLogGrowth(t *testing.T) {
+	c := newReadIndexCluster(t, 3, 1)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("v1")})
+	c.Settle(5)
+
+	last := leader.(*raftstar.Engine).LastIndex()
+	c.SubmitRead(leader.ID(), protocol.Command{ID: 2, Client: 900, Key: "k"})
+	if _, done := findReply(c, 2); done {
+		t.Fatal("read served before the confirmation round")
+	}
+	c.Settle(3)
+	rep, done := findReply(c, 2)
+	if !done || rep.Err != nil || !bytes.Equal(rep.Value, []byte("v1")) {
+		t.Fatalf("read: done=%v rep=%+v", done, rep)
+	}
+	if got := leader.(*raftstar.Engine).LastIndex(); got != last {
+		t.Fatalf("read grew the log: %d -> %d", last, got)
+	}
+}
+
+// TestReadIndexAcrossLeaderChange: after a leader change the new leader's
+// reads still observe everything the old leader committed (the election
+// barrier clamps the read index up to the adopted log's end).
+func TestReadIndexAcrossLeaderChange(t *testing.T) {
+	c := newReadIndexCluster(t, 3, 2)
+	leader, err := c.ElectLeader(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(leader.ID(), protocol.Command{ID: 1, Client: 900, Op: protocol.OpPut, Key: "k", Value: []byte("v1")})
+	c.Settle(5)
+
+	var next protocol.NodeID = -1
+	for id := range c.Engines {
+		if id != leader.ID() {
+			next = id
+			break
+		}
+	}
+	c.Collect(next, c.Engines[next].(*raftstar.Engine).Campaign())
+	c.Settle(5)
+	c.SubmitRead(next, protocol.Command{ID: 2, Client: 900, Key: "k"})
+	c.Settle(5)
+	rep, done := findReply(c, 2)
+	if !done || rep.Err != nil || !bytes.Equal(rep.Value, []byte("v1")) {
+		t.Fatalf("read after leader change: done=%v rep=%+v", done, rep)
+	}
+	if err := c.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -275,6 +275,13 @@ func (e *Engine) RestoreSnapshot(index int64, term uint64) {
 	e.inner.RestoreSnapshot(index, term)
 }
 
+// SetSnapshotProvider implements protocol.SnapshotSender via Raft*, so a
+// live driver's snapshot store reaches the inner engine and a leader can
+// ship images to compaction-stranded peers.
+func (e *Engine) SetSnapshotProvider(p protocol.SnapshotProvider) {
+	e.inner.SetSnapshotProvider(p)
+}
+
 // TruncatePrefix implements protocol.PrefixTruncator via Raft*.
 func (e *Engine) TruncatePrefix(through int64) { e.inner.TruncatePrefix(through) }
 

@@ -1,0 +1,231 @@
+package testcluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is a history-based linearizability checker in the style of
+// Wing & Gong's algorithm: record every client operation's invocation and
+// response against a logical event clock, then search for a legal
+// sequential ordering (a linearization) in which each operation takes
+// effect atomically between its invocation and its response. For a
+// register-per-key store, operations on distinct keys commute, so each
+// key's sub-history is checked independently — which keeps the
+// exponential search small enough to run inside unit tests.
+//
+// Semantics for incomplete operations follow the standard treatment:
+//   - a write that was invoked but never acknowledged MAY have taken
+//     effect (the entry could have replicated before the client gave up)
+//     — the search may linearize it at any point after its invocation, or
+//     drop it entirely;
+//   - a write the system definitively rejected (ErrNotLeader: the engine
+//     shed it without proposing) did not happen and is excluded;
+//   - an unacknowledged read has no side effects and is excluded.
+
+// HistOp is one recorded client operation.
+type HistOp struct {
+	Client int
+	Put    bool
+	Key    string
+	// Value is the payload written (puts) or observed (gets; "" = key
+	// absent at read time).
+	Value string
+	// Inv and Ret are event-clock timestamps; Ret is math.MaxInt64 while
+	// the operation is outstanding.
+	Inv, Ret int64
+	// MaybeLost marks an unacknowledged put: it may be linearized or
+	// dropped, the checker tries both.
+	MaybeLost bool
+}
+
+func (o HistOp) String() string {
+	kind := "get"
+	if o.Put {
+		kind = "put"
+	}
+	ret := fmt.Sprintf("%d", o.Ret)
+	if o.Ret == math.MaxInt64 {
+		ret = "pending"
+	}
+	return fmt.Sprintf("client %d %s(%q)=%q [%d,%s]", o.Client, kind, o.Key, o.Value, o.Inv, ret)
+}
+
+// History records per-client invocation/response pairs keyed by command
+// ID, against a strictly increasing logical clock (one tick per event).
+type History struct {
+	clock int64
+	ops   []HistOp
+	open  map[uint64]int
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{open: make(map[uint64]int)}
+}
+
+// Invoke records an operation's start.
+func (h *History) Invoke(cmdID uint64, client int, put bool, key, value string) {
+	h.clock++
+	h.open[cmdID] = len(h.ops)
+	h.ops = append(h.ops, HistOp{
+		Client: client, Put: put, Key: key, Value: value,
+		Inv: h.clock, Ret: math.MaxInt64,
+	})
+}
+
+// Return records an operation's completion; for gets, value is what the
+// client observed. Unknown or already-completed IDs are ignored (late
+// duplicate replies).
+func (h *History) Return(cmdID uint64, value string) {
+	i, ok := h.open[cmdID]
+	if !ok {
+		return
+	}
+	delete(h.open, cmdID)
+	h.clock++
+	h.ops[i].Ret = h.clock
+	if !h.ops[i].Put {
+		h.ops[i].Value = value
+	}
+}
+
+// Discard removes an operation the system definitively rejected without
+// side effects (a shed write, a failed read): it must not constrain the
+// linearization at all.
+func (h *History) Discard(cmdID uint64) {
+	if i, ok := h.open[cmdID]; ok {
+		delete(h.open, cmdID)
+		h.ops[i].Key = "" // keyless ops are skipped by Check
+	}
+}
+
+// Outstanding reports how many operations have no response yet.
+func (h *History) Outstanding() int { return len(h.open) }
+
+// Len reports how many operations were recorded.
+func (h *History) Len() int { return len(h.ops) }
+
+// Check searches for a linearization of the recorded history, returning
+// nil if one exists and a diagnostic error naming the offending key
+// otherwise. Keys are checked independently (register operations on
+// distinct keys commute).
+func (h *History) Check() error {
+	byKey := make(map[string][]HistOp)
+	for _, op := range h.ops {
+		if op.Key == "" {
+			continue // discarded
+		}
+		if !op.Put && op.Ret == math.MaxInt64 {
+			continue // unacknowledged read: no side effects, no constraint
+		}
+		o := op
+		if o.Put && o.Ret == math.MaxInt64 {
+			o.MaybeLost = true
+		}
+		byKey[op.Key] = append(byKey[op.Key], o)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error reporting
+	for _, k := range keys {
+		if err := checkKey(k, byKey[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkKey runs the Wing-Gong search for one key's sub-history. State is
+// (set of linearized ops, last linearized write), memoized; the set is a
+// bitmask, which caps a key's sub-history at 64 operations — plenty for
+// test-scale histories, and a loud error rather than a wrong answer
+// beyond that.
+func checkKey(key string, ops []HistOp) error {
+	if len(ops) > 64 {
+		return fmt.Errorf("linearize: key %q has %d ops; checker caps at 64 — use more keys or fewer ops", key, len(ops))
+	}
+	// Writes must be unique for the register argument to be sound: a get
+	// observing value v pins down WHICH write it follows.
+	writes := make(map[string]int)
+	for i, op := range ops {
+		if !op.Put {
+			continue
+		}
+		if op.Value == "" {
+			return fmt.Errorf("linearize: key %q has a put of the empty value (reserved for 'absent')", key)
+		}
+		if j, dup := writes[op.Value]; dup {
+			return fmt.Errorf("linearize: key %q written with duplicate value %q (ops %d and %d); the checker needs unique writes", key, op.Value, i, j)
+		}
+		writes[op.Value] = i
+	}
+
+	required := uint64(0)
+	for i, op := range ops {
+		if !op.MaybeLost {
+			required |= 1 << uint(i)
+		}
+	}
+	type state struct {
+		mask  uint64
+		lastW int
+	}
+	seen := make(map[state]bool)
+
+	var rec func(mask uint64, lastW int) bool
+	rec = func(mask uint64, lastW int) bool {
+		if mask&required == required {
+			return true
+		}
+		st := state{mask, lastW}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		// An op may be linearized next only if no other remaining op
+		// returned before it was invoked (that one would have to come
+		// first).
+		minRet := int64(math.MaxInt64)
+		for i, op := range ops {
+			if mask&(1<<uint(i)) == 0 && op.Ret < minRet {
+				minRet = op.Ret
+			}
+		}
+		cur := ""
+		if lastW >= 0 {
+			cur = ops[lastW].Value
+		}
+		for i, op := range ops {
+			bit := uint64(1) << uint(i)
+			if mask&bit != 0 || op.Inv > minRet {
+				continue
+			}
+			if op.Put {
+				if rec(mask|bit, i) {
+					return true
+				}
+				continue
+			}
+			if op.Value == cur && rec(mask|bit, lastW) {
+				return true
+			}
+		}
+		return false
+	}
+	if !rec(0, -1) {
+		return fmt.Errorf("linearize: history for key %q is not linearizable:\n%s", key, describe(ops))
+	}
+	return nil
+}
+
+func describe(ops []HistOp) string {
+	s := ""
+	for _, op := range ops {
+		s += "  " + op.String() + "\n"
+	}
+	return s
+}

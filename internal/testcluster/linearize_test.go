@@ -1,0 +1,148 @@
+package testcluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// The checker is itself load-bearing test infrastructure, so its verdicts
+// are pinned on hand-built histories whose linearizability is known.
+
+func TestLinearizeSequentialHistory(t *testing.T) {
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 0, false, "k", "")
+	h.Return(2, "v1")
+	h.Invoke(3, 1, true, "k", "v2")
+	h.Return(3, "")
+	h.Invoke(4, 1, false, "k", "")
+	h.Return(4, "v2")
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizeCatchesStaleRead(t *testing.T) {
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 0, true, "k", "v2")
+	h.Return(2, "")
+	// Read invoked strictly after v2's write completed but observing v1:
+	// the textbook stale read.
+	h.Invoke(3, 1, false, "k", "")
+	h.Return(3, "v1")
+	if err := h.Check(); err == nil {
+		t.Fatal("stale read not flagged")
+	} else if !strings.Contains(err.Error(), `"k"`) {
+		t.Fatalf("diagnostic does not name the key: %v", err)
+	}
+}
+
+func TestLinearizeConcurrentReadMayGoEitherWay(t *testing.T) {
+	// A read concurrent with a write may observe either the old or the
+	// new value — both orders must pass.
+	for _, observed := range []string{"", "v1"} {
+		h := NewHistory()
+		h.Invoke(1, 0, true, "k", "v1")
+		h.Invoke(2, 1, false, "k", "")
+		h.Return(2, observed)
+		h.Return(1, "")
+		if err := h.Check(); err != nil {
+			t.Fatalf("concurrent read observing %q: %v", observed, err)
+		}
+	}
+}
+
+func TestLinearizeReadMustNotTravelBackwards(t *testing.T) {
+	// Two sequential reads around a concurrent write: once the second
+	// read observes the write, a later read may not un-observe it.
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Invoke(2, 1, false, "k", "")
+	h.Return(2, "v1")
+	h.Invoke(3, 1, false, "k", "")
+	h.Return(3, "")
+	h.Return(1, "")
+	if err := h.Check(); err == nil {
+		t.Fatal("read regression not flagged")
+	}
+}
+
+func TestLinearizePendingWriteMayOrMayNotApply(t *testing.T) {
+	// An unacknowledged write may be observed...
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 0, true, "k", "v2") // never returns
+	h.Invoke(3, 1, false, "k", "")
+	h.Return(3, "v2")
+	if err := h.Check(); err != nil {
+		t.Fatalf("pending write observed: %v", err)
+	}
+	// ...or not.
+	h2 := NewHistory()
+	h2.Invoke(1, 0, true, "k", "v1")
+	h2.Return(1, "")
+	h2.Invoke(2, 0, true, "k", "v2") // never returns
+	h2.Invoke(3, 1, false, "k", "")
+	h2.Return(3, "v1")
+	if err := h2.Check(); err != nil {
+		t.Fatalf("pending write dropped: %v", err)
+	}
+	if h.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", h.Outstanding())
+	}
+}
+
+func TestLinearizeLostAcknowledgedWriteIsFlagged(t *testing.T) {
+	// An ACKNOWLEDGED write must be visible to a later read.
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 1, false, "k", "")
+	h.Return(2, "")
+	if err := h.Check(); err == nil {
+		t.Fatal("lost acknowledged write not flagged")
+	}
+}
+
+func TestLinearizeKeysAreIndependent(t *testing.T) {
+	h := NewHistory()
+	h.Invoke(1, 0, true, "a", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 1, true, "b", "w1")
+	h.Return(2, "")
+	h.Invoke(3, 0, false, "b", "")
+	h.Return(3, "w1")
+	h.Invoke(4, 1, false, "a", "")
+	h.Return(4, "v1")
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizeDiscardRemovesConstraint(t *testing.T) {
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v1")
+	h.Return(1, "")
+	h.Invoke(2, 0, true, "k", "v2")
+	h.Discard(2) // definitively rejected: must not constrain anything
+	h.Invoke(3, 1, false, "k", "")
+	h.Return(3, "v1")
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizeDuplicateWriteValuesRejected(t *testing.T) {
+	h := NewHistory()
+	h.Invoke(1, 0, true, "k", "v")
+	h.Return(1, "")
+	h.Invoke(2, 1, true, "k", "v")
+	h.Return(2, "")
+	if err := h.Check(); err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("duplicate write values should be rejected loudly, got %v", err)
+	}
+}

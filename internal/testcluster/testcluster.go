@@ -25,24 +25,45 @@ type Cluster struct {
 
 	// Observed behaviour.
 	Applied map[protocol.NodeID][]protocol.Entry
+	// Replies records client completions. Read replies carry the value the
+	// serving node returned (from its KV mirror below), so tests can check
+	// what a client actually observed — the raw material of the
+	// linearizability checker.
 	Replies []protocol.ClientReply
 	// Installed records snapshot images adopted over the wire per node, in
 	// order — the driver-side install a live cluster.Node performs
 	// (persist + state-machine restore) reduced to bookkeeping here.
 	Installed map[protocol.NodeID][]protocol.SnapshotImage
+
+	// KV mirrors each node's applied state machine and AppliedIdx its
+	// applied watermark — the driver-side apply loop a live cluster.Node
+	// runs, reduced to a map. Read paths that serve from the local store
+	// (ReadIndex states, lease-read replies) are answered from here, so a
+	// stale local store yields a stale observable read, exactly like the
+	// real runtime.
+	KV         map[protocol.NodeID]map[string][]byte
+	AppliedIdx map[protocol.NodeID]int64
+	// parkedReads holds confirmed ReadIndex states whose read index is
+	// still ahead of the node's applied watermark (rare in this
+	// synchronous harness: commits precede their read states).
+	parkedReads map[protocol.NodeID][]protocol.ReadState
 }
 
 // New builds a cluster over the given engines.
 func New(seed int64, engines ...protocol.Engine) *Cluster {
 	c := &Cluster{
-		Engines:   make(map[protocol.NodeID]protocol.Engine, len(engines)),
-		Rng:       rand.New(rand.NewSource(seed)),
-		cut:       make(map[[2]protocol.NodeID]bool),
-		Applied:   make(map[protocol.NodeID][]protocol.Entry),
-		Installed: make(map[protocol.NodeID][]protocol.SnapshotImage),
+		Engines:     make(map[protocol.NodeID]protocol.Engine, len(engines)),
+		Rng:         rand.New(rand.NewSource(seed)),
+		cut:         make(map[[2]protocol.NodeID]bool),
+		Applied:     make(map[protocol.NodeID][]protocol.Entry),
+		Installed:   make(map[protocol.NodeID][]protocol.SnapshotImage),
+		KV:          make(map[protocol.NodeID]map[string][]byte),
+		AppliedIdx:  make(map[protocol.NodeID]int64),
+		parkedReads: make(map[protocol.NodeID][]protocol.ReadState),
 	}
 	for _, e := range engines {
 		c.Engines[e.ID()] = e
+		c.KV[e.ID()] = make(map[string][]byte)
 	}
 	return c
 }
@@ -63,8 +84,11 @@ func (c *Cluster) Isolate(n protocol.NodeID, cut bool) {
 }
 
 // Collect absorbs an engine output produced at node id, mirroring a real
-// driver: commits are applied in order, and Reply-flagged commits are
-// answered to the client on the engine's behalf.
+// driver: commits are applied in order (into the node's KV mirror),
+// Reply-flagged commits are answered to the client on the engine's
+// behalf, read replies are filled from the node's local state, and
+// confirmed ReadIndex states are served once the applied watermark
+// reaches their read index.
 func (c *Cluster) Collect(id protocol.NodeID, out protocol.Output) {
 	c.Queue = append(c.Queue, out.Msgs...)
 	if out.InstalledSnapshot != nil {
@@ -72,17 +96,63 @@ func (c *Cluster) Collect(id protocol.NodeID, out protocol.Output) {
 	}
 	for _, ci := range out.Commits {
 		c.Applied[id] = append(c.Applied[id], ci.Entry)
+		if kv := c.KV[id]; kv != nil {
+			if ci.Entry.Cmd.Op == protocol.OpPut {
+				kv[ci.Entry.Cmd.Key] = ci.Entry.Cmd.Value
+			}
+			if ci.Entry.Index > c.AppliedIdx[id] {
+				c.AppliedIdx[id] = ci.Entry.Index
+			}
+		}
 		if ci.Reply {
 			kind := protocol.ReplyWrite
+			var val []byte
 			if ci.Entry.Cmd.Op == protocol.OpGet {
 				kind = protocol.ReplyRead
+				val = c.KV[id][ci.Entry.Cmd.Key]
 			}
 			c.Replies = append(c.Replies, protocol.ClientReply{
 				Kind: kind, CmdID: ci.Entry.Cmd.ID, Client: ci.Entry.Cmd.Client,
+				Key: ci.Entry.Cmd.Key, Value: val,
 			})
 		}
 	}
-	c.Replies = append(c.Replies, out.Replies...)
+	for _, rep := range out.Replies {
+		if rep.Kind == protocol.ReplyRead && rep.Err == nil && rep.Value == nil {
+			// Engine-level read replies (lease local reads) are served from
+			// the replying node's own applied state, like the live applier.
+			rep.Value = c.KV[id][rep.Key]
+		}
+		c.Replies = append(c.Replies, rep)
+	}
+	if len(out.ReadStates) > 0 {
+		c.parkedReads[id] = append(c.parkedReads[id], out.ReadStates...)
+	}
+	c.serveReads(id)
+}
+
+// serveReads answers every parked ReadIndex state whose read index the
+// node's applied watermark has reached, from the node's local KV mirror.
+func (c *Cluster) serveReads(id protocol.NodeID) {
+	parked := c.parkedReads[id]
+	if len(parked) == 0 {
+		return
+	}
+	applied := c.AppliedIdx[id]
+	keep := parked[:0]
+	for _, rs := range parked {
+		if rs.Index > applied {
+			keep = append(keep, rs)
+			continue
+		}
+		for _, cmd := range rs.Cmds {
+			c.Replies = append(c.Replies, protocol.ClientReply{
+				Kind: protocol.ReplyRead, CmdID: cmd.ID, Client: cmd.Client,
+				Key: cmd.Key, Value: c.KV[id][cmd.Key],
+			})
+		}
+	}
+	c.parkedReads[id] = keep
 }
 
 // Tick ticks every engine once.

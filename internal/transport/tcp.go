@@ -41,6 +41,9 @@ func RegisterMessages() {
 		// Snapshot transfer is defined once at the protocol layer and
 		// shared by every engine that can strand a peer behind compaction.
 		&protocol.MsgInstallSnapshot{}, &protocol.MsgInstallSnapshotResp{},
+		// Read forwarding is likewise defined once at the protocol layer
+		// and shared by every engine with a ReadIndex fast path.
+		&protocol.MsgReadForward{},
 	} {
 		gob.Register(m)
 	}

@@ -111,7 +111,13 @@ type ClusterConfig struct {
 	LeaseRenew    time.Duration
 	// MenciusConflicting selects the conflicting-workload reply policy.
 	MenciusConflicting bool
-	Seed               int64
+	// DisableFastReads reverts Get to the paper's baseline of replicating
+	// every read through the log. By default the live runtime serves
+	// reads via ReadIndex (raft, raftstar, multipaxos — one leadership
+	// confirmation round, no log append, no fsync) or quorum leases
+	// (the PQL/LL protocols, with ReadIndex as their fallback).
+	DisableFastReads bool
+	Seed             int64
 }
 
 func (c *ClusterConfig) withDefaults() ClusterConfig {
@@ -153,10 +159,12 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 	case ProtoRaft:
 		return raft.New(raft.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
+			ReadIndex: !c.DisableFastReads,
 		})
 	case ProtoMultiPaxos:
 		return multipaxos.New(multipaxos.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
+			ReadIndex: !c.DisableFastReads,
 		})
 	case ProtoRaftStarPQL, ProtoRaftStarLL:
 		mode := rql.QuorumLease
@@ -166,6 +174,7 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 		return rql.New(rql.Config{
 			Raft: raftstar.Config{
 				ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
+				ReadIndex: !c.DisableFastReads,
 			},
 			Mode:       mode,
 			LeaseTicks: ticks(c.LeaseDuration),
@@ -184,6 +193,7 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 		return pql.New(pql.Config{
 			Paxos: multipaxos.Config{
 				ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
+				ReadIndex: !c.DisableFastReads,
 			},
 			LeaseTicks: ticks(c.LeaseDuration),
 			RenewTicks: ticks(c.LeaseRenew),
@@ -191,6 +201,7 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 	default: // ProtoRaftStar and zero value
 		return raftstar.New(raftstar.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
+			ReadIndex: !c.DisableFastReads,
 		})
 	}
 }
