@@ -86,9 +86,11 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 			res.Reads, res.ReadsPerSec, res.ReadP50MS, res.ReadP99MS, res.ReadLogAppends)
 	}
 	if res.TransportFrames > 0 {
-		fmt.Printf("  transport: %d frames (%d compressed), %d raw -> %d wire bytes\n",
-			res.TransportFrames, res.TransportFramesCompressed, res.TransportRawBytes, res.TransportWireBytes)
+		fmt.Printf("  transport: %d frames (%d compressed, %d dropped), %d raw -> %d wire bytes, encode %.1fms\n",
+			res.TransportFrames, res.TransportFramesCompressed, res.TransportFramesDropped,
+			res.TransportRawBytes, res.TransportWireBytes, float64(res.EncodeNSTotal)/1e6)
 	}
+	fmt.Printf("  alloc churn: %.0f bytes/op\n", res.AllocBytesPerOp)
 
 	if jsonPath == "" {
 		jsonPath = fmt.Sprintf("BENCH_%d.json", ops)

@@ -92,7 +92,6 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 }
 
 func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEvery int) error {
-	transport.RegisterMessages()
 	cluster.RegisterMessages()
 	p, err := raftpaxos.ParseProto(protoName)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -142,12 +143,24 @@ type LongRunResult struct {
 	ReadLogAppends int64   `json:"read_log_appends"`
 	// Transport framing totals, summed over all replicas' TCP transports
 	// (zero on a channel-network run): frames sent, frames that shipped
-	// snappy-compressed, pre-compression gob bytes, and bytes actually
+	// snappy-compressed, pre-compression payload bytes, and bytes actually
 	// written to the wire.
 	TransportFrames           int64 `json:"transport_frames,omitempty"`
 	TransportFramesCompressed int64 `json:"transport_frames_compressed,omitempty"`
 	TransportRawBytes         int64 `json:"transport_raw_bytes,omitempty"`
 	TransportWireBytes        int64 `json:"transport_wire_bytes,omitempty"`
+	// TransportFramesDropped counts sends shed on outbound queue overflow
+	// (non-zero means the wire, not the engine, was the bottleneck), and
+	// EncodeNSTotal is wall time spent in encode+compress+frame across all
+	// writer goroutines — the codec cost the binary wire format exists to
+	// shrink.
+	TransportFramesDropped int64 `json:"transport_frames_dropped"`
+	EncodeNSTotal          int64 `json:"encode_ns_total,omitempty"`
+	// AllocBytesPerOp is the process-wide heap allocation per completed
+	// operation (runtime.MemStats TotalAlloc delta across the loaded
+	// phase). It spans clients, engines, WAL, and transport together: the
+	// whole-system allocation churn the zero-allocation codec targets.
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
 }
 
 // lazyTransport breaks the node<->transport construction cycle when
@@ -221,7 +234,6 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		closeNet func()
 	)
 	if cfg.UseTCP {
-		transport.RegisterMessages()
 		cluster.RegisterMessages()
 		// Every transport listens on :0 first, then the shared address map
 		// is filled from the live listeners before any node starts — no
@@ -279,6 +291,8 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	// state on the hot path).
 	readDurs := make([][]time.Duration, cfg.Clients)
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -314,6 +328,8 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(errCh)
 	if err := <-errCh; err != nil {
 		for _, nd := range nodes {
@@ -339,6 +355,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		CommitsPerSec: float64(cfg.Ops-len(allReads)) / elapsed.Seconds(),
 		WindowOps:     cfg.WindowOps,
 	}
+	res.AllocBytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(cfg.Ops)
 	if ns := tFirstWindow.Load(); ns > 0 {
 		res.FirstWindowPerSec = float64(cfg.WindowOps) / time.Unix(0, ns).Sub(start).Seconds()
 	}
@@ -384,6 +401,8 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		res.TransportFramesCompressed += st.FramesCompressed
 		res.TransportRawBytes += st.RawBytes
 		res.TransportWireBytes += st.WireBytes
+		res.TransportFramesDropped += st.DroppedFrames
+		res.EncodeNSTotal += st.EncodeNanos
 	}
 	for _, nd := range nodes {
 		nd.Stop()

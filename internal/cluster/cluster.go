@@ -22,7 +22,6 @@ package cluster
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"log"
@@ -35,10 +34,15 @@ import (
 	"raftpaxos/internal/protocol"
 	"raftpaxos/internal/storage"
 	"raftpaxos/internal/transport"
+	"raftpaxos/internal/wire"
 )
 
 // MsgReply routes a committed request's response back to the node the
 // client is attached to.
+//
+// Wire format (wire.TagClusterReply): CmdID uvarint, Value bytes,
+// Redirect varint, ErrText string — field order is frozen; append new
+// fields at the end only.
 type MsgReply struct {
 	CmdID    uint64
 	Value    []byte
@@ -49,10 +53,29 @@ type MsgReply struct {
 // WireSize implements protocol.Message.
 func (m *MsgReply) WireSize() int { return 24 + len(m.Value) }
 
-// RegisterMessages registers the cluster-level wire types with gob for
-// TCP deployments (engine messages register via transport.RegisterMessages).
+// RegisterMessages binds the cluster-level wire types into the binary
+// codec registry for TCP deployments. Engine messages register themselves
+// inside internal/wire; this package sits above the transport, so its
+// types register from here. Idempotent.
 func RegisterMessages() {
-	gob.Register(&MsgReply{})
+	wire.Register(wire.TagClusterReply, &MsgReply{}, wire.Codec{
+		New: func() protocol.Message { return &MsgReply{} },
+		Append: func(b []byte, msg protocol.Message) []byte {
+			m := msg.(*MsgReply)
+			b = wire.AppendUvarint(b, m.CmdID)
+			b = wire.AppendBytes(b, m.Value)
+			b = wire.AppendVarint(b, int64(m.Redirect))
+			return wire.AppendString(b, m.ErrText)
+		},
+		Decode: func(r *wire.Reader) (protocol.Message, error) {
+			m := &MsgReply{}
+			m.CmdID = r.Uvarint()
+			m.Value = r.Bytes()
+			m.Redirect = protocol.NodeID(r.Varint())
+			m.ErrText = r.String()
+			return m, r.Err()
+		},
+	})
 }
 
 // Config assembles a node.

@@ -706,7 +706,6 @@ func (l *lazyTransport) Close() error { return nil }
 // wire (a registration regression would only show up here, not on the
 // in-process channel transport).
 func TestWipedNodeRejoinsOverTCP(t *testing.T) {
-	transport.RegisterMessages()
 	cluster.RegisterMessages()
 	const interval = 20
 	peers := []protocol.NodeID{0, 1, 2}

@@ -291,7 +291,6 @@ func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			transport.RegisterMessages()
 			cluster.RegisterMessages()
 			peers := []protocol.NodeID{0, 1, 2}
 			addrs := map[protocol.NodeID]string{}

@@ -15,6 +15,10 @@ package lease
 
 import "raftpaxos/internal/protocol"
 
+// Wire stability: grant messages travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgGrant is a lease grant (or renewal) from a grantor to a holder.
 type MsgGrant struct {
 	// Duration is the validity period in ticks from receipt.

@@ -8,6 +8,10 @@ type SlotCmd struct {
 	Cmd  protocol.Command
 }
 
+// Wire stability: these types travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // SlotProp is a previously accepted proposal reported during revocation.
 type SlotProp struct {
 	Slot int64

@@ -21,6 +21,10 @@ type InstanceInfo struct {
 	Chosen bool
 }
 
+// Wire stability: the message types below travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgPrepare is Paxos phase 1a, batched from the first unchosen instance.
 type MsgPrepare struct {
 	Bal      uint64

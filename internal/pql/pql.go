@@ -17,6 +17,10 @@ import (
 	"raftpaxos/internal/protocol"
 )
 
+// Wire stability: read requests travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgReadReq forwards a read to the leader when the local replica has no
 // active quorum lease.
 type MsgReadReq struct {

@@ -45,6 +45,11 @@ func (o Op) String() string {
 // as opaque; the Key is visible so lease-based protocols can track
 // read/write conflicts, and Size so the simulator can model wire and CPU
 // costs of large values.
+//
+// Wire stability: Command and Entry are embedded in every live wire
+// message and in WAL records; exported field ORDER is the encoded layout
+// and is frozen (see internal/wire). Append new fields at the end and
+// bump the transport's wireVersion.
 type Command struct {
 	// ID is unique per client request; replies are matched on it.
 	ID uint64
@@ -373,6 +378,9 @@ func SubmitReads(e Engine, cmds []Command) Output {
 // which serves them through its ReadIndex fast path and routes the
 // replies back to the origin's clients. Shared by every engine with a
 // ReadIndex port, like the snapshot-transfer messages.
+//
+// Wire stability: travels the live wire through internal/wire; exported
+// field ORDER is the encoded layout and is frozen.
 type MsgReadForward struct {
 	Cmds []Command
 }

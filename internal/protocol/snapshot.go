@@ -60,6 +60,10 @@ type SnapshotInstaller interface {
 	InstallSnapshot(img SnapshotImage) error
 }
 
+// Wire stability: the transfer messages travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgInstallSnapshot carries one chunk of a snapshot image to a peer that
 // cannot be caught up by log replay (its next needed index fell below the
 // sender's compaction base).

@@ -24,6 +24,10 @@ const (
 	Leader
 )
 
+// Wire stability: the message types below travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgVoteReq is Raft's RequestVote RPC.
 type MsgVoteReq struct {
 	Term      uint64

@@ -20,6 +20,10 @@ func cmdsWireSize(cmds []protocol.Command) int {
 	return n
 }
 
+// Wire stability: the message types below travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgVoteReq is Raft*'s requestVote (maps to Paxos prepare / msg1a).
 type MsgVoteReq struct {
 	Term      uint64

@@ -35,6 +35,10 @@ const (
 	LeaderLease
 )
 
+// Wire stability: read requests travel the live wire through internal/wire;
+// exported field ORDER is the encoded layout and is frozen. Append new
+// fields at the end and bump the transport's wireVersion.
+//
 // MsgReadReq forwards a read to the leader (LL mode, or a PQL replica
 // without an active quorum lease).
 type MsgReadReq struct {

@@ -2,77 +2,56 @@ package transport
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"raftpaxos/internal/lease"
-	"raftpaxos/internal/mencius"
-	"raftpaxos/internal/multipaxos"
-	"raftpaxos/internal/pql"
 	"raftpaxos/internal/protocol"
-	"raftpaxos/internal/raft"
-	"raftpaxos/internal/raftstar"
-	"raftpaxos/internal/rql"
 	"raftpaxos/internal/snappy"
+	"raftpaxos/internal/wire"
 )
 
-// RegisterMessages registers every engine message type with gob so the
-// TCP transport can ship them. Call once per process before dialing.
-func RegisterMessages() {
-	for _, m := range []any{
-		&raftstar.MsgVoteReq{}, &raftstar.MsgVoteResp{},
-		&raftstar.MsgAppendReq{}, &raftstar.MsgAppendResp{}, &raftstar.MsgForward{},
-		&raft.MsgVoteReq{}, &raft.MsgVoteResp{},
-		&raft.MsgAppendReq{}, &raft.MsgAppendResp{}, &raft.MsgForward{},
-		&multipaxos.MsgPrepare{}, &multipaxos.MsgPrepareOK{},
-		&multipaxos.MsgAccept{}, &multipaxos.MsgAcceptOK{}, &multipaxos.MsgForward{},
-		&mencius.MsgPropose{}, &mencius.MsgProposeOK{}, &mencius.MsgCoordHB{},
-		&mencius.MsgRevokePrep{}, &mencius.MsgRevokePromise{},
-		&lease.MsgGrant{}, &lease.MsgGrantAck{},
-		&rql.MsgReadReq{}, &pql.MsgReadReq{},
-		// Snapshot transfer is defined once at the protocol layer and
-		// shared by every engine that can strand a peer behind compaction.
-		&protocol.MsgInstallSnapshot{}, &protocol.MsgInstallSnapshotResp{},
-		// Read forwarding is likewise defined once at the protocol layer
-		// and shared by every engine with a ReadIndex fast path.
-		&protocol.MsgReadForward{},
-	} {
-		gob.Register(m)
-	}
-}
-
-// wireFrame is the gob envelope on the wire.
-type wireFrame struct {
-	From protocol.NodeID
-	Msg  protocol.Message
-}
-
-// Wire framing: every gob message travels as one length-prefixed frame —
-// a 4-byte big-endian body length, a 1-byte flag, then the body (the gob
-// stream's bytes for exactly one message, snappy-compressed when the flag
-// says so). The length prefix makes frame boundaries explicit and
-// independently skippable/checkable, and gives compression a unit to work
-// on; the gob type-descriptor state still spans the connection, so the
-// per-frame overhead stays five bytes.
+// Wire protocol. A connection starts with a 5-byte handshake — the magic
+// "RPXW" plus one wire-format version byte — written by the dialing
+// (sending) side and verified by the accepting (reading) side before any
+// frame is parsed. The handshake is what makes a mixed-codec cluster fail
+// loudly: a peer speaking another format (or the old gob framing, whose
+// first byte is a gob length, never 'R') is disconnected and logged
+// instead of being mis-parsed into garbage messages.
+//
+// After the handshake, every write is one length-prefixed frame — a
+// 4-byte big-endian body length, a 1-byte flag, then the body
+// (snappy-compressed when the flag says so). A frame body is a batch of
+// message records in the internal/wire binary format: the writer drains
+// its whole outbound queue into one frame (bounded by maxBatchBytes), so
+// a burst of messages costs one encode pass, at most one compression, and
+// one syscall.
 const (
+	wireVersion    = 2 // version 1 was the gob stream this codec retired
 	frameHeaderLen = 5
 	flagSnappy     = 0x01
 	// maxFrameBytes bounds what a reader will allocate for one frame
-	// (far above any message the engines produce; a violation means a
+	// (far above any batch the writer produces; a violation means a
 	// corrupt or hostile stream).
 	maxFrameBytes = 64 << 20
+	// maxBatchBytes caps how much encoded payload a writer packs into one
+	// frame before cutting it: bounds both sides' buffer high-water marks
+	// while keeping the batch large enough that compression and syscalls
+	// amortize.
+	maxBatchBytes = 1 << 20
 )
 
-// DefaultCompressMin is the body size, in bytes, above which frames are
-// compressed when compression is enabled: small control messages
+var wireHandshake = [5]byte{'R', 'P', 'X', 'W', wireVersion}
+
+// DefaultCompressMin is the frame body size, in bytes, above which frames
+// are compressed when compression is enabled: small control batches
 // (heartbeats, votes, acks) are not worth the CPU, while batched appends
 // and snapshot chunks shrink substantially.
 const DefaultCompressMin = 1 << 10
@@ -90,16 +69,26 @@ type TCPOptions struct {
 
 // TCPStats reports the transport's framing counters.
 type TCPStats struct {
-	// FramesSent counts frames written to peer connections.
+	// FramesSent counts frames written to peer connections (one frame
+	// carries a whole drained batch of messages).
 	FramesSent int64
 	// FramesCompressed counts frames that went out snappy-compressed.
 	FramesCompressed int64
-	// RawBytes is the total pre-compression (gob) body size.
+	// RawBytes is the total pre-compression (binary-codec) body size.
 	RawBytes int64
 	// WireBytes is the total bytes actually written (headers + bodies,
 	// post-compression): RawBytes - WireBytes + 5*FramesSent is the
 	// payload volume compression saved.
 	WireBytes int64
+	// DroppedFrames counts messages shed on per-peer queue overflow (the
+	// bounded outbound queue absorbing a burst faster than the link
+	// drains). Consensus tolerates the loss and retries via timers, but
+	// sustained drops mean the link or peer cannot keep up.
+	DroppedFrames int64
+	// EncodeNanos is the total wall time spent encoding, compressing and
+	// framing outbound batches — the codec cost the binary wire format
+	// exists to minimize.
+	EncodeNanos int64
 }
 
 // outQueueDepth bounds each per-peer outbound queue; overflow drops, as a
@@ -113,20 +102,27 @@ const (
 	dialBackoffMax = 2 * time.Second
 )
 
+// outMsg is one queued outbound message awaiting encoding.
+type outMsg struct {
+	from protocol.NodeID
+	msg  protocol.Message
+}
+
 // TCP is a TCP transport: one listener per node and, per peer, an
 // outbound queue drained by a dedicated writer goroutine over one lazily
 // dialed connection. Send never blocks the caller on dialing or encoding —
-// the consensus event loop only enqueues. Each writer drains whatever is
-// queued into a single buffered gob stream and flushes once per drain, so
-// a burst of messages costs one syscall; the single queue and single
-// writer per destination preserve the per-pair FIFO delivery the Mencius
-// engines require.
+// the consensus event loop only enqueues. Each writer batch-encodes
+// whatever is queued into one reused scratch buffer with the
+// internal/wire codec (zero steady-state allocations), compresses and
+// frames it in place, and flushes once per drain, so a burst of messages
+// costs one syscall; the single queue and single writer per destination
+// preserve the per-pair FIFO delivery the Mencius engines require.
 //
-// A down peer does not shed the queue: the writer holds the head frame and
-// reconnects with exponential backoff plus jitter (so a restarted cluster
-// does not produce synchronized dial storms), while the bounded queue
-// absorbs or drops the backlog exactly as a lossy network would. Healthy
-// reports the per-peer link state.
+// A down peer does not shed the queue: the writer holds the head message
+// and reconnects with exponential backoff plus jitter (so a restarted
+// cluster does not produce synchronized dial storms), while the bounded
+// queue absorbs or drops the backlog exactly as a lossy network would.
+// Healthy reports the per-peer link state.
 type TCP struct {
 	self  protocol.NodeID
 	addrs map[protocol.NodeID]string
@@ -135,7 +131,7 @@ type TCP struct {
 	compressMin int
 
 	mu      sync.Mutex
-	peers   map[protocol.NodeID]chan wireFrame
+	peers   map[protocol.NodeID]chan outMsg
 	conns   map[protocol.NodeID]net.Conn // live writer conns, closed to unblock writers
 	inbound map[net.Conn]struct{}        // accepted conns, closed to unblock readers
 	health  map[protocol.NodeID]*atomic.Bool
@@ -144,6 +140,8 @@ type TCP struct {
 	framesCompressed atomic.Int64
 	rawBytes         atomic.Int64
 	wireBytes        atomic.Int64
+	droppedFrames    atomic.Int64
+	encodeNanos      atomic.Int64
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -167,7 +165,7 @@ func NewTCPWith(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handle
 		addrs:       addrs,
 		compress:    !opt.DisableCompression,
 		compressMin: opt.CompressMin,
-		peers:       make(map[protocol.NodeID]chan wireFrame),
+		peers:       make(map[protocol.NodeID]chan outMsg),
 		conns:       make(map[protocol.NodeID]net.Conn),
 		inbound:     make(map[net.Conn]struct{}),
 		health:      make(map[protocol.NodeID]*atomic.Bool),
@@ -190,6 +188,8 @@ func (t *TCP) Stats() TCPStats {
 		FramesCompressed: t.framesCompressed.Load(),
 		RawBytes:         t.rawBytes.Load(),
 		WireBytes:        t.wireBytes.Load(),
+		DroppedFrames:    t.droppedFrames.Load(),
+		EncodeNanos:      t.encodeNanos.Load(),
 	}
 }
 
@@ -227,23 +227,60 @@ func (t *TCP) accept(h Handler) {
 				delete(t.inbound, conn)
 				t.mu.Unlock()
 			}()
-			// The gob decoder reads through the frame layer: frames are
-			// length-prefixed and individually decompressed, while the
-			// gob type-descriptor state spans the whole connection.
-			dec := gob.NewDecoder(&frameReader{br: bufio.NewReaderSize(conn, 64<<10)})
-			for {
-				var f wireFrame
-				if err := dec.Decode(&f); err != nil {
-					return
-				}
-				h(f.From, f.Msg)
-			}
+			t.readConn(conn, h)
 		}()
 	}
 }
 
+// readConn verifies the handshake, then decodes message batches out of
+// the framed stream and dispatches them. The frame and decompression
+// buffers are pooled per connection; decoded messages own their memory
+// (engines retain them), so nothing handed to h aliases those buffers.
+func (t *TCP) readConn(conn net.Conn, h Handler) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var hs [len(wireHandshake)]byte
+	if _, err := io.ReadFull(br, hs[:]); err != nil {
+		return
+	}
+	if hs != wireHandshake {
+		// A peer speaking a different wire format (say, the retired gob
+		// codec) must be cut off before any frame is parsed: decoding its
+		// stream with this codec would manufacture garbage messages.
+		log.Printf("transport: node %d rejecting connection from %s: bad wire handshake % x (want % x — mixed wire-format cluster?)",
+			t.self, conn.RemoteAddr(), hs, wireHandshake)
+		return
+	}
+	fr := &frameReader{br: br}
+	var r wire.Reader
+	for {
+		body, err := fr.next()
+		if err != nil {
+			if err != io.EOF && !isClosed(err) {
+				log.Printf("transport: node %d dropping connection from %s: %v", t.self, conn.RemoteAddr(), err)
+			}
+			return
+		}
+		r.Reset(body)
+		for r.Len() > 0 {
+			from, msg, err := wire.DecodeMessage(&r)
+			if err != nil {
+				log.Printf("transport: node %d dropping connection from %s: corrupt frame: %v", t.self, conn.RemoteAddr(), err)
+				return
+			}
+			h(from, msg)
+		}
+	}
+}
+
+// isClosed reports whether err is the routine teardown error a closed
+// connection produces (not worth logging).
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 // Send implements Transport: enqueue onto the peer's outbound queue,
-// spawning its writer on first use. Never blocks; overflow drops.
+// spawning its writer on first use. Never blocks; overflow drops (and
+// counts the drop in Stats).
 func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 	t.mu.Lock()
 	q, ok := t.peers[to]
@@ -258,7 +295,7 @@ func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 			return
 		default:
 		}
-		q = make(chan wireFrame, outQueueDepth)
+		q = make(chan outMsg, outQueueDepth)
 		t.peers[to] = q
 		if _, ok := t.health[to]; !ok {
 			h := &atomic.Bool{}
@@ -270,9 +307,11 @@ func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 	}
 	t.mu.Unlock()
 	select {
-	case q <- wireFrame{From: from, Msg: msg}:
+	case q <- outMsg{from: from, msg: msg}:
 	default:
-		// Backpressure overflow: drop, as a lossy network would.
+		// Backpressure overflow: drop, as a lossy network would — but
+		// never silently (sustained drops are a sizing signal).
+		t.droppedFrames.Add(1)
 	}
 }
 
@@ -326,73 +365,73 @@ func (t *TCP) dial(to protocol.NodeID) net.Conn {
 	}
 }
 
-// frameReader unwraps the length-prefixed frame layer for a gob decoder:
-// Read serves the current frame's (decompressed) body and pulls the next
-// frame off the connection when it runs dry. TCP delivers frames intact
-// and in order, so the gob stream the decoder sees is contiguous.
+// frameReader unwraps the length-prefixed frame layer: next returns the
+// current frame's (decompressed) body, valid until the following call.
+// Both the wire buffer and the decompression scratch are reused across
+// frames, so steady-state reading allocates nothing beyond what decoded
+// messages must own.
 type frameReader struct {
 	br   *bufio.Reader
-	body []byte
-	off  int
-	dec  []byte // decompression scratch, reused across frames
+	body []byte // wire-frame buffer, reused
+	dec  []byte // decompression scratch, reused
 }
 
-func (fr *frameReader) Read(p []byte) (int, error) {
-	for fr.off >= len(fr.body) {
-		if err := fr.next(); err != nil {
-			return 0, err
-		}
-	}
-	n := copy(p, fr.body[fr.off:])
-	fr.off += n
-	return n, nil
-}
-
-func (fr *frameReader) next() error {
+func (fr *frameReader) next() ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
-		return err
+		return nil, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:4])
 	if size > maxFrameBytes {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
 	if cap(fr.body) < int(size) {
 		fr.body = make([]byte, size)
 	}
 	fr.body = fr.body[:size]
-	fr.off = 0
 	if _, err := io.ReadFull(fr.br, fr.body); err != nil {
-		return err
+		return nil, err
 	}
-	if hdr[4]&flagSnappy != 0 {
-		out, err := snappy.Decode(fr.dec[:0], fr.body)
-		if err != nil {
-			return fmt.Errorf("transport: bad compressed frame: %w", err)
-		}
-		fr.dec = fr.body[:0] // recycle the wire buffer as next scratch
-		fr.body = out
+	if hdr[4]&flagSnappy == 0 {
+		return fr.body, nil
 	}
-	return nil
+	out, err := snappy.Decode(fr.dec[:0], fr.body)
+	if err != nil {
+		return nil, fmt.Errorf("transport: bad compressed frame: %w", err)
+	}
+	fr.dec = out[:0] // keep the grown scratch for the next frame
+	return out, nil
 }
 
-// frameWriter wraps one outbound connection: the persistent gob encoder
-// stages each message into buf, writeFrame length-prefixes it (compressing
-// bodies at or above the threshold when that shrinks them) and writes it
-// to the buffered connection.
+// frameWriter wraps one outbound connection: the writer batch-encodes
+// drained messages into scratch with the wire codec, and flushFrame
+// length-prefixes the batch (compressing bodies at or above the threshold
+// when that shrinks them) onto the buffered connection. All three buffers
+// are reused across drains — steady-state sending allocates nothing.
 type frameWriter struct {
-	bw   *bufio.Writer
-	enc  *gob.Encoder
-	buf  bytes.Buffer
-	comp []byte // compression scratch, reused across frames
+	bw      *bufio.Writer
+	scratch []byte // encoded record batch (pre-compression)
+	comp    []byte // compression scratch
 }
 
-func (t *TCP) writeFrame(fw *frameWriter, f wireFrame) error {
-	fw.buf.Reset()
-	if err := fw.enc.Encode(f); err != nil {
-		return err
+// encode appends one message record to the current batch. An encoding
+// failure (an unregistered type) drops that message with a log line — it
+// is a programming error at the call site, not a connection fault.
+func (t *TCP) encode(fw *frameWriter, m outMsg) {
+	out, err := wire.AppendMessage(fw.scratch, m.from, m.msg)
+	if err != nil {
+		log.Printf("transport: node %d dropping unencodable message: %v", t.self, err)
+		return
 	}
-	body := fw.buf.Bytes()
+	fw.scratch = out
+}
+
+// flushFrame frames and writes the current batch, leaving scratch empty.
+func (t *TCP) flushFrame(fw *frameWriter) error {
+	body := fw.scratch
+	if len(body) == 0 {
+		return nil
+	}
 	t.rawBytes.Add(int64(len(body)))
 	flag := byte(0)
 	if t.compress && len(body) >= t.compressMin {
@@ -414,23 +453,24 @@ func (t *TCP) writeFrame(fw *frameWriter, f wireFrame) error {
 	}
 	t.framesSent.Add(1)
 	t.wireBytes.Add(int64(frameHeaderLen + len(body)))
+	fw.scratch = fw.scratch[:0]
 	return nil
 }
 
-// writer owns the connection to one peer: it blocks for the next frame,
-// then drains everything queued behind it into the framed gob stream and
-// flushes once. The head frame survives reconnects — it is held across
-// the backoff loop and sent on the fresh connection.
-func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
+// writer owns the connection to one peer: it blocks for the next message,
+// then batch-encodes everything queued behind it into one frame (cut at
+// maxBatchBytes) and flushes once. The head message survives reconnects —
+// it is held across the backoff loop and sent on the fresh connection.
+func (t *TCP) writer(to protocol.NodeID, q chan outMsg) {
 	defer t.wg.Done()
 	var fw *frameWriter
 	defer t.dropConn(to)
 	for {
-		var f wireFrame
+		var m outMsg
 		select {
 		case <-t.closed:
 			return
-		case f = <-q:
+		case m = <-q:
 		}
 		if fw == nil {
 			conn := t.dial(to)
@@ -449,25 +489,41 @@ func (t *TCP) writer(to protocol.NodeID, q chan wireFrame) {
 			}
 			t.conns[to] = conn
 			t.mu.Unlock()
-			bw := bufio.NewWriterSize(conn, 64<<10)
-			fw = &frameWriter{bw: bw}
-			fw.enc = gob.NewEncoder(&fw.buf)
+			fw = &frameWriter{bw: bufio.NewWriterSize(conn, 64<<10)}
+			if _, err := fw.bw.Write(wireHandshake[:]); err != nil {
+				t.dropConn(to)
+				t.setHealthy(to, false)
+				fw = nil
+				continue
+			}
 		}
-		err := t.writeFrame(fw, f)
+		start := time.Now()
+		fw.scratch = fw.scratch[:0]
+		t.encode(fw, m)
+		var err error
 	drain:
 		for err == nil {
 			select {
-			case f = <-q:
-				err = t.writeFrame(fw, f)
+			case m = <-q:
+				if len(fw.scratch) >= maxBatchBytes {
+					if err = t.flushFrame(fw); err != nil {
+						break drain
+					}
+				}
+				t.encode(fw, m)
 			default:
 				break drain
 			}
 		}
 		if err == nil {
+			err = t.flushFrame(fw)
+		}
+		t.encodeNanos.Add(time.Since(start).Nanoseconds())
+		if err == nil {
 			err = fw.bw.Flush()
 		}
 		if err != nil {
-			// Connection broke: drop it so the next frame re-dials (with
+			// Connection broke: drop it so the next message re-dials (with
 			// backoff) and flag the link until the reconnect lands.
 			t.dropConn(to)
 			t.setHealthy(to, false)

@@ -1,8 +1,9 @@
 // Package transport provides live (non-simulated) message transports for
 // running clusters as real processes: an in-process channel transport for
-// examples and tests, and a TCP transport (net + encoding/gob) for
-// multi-process deployments. Both preserve per-pair FIFO ordering, the
-// delivery property the Mencius engines assume (and TCP provides).
+// examples and tests, and a TCP transport (net + the internal/wire binary
+// codec) for multi-process deployments. Both preserve per-pair FIFO
+// ordering, the delivery property the Mencius engines assume (and TCP
+// provides).
 package transport
 
 import (

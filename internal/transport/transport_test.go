@@ -1,6 +1,9 @@
 package transport_test
 
 import (
+	"bytes"
+	"encoding/binary"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -10,6 +13,7 @@ import (
 	"raftpaxos/internal/protocol"
 	"raftpaxos/internal/raftstar"
 	"raftpaxos/internal/transport"
+	"raftpaxos/internal/wire"
 )
 
 func TestChanNetworkRoundTrip(t *testing.T) {
@@ -45,7 +49,6 @@ func TestChanNetworkUnknownPeerDropped(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	transport.RegisterMessages()
 	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
 
 	type rcv struct {
@@ -90,7 +93,6 @@ func TestTCPRoundTrip(t *testing.T) {
 // delivery: the per-peer queue plus single writer goroutine must preserve
 // per-pair FIFO, the property the Mencius engines assume.
 func TestTCPQueuedFIFOUnderLoad(t *testing.T) {
-	transport.RegisterMessages()
 	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
 
 	const total = 2000
@@ -136,7 +138,6 @@ func TestTCPQueuedFIFOUnderLoad(t *testing.T) {
 }
 
 func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
-	transport.RegisterMessages()
 	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:1"} // port 1: refused
 	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
 	if err != nil {
@@ -165,7 +166,6 @@ func TestTCPSendToDeadPeerIsBestEffort(t *testing.T) {
 // unhealthy, and deliver once the peer comes up — instead of shedding the
 // queue on the first failed dial.
 func TestTCPReconnectWithBackoff(t *testing.T) {
-	transport.RegisterMessages()
 	// Reserve a port for peer 1 without accepting on it yet.
 	probe, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -232,7 +232,6 @@ func TestTCPReconnectWithBackoff(t *testing.T) {
 // below raw bytes, the compressed-frame counter moves, and the payloads
 // still round-trip intact. Small messages stay uncompressed.
 func TestTCPCompressionStats(t *testing.T) {
-	transport.RegisterMessages()
 	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
 
 	ch := make(chan protocol.Message, 64)
@@ -283,11 +282,14 @@ func TestTCPCompressionStats(t *testing.T) {
 	}
 
 	st := t0.Stats()
-	if st.FramesSent < int64(batches+1) {
-		t.Fatalf("frames sent = %d, want >= %d", st.FramesSent, batches+1)
+	// The writer batch-frames whole drains: a burst of appends may ship
+	// as anywhere from one frame to one frame each, but every frame that
+	// carried the big appends must have compressed.
+	if st.FramesSent < 1 || st.FramesSent > int64(batches+1) {
+		t.Fatalf("frames sent = %d, want 1..%d", st.FramesSent, batches+1)
 	}
-	if st.FramesCompressed < int64(batches) {
-		t.Fatalf("compressed frames = %d, want >= %d (every big append)", st.FramesCompressed, batches)
+	if st.FramesCompressed < 1 {
+		t.Fatalf("compressed frames = %d, want >= 1 (the big append batches)", st.FramesCompressed)
 	}
 	if st.WireBytes >= st.RawBytes {
 		t.Fatalf("compression saved nothing: raw=%d wire=%d", st.RawBytes, st.WireBytes)
@@ -295,13 +297,15 @@ func TestTCPCompressionStats(t *testing.T) {
 	if st.WireBytes*2 >= st.RawBytes {
 		t.Fatalf("repetitive payload should shrink >2x: raw=%d wire=%d", st.RawBytes, st.WireBytes)
 	}
+	if st.DroppedFrames != 0 {
+		t.Fatalf("dropped frames = %d, want 0 (no queue overflow here)", st.DroppedFrames)
+	}
 }
 
 // TestTCPCompressionDisabled pins the knob: with compression off, every
 // frame ships raw and wire bytes exceed raw bytes by exactly the header
 // overhead.
 func TestTCPCompressionDisabled(t *testing.T) {
-	transport.RegisterMessages()
 	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
 
 	ch := make(chan protocol.Message, 8)
@@ -342,5 +346,152 @@ func TestTCPCompressionDisabled(t *testing.T) {
 	if st.WireBytes != st.RawBytes+5*st.FramesSent {
 		t.Fatalf("raw framing overhead mismatch: raw=%d wire=%d frames=%d",
 			st.RawBytes, st.WireBytes, st.FramesSent)
+	}
+}
+
+// wireHandshakeBytes pins the on-wire connection preamble: magic "RPXW"
+// plus wire-format version 2. A format change must bump the version byte
+// here and in the transport.
+var wireHandshakeBytes = []byte{'R', 'P', 'X', 'W', 0x02}
+
+// TestTCPHandshakeRejectsWrongVersion dials a live listener raw and sends
+// mismatched preambles: a stale version byte and a gob-era stream (no
+// preamble at all). Both connections must be closed without dispatching a
+// message — mixed gob/binary clusters fail loudly instead of misparsing.
+func TestTCPHandshakeRejectsWrongVersion(t *testing.T) {
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	delivered := make(chan protocol.Message, 8)
+	t1, err := transport.NewTCP(1, addrs, func(_ protocol.NodeID, msg protocol.Message) {
+		delivered <- msg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	// A well-formed frame body so only the handshake is at fault.
+	body, err := wire.AppendMessage(nil, 0, &raftstar.MsgVoteReq{Term: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 5+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[5:], body)
+
+	badPreambles := [][]byte{
+		{'R', 'P', 'X', 'W', 0x01},     // stale wire version
+		{0x0e, 0xff, 0x81, 0x03, 0x01}, // gob-era stream: no preamble, typeId bytes
+	}
+	for i, pre := range badPreambles {
+		conn, err := net.Dial("tcp", t1.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(pre)
+		conn.Write(frame)
+		// The acceptor must hang up: the next read sees EOF/reset, not a
+		// hang and not an answered protocol.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("preamble %d: server kept the connection open", i)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("preamble %d: server neither closed nor rejected", i)
+		}
+		conn.Close()
+	}
+	select {
+	case msg := <-delivered:
+		t.Fatalf("message %T dispatched from a rejected connection", msg)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestTCPHandshakeOnWire accepts a raw connection from a live transport
+// and checks the exact preamble and frame layout the dialer emits:
+// handshake, then [u32 len][flags][body] with wire-codec records inside.
+func TestTCPHandshakeOnWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: ln.Addr().String()}
+	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	t0.Send(0, 1, &raftstar.MsgVoteReq{Term: 21, LastIndex: 4})
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+	pre := make([]byte, len(wireHandshakeBytes))
+	if _, err := io.ReadFull(conn, pre); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pre, wireHandshakeBytes) {
+		t.Fatalf("preamble = %x, want %x", pre, wireHandshakeBytes)
+	}
+
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr[4] != 0 {
+		t.Fatalf("small frame arrived compressed (flags %#x)", hdr[4])
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:4]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(body)
+	from, msg, err := wire.DecodeMessage(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := msg.(*raftstar.MsgVoteReq)
+	if !ok || from != 0 || m.Term != 21 || m.LastIndex != 4 {
+		t.Fatalf("decoded %T %+v from %d", msg, msg, from)
+	}
+}
+
+// TestTCPDroppedFramesCounter floods a peer that refuses connections: the
+// bounded queue fills, the overflow is shed, and the shed count is
+// observable in Stats (and from there in BENCH output).
+func TestTCPDroppedFramesCounter(t *testing.T) {
+	// Grab a port that is then closed again: connection refused, so the
+	// writer sits in dial backoff while sends pile into the queue.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: deadAddr}
+	t0, err := transport.NewTCP(0, addrs, func(protocol.NodeID, protocol.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	const burst = 10000 // > outbound queue depth
+	for i := 0; i < burst; i++ {
+		t0.Send(0, 1, &raftstar.MsgVoteReq{Term: uint64(i)})
+	}
+	if d := t0.Stats().DroppedFrames; d == 0 {
+		t.Fatal("queue overflow shed no frames")
+	} else if d >= burst {
+		t.Fatalf("all %d sends dropped; queue buffered nothing", d)
 	}
 }

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"testing"
+
+	"raftpaxos/internal/protocol"
+	"raftpaxos/internal/raft"
+)
+
+// benchAppendReq is the hot-path message shape: a leader append carrying a
+// batch of puts, as produced by a loaded live cluster.
+func benchAppendReq(entries int) *raft.MsgAppendReq {
+	m := &raft.MsgAppendReq{Term: 7, PrevIndex: 1 << 20, PrevTerm: 7, Commit: 1 << 20, ReadCtx: 99}
+	for i := 0; i < entries; i++ {
+		m.Entries = append(m.Entries, protocol.Entry{
+			Index: int64(1<<20 + i + 1),
+			Term:  7,
+			Bal:   7,
+			Cmd: protocol.Command{
+				ID:     uint64(i),
+				Client: 3,
+				Op:     protocol.OpPut,
+				Key:    "bench-key-0123456789",
+				Value:  make([]byte, 128),
+			},
+		})
+	}
+	return m
+}
+
+func benchmarkEncode(b *testing.B, msg protocol.Message) {
+	b.Helper()
+	var buf []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = AppendMessage(buf[:0], 1, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+	// The whole point of the codec: steady-state encode into a reused
+	// buffer must not allocate.
+	if b.N > 1 {
+		allocs := testing.AllocsPerRun(100, func() {
+			buf, _ = AppendMessage(buf[:0], 1, msg)
+		})
+		if allocs != 0 {
+			b.Fatalf("encode allocates %v times per op, want 0", allocs)
+		}
+	}
+}
+
+func BenchmarkWireEncodeAppendReq64(b *testing.B) { benchmarkEncode(b, benchAppendReq(64)) }
+func BenchmarkWireEncodeAppendReq1(b *testing.B)  { benchmarkEncode(b, benchAppendReq(1)) }
+func BenchmarkWireEncodeHeartbeat(b *testing.B)   { benchmarkEncode(b, benchAppendReq(0)) }
+func BenchmarkWireEncodeVoteResp(b *testing.B) {
+	benchmarkEncode(b, &raft.MsgVoteResp{Term: 12, Granted: true})
+}
+
+func BenchmarkWireDecodeAppendReq64(b *testing.B) {
+	buf, err := AppendMessage(nil, 1, benchAppendReq(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		if _, _, err := DecodeMessage(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEntryFrameWAL(b *testing.B) {
+	e := &benchAppendReq(1).Entries[0]
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEntry(buf[:0], e)
+	}
+	b.SetBytes(int64(len(buf)))
+}

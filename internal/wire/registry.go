@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"raftpaxos/internal/protocol"
+)
+
+// Tag is the 1-byte wire type tag that replaces gob's self-describing
+// type streams. Tags are part of the wire format: once assigned, a tag's
+// meaning never changes (retire tags, never reuse them). The full table
+// lives in codec.go next to the codecs; tags 1–31 are claimed by the
+// packages this one imports, 32+ are for layers above (package cluster
+// registers its client-reply type at TagClusterReply).
+type Tag byte
+
+// Codec encodes and decodes one concrete message type.
+type Codec struct {
+	// New returns a zero message of the codec's concrete type (used by
+	// tests to enumerate the registry; decoding goes through Decode).
+	New func() protocol.Message
+	// Append encodes msg onto buf and returns the extended buffer. It
+	// must not allocate beyond growing buf.
+	Append func(buf []byte, msg protocol.Message) []byte
+	// Decode reads exactly the fields Append wrote and returns the
+	// message. The returned message owns all its memory (nothing may
+	// alias the reader's buffer).
+	Decode func(r *Reader) (protocol.Message, error)
+}
+
+type regEntry struct {
+	tag   Tag
+	typ   reflect.Type
+	codec Codec
+}
+
+// registry is an immutable snapshot: Register swaps a copy in, so the
+// encode/decode hot paths read it with one atomic load and no lock.
+type registry struct {
+	byType map[reflect.Type]*regEntry
+	byTag  [256]*regEntry
+}
+
+var (
+	regMu  sync.Mutex
+	curReg atomic.Pointer[registry]
+)
+
+func init() {
+	r := &registry{byType: map[reflect.Type]*regEntry{}}
+	curReg.Store(r)
+	registerBuiltin()
+}
+
+// Register binds tag to the concrete type of proto with its codec.
+// Re-registering the same type at the same tag is a no-op (packages may
+// register from multiple call sites); binding a tag or type twice with
+// conflicting halves panics — that is a wire-format bug, and failing at
+// startup beats corrupting a stream.
+func Register(tag Tag, proto protocol.Message, c Codec) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	typ := reflect.TypeOf(proto)
+	old := curReg.Load()
+	if e := old.byTag[tag]; e != nil {
+		if e.typ == typ {
+			return
+		}
+		panic(fmt.Sprintf("wire: tag %d already bound to %v, cannot rebind to %v", tag, e.typ, typ))
+	}
+	if e := old.byType[typ]; e != nil {
+		panic(fmt.Sprintf("wire: type %v already bound to tag %d, cannot rebind to %d", typ, e.tag, tag))
+	}
+	next := &registry{byType: make(map[reflect.Type]*regEntry, len(old.byType)+1)}
+	for t, e := range old.byType {
+		next.byType[t] = e
+	}
+	next.byTag = old.byTag
+	e := &regEntry{tag: tag, typ: typ, codec: c}
+	next.byType[typ] = e
+	next.byTag[tag] = e
+	curReg.Store(next)
+}
+
+// AppendMessage encodes one routed message record — varint(from), tag,
+// payload — onto buf. Allocation-free in steady state: the only growth is
+// buf itself.
+func AppendMessage(buf []byte, from protocol.NodeID, msg protocol.Message) ([]byte, error) {
+	e := curReg.Load().byType[reflect.TypeOf(msg)]
+	if e == nil {
+		return buf, fmt.Errorf("wire: unregistered message type %T", msg)
+	}
+	buf = AppendVarint(buf, int64(from))
+	buf = append(buf, byte(e.tag))
+	return e.codec.Append(buf, msg), nil
+}
+
+// DecodeMessage consumes one message record from r.
+func DecodeMessage(r *Reader) (protocol.NodeID, protocol.Message, error) {
+	from := protocol.NodeID(r.Varint())
+	tag := Tag(r.Byte())
+	if err := r.Err(); err != nil {
+		return 0, nil, err
+	}
+	e := curReg.Load().byTag[tag]
+	if e == nil {
+		return 0, nil, fmt.Errorf("wire: unknown type tag %d", tag)
+	}
+	msg, err := e.codec.Decode(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return from, msg, nil
+}
+
+// registered returns the current registry entries, for tests that sweep
+// every type (round-trip, differential, spec coverage).
+func registered() []*regEntry {
+	reg := curReg.Load()
+	out := make([]*regEntry, 0, len(reg.byType))
+	for _, e := range reg.byType {
+		out = append(out, e)
+	}
+	return out
+}
