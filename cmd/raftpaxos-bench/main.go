@@ -36,9 +36,11 @@ func main() {
 	jsonPath := flag.String("json", "", "output path for the -live JSON result (default BENCH_<ops>.json)")
 	useTCP := flag.Bool("tcp", false, "run -live over the real TCP transport on loopback (adds framing/compression stats)")
 	reads := flag.Float64("reads", 0, "fraction of -live ops issued as ReadIndex reads (0..1)")
+	syncPersist := flag.Bool("sync-persist", false, "run -live with the synchronous accept-time fsync (pre-pipeline baseline)")
+	persistWindow := flag.Int("persist-window", 0, "staged-persistence in-flight window for -live (0 = cluster default)")
 	flag.Parse()
 	if *live {
-		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP, *reads); err != nil {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP, *reads, *syncPersist, *persistWindow); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -52,7 +54,7 @@ func main() {
 
 // runLive drives the sustained-load trial on temp storage and writes the
 // result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
-func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool, readRatio float64) error {
+func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool, readRatio float64, syncPersist bool, persistWindow int) error {
 	dirs := make([]string, 3)
 	for i := range dirs {
 		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
@@ -70,6 +72,8 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 		Dirs:             dirs,
 		UseTCP:           useTCP,
 		ReadRatio:        readRatio,
+		SyncPersist:      syncPersist,
+		PersistWindow:    persistWindow,
 	})
 	if err != nil {
 		return err
@@ -90,6 +94,8 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 			res.TransportFrames, res.TransportFramesCompressed, res.TransportFramesDropped,
 			res.TransportRawBytes, res.TransportWireBytes, float64(res.EncodeNSTotal)/1e6)
 	}
+	fmt.Printf("  persist pipeline: %d sync batches in %.1fms, loop stalled %.1fms, inflight max %d\n",
+		res.SyncBatches, float64(res.SyncNSTotal)/1e6, float64(res.LoopStallNS)/1e6, res.PersistInflightMax)
 	fmt.Printf("  alloc churn: %.0f bytes/op\n", res.AllocBytesPerOp)
 
 	if jsonPath == "" {

@@ -62,15 +62,18 @@ func main() {
 	demo := flag.Bool("demo", false, "run a self-contained 3-node TCP cluster and a demo workload")
 	dataDir := flag.String("data", "", "data directory for the WAL (empty = volatile)")
 	snapEvery := flag.Int("snapshot-interval", 0, "snapshot+compact every N applied entries (0 = never; needs -data)")
+	syncPersist := flag.Bool("sync-persist", false, "persist synchronously on the event loop (pre-pipeline behavior)")
+	persistWindow := flag.Int("persist-window", 0, "staged-persistence in-flight window (0 = cluster default)")
 	flag.Parse()
-	if err := run(*id, *peersFlag, *proto, *demo, *dataDir, *snapEvery); err != nil {
+	if err := run(*id, *peersFlag, *proto, *demo, *dataDir, *snapEvery, *syncPersist, *persistWindow); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
 func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
-	addrs map[protocol.NodeID]string, dataDir string, snapEvery int) (*cluster.Node, *transport.TCP, error) {
+	addrs map[protocol.NodeID]string, dataDir string, snapEvery int,
+	syncPersist bool, persistWindow int) (*cluster.Node, *transport.TCP, error) {
 	eng := raftpaxos.NewEngine(raftpaxos.ClusterConfig{Protocol: p, Nodes: len(peers)}, id, peers)
 	lazy := &lazyTransport{}
 	var stable storage.Store
@@ -81,7 +84,10 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 		}
 		stable = fs
 	}
-	n := cluster.New(cluster.Config{Engine: eng, Transport: lazy, Stable: stable, SnapshotInterval: snapEvery})
+	n := cluster.New(cluster.Config{
+		Engine: eng, Transport: lazy, Stable: stable, SnapshotInterval: snapEvery,
+		SyncPersist: syncPersist, PersistWindow: persistWindow,
+	})
 	tcp, err := transport.NewTCP(id, addrs, n.HandleMessage)
 	if err != nil {
 		return nil, nil, err
@@ -91,7 +97,8 @@ func startNode(p raftpaxos.Proto, id protocol.NodeID, peers []protocol.NodeID,
 	return n, tcp, nil
 }
 
-func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEvery int) error {
+func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEvery int,
+	syncPersist bool, persistWindow int) error {
 	cluster.RegisterMessages()
 	p, err := raftpaxos.ParseProto(protoName)
 	if err != nil {
@@ -114,7 +121,7 @@ func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEve
 	if id < 0 || id >= len(peers) {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
 	}
-	node, tcp, err := startNode(p, protocol.NodeID(id), peers, addrs, dataDir, snapEvery)
+	node, tcp, err := startNode(p, protocol.NodeID(id), peers, addrs, dataDir, snapEvery, syncPersist, persistWindow)
 	if err != nil {
 		return err
 	}
@@ -125,6 +132,9 @@ func run(id int, peersFlag, protoName string, demo bool, dataDir string, snapEve
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	syncNs, syncBatches, stallNs, inflightMax := node.PersistStats()
+	fmt.Printf("persist pipeline: %d sync batches in %.1fms, loop stalled %.1fms, inflight max %d\n",
+		syncBatches, float64(syncNs)/1e6, float64(stallNs)/1e6, inflightMax)
 	return nil
 }
 
@@ -147,7 +157,7 @@ func runDemo(p raftpaxos.Proto) error {
 	}
 	// Second pass: start for real with the final address map.
 	for _, id := range peers {
-		n, tcp, err := startNode(p, id, peers, addrs, "", 0)
+		n, tcp, err := startNode(p, id, peers, addrs, "", 0, false, 0)
 		if err != nil {
 			return err
 		}

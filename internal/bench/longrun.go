@@ -58,6 +58,13 @@ type LongRunConfig struct {
 	// large frames, and the raw-vs-wire byte ratio reported in the JSON
 	// artifact.
 	UseTCP bool
+	// SyncPersist reverts the nodes to the synchronous accept-time fsync
+	// (the pre-pipeline behavior): each persistence round completes
+	// before the event loop continues. The before/after comparison knob.
+	SyncPersist bool
+	// PersistWindow overrides the nodes' staged-persistence in-flight
+	// window (0 = the cluster default).
+	PersistWindow int
 }
 
 func (c *LongRunConfig) withDefaults() LongRunConfig {
@@ -161,6 +168,18 @@ type LongRunResult struct {
 	// phase). It spans clients, engines, WAL, and transport together: the
 	// whole-system allocation churn the zero-allocation codec targets.
 	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	// Persistence-pipeline counters, summed over all replicas (see
+	// cluster.Node.PersistStats). SyncNSTotal is wall time inside
+	// sync/save calls — off the event loop unless SyncPersist;
+	// SyncBatches counts group-committed flushes (rounds-per-batch is the
+	// pipeline's coalescing win); LoopStallNS is event-loop time blocked
+	// on a full staging window (non-zero means the disk, not the loop, is
+	// the ceiling); PersistInflightMax is the deepest the staged window
+	// got on any replica.
+	SyncNSTotal        int64 `json:"sync_ns_total"`
+	SyncBatches        int64 `json:"sync_batches"`
+	LoopStallNS        int64 `json:"loop_stall_ns"`
+	PersistInflightMax int64 `json:"persist_inflight_max"`
 }
 
 // lazyTransport breaks the node<->transport construction cycle when
@@ -221,6 +240,8 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 			Stable:           stores[i],
 			TickInterval:     cfg.TickInterval,
 			SnapshotInterval: cfg.SnapshotInterval,
+			SyncPersist:      cfg.SyncPersist,
+			PersistWindow:    cfg.PersistWindow,
 		})
 	}
 
@@ -383,6 +404,15 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	for _, nd := range nodes {
 		_, logged := nd.ReadStats()
 		res.ReadLogAppends += logged
+	}
+	for _, nd := range nodes {
+		syncNS, batches, stallNS, inflight := nd.PersistStats()
+		res.SyncNSTotal += syncNS
+		res.SyncBatches += batches
+		res.LoopStallNS += stallNS
+		if inflight > res.PersistInflightMax {
+			res.PersistInflightMax = inflight
+		}
 	}
 
 	leaderID := leader.ID()

@@ -8,16 +8,22 @@
 // and feeds the engine a whole batch of writes at once — engines whose
 // wire protocols carry multi-entry accepts/appends turn that into one
 // broadcast via protocol.BatchSubmitter. Persistence is accept-time and
-// group committed, realizing the protocol.Output durability barrier: the
-// iteration's accepted entries (Output.AppendedEntries) are fsynced with
-// one storage.Append, hard state with one SaveHardState, and only then
-// are the iteration's messages released — so every vote grant and
-// append/accept ack a peer receives refers to state that survives a
-// full-cluster power loss (quorum ack ⇒ durable). Commit application and
-// client reply routing run on a dedicated applier goroutine, so the
-// consensus loop never blocks on the state machine or on waiting
-// clients. All engine access stays serialized through the one event
-// loop, matching the engines' single-threaded contract.
+// asynchronous: the event loop stages each iteration's persistence work
+// (accepted entries, hard-state save, installed snapshot, the withheld
+// promise-bearing messages and the apply hand-off) onto an ordered
+// pipeline with a bounded in-flight window and keeps stepping the engine
+// while a dedicated persister goroutine runs the fsync. The persister
+// realizes the protocol.Output durability barrier per staged round, in
+// staging order: a round's entries and hard state are durable before its
+// BarrierMessages release or its commits reach the applier — so every
+// vote grant and append/accept ack a peer receives still refers to state
+// that survives a full-cluster power loss (quorum ack ⇒ durable), while
+// consecutive rounds with no intervening promise share one fsync (group
+// commit across the window). Commit application and client reply routing
+// run on a dedicated applier goroutine, so the consensus loop never
+// blocks on the state machine or on waiting clients. All engine access
+// stays serialized through the one event loop, matching the engines'
+// single-threaded contract.
 package cluster
 
 import (
@@ -99,8 +105,22 @@ type Config struct {
 	SnapshotInterval int
 	// DisableBatching reverts the event loop to the unbatched behavior:
 	// one input per iteration, one storage.Append (and fsync) per
-	// accepted entry. Kept as the baseline for throughput comparisons.
+	// accepted entry, each round completing before the loop continues
+	// (implies SyncPersist). Kept as the baseline for throughput
+	// comparisons.
 	DisableBatching bool
+	// PersistWindow bounds how many staged persistence rounds may sit in
+	// the pipeline between the event loop and the persister goroutine
+	// (default 64). The loop stages rounds without waiting while the
+	// window has room and blocks (counted in PersistStats loop-stall
+	// time) when the disk falls behind — natural backpressure instead of
+	// unbounded queueing.
+	PersistWindow int
+	// SyncPersist makes the event loop wait for each staged round to
+	// complete before continuing — the synchronous accept-time-fsync
+	// behavior of earlier revisions, kept as the baseline for pipeline
+	// comparisons.
+	SyncPersist bool
 }
 
 // Response completes a client call.
@@ -212,10 +232,11 @@ type Node struct {
 	readsLog  atomic.Int64
 
 	// lastSaved caches the hard-state triple most recently persisted
-	// (valid once hardSaved is set), so the event loop skips the
-	// hard-state file rewrite on iterations where only the log grew, and
+	// (valid once hardSaved is set), so the persister skips the
+	// hard-state file rewrite on drains where only the log grew, and
 	// lastCommitSave throttles commit-only rewrites to
-	// commitSaveInterval. Only the event loop touches these.
+	// commitSaveInterval — one clock read per sync window, none on the
+	// event loop. Only the persister touches these.
 	lastSaved      storage.HardState
 	hardSaved      bool
 	lastCommitSave time.Time
@@ -223,8 +244,32 @@ type Node struct {
 	// re-emits entries it already holds, but it re-acks them on
 	// retransmissions, so the driver must keep retrying the write (acks
 	// stay withheld meanwhile) rather than let a later ack release over
-	// entries that reached no disk. Event loop only.
+	// entries that reached no disk. Persister only.
 	redo []protocol.Entry
+
+	// The asynchronous persistence pipeline (see pipeline.go). stageCh
+	// carries one persistJob per load-bearing event-loop iteration to the
+	// persister goroutine, in staging order; its capacity is the in-flight
+	// window. durableIdx is the highest log index known durable (advanced
+	// by the persister after each successful fsync), read by the event
+	// loop to decide whether a non-promise message may release before the
+	// round it rides on is durable.
+	stageCh     chan persistJob
+	persistDone chan struct{}
+	durableIdx  atomic.Int64
+	// com caches the engine's optional commit-index view for the event
+	// loop's early-release check (engines are single-threaded; only the
+	// loop calls it).
+	com comitter
+
+	// Pipeline observability: nanoseconds inside sync/save calls, sync
+	// batches issued, event-loop nanoseconds blocked on a full staging
+	// window, and the high-water mark of staged-but-incomplete rounds.
+	syncNs      atomic.Int64
+	syncBatches atomic.Int64
+	loopStallNs atomic.Int64
+	inflightCur atomic.Int64
+	inflightMax atomic.Int64
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -244,6 +289,9 @@ func New(cfg Config) *Node {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
+	if cfg.PersistWindow <= 0 {
+		cfg.PersistWindow = 64
+	}
 	// Wire the snapshot provider before the engine processes any input:
 	// a leader whose compaction stranded a peer ships the newest durable
 	// image over the wire instead of probing forever.
@@ -258,20 +306,24 @@ func New(cfg Config) *Node {
 			}))
 		}
 	}
-	return &Node{
-		cfg:       cfg,
-		id:        cfg.Engine.ID(),
-		epoch:     uint64(rand.Uint32() & 0xffffff),
-		store:     kvstore.New(),
-		inbox:     make(chan inbound, 4096),
-		submits:   make(chan submitReq, 1024),
-		applyCh:   make(chan applyBatch, 256),
-		truncCh:   make(chan int64, 1),
-		waiters:   make(map[uint64]chan Response),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		applyDone: make(chan struct{}),
+	n := &Node{
+		cfg:         cfg,
+		id:          cfg.Engine.ID(),
+		epoch:       uint64(rand.Uint32() & 0xffffff),
+		store:       kvstore.New(),
+		inbox:       make(chan inbound, 4096),
+		submits:     make(chan submitReq, 1024),
+		applyCh:     make(chan applyBatch, 256),
+		truncCh:     make(chan int64, 1),
+		stageCh:     make(chan persistJob, cfg.PersistWindow),
+		waiters:     make(map[uint64]chan Response),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		applyDone:   make(chan struct{}),
+		persistDone: make(chan struct{}),
 	}
+	n.com, _ = cfg.Engine.(comitter)
+	return n
 }
 
 // ID returns the replica identity.
@@ -300,17 +352,20 @@ func (n *Node) HandleMessage(from protocol.NodeID, msg protocol.Message) {
 	}
 }
 
-// Start launches the event loop and the applier.
+// Start launches the event loop, the persister, and the applier.
 func (n *Node) Start() {
 	go n.applier()
+	go n.persister()
 	go n.run()
 }
 
-// Stop terminates the event loop, drains the applier, and fails
-// outstanding waiters.
+// Stop terminates the event loop, drains the persistence pipeline (every
+// staged round completes — withheld acks release or fail — before the
+// applier shuts down), drains the applier, and fails outstanding waiters.
 func (n *Node) Stop() {
 	close(n.stop)
 	<-n.done
+	<-n.persistDone
 	close(n.applyCh)
 	<-n.applyDone
 	n.mu.Lock()
@@ -324,12 +379,34 @@ func (n *Node) Stop() {
 func (n *Node) run() {
 	defer close(n.done)
 	n.leaderID.Store(int64(protocol.None))
-	n.restoreHardState()
-	// Commit-only hard-state saves are throttled (see finish); flush the
-	// final watermark on clean shutdown so a restart resumes exactly
-	// where the applier left off instead of re-committing the last
-	// interval. Runs before done closes, hence before Stop returns.
-	defer n.flushHardState()
+	if err := n.restoreHardState(); err != nil {
+		// The store holds recorded state this process cannot read.
+		// Running anyway could vote twice in a term this replica already
+		// voted in, or serve a log with entries silently missing —
+		// refuse to start instead (the node stays up but inert; Stop
+		// works normally). stageCh closes without the shutdown flush so
+		// the unreadable-but-recorded hard state is never overwritten.
+		log.Printf("cluster: node %d refusing to start: recorded hard state unreadable: %v", n.id, err)
+		close(n.stageCh)
+		return
+	}
+	if n.cfg.Stable != nil {
+		if last, err := n.cfg.Stable.LastIndex(); err == nil {
+			n.durableIdx.Store(last)
+		}
+	}
+	// Shutdown of the pipeline: stage one final forced hard-state save —
+	// commit-only movement is throttled (see processRounds), so without
+	// it a clean restart would re-commit the last interval — then close
+	// the stage channel; the persister drains every staged round and
+	// exits. Registered after the done defer, so it runs first: Stop's
+	// <-n.done ⇒ the final round is staged and the channel closed.
+	defer func() {
+		if n.cfg.Stable != nil {
+			n.stage(persistJob{hs: n.hardState(), saveHS: true, force: true})
+		}
+		close(n.stageCh)
+	}()
 	ticker := time.NewTicker(n.cfg.TickInterval)
 	defer ticker.Stop()
 	for {
@@ -378,13 +455,19 @@ func (n *Node) run() {
 // be overwritten by the next leader) suffix — the half of the durability
 // barrier that makes a quorum-acked suffix commit after the crash instead
 // of vanishing.
-func (n *Node) restoreHardState() {
+//
+// A non-nil error means the store RECORDS hard state but cannot read it
+// back (storage.Store.HardState's contract distinguishes this from a
+// fresh store, which restores as zero state with no error). That is the
+// one unrecoverable case: proceeding could double-vote in the recorded
+// term, so the caller refuses to start the node.
+func (n *Node) restoreHardState() error {
 	if n.cfg.Stable == nil {
-		return
+		return nil
 	}
 	hs, err := n.cfg.Stable.HardState()
 	if err != nil {
-		return
+		return err
 	}
 	if r, ok := n.cfg.Engine.(restorer); ok {
 		r.RestoreHardState(hs.Term, hs.VotedFor)
@@ -396,19 +479,19 @@ func (n *Node) restoreHardState() {
 		// with entries silently missing from its state machine. Starting
 		// empty is safe — the replica cannot win elections against peers
 		// holding the data and never serves what it does not have.
-		return
+		return nil
 	}
 	lr, ok := n.cfg.Engine.(logRestorer)
 	if !ok {
-		return
+		return nil
 	}
 	last, err := n.cfg.Stable.LastIndex()
 	if err != nil || last <= base {
-		return
+		return nil
 	}
 	ents, err := n.cfg.Stable.Entries(base+1, last)
 	if err != nil {
-		return
+		return nil
 	}
 	commit := hs.Commit
 	if commit > last {
@@ -431,6 +514,7 @@ func (n *Node) restoreHardState() {
 		}
 		n.store.Apply(ent)
 	}
+	return nil
 }
 
 // restoreSnapshot rebuilds the state machine from the latest durable
@@ -526,32 +610,37 @@ func (n *Node) drain(out *protocol.Output, writes, reads *[]protocol.Command) {
 // re-applies) the last interval through the normal protocol.
 const commitSaveInterval = 25 * time.Millisecond
 
-// finish realizes one iteration's merged output under the durability
-// barrier (see protocol.Output): the iteration's accepted entries reach
-// the log store, hard state is saved, and a single fsync makes everything
-// durable before any promise — a vote grant, an append/accept ack
-// (protocol.BarrierMessage), a commit hand-off that will answer a client —
-// leaves the replica. That ordering is what lets a quorum of acks imply a
-// value survives a full-cluster crash.
+// finish stages one iteration's merged output onto the persistence
+// pipeline under the durability barrier (see protocol.Output): the
+// persister makes the round's accepted entries and hard state durable —
+// coalescing the fsync with neighboring rounds — and only then releases
+// the round's promises (vote grants, append/accept acks, the commit
+// hand-off that will answer a client), strictly in staging order. The
+// event loop itself never blocks on the disk while the window has room:
+// it stages and keeps stepping.
 //
-// Two latency refinements keep the fsync off paths it does not protect:
+// Two release refinements keep even the pipelined barrier off paths it
+// does not protect:
 //
 //   - Messages that promise nothing about stable storage (proposals,
-//     requests, heartbeats, snapshot chunks) are released before the
-//     fsync on iterations that commit nothing, so followers chew on an
-//     append while the leader's own disk write completes.
-//   - When an iteration only appends (a leader extending its log, with no
-//     ack to send and no commit counting the local copy), the append is
-//     staged without the fsync (storage.DeferredSync): the sync happens
-//     in the later iteration whose commit makes the entries load-bearing,
-//     amortizing the leader's disk barrier across pipelined rounds. This
-//     is safe because commit advancement always surfaces in out.Commits,
-//     and any iteration with commits syncs before releasing anything —
-//     including non-promise messages, which piggyback the commit index.
+//     requests, heartbeats, snapshot chunks) are released immediately —
+//     before rounds already in the pipeline complete — when no commit
+//     advanced this step AND the engine's commit index is already
+//     durable. The second check is what the pipeline adds: with rounds in
+//     flight, a heartbeat could otherwise carry a commit index whose
+//     quorum counts this replica's own not-yet-synced copy, and a
+//     follower would apply and serve a value with fewer durable copies
+//     than quorum.
+//   - An iteration that only appends (no ack to send, no commit) stages
+//     its round with no sync obligation: the persister buffers the write
+//     (storage.DeferredSync) and the fsync happens when a later round in
+//     the window carries a promise — group commit across the in-flight
+//     window, subsuming the old leader-only DeferredSync staging.
 //
-// On a persistence failure every message is withheld (peers retry) and
-// the error travels with the batch so the applier fails the client acks
-// instead of reporting success for writes this replica could not log.
+// On a persistence failure every message of the failed round and of all
+// rounds staged after it is withheld (peers retry) and the error travels
+// with each batch so the applier fails the client acks instead of
+// reporting success for writes this replica could not log.
 func (n *Node) finish(out protocol.Output) {
 	// Anything observable that depends on this iteration's durability:
 	// acks in the message batch, or commits/replies about to be handed to
@@ -564,71 +653,87 @@ func (n *Node) finish(out protocol.Output) {
 		}
 	}
 	committing := len(out.Commits) > 0 || len(out.Replies) > 0 || out.InstalledSnapshot != nil
-	if !committing {
-		// No commit left this step: non-promise messages cannot leak an
-		// unsynced commit index, so they overlap with the fsync below.
-		n.sendEarly(out.Msgs)
+	handoff := committing || len(out.ReadStates) > 0
+	if n.cfg.Stable == nil {
+		// Volatile node: no barrier to realize, release everything on the
+		// spot and keep the pipeline out of the picture.
+		n.sendDirect(out.Msgs)
+		if handoff {
+			select {
+			case n.applyCh <- applyBatch{
+				commits: out.Commits, replies: out.Replies, reads: out.ReadStates,
+				install: out.InstalledSnapshot,
+			}:
+			case <-n.stop:
+			}
+		}
+		return
 	}
 
-	var perr error
-	if n.cfg.Stable != nil {
-		if img := out.InstalledSnapshot; img != nil {
-			// The engine adopted a wire snapshot this iteration: make it
-			// durable and jump the WAL's compaction base first, so appends
-			// in this batch (and every later one above the boundary) land
-			// on a store whose log starts at the image.
-			if ss, ok := n.cfg.Stable.(storage.SnapshotStore); ok {
-				if err := ss.InstallSnapshot(storage.Snapshot{
-					Index: img.Index, Term: img.Term, State: img.Data,
-				}); err != nil && perr == nil {
-					perr = err
+	// The commit index this iteration would leak — in piggybacked message
+	// fields and in client replies — is durable exactly when the engine's
+	// commit is inside the persister's durable watermark. In steady state
+	// that holds even on committing rounds: an entry's quorum acks arrive
+	// a network round-trip after the leader buffered it, and the pipeline
+	// synced it somewhere inside that window. Then nothing beyond the
+	// ack barrier needs this round's fsync: non-promise messages (append
+	// broadcasts, heartbeats) release immediately, and the commit
+	// hand-off stages with no sync obligation — the leader's own fsync
+	// drops out of the client-reply latency chain entirely. When the
+	// check fails (burst start, follower whose copy was counted before
+	// its sync), the round withholds everything and forces the fsync,
+	// which is what re-arms the watermark.
+	commitDurable := n.commitDurable()
+	job := persistJob{
+		entries: out.AppendedEntries,
+		install: out.InstalledSnapshot,
+		msgs:    out.Msgs,
+		barrier: hasAck || (committing && !commitDurable),
+		handoff: handoff,
+	}
+	if commitDurable {
+		n.sendEarly(out.Msgs)
+		job.msgs = nil
+		if hasAck {
+			withheld := make([]protocol.Envelope, 0, len(out.Msgs))
+			for _, env := range out.Msgs {
+				if _, ack := env.Msg.(protocol.BarrierMessage); ack {
+					withheld = append(withheld, env)
 				}
 			}
-		}
-		perr = n.persistEntries(out.AppendedEntries, hasAck || committing, perr)
-		if out.StateChanged || len(out.Commits) > 0 {
-			if err := n.saveHardState(); err != nil && perr == nil {
-				perr = err
-			}
+			job.msgs = withheld
 		}
 	}
-	if perr != nil {
-		// Barrier violated: nothing this iteration accepted is durable, so
-		// no promise may leave the replica. Withheld messages look like
-		// loss to peers, which consensus already tolerates and retries.
-		n.notePersistFailure(perr)
-	} else {
-		n.notePersistSuccess()
+	if out.StateChanged || len(out.Commits) > 0 {
+		// Snapshot the hard state on the loop (engines are
+		// single-threaded); the persister only writes it.
+		job.hs = n.hardState()
+		job.saveHS = true
 	}
-	// Promises go out before the apply hand-off: entries and hard state
-	// are already durable, and this keeps a Stop racing the hand-off from
-	// eating a just-persisted vote grant or append response.
-	for _, env := range out.Msgs {
-		if perr != nil {
-			break
-		}
-		if _, ack := env.Msg.(protocol.BarrierMessage); !ack && !committing {
-			continue // already released pre-fsync
-		}
-		if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
-			n.snapChunksSent.Add(1)
-			n.snapBytesSent.Add(int64(len(chunk.Data)))
-		}
-		n.cfg.Transport.Send(env.From, env.To, env.Msg)
-	}
-	if committing || len(out.ReadStates) > 0 {
-		// Confirmed reads ride the same ordered channel as the commits
-		// they may be waiting on; they do not depend on this iteration's
-		// persistence (the fast path appends nothing), so a persist
-		// failure does not taint them.
-		select {
-		case n.applyCh <- applyBatch{
+	if handoff {
+		job.batch = applyBatch{
 			commits: out.Commits, replies: out.Replies, reads: out.ReadStates,
-			install: out.InstalledSnapshot, persistErr: perr,
-		}:
-		case <-n.stop:
+			install: out.InstalledSnapshot,
 		}
 	}
+	if len(job.entries) == 0 && job.install == nil && !job.saveHS &&
+		len(job.msgs) == 0 && !job.handoff {
+		return // nothing staged: ticks and idle drains stay free
+	}
+	n.stage(job)
+}
+
+// commitDurable reports whether the engine's current commit index is
+// covered by the durable prefix of the local log. False means a commit
+// was advanced counting this replica's own not-yet-synced copy — any
+// message released now could carry that commit index to a follower that
+// would apply the value while fewer than a quorum of durable copies
+// exist. Event loop only (reads the engine).
+func (n *Node) commitDurable() bool {
+	if n.com == nil {
+		return true // engine exposes no commit index to leak
+	}
+	return n.com.CommitIndex() <= n.durableIdx.Load()
 }
 
 // sendEarly releases the non-promise half of a message batch before the
@@ -638,72 +743,26 @@ func (n *Node) sendEarly(msgs []protocol.Envelope) {
 		if _, ack := env.Msg.(protocol.BarrierMessage); ack {
 			continue
 		}
-		if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
-			n.snapChunksSent.Add(1)
-			n.snapBytesSent.Add(int64(len(chunk.Data)))
-		}
-		n.cfg.Transport.Send(env.From, env.To, env.Msg)
+		n.send(env)
 	}
 }
 
-// persistEntries writes the iteration's accepted entries to the log,
-// fsyncing when anything observable depends on them (needSync) and
-// otherwise staging them for the next load-bearing iteration's sync when
-// the store supports it. Even with nothing new to append, needSync
-// flushes entries buffered by earlier iterations — the promise about to
-// be released may rest on them.
-//
-// A failed write is retried, not dropped: the engine already holds the
-// entries in memory and will never re-emit them, but it WILL re-ack them
-// on retransmissions — so if the failed batch simply vanished, a later
-// heartbeat's ack would release over entries on no disk and silently
-// void the quorum-ack-implies-durable guarantee. The failed batch is
-// therefore carried forward (redo) and re-appended ahead of each
-// subsequent iteration's entries until the store accepts it; every
-// iteration in between reports a persist failure and withholds its acks.
-func (n *Node) persistEntries(appended []protocol.Entry, needSync bool, perr error) error {
-	if len(n.redo) > 0 {
-		appended = append(n.redo, appended...)
-		n.redo = nil
+// sendDirect releases a whole message batch (volatile nodes: no barrier).
+func (n *Node) sendDirect(msgs []protocol.Envelope) {
+	for _, env := range msgs {
+		n.send(env)
 	}
-	ents := n.persistable(appended)
-	aerr := n.appendEntries(ents, needSync)
-	if aerr != nil {
-		// Redo owns its backing array: appended may alias the engine
-		// output merged next iteration.
-		n.redo = append([]protocol.Entry(nil), ents...)
-		if perr == nil {
-			perr = aerr
-		}
-	}
-	return perr
 }
 
-func (n *Node) appendEntries(ents []protocol.Entry, needSync bool) error {
-	if n.cfg.DisableBatching {
-		for _, ent := range ents {
-			if err := n.cfg.Stable.Append([]protocol.Entry{ent}); err != nil {
-				return err
-			}
-		}
-		return nil
+// send puts one envelope on the transport, counting snapshot chunks.
+// Safe from both the event loop and the persister (transports are
+// concurrency-safe; the counters are atomics).
+func (n *Node) send(env protocol.Envelope) {
+	if chunk, ok := env.Msg.(*protocol.MsgInstallSnapshot); ok {
+		n.snapChunksSent.Add(1)
+		n.snapBytesSent.Add(int64(len(chunk.Data)))
 	}
-	ds, deferred := n.cfg.Stable.(storage.DeferredSync)
-	if !deferred {
-		if len(ents) == 0 {
-			return nil
-		}
-		return n.cfg.Stable.Append(ents)
-	}
-	if len(ents) > 0 {
-		if err := ds.AppendBuffered(ents); err != nil {
-			return err
-		}
-	}
-	if needSync {
-		return ds.Sync()
-	}
-	return nil
+	n.cfg.Transport.Send(env.From, env.To, env.Msg)
 }
 
 // persistable trims an iteration's appended entries to what the log store
@@ -728,41 +787,6 @@ func (n *Node) persistable(ents []protocol.Entry) []protocol.Entry {
 		}
 	}
 	return kept
-}
-
-// saveHardState persists the engine's (term, vote, commit) triple when it
-// moved. Fencing changes (term/vote) save immediately — a vote grant is
-// only releasable once the vote is durable; commit-only movement saves at
-// commitSaveInterval cadence, keeping the file rewrite (and its fsyncs)
-// off the per-iteration hot path. Runs on the event loop only.
-func (n *Node) saveHardState() error {
-	hs := n.hardState()
-	if n.hardSaved && hs == n.lastSaved {
-		return nil
-	}
-	fenceMoved := !n.hardSaved || hs.Term != n.lastSaved.Term || hs.VotedFor != n.lastSaved.VotedFor
-	if !fenceMoved && time.Since(n.lastCommitSave) < commitSaveInterval {
-		return nil
-	}
-	if err := n.cfg.Stable.SaveHardState(hs); err != nil {
-		return err
-	}
-	n.lastSaved, n.hardSaved = hs, true
-	n.lastCommitSave = time.Now()
-	return nil
-}
-
-// flushHardState persists any throttled commit movement on shutdown, so a
-// clean restart resumes from the exact applied watermark.
-func (n *Node) flushHardState() {
-	if n.cfg.Stable == nil {
-		return
-	}
-	if hs := n.hardState(); !n.hardSaved || hs != n.lastSaved {
-		if err := n.cfg.Stable.SaveHardState(hs); err == nil {
-			n.lastSaved, n.hardSaved = hs, true
-		}
-	}
 }
 
 // notePersistFailure records one failed persistence round, logging only

@@ -171,6 +171,19 @@ type ClientReply struct {
 //     any other promise leave the replica,
 //  4. Commits are applied and Replies delivered.
 //
+// The order is a per-Output contract, not a whole-driver serialization: a
+// pipelined driver may stage several Outputs' persistence rounds and keep
+// stepping the engine while their fsyncs are in flight, as long as each
+// round's steps 1–4 complete in order and rounds release in staging order
+// (an Output staged later never releases a promise or reply before an
+// earlier one reaches its durability point). Two refinements keep the
+// contract cheap without weakening it: messages that are not
+// BarrierMessages claim nothing about stable storage and may leave before
+// steps 1–2 (see BarrierMessage), and step 2's fsync may be folded into
+// step 1's (storage.GroupSync) since nothing observes the gap between
+// them. Engines tolerate the resulting cross-iteration reorder of
+// non-barrier messages; they survive arbitrary network reordering anyway.
+//
 // The simulator models steps 1–2 as latency on the ack edge so its figures
 // stay honest about the fsync a real deployment pays.
 type Output struct {

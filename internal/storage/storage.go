@@ -50,7 +50,11 @@ type Snapshot struct {
 type Store interface {
 	// SaveHardState durably records term/vote/commit.
 	SaveHardState(hs HardState) error
-	// HardState returns the last saved hard state.
+	// HardState returns the last saved hard state. A fresh store reports
+	// the zero hard state with a nil error; a non-nil error means durably
+	// recorded state exists but cannot be read — drivers must refuse to
+	// start on it rather than come up with a blank term/vote and risk
+	// double voting.
 	HardState() (HardState, error)
 	// Append adds entries at the end of the log. An entry at an index
 	// already stored overwrites it and truncates everything after it (the
@@ -115,6 +119,21 @@ type DeferredSync interface {
 	AppendBuffered(entries []protocol.Entry) error
 	// Sync makes every buffered append durable (no-op when clean).
 	Sync() error
+}
+
+// GroupSync is an optional Store extension for drivers that pipeline
+// persistence off their event loop: SyncBatch is the combined
+// entry+hardstate flush of one pipeline window. It makes every append
+// staged by AppendBuffered durable (no-op when the log is clean) and,
+// when save is set, durably rewrites the hard state afterwards — the
+// barrier order (entries first, then hard state) under a single lock
+// acquisition, so a persister goroutine retires a whole window of staged
+// rounds with one call.
+type GroupSync interface {
+	DeferredSync
+	// SyncBatch flushes buffered entries and, when save is set, persists
+	// hs, in that order.
+	SyncBatch(hs HardState, save bool) error
 }
 
 // ErrOutOfRange is returned for reads beyond the stored log.
@@ -467,6 +486,10 @@ func (f *File) loadHardState() error {
 func (f *File) SaveHardState(hs HardState) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.saveHardStateLocked(hs)
+}
+
+func (f *File) saveHardStateLocked(hs HardState) error {
 	var buf [24]byte
 	binary.BigEndian.PutUint64(buf[0:8], hs.Term)
 	binary.BigEndian.PutUint64(buf[8:16], uint64(int64(hs.VotedFor)))
@@ -899,6 +922,27 @@ func (f *File) Sync() error {
 	}
 	return f.syncLocked()
 }
+
+// SyncBatch implements GroupSync: one call retires a pipeline window —
+// buffered entries are flushed and fsynced first (no-op on a clean log),
+// then, when save is set, the hard state is rewritten durably. The
+// ordering is the persist-before-ack barrier's steps 1 and 2 fused under
+// one lock acquisition.
+func (f *File) SyncBatch(hs HardState, save bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dirty {
+		if err := f.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if save {
+		return f.saveHardStateLocked(hs)
+	}
+	return nil
+}
+
+var _ GroupSync = (*File)(nil)
 
 // syncLocked flushes the write buffer, fsyncs the active segment, and
 // performs any rotation that was deferred while appends were buffered.

@@ -295,3 +295,76 @@ func TestMemTruncate(t *testing.T) {
 		t.Fatal("out-of-range truncate accepted")
 	}
 }
+
+// TestFileSyncBatchDurableAcrossReopen pins the GroupSync contract the
+// persistence pipeline leans on: one SyncBatch call makes the buffered
+// entry window and the hard state durable together (entries strictly
+// first), a clean log costs no extra WAL fsync, and — the other half of
+// the contract — a bare SaveHardState never drags buffered entries to
+// disk with it. Durability is proven the honest way: abandon the store
+// without Close and reopen the directory.
+func TestFileSyncBatchDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []protocol.Entry{entry(1, 1, "a"), entry(2, 1, "b"), entry(3, 1, "c")}
+	if err := s.AppendBuffered(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SyncCount(); got != 0 {
+		t.Fatalf("AppendBuffered synced: SyncCount = %d, want 0", got)
+	}
+	hs := storage.HardState{Term: 2, VotedFor: 1, Commit: 3}
+	if err := s.SyncBatch(hs, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SyncCount(); got != 1 {
+		t.Fatalf("SyncCount after SyncBatch = %d, want 1", got)
+	}
+	// Clean log: a second SyncBatch must not touch the WAL again.
+	if err := s.SyncBatch(hs, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SyncCount(); got != 1 {
+		t.Fatalf("SyncBatch on a clean log fsynced: SyncCount = %d, want 1", got)
+	}
+
+	// Crash (no Close): only what SyncBatch flushed survives the reopen.
+	s2, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := s2.LastIndex(); last != 3 {
+		t.Fatalf("reopened last = %d, want 3", last)
+	}
+	if got, _ := s2.HardState(); got != hs {
+		t.Fatalf("reopened hard state = %+v, want %+v", got, hs)
+	}
+	ents, err := s2.Entries(1, 3)
+	if err != nil || len(ents) != 3 || ents[2].Cmd.Key != "c" {
+		t.Fatalf("reopened entries = %+v, %v", ents, err)
+	}
+
+	// Stage one more entry but save only the hard state: the save must be
+	// durable while the buffered entry must NOT ride along to disk.
+	if err := s2.AppendBuffered([]protocol.Entry{entry(4, 2, "d")}); err != nil {
+		t.Fatal(err)
+	}
+	hs2 := storage.HardState{Term: 3, VotedFor: 2, Commit: 3}
+	if err := s2.SaveHardState(hs2); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := storage.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if last, _ := s3.LastIndex(); last != 3 {
+		t.Fatalf("save-only flush dragged a buffered entry to disk: last = %d, want 3", last)
+	}
+	if got, _ := s3.HardState(); got != hs2 {
+		t.Fatalf("hard state after save-only = %+v, want %+v", got, hs2)
+	}
+}
