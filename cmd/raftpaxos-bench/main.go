@@ -38,9 +38,10 @@ func main() {
 	reads := flag.Float64("reads", 0, "fraction of -live ops issued as ReadIndex reads (0..1)")
 	syncPersist := flag.Bool("sync-persist", false, "run -live with the synchronous accept-time fsync (pre-pipeline baseline)")
 	persistWindow := flag.Int("persist-window", 0, "staged-persistence in-flight window for -live (0 = cluster default)")
+	groups := flag.Int("groups", 1, "consensus groups per replica for -live (keys shard across groups by hash)")
 	flag.Parse()
 	if *live {
-		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *jsonPath, *useTCP, *reads, *syncPersist, *persistWindow); err != nil {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *groups, *jsonPath, *useTCP, *reads, *syncPersist, *persistWindow); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -54,7 +55,7 @@ func main() {
 
 // runLive drives the sustained-load trial on temp storage and writes the
 // result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
-func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath string, useTCP bool, readRatio float64, syncPersist bool, persistWindow int) error {
+func runLive(ops, snapInterval int, segmentBytes int64, clients, groups int, jsonPath string, useTCP bool, readRatio float64, syncPersist bool, persistWindow int) error {
 	dirs := make([]string, 3)
 	for i := range dirs {
 		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
@@ -67,6 +68,7 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 	res, err := bench.RunLongRun(bench.LongRunConfig{
 		Ops:              ops,
 		Clients:          clients,
+		Groups:           groups,
 		SnapshotInterval: snapInterval,
 		SegmentBytes:     segmentBytes,
 		Dirs:             dirs,
@@ -80,6 +82,13 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients int, jsonPath st
 	}
 	fmt.Printf("live longevity: %d ops, %.0f write-commits/s (first window %.0f ops/s, last %.0f ops/s)\n",
 		res.Ops, res.CommitsPerSec, res.FirstWindowPerSec, res.LastWindowPerSec)
+	if res.Groups > 1 {
+		fmt.Printf("  %d groups:", res.Groups)
+		for g, rate := range res.GroupCommitsPerSec {
+			fmt.Printf(" g%d %.0f/s (%.3f fsyncs/entry)", g, rate, res.GroupFsyncsPerEntry[g])
+		}
+		fmt.Println()
+	}
 	fmt.Printf("  %.3f fsyncs/entry, WAL %d bytes in %d segments, snapshot@%d, engine tail %d\n",
 		res.FsyncsPerEntry, res.WALBytes, res.WALSegments, res.SnapshotIndex, res.EngineLogLen)
 	fmt.Printf("  restart %.1fms to applied %d\n", res.RestartMS, res.RestartAppliedIndex)

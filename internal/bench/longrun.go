@@ -25,7 +25,14 @@ import (
 type LongRunConfig struct {
 	// Replicas is the cluster size (default 3).
 	Replicas int
-	// Clients is the number of closed-loop writers (default 32).
+	// Groups is the number of consensus groups each replica hosts
+	// (default 1). Writes shard across groups by key hash; each group
+	// runs its own leader, log, and persister, so aggregate write
+	// throughput scales with groups instead of capping at one event
+	// loop's drain rate.
+	Groups int
+	// Clients is the number of closed-loop writers (default 32), shared
+	// across all groups — hold it constant when comparing group counts.
 	Clients int
 	// Ops is the total number of operations (default 50000).
 	Ops int
@@ -72,6 +79,9 @@ func (c *LongRunConfig) withDefaults() LongRunConfig {
 	if out.Replicas <= 0 {
 		out.Replicas = 3
 	}
+	if out.Groups <= 0 {
+		out.Groups = 1
+	}
 	if out.Clients <= 0 {
 		out.Clients = 32
 	}
@@ -102,9 +112,24 @@ func (c *LongRunConfig) withDefaults() LongRunConfig {
 // LongRunResult reports one sustained-load trial, JSON-tagged so
 // cmd/raftpaxos-bench can emit it as a machine-readable artifact.
 type LongRunResult struct {
-	Ops           int     `json:"ops"`
-	ElapsedMS     float64 `json:"elapsed_ms"`
-	CommitsPerSec float64 `json:"commits_per_sec"`
+	Ops int `json:"ops"`
+	// Groups is the number of consensus groups each replica hosted;
+	// CommitsPerSec is the aggregate write rate across all of them, and
+	// GroupCommitsPerSec breaks it down per group (the shard-balance and
+	// scaling evidence in one place).
+	Groups             int       `json:"groups"`
+	GroupCommitsPerSec []float64 `json:"group_commits_per_sec"`
+	// GroupFsyncsPerEntry is each group's fsyncs/entry summed over its
+	// replicas: multi-group scaling must not come from batching decay
+	// (each group's ratio should match the single-group baseline).
+	GroupFsyncsPerEntry []float64 `json:"group_fsyncs_per_entry"`
+	// GroupWireRecordsSent / GroupWireBytesSent are the per-group
+	// transport breakdown summed over replicas (TCP runs only): how much
+	// of the shared wire each group consumed.
+	GroupWireRecordsSent []int64 `json:"group_wire_records_sent,omitempty"`
+	GroupWireBytesSent   []int64 `json:"group_wire_bytes_sent,omitempty"`
+	ElapsedMS            float64 `json:"elapsed_ms"`
+	CommitsPerSec        float64 `json:"commits_per_sec"`
 	// FirstWindowPerSec and LastWindowPerSec are the throughput of the
 	// first and last WindowOps commits: flat means no degradation as
 	// history accumulates.
@@ -182,30 +207,41 @@ type LongRunResult struct {
 	PersistInflightMax int64 `json:"persist_inflight_max"`
 }
 
-// lazyTransport breaks the node<->transport construction cycle when
-// running over TCP (the transport needs the node's inbound handler, the
-// node needs the transport).
+// lazyTransport breaks the host<->transport construction cycle when
+// running over TCP (the transport needs the host's inbound handler, the
+// host needs the transport).
 type lazyTransport struct {
 	mu sync.RWMutex
-	t  transport.Transport
+	t  transport.GroupTransport
 }
 
-func (l *lazyTransport) set(t transport.Transport) { l.mu.Lock(); l.t = t; l.mu.Unlock() }
+func (l *lazyTransport) set(t transport.GroupTransport) { l.mu.Lock(); l.t = t; l.mu.Unlock() }
+
+func (l *lazyTransport) get() transport.GroupTransport {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.t
+}
 
 func (l *lazyTransport) Send(from, to protocol.NodeID, msg protocol.Message) {
-	l.mu.RLock()
-	t := l.t
-	l.mu.RUnlock()
-	if t != nil {
+	if t := l.get(); t != nil {
 		t.Send(from, to, msg)
+	}
+}
+
+func (l *lazyTransport) SendGroup(group uint64, from, to protocol.NodeID, msg protocol.Message) {
+	if t := l.get(); t != nil {
+		t.SendGroup(group, from, to, msg)
 	}
 }
 
 func (l *lazyTransport) Close() error { return nil }
 
 // RunLongRun drives cfg.Ops closed-loop writes through a snapshotting
-// Raft* cluster, reports the boundedness metrics, then restarts the
-// leader's replica from disk and times recovery.
+// multi-group Raft* cluster (cfg.Groups groups per replica, keys sharded
+// across them by hash), reports the boundedness metrics plus per-group
+// throughput, then restarts one replica's whole host from disk and times
+// recovery across every group.
 func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	cfg := raw.withDefaults()
 	if len(cfg.Dirs) != cfg.Replicas {
@@ -216,43 +252,32 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	for i := range peers {
 		peers[i] = protocol.NodeID(i)
 	}
-	newEngine := func(i int) *raftstar.Engine {
-		return raftstar.New(raftstar.Config{
-			ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7,
-			ReadIndex: true,
-		})
-	}
-	openStores := func() ([]*storage.File, error) {
-		stores := make([]*storage.File, cfg.Replicas)
-		for i := range stores {
-			fs, err := storage.OpenFileWith(cfg.Dirs[i], storage.Options{SegmentBytes: cfg.SegmentBytes})
-			if err != nil {
-				return nil, err
-			}
-			stores[i] = fs
-		}
-		return stores, nil
-	}
-	newNode := func(i int, tr transport.Transport, stores []*storage.File) *cluster.Node {
-		return cluster.New(cluster.Config{
-			Engine:           newEngine(i),
-			Transport:        tr,
-			Stable:           stores[i],
+	newHost := func(i int, tr transport.GroupTransport, passive bool) (*cluster.Host, error) {
+		return cluster.NewHost(cluster.HostConfig{
+			Groups:    cfg.Groups,
+			Transport: tr,
+			DataDir:   cfg.Dirs[i],
+			StorageOptions: storage.Options{
+				SegmentBytes: cfg.SegmentBytes,
+			},
 			TickInterval:     cfg.TickInterval,
 			SnapshotInterval: cfg.SnapshotInterval,
 			SyncPersist:      cfg.SyncPersist,
 			PersistWindow:    cfg.PersistWindow,
+			NewEngine: func(g int) protocol.Engine {
+				return raftstar.New(raftstar.Config{
+					ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2,
+					Seed: int64(7 + g), ReadIndex: true, Passive: passive,
+				})
+			},
 		})
 	}
 
-	stores, err := openStores()
-	if err != nil {
-		return nil, err
-	}
 	var (
-		nodes    = make([]*cluster.Node, cfg.Replicas)
+		hosts    = make([]*cluster.Host, cfg.Replicas)
 		tcps     []*transport.TCP
 		closeNet func()
+		err      error
 	)
 	if cfg.UseTCP {
 		cluster.RegisterMessages()
@@ -268,8 +293,10 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		tcps = make([]*transport.TCP, cfg.Replicas)
 		for i := range peers {
 			lazy := &lazyTransport{}
-			nodes[i] = newNode(i, lazy, stores)
-			tcp, err := transport.NewTCP(peers[i], addrs, nodes[i].HandleMessage)
+			if hosts[i], err = newHost(i, lazy, false); err != nil {
+				return nil, err
+			}
+			tcp, err := transport.NewTCPGroups(peers[i], addrs, hosts[i].HandleMessage, transport.TCPOptions{})
 			if err != nil {
 				return nil, err
 			}
@@ -287,18 +314,24 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	} else {
 		chnet := transport.NewChanNetwork()
 		for i := range peers {
-			nodes[i] = newNode(i, chnet, stores)
-			chnet.Listen(peers[i], nodes[i].HandleMessage)
+			if hosts[i], err = newHost(i, chnet, false); err != nil {
+				return nil, err
+			}
+			chnet.ListenGroups(peers[i], hosts[i].HandleMessage)
 		}
 		closeNet = func() { chnet.Close() }
 	}
-	for _, nd := range nodes {
-		nd.Start()
+	for _, h := range hosts {
+		h.Start()
 	}
 
-	leader, err := awaitLeader(nodes, 10*time.Second)
-	if err != nil {
-		return nil, err
+	// Every group elects its own leader; clients route each key to its
+	// group's leader directly (the closed loop is the client, not a proxy).
+	leaders := make([]*cluster.Node, cfg.Groups)
+	for g := range leaders {
+		if leaders[g], err = awaitGroupLeader(hosts, g, 10*time.Second); err != nil {
+			return nil, err
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
@@ -306,6 +339,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	value := make([]byte, cfg.ValueSize)
 	var next, completed atomic.Int64
 	var tFirstWindow, tLastWindowStart atomic.Int64 // UnixNano marks
+	groupWrites := make([]atomic.Int64, cfg.Groups)
 	errCh := make(chan error, cfg.Clients)
 	var wg sync.WaitGroup
 	// Per-client read latency samples, merged after the run (no shared
@@ -326,16 +360,19 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 					return
 				}
 				key := fmt.Sprintf("bench-%d", op%int64(cfg.KeySpace))
+				g := cluster.GroupForKey(key, cfg.Groups)
 				if cfg.ReadRatio > 0 && rng.Float64() < cfg.ReadRatio {
 					t0 := time.Now()
-					if _, err := leader.Get(ctx, key); err != nil {
+					if _, err := leaders[g].Get(ctx, key); err != nil {
 						errCh <- err
 						return
 					}
 					readDurs[c] = append(readDurs[c], time.Since(t0))
-				} else if err := leader.Put(ctx, key, value); err != nil {
+				} else if err := leaders[g].Put(ctx, key, value); err != nil {
 					errCh <- err
 					return
+				} else {
+					groupWrites[g].Add(1)
 				}
 				done := completed.Add(1)
 				switch {
@@ -353,8 +390,8 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	runtime.ReadMemStats(&memAfter)
 	close(errCh)
 	if err := <-errCh; err != nil {
-		for _, nd := range nodes {
-			nd.Stop()
+		for _, h := range hosts {
+			h.Stop()
 		}
 		closeNet()
 		return nil, err
@@ -372,6 +409,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	}
 	res := &LongRunResult{
 		Ops:           cfg.Ops,
+		Groups:        cfg.Groups,
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1e3,
 		CommitsPerSec: float64(cfg.Ops-len(allReads)) / elapsed.Seconds(),
 		WindowOps:     cfg.WindowOps,
@@ -383,10 +421,27 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	if ns := tLastWindowStart.Load(); ns > 0 {
 		res.LastWindowPerSec = float64(cfg.WindowOps) / time.Since(time.Unix(0, ns)).Seconds()
 	}
+	// Fsyncs/entry both in aggregate and per group: the scaling claim
+	// requires each group's batching to stay as effective as the
+	// single-group baseline, not just the total to grow.
+	groupStore := func(i, g int) *storage.File {
+		return hosts[i].GroupStore(g).(*storage.File)
+	}
+	res.GroupCommitsPerSec = make([]float64, cfg.Groups)
+	res.GroupFsyncsPerEntry = make([]float64, cfg.Groups)
 	var syncs, entries uint64
-	for _, fs := range stores {
-		syncs += fs.SyncCount()
-		entries += fs.EntryCount()
+	for g := 0; g < cfg.Groups; g++ {
+		res.GroupCommitsPerSec[g] = float64(groupWrites[g].Load()) / elapsed.Seconds()
+		var gs, ge uint64
+		for i := range hosts {
+			gs += groupStore(i, g).SyncCount()
+			ge += groupStore(i, g).EntryCount()
+		}
+		if ge > 0 {
+			res.GroupFsyncsPerEntry[g] = float64(gs) / float64(ge)
+		}
+		syncs += gs
+		entries += ge
 	}
 	if entries > 0 {
 		res.FsyncsPerEntry = float64(syncs) / float64(entries)
@@ -401,11 +456,16 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		res.ReadP50MS = float64(allReads[len(allReads)/2].Microseconds()) / 1e3
 		res.ReadP99MS = float64(allReads[len(allReads)*99/100].Microseconds()) / 1e3
 	}
-	for _, nd := range nodes {
+	eachNode := func(fn func(nd *cluster.Node)) {
+		for _, h := range hosts {
+			for g := 0; g < cfg.Groups; g++ {
+				fn(h.Group(g))
+			}
+		}
+	}
+	eachNode(func(nd *cluster.Node) {
 		_, logged := nd.ReadStats()
 		res.ReadLogAppends += logged
-	}
-	for _, nd := range nodes {
 		syncNS, batches, stallNS, inflight := nd.PersistStats()
 		res.SyncNSTotal += syncNS
 		res.SyncBatches += batches
@@ -413,18 +473,13 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		if inflight > res.PersistInflightMax {
 			res.PersistInflightMax = inflight
 		}
-	}
-
-	leaderID := leader.ID()
-	appliedBefore := leader.Store().AppliedIndex()
-	for _, nd := range nodes {
 		chunks, bytes, installs := nd.SnapshotTransferStats()
 		res.SnapshotTransfers += chunks
 		res.SnapshotTransferBytes += bytes
 		res.SnapshotInstalls += installs
 		_, total := nd.SnapshotFailures()
 		res.SnapshotFailures += total
-	}
+	})
 	for _, tcp := range tcps {
 		st := tcp.Stats()
 		res.TransportFrames += st.FramesSent
@@ -434,78 +489,93 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		res.TransportFramesDropped += st.DroppedFrames
 		res.EncodeNSTotal += st.EncodeNanos
 	}
-	for _, nd := range nodes {
-		nd.Stop()
+	if len(tcps) > 0 {
+		res.GroupWireRecordsSent = make([]int64, cfg.Groups)
+		res.GroupWireBytesSent = make([]int64, cfg.Groups)
+		for _, tcp := range tcps {
+			for g, st := range tcp.GroupStats() {
+				if g < uint64(cfg.Groups) {
+					res.GroupWireRecordsSent[g] += st.RecordsSent
+					res.GroupWireBytesSent[g] += st.BytesSent
+				}
+			}
+		}
+	}
+
+	// The restart trial targets the replica that led group 0; snapshot the
+	// per-group applied indexes it must recover to before stopping it.
+	leaderID := leaders[0].ID()
+	appliedBefore := make([]int64, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		appliedBefore[g] = hosts[leaderID].Group(g).Store().AppliedIndex()
+	}
+	for _, h := range hosts {
+		h.Stop()
 	}
 	closeNet()
 
-	lst := stores[leaderID]
+	// Boundedness figures come from group 0's store on that replica (the
+	// single-group numbers, unchanged in meaning when Groups is 1); the
+	// counters are plain in-memory reads, valid after close.
+	lst := groupStore(int(leaderID), 0)
 	res.WALBytes = lst.WALBytes()
 	res.WALSegments = lst.SegmentCount()
 	if snap, ok, _ := lst.LatestSnapshot(); ok {
 		res.SnapshotIndex = snap.Index
 	}
-	if ll, ok := nodes[leaderID].Engine().(interface{ LogLen() int }); ok {
+	if ll, ok := hosts[leaderID].Group(0).Engine().(interface{ LogLen() int }); ok {
 		res.EngineLogLen = ll.LogLen()
 	}
-	for _, fs := range stores {
-		fs.Close()
-	}
 
-	// Restart the leader's replica alone from its directory and time how
-	// long until the state machine is back at the pre-shutdown applied
-	// index: with compaction this is snapshot-load + tail-replay, however
-	// long the run was.
+	// Restart that replica's whole host from its directory and time how
+	// long until every group's state machine is back at its pre-shutdown
+	// applied index: with compaction this is snapshot-load + tail-replay
+	// per group, however long the run was.
 	restartStart := time.Now()
-	refs, err := storage.OpenFileWith(cfg.Dirs[leaderID], storage.Options{SegmentBytes: cfg.SegmentBytes})
+	renet := transport.NewChanNetwork()
+	defer renet.Close()
+	re, err := newHost(int(leaderID), renet, true)
 	if err != nil {
 		return nil, err
 	}
-	defer refs.Close()
-	renet := transport.NewChanNetwork()
-	defer renet.Close()
-	re := cluster.New(cluster.Config{
-		Engine: raftstar.New(raftstar.Config{
-			ID: leaderID, Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2, Seed: 7, Passive: true,
-			ReadIndex: true,
-		}),
-		Transport:        renet,
-		Stable:           refs,
-		TickInterval:     cfg.TickInterval,
-		SnapshotInterval: cfg.SnapshotInterval,
-	})
-	renet.Listen(leaderID, re.HandleMessage)
+	renet.ListenGroups(leaderID, re.HandleMessage)
 	re.Start()
-	hs, _ := refs.HardState()
-	target := hs.Commit
-	if target > appliedBefore {
-		target = appliedBefore
+	defer re.Stop()
+	targets := make([]int64, cfg.Groups)
+	for g := 0; g < cfg.Groups; g++ {
+		hs, _ := re.GroupStore(g).HardState()
+		targets[g] = hs.Commit
+		if targets[g] > appliedBefore[g] {
+			targets[g] = appliedBefore[g]
+		}
 	}
 	deadline := time.Now().Add(time.Minute)
-	for re.Store().AppliedIndex() < target {
-		if time.Now().After(deadline) {
-			re.Stop()
-			return nil, fmt.Errorf("bench: restart never reached applied %d (at %d)", target, re.Store().AppliedIndex())
+	for g := 0; g < cfg.Groups; g++ {
+		for re.Group(g).Store().AppliedIndex() < targets[g] {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("bench: restart never reached group %d applied %d (at %d)",
+					g, targets[g], re.Group(g).Store().AppliedIndex())
+			}
+			time.Sleep(time.Millisecond)
 		}
-		time.Sleep(time.Millisecond)
 	}
 	res.RestartMS = float64(time.Since(restartStart).Microseconds()) / 1e3
-	res.RestartAppliedIndex = re.Store().AppliedIndex()
-	re.Stop()
+	res.RestartAppliedIndex = re.Group(0).Store().AppliedIndex()
 	return res, nil
 }
 
-// awaitLeader waits for some node to observe itself leader.
-func awaitLeader(nodes []*cluster.Node, timeout time.Duration) (*cluster.Node, error) {
+// awaitGroupLeader waits for some host's replica of group g to observe
+// itself leader.
+func awaitGroupLeader(hosts []*cluster.Host, g int, timeout time.Duration) (*cluster.Node, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		for _, nd := range nodes {
-			if nd.IsLeader() {
-				return nd, nil
+		for _, h := range hosts {
+			if h.Group(g).IsLeader() {
+				return h.Group(g), nil
 			}
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("bench: no leader elected")
+			return nil, fmt.Errorf("bench: group %d never elected a leader", g)
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -56,3 +56,50 @@ func TestLongRunBounded(t *testing.T) {
 		res.CommitsPerSec, res.FirstWindowPerSec, res.LastWindowPerSec,
 		res.WALSegments, res.WALBytes/1024, res.EngineLogLen, res.RestartMS)
 }
+
+// TestLongRunMultiGroup is the CI-sized multi-group trial: four groups
+// per replica sharing each replica's data dir (group-<g>/ subdirs), all
+// commits accounted to exactly one group, per-group fsync batching
+// intact, and the whole-host restart recovering every group.
+func TestLongRunMultiGroup(t *testing.T) {
+	const (
+		ops    = 2000
+		groups = 4
+	)
+	res, err := bench.RunLongRun(bench.LongRunConfig{
+		Ops:              ops,
+		Groups:           groups,
+		Clients:          16,
+		SnapshotInterval: 250,
+		SegmentBytes:     16 << 10,
+		Dirs:             []string{t.TempDir(), t.TempDir(), t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != groups || len(res.GroupCommitsPerSec) != groups {
+		t.Fatalf("groups = %d with %d per-group rates, want %d", res.Groups, len(res.GroupCommitsPerSec), groups)
+	}
+	// Every write landed in exactly one group: per-group rates sum to the
+	// aggregate, and the hash router spread load onto every shard.
+	var sum float64
+	for g, rate := range res.GroupCommitsPerSec {
+		if rate <= 0 {
+			t.Fatalf("group %d saw no commits: %v", g, res.GroupCommitsPerSec)
+		}
+		sum += rate
+	}
+	if diff := sum - res.CommitsPerSec; diff > res.CommitsPerSec*0.01 || diff < -res.CommitsPerSec*0.01 {
+		t.Fatalf("per-group rates sum to %.0f/s, aggregate says %.0f/s", sum, res.CommitsPerSec)
+	}
+	for g, fpe := range res.GroupFsyncsPerEntry {
+		if fpe >= 1 {
+			t.Fatalf("group %d fsyncs/entry = %.3f, group commit lost under multi-group", g, fpe)
+		}
+	}
+	if res.RestartAppliedIndex <= 0 {
+		t.Fatalf("restart recovered applied index %d", res.RestartAppliedIndex)
+	}
+	t.Logf("multi-group longrun: %.0f commits/s aggregate over %d groups (per group %v), restart %.1fms",
+		res.CommitsPerSec, res.Groups, res.GroupCommitsPerSec, res.RestartMS)
+}

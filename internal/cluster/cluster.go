@@ -90,6 +90,13 @@ type Config struct {
 	Transport transport.Transport
 	// Stable optionally persists hard state and entries (nil = volatile).
 	Stable storage.Store
+	// Group is the consensus group this runtime serves when it is one of
+	// several hosted in the same process (see Host). Purely labeling at
+	// this layer — the Host's per-group transport adapter stamps outbound
+	// records and its demux feeds this runtime only its own group's
+	// messages — but it keeps log lines attributable when N groups share
+	// one replica ID space.
+	Group uint64
 	// TickInterval drives the engine's logical clock (default 10ms).
 	TickInterval time.Duration
 	// MaxBatch bounds how many queued inputs (submissions + messages) one
@@ -177,10 +184,15 @@ type (
 	}
 )
 
-// Node is one live replica.
+// Node is one live replica of one consensus group: the group-scoped
+// runtime (engine, WAL/snapshot store, persister pipeline, applier, read
+// plumbing). A process serves one replicated log with a single Node, or
+// N independent logs by running N of them under a Host, multiplexed over
+// a shared transport.
 type Node struct {
 	cfg   Config
 	id    protocol.NodeID
+	group uint64
 	store *kvstore.Store
 
 	inbox   chan inbound
@@ -309,6 +321,7 @@ func New(cfg Config) *Node {
 	n := &Node{
 		cfg:         cfg,
 		id:          cfg.Engine.ID(),
+		group:       cfg.Group,
 		epoch:       uint64(rand.Uint32() & 0xffffff),
 		store:       kvstore.New(),
 		inbox:       make(chan inbound, 4096),
@@ -328,6 +341,19 @@ func New(cfg Config) *Node {
 
 // ID returns the replica identity.
 func (n *Node) ID() protocol.NodeID { return n.id }
+
+// Group returns the consensus group this runtime serves (0 when the
+// process runs a single group).
+func (n *Node) Group() uint64 { return n.group }
+
+// name labels log lines with enough to find the runtime when N groups
+// share one replica ID space.
+func (n *Node) name() string {
+	if n.group == 0 {
+		return fmt.Sprintf("node %d", n.id)
+	}
+	return fmt.Sprintf("group %d node %d", n.group, n.id)
+}
 
 // Store exposes the applied state machine (reads of applied state).
 func (n *Node) Store() *kvstore.Store { return n.store }
@@ -386,7 +412,7 @@ func (n *Node) run() {
 		// refuse to start instead (the node stays up but inert; Stop
 		// works normally). stageCh closes without the shutdown flush so
 		// the unreadable-but-recorded hard state is never overwritten.
-		log.Printf("cluster: node %d refusing to start: recorded hard state unreadable: %v", n.id, err)
+		log.Printf("cluster: %s refusing to start: recorded hard state unreadable: %v", n.name(), err)
 		close(n.stageCh)
 		return
 	}
@@ -795,14 +821,14 @@ func (n *Node) persistable(ents []protocol.Entry) []protocol.Entry {
 func (n *Node) notePersistFailure(err error) {
 	n.persistFailTotal.Add(1)
 	if n.persistFailStreak.Add(1) == 1 {
-		log.Printf("cluster: node %d persistence failed (withholding acks until it recovers): %v", n.id, err)
+		log.Printf("cluster: %s persistence failed (withholding acks until it recovers): %v", n.name(), err)
 	}
 }
 
 // notePersistSuccess closes a failure streak, logging the recovery once.
 func (n *Node) notePersistSuccess() {
 	if streak := n.persistFailStreak.Swap(0); streak > 0 {
-		log.Printf("cluster: node %d persistence recovered after %d consecutive failures", n.id, streak)
+		log.Printf("cluster: %s persistence recovered after %d consecutive failures", n.name(), streak)
 	}
 }
 
@@ -869,8 +895,8 @@ func (n *Node) applier() {
 			// primitive (StateMachine.Restore), so install and restart
 			// recover through the same code.
 			if err := n.InstallSnapshot(*b.install); err != nil {
-				log.Printf("cluster: node %d failed to restore installed snapshot at %d: %v",
-					n.id, b.install.Index, err)
+				log.Printf("cluster: %s failed to restore installed snapshot at %d: %v",
+					n.name(), b.install.Index, err)
 			} else {
 				lastApply = protocol.Entry{Index: b.install.Index, Term: b.install.Term}
 				sinceSnap = 0
@@ -1018,14 +1044,14 @@ func (n *Node) InstallSnapshot(img protocol.SnapshotImage) error {
 func (n *Node) noteSnapshotFailure(stage string, err error) {
 	n.snapFailTotal.Add(1)
 	if n.snapFailStreak.Add(1) == 1 {
-		log.Printf("cluster: node %d snapshot %s failed (retrying every interval): %v", n.id, stage, err)
+		log.Printf("cluster: %s snapshot %s failed (retrying every interval): %v", n.name(), stage, err)
 	}
 }
 
 // noteSnapshotSuccess closes a failure streak, logging the recovery once.
 func (n *Node) noteSnapshotSuccess() {
 	if streak := n.snapFailStreak.Swap(0); streak > 0 {
-		log.Printf("cluster: node %d snapshot path recovered after %d consecutive failures", n.id, streak)
+		log.Printf("cluster: %s snapshot path recovered after %d consecutive failures", n.name(), streak)
 	}
 }
 

@@ -29,12 +29,22 @@ import (
 // After the handshake, every write is one length-prefixed frame — a
 // 4-byte big-endian body length, a 1-byte flag, then the body
 // (snappy-compressed when the flag says so). A frame body is a batch of
-// message records in the internal/wire binary format: the writer drains
-// its whole outbound queue into one frame (bounded by maxBatchBytes), so
-// a burst of messages costs one encode pass, at most one compression, and
-// one syscall.
+// message records, each
+//
+//	uvarint(group) | varint(from) | tag | payload
+//
+// — the consensus-group ID followed by the internal/wire message record.
+// The group prefix is what lets one connection multiplex N consensus
+// groups (a multi-group host runs many engines over the shared link);
+// single-group deployments send group 0, which costs one zero byte per
+// record. The writer drains its whole outbound queue into one frame
+// (bounded by maxBatchBytes), so a burst of messages costs one encode
+// pass, at most one compression, and one syscall.
 const (
-	wireVersion    = 2 // version 1 was the gob stream this codec retired
+	// wireVersion 3 added the per-record group prefix; version 2 was the
+	// group-less binary record layout, version 1 the gob stream the codec
+	// retired. Mixed-version clusters fail loudly at the handshake.
+	wireVersion    = 3
 	frameHeaderLen = 5
 	flagSnappy     = 0x01
 	// maxFrameBytes bounds what a reader will allocate for one frame
@@ -91,6 +101,32 @@ type TCPStats struct {
 	EncodeNanos int64
 }
 
+// GroupIOStats is one consensus group's slice of the transport's
+// traffic. Frames batch records from many groups, so frame-level
+// counters stay process-global (TCPStats); these record-level counters
+// are what attribute the volume to groups — per-group bench numbers need
+// no guesswork about who owned the bytes.
+type GroupIOStats struct {
+	// RecordsSent / BytesSent count outbound message records encoded for
+	// this group and their encoded (pre-compression) record bytes,
+	// including the group prefix.
+	RecordsSent int64
+	BytesSent   int64
+	// RecordsRecv / BytesRecv are the inbound mirror, measured over the
+	// decoded (post-decompression) stream.
+	RecordsRecv int64
+	BytesRecv   int64
+}
+
+// groupCounters is the hot-path form of GroupIOStats (atomics: writer
+// goroutines and connection readers update concurrently).
+type groupCounters struct {
+	recordsSent atomic.Int64
+	bytesSent   atomic.Int64
+	recordsRecv atomic.Int64
+	bytesRecv   atomic.Int64
+}
+
 // outQueueDepth bounds each per-peer outbound queue; overflow drops, as a
 // lossy network would (consensus retries via timers).
 const outQueueDepth = 8192
@@ -104,8 +140,9 @@ const (
 
 // outMsg is one queued outbound message awaiting encoding.
 type outMsg struct {
-	from protocol.NodeID
-	msg  protocol.Message
+	group uint64
+	from  protocol.NodeID
+	msg   protocol.Message
 }
 
 // TCP is a TCP transport: one listener per node and, per peer, an
@@ -136,6 +173,12 @@ type TCP struct {
 	inbound map[net.Conn]struct{}        // accepted conns, closed to unblock readers
 	health  map[protocol.NodeID]*atomic.Bool
 
+	// Per-group record/byte attribution (see GroupIOStats). The map is
+	// effectively append-only and tiny (one entry per consensus group);
+	// lookups take the read lock, first-contact inserts the write lock.
+	groupMu sync.RWMutex
+	groups  map[uint64]*groupCounters
+
 	framesSent       atomic.Int64
 	framesCompressed atomic.Int64
 	rawBytes         atomic.Int64
@@ -149,13 +192,24 @@ type TCP struct {
 }
 
 // NewTCP starts a TCP transport listening on addrs[self] and dispatching
-// inbound messages to h, with default options (compression on).
+// inbound messages to h, with default options (compression on). The
+// single-group form: inbound group IDs are dropped and Send stamps
+// group 0.
 func NewTCP(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler) (*TCP, error) {
 	return NewTCPWith(self, addrs, h, TCPOptions{})
 }
 
 // NewTCPWith is NewTCP with explicit framing options.
 func NewTCPWith(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handler, opt TCPOptions) (*TCP, error) {
+	return NewTCPGroups(self, addrs, func(_ uint64, from protocol.NodeID, msg protocol.Message) {
+		h(from, msg)
+	}, opt)
+}
+
+// NewTCPGroups starts a group-multiplexed TCP transport: every inbound
+// record's group ID reaches h, so a multi-group host can demux frames to
+// the owning group's inbox; SendGroup stamps outbound records likewise.
+func NewTCPGroups(self protocol.NodeID, addrs map[protocol.NodeID]string, h GroupHandler, opt TCPOptions) (*TCP, error) {
 	ln, err := net.Listen("tcp", addrs[self])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
@@ -169,6 +223,7 @@ func NewTCPWith(self protocol.NodeID, addrs map[protocol.NodeID]string, h Handle
 		conns:       make(map[protocol.NodeID]net.Conn),
 		inbound:     make(map[net.Conn]struct{}),
 		health:      make(map[protocol.NodeID]*atomic.Bool),
+		groups:      make(map[uint64]*groupCounters),
 		ln:          ln,
 		closed:      make(chan struct{}),
 	}
@@ -193,10 +248,44 @@ func (t *TCP) Stats() TCPStats {
 	}
 }
 
+// GroupStats returns the per-group record/byte breakdown accumulated
+// since the transport started (groups appear on first traffic).
+func (t *TCP) GroupStats() map[uint64]GroupIOStats {
+	t.groupMu.RLock()
+	defer t.groupMu.RUnlock()
+	out := make(map[uint64]GroupIOStats, len(t.groups))
+	for g, c := range t.groups {
+		out[g] = GroupIOStats{
+			RecordsSent: c.recordsSent.Load(),
+			BytesSent:   c.bytesSent.Load(),
+			RecordsRecv: c.recordsRecv.Load(),
+			BytesRecv:   c.bytesRecv.Load(),
+		}
+	}
+	return out
+}
+
+// groupCount returns group's counters, creating them on first contact.
+func (t *TCP) groupCount(group uint64) *groupCounters {
+	t.groupMu.RLock()
+	c := t.groups[group]
+	t.groupMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	t.groupMu.Lock()
+	defer t.groupMu.Unlock()
+	if c = t.groups[group]; c == nil {
+		c = &groupCounters{}
+		t.groups[group] = c
+	}
+	return c
+}
+
 // Addr returns the bound listen address (useful with ":0").
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
-func (t *TCP) accept(h Handler) {
+func (t *TCP) accept(h GroupHandler) {
 	defer t.wg.Done()
 	for {
 		conn, err := t.ln.Accept()
@@ -236,7 +325,7 @@ func (t *TCP) accept(h Handler) {
 // the framed stream and dispatches them. The frame and decompression
 // buffers are pooled per connection; decoded messages own their memory
 // (engines retain them), so nothing handed to h aliases those buffers.
-func (t *TCP) readConn(conn net.Conn, h Handler) {
+func (t *TCP) readConn(conn net.Conn, h GroupHandler) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var hs [len(wireHandshake)]byte
 	if _, err := io.ReadFull(br, hs[:]); err != nil {
@@ -262,12 +351,17 @@ func (t *TCP) readConn(conn net.Conn, h Handler) {
 		}
 		r.Reset(body)
 		for r.Len() > 0 {
+			before := r.Len()
+			group := r.Uvarint()
 			from, msg, err := wire.DecodeMessage(&r)
 			if err != nil {
 				log.Printf("transport: node %d dropping connection from %s: corrupt frame: %v", t.self, conn.RemoteAddr(), err)
 				return
 			}
-			h(from, msg)
+			c := t.groupCount(group)
+			c.recordsRecv.Add(1)
+			c.bytesRecv.Add(int64(before - r.Len()))
+			h(group, from, msg)
 		}
 	}
 }
@@ -278,10 +372,17 @@ func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// Send implements Transport: enqueue onto the peer's outbound queue,
-// spawning its writer on first use. Never blocks; overflow drops (and
-// counts the drop in Stats).
+// Send implements Transport: SendGroup on group 0.
 func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
+	t.SendGroup(0, from, to, msg)
+}
+
+// SendGroup implements GroupTransport: enqueue onto the peer's outbound
+// queue, spawning its writer on first use. All of a pair's groups share
+// one queue and one connection — per-pair FIFO therefore holds across
+// groups, and a multi-group burst still coalesces into single frames.
+// Never blocks; overflow drops (and counts the drop in Stats).
+func (t *TCP) SendGroup(group uint64, from, to protocol.NodeID, msg protocol.Message) {
 	t.mu.Lock()
 	q, ok := t.peers[to]
 	if !ok {
@@ -307,7 +408,7 @@ func (t *TCP) Send(from, to protocol.NodeID, msg protocol.Message) {
 	}
 	t.mu.Unlock()
 	select {
-	case q <- outMsg{from: from, msg: msg}:
+	case q <- outMsg{group: group, from: from, msg: msg}:
 	default:
 		// Backpressure overflow: drop, as a lossy network would — but
 		// never silently (sustained drops are a sizing signal).
@@ -414,16 +515,24 @@ type frameWriter struct {
 	comp    []byte // compression scratch
 }
 
-// encode appends one message record to the current batch. An encoding
-// failure (an unregistered type) drops that message with a log line — it
-// is a programming error at the call site, not a connection fault.
+// encode appends one message record — group prefix plus the wire record
+// — to the current batch. An encoding failure (an unregistered type)
+// drops that message with a log line, rolling the group prefix back out
+// of the batch — it is a programming error at the call site, not a
+// connection fault.
 func (t *TCP) encode(fw *frameWriter, m outMsg) {
-	out, err := wire.AppendMessage(fw.scratch, m.from, m.msg)
+	mark := len(fw.scratch)
+	buf := wire.AppendUvarint(fw.scratch, m.group)
+	out, err := wire.AppendMessage(buf, m.from, m.msg)
 	if err != nil {
 		log.Printf("transport: node %d dropping unencodable message: %v", t.self, err)
+		fw.scratch = buf[:mark]
 		return
 	}
 	fw.scratch = out
+	c := t.groupCount(m.group)
+	c.recordsSent.Add(1)
+	c.bytesSent.Add(int64(len(out) - mark))
 }
 
 // flushFrame frames and writes the current batch, leaving scratch empty.

@@ -15,6 +15,11 @@ import (
 // Handler consumes inbound messages.
 type Handler func(from protocol.NodeID, msg protocol.Message)
 
+// GroupHandler consumes inbound messages addressed to one consensus
+// group: a multi-group host demuxes on the group ID to hand each frame's
+// records to the owning group's inbox.
+type GroupHandler func(group uint64, from protocol.NodeID, msg protocol.Message)
+
 // Transport moves protocol messages between replicas.
 type Transport interface {
 	// Send transmits msg to the named peer. Best-effort: errors are
@@ -25,9 +30,23 @@ type Transport interface {
 	Close() error
 }
 
+// GroupTransport multiplexes N consensus groups over one shared link per
+// peer pair: every record carries the sending group's ID, and the
+// receiver dispatches it to that group's handler. Send is SendGroup on
+// group 0, so single-group callers need not care.
+type GroupTransport interface {
+	Transport
+	// SendGroup transmits msg to the named peer on behalf of group.
+	// Best-effort with per-pair FIFO, exactly like Send — the per-pair
+	// ordering covers all groups on the pair (they share the link).
+	SendGroup(group uint64, from, to protocol.NodeID, msg protocol.Message)
+}
+
 // --- In-process channel transport ---
 
-// ChanNetwork connects in-process nodes with buffered channels.
+// ChanNetwork connects in-process nodes with buffered channels. It is a
+// GroupTransport: multi-group hosts share one registration per replica,
+// with every envelope carrying the sending group's ID.
 type ChanNetwork struct {
 	mu    sync.RWMutex
 	peers map[protocol.NodeID]chan envelope
@@ -36,8 +55,9 @@ type ChanNetwork struct {
 }
 
 type envelope struct {
-	from protocol.NodeID
-	msg  protocol.Message
+	group uint64
+	from  protocol.NodeID
+	msg   protocol.Message
 }
 
 // NewChanNetwork builds an empty in-process network.
@@ -48,9 +68,21 @@ func NewChanNetwork() *ChanNetwork {
 	}
 }
 
-// Listen registers a handler for id; inbound messages are dispatched from
-// a dedicated goroutine (serialized per node, as engines require).
+// Listen registers a single-group handler for id (group IDs are
+// dropped); inbound messages are dispatched from a dedicated goroutine
+// (serialized per node, as engines require).
 func (n *ChanNetwork) Listen(id protocol.NodeID, h Handler) {
+	n.ListenGroups(id, func(_ uint64, from protocol.NodeID, msg protocol.Message) {
+		h(from, msg)
+	})
+}
+
+// ListenGroups registers a group-aware handler for id: a multi-group
+// host hands its demuxing HandleMessage here once, covering every group
+// it runs. Dispatch stays serialized per replica — all the replica's
+// groups share one inbound goroutine, mirroring how the TCP transport
+// decodes one connection's frames in order.
+func (n *ChanNetwork) ListenGroups(id protocol.NodeID, h GroupHandler) {
 	ch := make(chan envelope, 1024)
 	n.mu.Lock()
 	n.peers[id] = ch
@@ -61,7 +93,7 @@ func (n *ChanNetwork) Listen(id protocol.NodeID, h Handler) {
 		for {
 			select {
 			case env := <-ch:
-				h(env.from, env.msg)
+				h(env.group, env.from, env.msg)
 			case <-n.done:
 				return
 			}
@@ -69,8 +101,13 @@ func (n *ChanNetwork) Listen(id protocol.NodeID, h Handler) {
 	}()
 }
 
-// Send implements Transport.
+// Send implements Transport (group 0).
 func (n *ChanNetwork) Send(from, to protocol.NodeID, msg protocol.Message) {
+	n.SendGroup(0, from, to, msg)
+}
+
+// SendGroup implements GroupTransport.
+func (n *ChanNetwork) SendGroup(group uint64, from, to protocol.NodeID, msg protocol.Message) {
 	n.mu.RLock()
 	ch, ok := n.peers[to]
 	n.mu.RUnlock()
@@ -78,7 +115,7 @@ func (n *ChanNetwork) Send(from, to protocol.NodeID, msg protocol.Message) {
 		return
 	}
 	select {
-	case ch <- envelope{from: from, msg: msg}:
+	case ch <- envelope{group: group, from: from, msg: msg}:
 	case <-n.done:
 	default:
 		// Backpressure overflow: drop, as a lossy network would.

@@ -350,9 +350,10 @@ func TestTCPCompressionDisabled(t *testing.T) {
 }
 
 // wireHandshakeBytes pins the on-wire connection preamble: magic "RPXW"
-// plus wire-format version 2. A format change must bump the version byte
+// plus wire-format version 3 (version 2's record layout plus a uvarint
+// group prefix per record). A format change must bump the version byte
 // here and in the transport.
-var wireHandshakeBytes = []byte{'R', 'P', 'X', 'W', 0x02}
+var wireHandshakeBytes = []byte{'R', 'P', 'X', 'W', 0x03}
 
 // TestTCPHandshakeRejectsWrongVersion dials a live listener raw and sends
 // mismatched preambles: a stale version byte and a gob-era stream (no
@@ -379,7 +380,8 @@ func TestTCPHandshakeRejectsWrongVersion(t *testing.T) {
 	copy(frame[5:], body)
 
 	badPreambles := [][]byte{
-		{'R', 'P', 'X', 'W', 0x01},     // stale wire version
+		{'R', 'P', 'X', 'W', 0x01},     // stale wire version (gob era)
+		{'R', 'P', 'X', 'W', 0x02},     // stale wire version (pre-group records)
 		{0x0e, 0xff, 0x81, 0x03, 0x01}, // gob-era stream: no preamble, typeId bytes
 	}
 	for i, pre := range badPreambles {
@@ -452,6 +454,9 @@ func TestTCPHandshakeOnWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := wire.NewReader(body)
+	if g := r.Uvarint(); g != 0 {
+		t.Fatalf("single-group Send stamped group %d, want 0", g)
+	}
 	from, msg, err := wire.DecodeMessage(r)
 	if err != nil {
 		t.Fatal(err)
@@ -462,6 +467,100 @@ func TestTCPHandshakeOnWire(t *testing.T) {
 	m, ok := msg.(*raftstar.MsgVoteReq)
 	if !ok || from != 0 || m.Term != 21 || m.LastIndex != 4 {
 		t.Fatalf("decoded %T %+v from %d", msg, msg, from)
+	}
+}
+
+// TestTCPGroupDemux runs two consensus groups over one shared TCP link:
+// every record must arrive tagged with the group that sent it (the
+// receiver demuxes on it), per-pair FIFO must hold within each group,
+// and the per-group record/byte breakdown must attribute the traffic.
+func TestTCPGroupDemux(t *testing.T) {
+	addrs := map[protocol.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	type rec struct {
+		group uint64
+		term  uint64
+	}
+	got := make(chan rec, 256)
+	t1, err := transport.NewTCPGroups(1, addrs, func(group uint64, from protocol.NodeID, msg protocol.Message) {
+		m, ok := msg.(*raftstar.MsgVoteReq)
+		if !ok || from != 0 {
+			t.Errorf("unexpected inbound %T from %d", msg, from)
+			return
+		}
+		got <- rec{group: group, term: m.Term}
+	}, transport.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	addrs[1] = t1.Addr()
+	t0, err := transport.NewTCPGroups(0, addrs, func(uint64, protocol.NodeID, protocol.Message) {}, transport.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+
+	const perGroup = 50
+	for i := 0; i < perGroup; i++ {
+		t0.SendGroup(3, 0, 1, &raftstar.MsgVoteReq{Term: uint64(i)})
+		t0.SendGroup(7, 0, 1, &raftstar.MsgVoteReq{Term: uint64(i)})
+	}
+	next := map[uint64]uint64{3: 0, 7: 0}
+	for n := 0; n < 2*perGroup; n++ {
+		select {
+		case r := <-got:
+			want, ok := next[r.group]
+			if !ok {
+				t.Fatalf("record arrived on unknown group %d", r.group)
+			}
+			if r.term != want {
+				t.Fatalf("group %d record out of order: term %d, want %d", r.group, r.term, want)
+			}
+			next[r.group]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d records arrived", n, 2*perGroup)
+		}
+	}
+
+	sent := t0.GroupStats()
+	recv := t1.GroupStats()
+	for _, g := range []uint64{3, 7} {
+		if sent[g].RecordsSent != perGroup {
+			t.Fatalf("group %d sender breakdown: %d records, want %d", g, sent[g].RecordsSent, perGroup)
+		}
+		if recv[g].RecordsRecv != perGroup {
+			t.Fatalf("group %d receiver breakdown: %d records, want %d", g, recv[g].RecordsRecv, perGroup)
+		}
+		if sent[g].BytesSent == 0 || sent[g].BytesSent != recv[g].BytesRecv {
+			t.Fatalf("group %d byte attribution: sent %d, recv %d", g, sent[g].BytesSent, recv[g].BytesRecv)
+		}
+	}
+}
+
+// TestChanNetworkGroupDemux pins the same group-multiplexing contract on
+// the in-process transport multi-group hosts use in tests.
+func TestChanNetworkGroupDemux(t *testing.T) {
+	net := transport.NewChanNetwork()
+	defer net.Close()
+	type rec struct {
+		group uint64
+		from  protocol.NodeID
+	}
+	got := make(chan rec, 16)
+	net.ListenGroups(1, func(group uint64, from protocol.NodeID, msg protocol.Message) {
+		got <- rec{group: group, from: from}
+	})
+	net.SendGroup(5, 0, 1, &raftstar.MsgVoteReq{Term: 1})
+	net.Send(0, 1, &raftstar.MsgVoteReq{Term: 2}) // legacy Send = group 0
+	for _, want := range []rec{{5, 0}, {0, 0}} {
+		select {
+		case r := <-got:
+			if r != want {
+				t.Fatalf("got %+v, want %+v", r, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("record never delivered")
+		}
 	}
 }
 
