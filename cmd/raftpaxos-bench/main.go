@@ -11,6 +11,7 @@
 //	raftpaxos-bench -figure 10b -quick   # CI-sized run
 //	raftpaxos-bench -live -ops 50000 -snapshot-interval 1000
 //	raftpaxos-bench -live -ops 5000 -json out/BENCH_5000.json
+//	raftpaxos-bench -fast-wan -json out/FASTWAN.json
 package main
 
 import (
@@ -39,9 +40,18 @@ func main() {
 	syncPersist := flag.Bool("sync-persist", false, "run -live with the synchronous accept-time fsync (pre-pipeline baseline)")
 	persistWindow := flag.Int("persist-window", 0, "staged-persistence in-flight window for -live (0 = cluster default)")
 	groups := flag.Int("groups", 1, "consensus groups per replica for -live (keys shard across groups by hash)")
+	fastPath := flag.Bool("fast-path", false, "run -live with one-RTT fast-path writes submitted at a follower")
+	fastWAN := flag.Bool("fast-wan", false, "run the WAN fast-vs-classic latency comparison and emit JSON")
 	flag.Parse()
+	if *fastWAN {
+		if err := runFastWAN(*seed, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *live {
-		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *groups, *jsonPath, *useTCP, *reads, *syncPersist, *persistWindow); err != nil {
+		if err := runLive(*ops, *snapInterval, *segmentBytes, *clients, *groups, *jsonPath, *useTCP, *reads, *syncPersist, *persistWindow, *fastPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -53,9 +63,42 @@ func main() {
 	}
 }
 
+// runFastWAN runs the conflict-free vs high-conflict WAN-5 profiles for
+// every fast-path engine and writes the paired fast-vs-classic commit
+// latencies as JSON (the artifact CI tracks build over build).
+func runFastWAN(seed int64, jsonPath string) error {
+	results, err := bench.RunFastWAN(seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-10s %-13s WAN-%d: fast p50 %.1fms p99 %.1fms vs classic p50 %.1fms p99 %.1fms (%.2fx), %d fast, %d fallback, conflict rate %.3f\n",
+			r.Protocol, r.Profile, r.Nodes, r.FastP50, r.FastP99, r.ClassP50, r.ClassP99,
+			r.Ratio, r.FastCommits, r.ClassicFallbacks, r.ConflictRate)
+	}
+	if jsonPath == "" {
+		jsonPath = "FASTWAN.json"
+	}
+	if dir := filepath.Dir(jsonPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
 // runLive drives the sustained-load trial on temp storage and writes the
 // result JSON (commits/s, fsyncs/entry, restart-ms, wal-bytes, …).
-func runLive(ops, snapInterval int, segmentBytes int64, clients, groups int, jsonPath string, useTCP bool, readRatio float64, syncPersist bool, persistWindow int) error {
+func runLive(ops, snapInterval int, segmentBytes int64, clients, groups int, jsonPath string, useTCP bool, readRatio float64, syncPersist bool, persistWindow int, fastPath bool) error {
 	dirs := make([]string, 3)
 	for i := range dirs {
 		d, err := os.MkdirTemp("", fmt.Sprintf("raftpaxos-bench-%d-", i))
@@ -76,6 +119,7 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients, groups int, jso
 		ReadRatio:        readRatio,
 		SyncPersist:      syncPersist,
 		PersistWindow:    persistWindow,
+		FastPath:         fastPath,
 	})
 	if err != nil {
 		return err
@@ -97,6 +141,10 @@ func runLive(ops, snapInterval int, segmentBytes int64, clients, groups int, jso
 	if res.Reads > 0 {
 		fmt.Printf("  reads: %d at %.0f/s, p50 %.2fms p99 %.2fms, %d through the log\n",
 			res.Reads, res.ReadsPerSec, res.ReadP50MS, res.ReadP99MS, res.ReadLogAppends)
+	}
+	if res.FastCommits+res.ClassicFallbacks > 0 {
+		fmt.Printf("  fast path: %d fast commits, %d classic fallbacks, conflict rate %.3f, write p50 %.2fms p99 %.2fms\n",
+			res.FastCommits, res.ClassicFallbacks, res.ConflictRate, res.WriteP50MS, res.WriteP99MS)
 	}
 	if res.TransportFrames > 0 {
 		fmt.Printf("  transport: %d frames (%d compressed, %d dropped), %d raw -> %d wire bytes, encode %.1fms\n",

@@ -65,6 +65,11 @@ type LongRunConfig struct {
 	// large frames, and the raw-vs-wire byte ratio reported in the JSON
 	// artifact.
 	UseTCP bool
+	// FastPath enables the one-RTT fast write path and routes every write
+	// through a non-leader replica — the path only exists for commands
+	// entering away from the leader, so a leader-routed run would never
+	// exercise it.
+	FastPath bool
 	// SyncPersist reverts the nodes to the synchronous accept-time fsync
 	// (the pre-pipeline behavior): each persistence round completes
 	// before the event loop continues. The before/after comparison knob.
@@ -173,6 +178,18 @@ type LongRunResult struct {
 	ReadP50MS      float64 `json:"read_p50_ms,omitempty"`
 	ReadP99MS      float64 `json:"read_p99_ms,omitempty"`
 	ReadLogAppends int64   `json:"read_log_appends"`
+	// Write latency percentiles over every completed write — the numbers
+	// the fast path moves (one WAN round trip instead of two when writes
+	// enter at a follower).
+	WriteP50MS float64 `json:"write_p50_ms"`
+	WriteP99MS float64 `json:"write_p99_ms"`
+	// Fast-path counters summed over all replicas and groups (zero unless
+	// FastPath): commits that completed on the one-RTT path, commands that
+	// fell back to the classic leader path, and the collision rate
+	// Conflicts / (FastCommits + ClassicFallbacks).
+	FastCommits      int64   `json:"fast_commits"`
+	ClassicFallbacks int64   `json:"classic_fallbacks"`
+	ConflictRate     float64 `json:"conflict_rate"`
 	// Transport framing totals, summed over all replicas' TCP transports
 	// (zero on a channel-network run): frames sent, frames that shipped
 	// snappy-compressed, pre-compression payload bytes, and bytes actually
@@ -268,6 +285,7 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 				return raftstar.New(raftstar.Config{
 					ID: peers[i], Peers: peers, ElectionTicks: 20, HeartbeatTicks: 2,
 					Seed: int64(7 + g), ReadIndex: true, Passive: passive,
+					FastPath: cfg.FastPath,
 				})
 			},
 		})
@@ -334,6 +352,22 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		}
 	}
 
+	// Fast-path runs submit writes at a non-leader replica; classic runs
+	// keep routing them to the leader.
+	writers := leaders
+	if cfg.FastPath {
+		writers = make([]*cluster.Node, cfg.Groups)
+		for g := range writers {
+			writers[g] = leaders[g]
+			for _, h := range hosts {
+				if nd := h.Group(g); !nd.IsLeader() {
+					writers[g] = nd
+					break
+				}
+			}
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
 	defer cancel()
 	value := make([]byte, cfg.ValueSize)
@@ -342,9 +376,10 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 	groupWrites := make([]atomic.Int64, cfg.Groups)
 	errCh := make(chan error, cfg.Clients)
 	var wg sync.WaitGroup
-	// Per-client read latency samples, merged after the run (no shared
-	// state on the hot path).
+	// Per-client latency samples, merged after the run (no shared state on
+	// the hot path).
 	readDurs := make([][]time.Duration, cfg.Clients)
+	writeDurs := make([][]time.Duration, cfg.Clients)
 
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
@@ -368,10 +403,13 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 						return
 					}
 					readDurs[c] = append(readDurs[c], time.Since(t0))
-				} else if err := leaders[g].Put(ctx, key, value); err != nil {
-					errCh <- err
-					return
 				} else {
+					t0 := time.Now()
+					if err := writers[g].Put(ctx, key, value); err != nil {
+						errCh <- err
+						return
+					}
+					writeDurs[c] = append(writeDurs[c], time.Since(t0))
 					groupWrites[g].Add(1)
 				}
 				done := completed.Add(1)
@@ -456,6 +494,15 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		res.ReadP50MS = float64(allReads[len(allReads)/2].Microseconds()) / 1e3
 		res.ReadP99MS = float64(allReads[len(allReads)*99/100].Microseconds()) / 1e3
 	}
+	var allWrites []time.Duration
+	for _, durs := range writeDurs {
+		allWrites = append(allWrites, durs...)
+	}
+	if len(allWrites) > 0 {
+		sort.Slice(allWrites, func(i, j int) bool { return allWrites[i] < allWrites[j] })
+		res.WriteP50MS = float64(allWrites[len(allWrites)/2].Microseconds()) / 1e3
+		res.WriteP99MS = float64(allWrites[len(allWrites)*99/100].Microseconds()) / 1e3
+	}
 	eachNode := func(fn func(nd *cluster.Node)) {
 		for _, h := range hosts {
 			for g := 0; g < cfg.Groups; g++ {
@@ -513,6 +560,20 @@ func RunLongRun(raw LongRunConfig) (*LongRunResult, error) {
 		h.Stop()
 	}
 	closeNet()
+
+	// Fast-path counters are engine state, read after the event loops stop.
+	var conflicts int64
+	for _, h := range hosts {
+		for g := 0; g < cfg.Groups; g++ {
+			fs := h.Group(g).FastPathStats()
+			res.FastCommits += fs.FastCommits
+			res.ClassicFallbacks += fs.ClassicFallbacks
+			conflicts += fs.Conflicts
+		}
+	}
+	if t := res.FastCommits + res.ClassicFallbacks; t > 0 {
+		res.ConflictRate = float64(conflicts) / float64(t)
+	}
 
 	// Boundedness figures come from group 0's store on that replica (the
 	// single-group numbers, unchanged in meaning when Groups is 1); the

@@ -69,6 +69,14 @@ type Scenario struct {
 	// ConflictMode selects Mencius's reply policy (true = 100% conflict
 	// semantics: reply at execution).
 	ConflictMode bool
+	// FastPath enables the one-RTT Fast Paxos write path on the engines
+	// that support it (Raft, RaftStar, MultiPaxos).
+	FastPath bool
+	// ClientSites optionally restricts which sites host clients (site
+	// indexes; empty = every site). WAN fast-path profiles use it: a single
+	// submitting site is the conflict-free shape, many sites racing into
+	// the same slots is the high-conflict one.
+	ClientSites []int
 
 	// Timing (virtual). Defaults: 500ms warmup, 2s measure, 10ms tick.
 	Warmup       time.Duration
@@ -104,7 +112,7 @@ func (s *Scenario) withDefaults() Scenario {
 	if out.Topology == nil {
 		out.Topology = simnet.PaperTopology()
 	}
-	if out.Cost == (simnet.CostModel{}) {
+	if out.Cost.IsZero() {
 		out.Cost = simnet.DefaultCostModel()
 	}
 	if out.ClientsPerRegion == 0 {
@@ -125,6 +133,9 @@ type Result struct {
 	// MsgsSent/BytesSent are network totals.
 	MsgsSent  uint64
 	BytesSent uint64
+	// FastStats aggregates the fast write path's counters across replicas
+	// (zero unless Scenario.FastPath is set on a supporting protocol).
+	FastStats protocol.FastStats
 }
 
 // LatencyOf returns the histogram for a class, creating it if needed.
@@ -379,11 +390,13 @@ func buildEngine(sc Scenario, id protocol.NodeID, peers []protocol.NodeID) proto
 		return raft.New(raft.Config{
 			ID: id, Peers: peers, ElectionTicks: electionTicks,
 			HeartbeatTicks: hbTicks, Seed: sc.Seed, Passive: passive,
+			FastPath: sc.FastPath,
 		})
 	case RaftStar:
 		return raftstar.New(raftstar.Config{
 			ID: id, Peers: peers, ElectionTicks: electionTicks,
 			HeartbeatTicks: hbTicks, Seed: sc.Seed, Passive: passive,
+			FastPath: sc.FastPath,
 		})
 	case RaftStarPQL, RaftStarLL:
 		mode := rql.QuorumLease
@@ -412,6 +425,7 @@ func buildEngine(sc Scenario, id protocol.NodeID, peers []protocol.NodeID) proto
 		return multipaxos.New(multipaxos.Config{
 			ID: id, Peers: peers, ElectionTicks: electionTicks,
 			HeartbeatTicks: hbTicks, Seed: sc.Seed, Passive: passive,
+			FastPath: sc.FastPath,
 		})
 	case PaxosPQL:
 		return pql.New(pql.Config{
@@ -486,7 +500,13 @@ func Run(raw Scenario) (*Result, error) {
 	clientID := protocol.NodeID(1000)
 	wcfg := sc.Workload
 	wcfg.Regions = nSites
-	for site := 0; site < nSites; site++ {
+	clientSites := sc.ClientSites
+	if len(clientSites) == 0 {
+		for site := 0; site < nSites; site++ {
+			clientSites = append(clientSites, site)
+		}
+	}
+	for _, site := range clientSites {
 		for k := 0; k < sc.ClientsPerRegion; k++ {
 			c := &client{
 				id:      clientID,
@@ -514,5 +534,13 @@ func Run(raw Scenario) (*Result, error) {
 	res.Events = sim.Processed()
 	res.MsgsSent = net.Sent
 	res.BytesSent = net.Bytes
+	for _, n := range nodes {
+		if s, ok := n.eng.(protocol.FastStatser); ok {
+			fs := s.FastStats()
+			res.FastStats.FastCommits += fs.FastCommits
+			res.FastStats.ClassicFallbacks += fs.ClassicFallbacks
+			res.FastStats.Conflicts += fs.Conflicts
+		}
+	}
 	return res, nil
 }

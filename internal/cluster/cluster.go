@@ -363,6 +363,16 @@ func (n *Node) Store() *kvstore.Store { return n.store }
 // live inspection.
 func (n *Node) Engine() protocol.Engine { return n.cfg.Engine }
 
+// FastPathStats reports the fast write path's counters through
+// protocol.FastStatser (zeros when the engine does not expose them).
+// Engines are single-threaded: call before Start or after Stop.
+func (n *Node) FastPathStats() protocol.FastStats {
+	if s, ok := n.cfg.Engine.(protocol.FastStatser); ok {
+		return s.FastStats()
+	}
+	return protocol.FastStats{}
+}
+
 // IsLeader reports the event loop's last observation of leadership.
 func (n *Node) IsLeader() bool { return n.isLeader.Load() }
 

@@ -1,0 +1,259 @@
+package protocol
+
+// The Fast Paxos write path, built once at the protocol layer and shared
+// by raft, raftstar, and multipaxos the way ReadTracker and SnapshotXfer
+// are: a submitter broadcasts its commands directly to every replica
+// (MsgFastAccept), each replica accepts them speculatively into the next
+// open slot of its own log and acks everyone (MsgFastAck — a
+// BarrierMessage, so the persist-before-ack barrier covers speculative
+// entries exactly like classic ones), and a command is fast-chosen the
+// moment a fast quorum of ⌈3n/4⌉ replicas — the leader among them — acks
+// the same command in the same slot at the same term. Conflict-free
+// writes commit in one WAN round trip at the submitter instead of two
+// (forward to leader + classic accept round).
+//
+// Collisions never need a separate arbitration protocol: the leader
+// treats every incoming MsgFastAccept as a forwarded submission and runs
+// its normal classic path concurrently, so the slot a colliding command
+// lost is repaired by the engine's existing recovery rule (raft/raftstar:
+// leader re-append at its term; multipaxos: phase-2 re-proposal at a
+// classic ballot) and the command still commits — classically, within
+// ~2 classic RTTs.
+//
+// Why ⌈3n/4⌉: any two fast quorums intersect with any classic majority in
+// at least one non-faulty replica (2·⌈3n/4⌉ + ⌊n/2⌋+1 > 2n), which is
+// what makes the recovery count rule in ChooseFast sound — a value
+// fast-chosen at any term is the unique value that can reach the
+// recovery threshold inside any vote quorum.
+
+// FastQuorum returns ⌈3n/4⌉, the fast-path ack quorum for n replicas
+// (3 of 3, 4 of 5, 6 of 7).
+func FastQuorum(n int) int { return (3*n + 3) / 4 }
+
+// FastRecoveryThreshold returns how many identical speculative reports a
+// value must reach, among `participants` vote-quorum reporters out of n
+// replicas, before a new leader must assume it may have been fast-chosen:
+// a chosen value has ≥ FastQuorum(n) acks total, of which at most
+// n-participants sit outside the quorum the leader heard from.
+func FastRecoveryThreshold(participants, n int) int {
+	return participants - (n - FastQuorum(n))
+}
+
+// MsgFastAccept carries a submitter's commands directly to every replica.
+//
+// Wire format (wire.TagFastAccept): Cmds counted — field order is frozen;
+// append new fields at the end only.
+type MsgFastAccept struct {
+	Cmds []Command
+}
+
+// WireSize implements Message.
+func (m *MsgFastAccept) WireSize() int {
+	n := 8
+	for i := range m.Cmds {
+		n += m.Cmds[i].WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgFastAccept) CmdCount() int { return len(m.Cmds) }
+
+// MsgFastAck announces that its sender speculatively accepted the
+// commands identified by IDs at the contiguous slots Base, Base+1, ...
+// at Term (the sender's current term/ballot). It is broadcast to every
+// replica so any of them — the submitter above all — can observe the
+// fast quorum directly. Leader marks the arbiter's ack: a fast commit
+// requires the leader's copy, which is what guarantees the classic path
+// can never choose a different value for the slot afterwards.
+//
+// Wire format (wire.TagFastAck): Term, Base, IDs counted, Leader — field
+// order is frozen; append new fields at the end only.
+type MsgFastAck struct {
+	Term   uint64
+	Base   int64
+	IDs    []uint64
+	Leader bool
+}
+
+// WireSize implements Message.
+func (m *MsgFastAck) WireSize() int { return 24 + 8*len(m.IDs) }
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgFastAck) CmdCount() int { return len(m.IDs) }
+
+// RequiresBarrier implements BarrierMessage: a fast ack promises the
+// speculative entries it covers are durable on the sender, exactly like a
+// classic append/accept ack.
+func (m *MsgFastAck) RequiresBarrier() {}
+
+// FastStats counts the fast path's outcomes on one replica.
+type FastStats struct {
+	// FastCommits counts commands this replica committed through a fast
+	// quorum (one-RTT path).
+	FastCommits int64
+	// ClassicFallbacks counts commands that went through the fast path but
+	// committed via the classic path (collision or quorum shortfall).
+	ClassicFallbacks int64
+	// Conflicts counts slot collisions observed (two commands contending
+	// for the same slot).
+	Conflicts int64
+}
+
+// FastStatser is implemented by engines that run the fast write path.
+type FastStatser interface {
+	FastStats() FastStats
+}
+
+// fastSlot accumulates acks for one slot at the tracker's current term.
+type fastSlot struct {
+	// acks[id] = the set of replicas that acked id at this slot.
+	acks map[uint64]map[NodeID]bool
+	// leaderID is the command the leader acked here (valid when leaderOK).
+	leaderID uint64
+	leaderOK bool
+}
+
+// FastTracker counts fast acks per (slot, command) at a single term. Every
+// replica runs one (any of them can observe a fast commit); acks from an
+// older term are ignored and a newer term resets the window, because a
+// fast quorum is only meaningful when all its acks name the same term —
+// mixed-term acks may disagree about the leader whose copy arbitrates.
+type FastTracker struct {
+	n          int
+	fastQuorum int
+	term       uint64
+	slots      map[int64]*fastSlot
+}
+
+// NewFastTracker sizes the tracker for an n-replica group.
+func NewFastTracker(n int) *FastTracker {
+	return &FastTracker{n: n, fastQuorum: FastQuorum(n), slots: make(map[int64]*fastSlot)}
+}
+
+// Reset discards every pending ack window and re-arms the tracker at
+// term (leadership or term changes invalidate in-flight fast rounds; the
+// commands themselves survive via the leader's classic repair).
+func (t *FastTracker) Reset(term uint64) {
+	t.term = term
+	t.slots = make(map[int64]*fastSlot)
+}
+
+// Term returns the term the tracker currently counts at.
+func (t *FastTracker) Term() uint64 { return t.term }
+
+// Ack records one replica's fast ack: from accepted ids[i] at slot
+// base+i at term. Acks below the tracker's term are stale and dropped;
+// an ack above it resets the window to the newer term first.
+func (t *FastTracker) Ack(from NodeID, term uint64, base int64, ids []uint64, leader bool) {
+	if term < t.term {
+		return
+	}
+	if term > t.term {
+		t.Reset(term)
+	}
+	for i, id := range ids {
+		slot := base + int64(i)
+		s := t.slots[slot]
+		if s == nil {
+			s = &fastSlot{acks: make(map[uint64]map[NodeID]bool)}
+			t.slots[slot] = s
+		}
+		set := s.acks[id]
+		if set == nil {
+			set = make(map[NodeID]bool)
+			s.acks[id] = set
+		}
+		set[from] = true
+		if leader {
+			s.leaderID, s.leaderOK = id, true
+		}
+	}
+}
+
+// Confirmed reports whether (slot, id) has reached a fast quorum at the
+// tracker's current term with the leader's ack among them.
+func (t *FastTracker) Confirmed(slot int64, id uint64) bool {
+	s := t.slots[slot]
+	if s == nil || !s.leaderOK || s.leaderID != id {
+		return false
+	}
+	return len(s.acks[id]) >= t.fastQuorum
+}
+
+// Conflicted reports whether the slot has acks for more than one command
+// — the collision signal the stats surface.
+func (t *FastTracker) Conflicted(slot int64) bool {
+	s := t.slots[slot]
+	return s != nil && len(s.acks) > 1
+}
+
+// Forget drops every window at or below slot (committed: the window is
+// settled and the memory reclaimable).
+func (t *FastTracker) Forget(through int64) {
+	for slot := range t.slots {
+		if slot <= through {
+			delete(t.slots, slot)
+		}
+	}
+}
+
+// FastReport is one vote-quorum participant's claim about a slot during
+// recovery: the ballot its copy was accepted at (0 = speculative, i.e.
+// fast-accepted and never ratified by a classic append) and the command.
+type FastReport struct {
+	Bal uint64
+	Cmd Command
+}
+
+// ChooseFast picks the value a new leader must adopt for one slot from
+// the reports of `participants` vote-quorum members (n = group size).
+// The rule, in priority order:
+//
+//  1. Any ratified report (Bal > 0) wins, highest ballot first — a
+//     classic accept at ballot b means the value passed the engine's own
+//     phase-2, which already guarantees uniqueness per (ballot, slot).
+//  2. Otherwise count identical speculative commands across ALL reports
+//     regardless of the term they were accepted at: a value that reaches
+//     FastRecoveryThreshold(participants, n) may have been fast-chosen
+//     and must be adopted. The threshold is reachable by at most one
+//     value inside any vote quorum (2·FastQuorum(n) + Quorum(n) > 2n),
+//     and induction over terms — every fast quorum contains the leader
+//     whose classic path ratifies what it repairs — keeps at most one
+//     fast-chosen value per slot alive across terms. Filtering to the
+//     newest term here would be UNSAFE: a value fast-chosen at an older
+//     term can be reported by replicas that never saw the newer term's
+//     speculation.
+//  3. Otherwise nothing can have been chosen: adopt any report (the
+//     first), preserving liveness for the command it carries.
+//
+// ok is false when no participant reported anything for the slot.
+func ChooseFast(reports []FastReport, participants, n int) (cmd Command, ok bool) {
+	if len(reports) == 0 {
+		return Command{}, false
+	}
+	best := -1
+	var bestBal uint64
+	for i := range reports {
+		if reports[i].Bal > 0 && (best < 0 || reports[i].Bal > bestBal) {
+			best, bestBal = i, reports[i].Bal
+		}
+	}
+	if best >= 0 {
+		return reports[best].Cmd, true
+	}
+	counts := make(map[uint64]int, len(reports))
+	for i := range reports {
+		counts[reports[i].Cmd.ID]++
+	}
+	threshold := FastRecoveryThreshold(participants, n)
+	if threshold < 1 {
+		threshold = 1
+	}
+	for i := range reports {
+		if counts[reports[i].Cmd.ID] >= threshold {
+			return reports[i].Cmd, true
+		}
+	}
+	return reports[0].Cmd, true
+}

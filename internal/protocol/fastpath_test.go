@@ -1,0 +1,144 @@
+package protocol
+
+import "testing"
+
+func TestFastQuorumSizes(t *testing.T) {
+	cases := []struct{ n, fq int }{{3, 3}, {4, 3}, {5, 4}, {6, 5}, {7, 6}, {9, 7}}
+	for _, tc := range cases {
+		if got := FastQuorum(tc.n); got != tc.fq {
+			t.Errorf("FastQuorum(%d) = %d, want %d", tc.n, got, tc.fq)
+		}
+		// Soundness: two fast quorums and one classic quorum always share
+		// a replica (2·fq + q > 2n), for every cluster size the repo runs.
+		if 2*FastQuorum(tc.n)+Quorum(tc.n) <= 2*tc.n {
+			t.Errorf("n=%d: fast quorum %d too small for recovery soundness", tc.n, FastQuorum(tc.n))
+		}
+	}
+}
+
+func TestFastTrackerConfirm(t *testing.T) {
+	tr := NewFastTracker(5) // fast quorum 4
+	tr.Reset(3)
+	tr.Ack(0, 3, 10, []uint64{77}, false)
+	tr.Ack(1, 3, 10, []uint64{77}, false)
+	tr.Ack(2, 3, 10, []uint64{77}, false)
+	if tr.Confirmed(10, 77) {
+		t.Fatal("confirmed with 3 of 4 acks and no leader ack")
+	}
+	tr.Ack(4, 3, 10, []uint64{77}, true) // leader's ack completes the quorum
+	if !tr.Confirmed(10, 77) {
+		t.Fatal("not confirmed with 4 acks including the leader")
+	}
+	if tr.Confirmed(10, 78) || tr.Confirmed(11, 77) {
+		t.Fatal("confirmed a (slot, cmd) nobody acked")
+	}
+	// Duplicate acks from one replica must not double count.
+	tr2 := NewFastTracker(5)
+	tr2.Reset(3)
+	for i := 0; i < 10; i++ {
+		tr2.Ack(0, 3, 4, []uint64{9}, true)
+	}
+	if tr2.Confirmed(4, 9) {
+		t.Fatal("one replica acking repeatedly reached the quorum")
+	}
+}
+
+func TestFastTrackerLeaderArbitration(t *testing.T) {
+	tr := NewFastTracker(3) // fast quorum 3: everyone
+	tr.Reset(2)
+	tr.Ack(0, 2, 5, []uint64{1}, false)
+	tr.Ack(1, 2, 5, []uint64{1}, false)
+	tr.Ack(2, 2, 5, []uint64{2}, true) // the leader acked a DIFFERENT cmd
+	if tr.Confirmed(5, 1) {
+		t.Fatal("confirmed against the leader's arbitration")
+	}
+	if !tr.Conflicted(5) {
+		t.Fatal("collision not reported")
+	}
+}
+
+func TestFastTrackerTermWindows(t *testing.T) {
+	tr := NewFastTracker(3)
+	tr.Reset(2)
+	tr.Ack(0, 2, 1, []uint64{5}, true)
+	tr.Ack(1, 2, 1, []uint64{5}, false)
+	tr.Ack(2, 1, 1, []uint64{5}, false) // stale term: ignored
+	if tr.Confirmed(1, 5) {
+		t.Fatal("stale-term ack counted toward the quorum")
+	}
+	tr.Ack(2, 3, 1, []uint64{5}, false) // newer term resets the window
+	if tr.Term() != 3 {
+		t.Fatalf("term = %d after newer ack, want 3", tr.Term())
+	}
+	if tr.Confirmed(1, 5) {
+		t.Fatal("acks from term 2 survived the reset to term 3")
+	}
+	tr.Ack(0, 3, 1, []uint64{5}, true)
+	tr.Ack(1, 3, 1, []uint64{5}, false)
+	if !tr.Confirmed(1, 5) {
+		t.Fatal("fresh full quorum at term 3 not confirmed")
+	}
+	tr.Forget(1)
+	if tr.Confirmed(1, 5) {
+		t.Fatal("forgotten slot still confirmed")
+	}
+}
+
+func TestFastTrackerBatchBase(t *testing.T) {
+	tr := NewFastTracker(3)
+	tr.Reset(1)
+	for _, from := range []NodeID{0, 1, 2} {
+		tr.Ack(from, 1, 7, []uint64{11, 12, 13}, from == 0)
+	}
+	for i, id := range []uint64{11, 12, 13} {
+		if !tr.Confirmed(7+int64(i), id) {
+			t.Fatalf("batched ack at slot %d not confirmed", 7+int64(i))
+		}
+	}
+}
+
+func TestChooseFastRatifiedWins(t *testing.T) {
+	cmdA, cmdB := Command{ID: 1}, Command{ID: 2}
+	// A ratified copy beats any number of speculative reports, and the
+	// highest ballot wins among ratified ones.
+	got, ok := ChooseFast([]FastReport{
+		{Bal: 0, Cmd: cmdB}, {Bal: 3, Cmd: cmdA}, {Bal: 0, Cmd: cmdB}, {Bal: 5, Cmd: cmdB},
+	}, 4, 5)
+	if !ok || got.ID != cmdB.ID {
+		t.Fatalf("adopted %d, want highest-ballot ratified %d", got.ID, cmdB.ID)
+	}
+}
+
+func TestChooseFastCountRule(t *testing.T) {
+	cmdA, cmdB := Command{ID: 1}, Command{ID: 2}
+	// n=5, participants=3: threshold = 3 - (5-4) = 2. Two identical
+	// speculative reports may have been fast-chosen; adopt them.
+	got, ok := ChooseFast([]FastReport{
+		{Cmd: cmdA}, {Cmd: cmdB}, {Cmd: cmdA},
+	}, 3, 5)
+	if !ok || got.ID != cmdA.ID {
+		t.Fatalf("adopted %d, want possibly-chosen %d", got.ID, cmdA.ID)
+	}
+	// Below threshold everywhere: nothing was chosen, any pick is safe —
+	// the rule must still return a value for liveness.
+	if _, ok := ChooseFast([]FastReport{{Cmd: cmdB}}, 3, 5); !ok {
+		t.Fatal("singleton report yielded nothing")
+	}
+	if _, ok := ChooseFast(nil, 3, 5); ok {
+		t.Fatal("empty report set yielded a value")
+	}
+}
+
+func TestChooseFastThresholdUnique(t *testing.T) {
+	// The threshold must be unreachable by two values at once for every
+	// (participants, n) a vote quorum can produce.
+	for n := 3; n <= 9; n++ {
+		q := Quorum(n)
+		for p := q; p <= n; p++ {
+			thr := FastRecoveryThreshold(p, n)
+			if 2*thr <= p {
+				t.Errorf("n=%d participants=%d: threshold %d reachable twice", n, p, thr)
+			}
+		}
+	}
+}

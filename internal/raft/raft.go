@@ -33,20 +33,36 @@ type MsgVoteReq struct {
 	Term      uint64
 	LastIndex int64
 	LastTerm  uint64
+	// Commit is the candidate's commit index: with the fast write path on,
+	// a granting voter reports its log above it (MsgVoteResp.Extra) so the
+	// new leader can recover fast-accepted suffixes (protocol.ChooseFast).
+	Commit int64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgVoteReq) WireSize() int { return 24 }
+func (m *MsgVoteReq) WireSize() int { return 32 }
 
 // MsgVoteResp is Raft's RequestVote response. Unlike Raft*, it carries no
-// log entries.
+// log entries — except with the fast write path on, where Extra reports
+// the voter's entries above the candidate's commit index (speculative
+// fast-accepted entries carry Bal 0) for the election recovery rule.
 type MsgVoteResp struct {
 	Term    uint64
 	Granted bool
+	Extra   []protocol.Entry
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgVoteResp) WireSize() int { return 9 }
+func (m *MsgVoteResp) WireSize() int {
+	n := 9
+	for i := range m.Extra {
+		n += 24 + m.Extra[i].Cmd.WireSize()
+	}
+	return n
+}
+
+// CmdCount implements simnet.CmdCounter.
+func (m *MsgVoteResp) CmdCount() int { return len(m.Extra) }
 
 // RequiresBarrier implements protocol.BarrierMessage: a vote grant
 // promises the recorded term and vote are durable.
@@ -64,6 +80,12 @@ type MsgAppendReq struct {
 	// quorum of echoes proves the leader's term was still current after
 	// the reads arrived (see protocol.ReadTracker).
 	ReadCtx uint64
+	// PrevID is the command ID of the sender's entry at PrevIndex (0 =
+	// unknown/none). Only consulted when the receiver's entry at PrevIndex
+	// is speculative (fast-accepted, Bal 0): two speculative entries can
+	// share (index, term) while holding different commands, which the
+	// PrevTerm check alone cannot see.
+	PrevID uint64
 }
 
 // WireSize implements protocol.Message.
@@ -138,6 +160,13 @@ type Config struct {
 	// checker's sabotage regression prove the checker catches the stale
 	// reads a deposed leader then serves. Never enable in a deployment.
 	UnsafeSkipReadQuorum bool
+	// FastPath enables the one-RTT Fast Paxos write path: a follower
+	// broadcasts submissions to every replica, which accept speculatively
+	// (entry Bal 0) and ack everyone; ⌈3n/4⌉ matching acks including the
+	// leader's commit the command without the forward-to-leader round trip.
+	// Collisions fall back to the classic path automatically because the
+	// leader treats every fast accept as a forwarded submission.
+	FastPath bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -200,6 +229,22 @@ type Engine struct {
 	reads        protocol.ReadTracker
 	readBarrier  int64
 	pendingReads []protocol.Command
+
+	// Fast write path state (nil/empty unless cfg.FastPath):
+	// fast counts acks per (slot, cmd); fastMine marks commands this
+	// replica fast-submitted (it answers its own client); fastRemote marks
+	// commands the leader adopted from others' fast accepts (the submitter
+	// replies, not the arbiter); fastSeen records the slot each fast
+	// command occupies locally, making replayed MsgFastAccepts idempotent;
+	// fastDone marks slots committed through a fast quorum (stats);
+	// fastVotes holds granting voters' log reports for election recovery.
+	fast       *protocol.FastTracker
+	fastMine   map[uint64]bool
+	fastRemote map[uint64]bool
+	fastSeen   map[uint64]int64
+	fastDone   map[int64]bool
+	fastVotes  map[protocol.NodeID][]protocol.Entry
+	stats      protocol.FastStats
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -214,9 +259,19 @@ func New(cfg Config) *Engine {
 		role:     Follower,
 		leader:   protocol.None,
 	}
+	if c.FastPath {
+		e.fast = protocol.NewFastTracker(len(c.Peers))
+		e.fastMine = make(map[uint64]bool)
+		e.fastRemote = make(map[uint64]bool)
+		e.fastSeen = make(map[uint64]int64)
+		e.fastDone = make(map[int64]bool)
+	}
 	e.resetTimeout()
 	return e
 }
+
+// FastStats implements protocol.FastStatser.
+func (e *Engine) FastStats() protocol.FastStats { return e.stats }
 
 // ID implements protocol.Engine.
 func (e *Engine) ID() protocol.NodeID { return e.cfg.ID }
@@ -366,7 +421,10 @@ func (e *Engine) campaign(out *protocol.Output) {
 	e.votes = map[protocol.NodeID]bool{e.cfg.ID: true}
 	e.resetTimeout()
 	out.StateChanged = true
-	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex())}
+	if e.fast != nil {
+		e.fastVotes = make(map[protocol.NodeID][]protocol.Entry)
+	}
+	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex()), Commit: e.commit}
 	for _, p := range e.cfg.Peers {
 		if p == e.cfg.ID {
 			continue
@@ -417,6 +475,10 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		out.Merge(e.SubmitBatch(m.Cmds))
 	case *protocol.MsgReadForward:
 		out.Merge(e.SubmitReadBatch(m.Cmds))
+	case *protocol.MsgFastAccept:
+		e.stepFastAccept(from, m, &out)
+	case *protocol.MsgFastAck:
+		e.stepFastAck(from, m, &out)
 	}
 	return out
 }
@@ -436,6 +498,19 @@ func (e *Engine) stepVoteReq(from protocol.NodeID, m *MsgVoteReq, out *protocol.
 		e.resetTimeout()
 		resp.Granted = true
 		out.StateChanged = true
+		if e.fast != nil {
+			// Report our log above the candidate's commit so it can run the
+			// fast-path recovery rule (ChooseFast) over the vote quorum:
+			// speculative entries (Bal 0) it has never seen may hold
+			// fast-chosen commands it must adopt.
+			lo := m.Commit + 1
+			if lo < e.log.FirstIndex() {
+				lo = e.log.FirstIndex()
+			}
+			if lo <= e.LastIndex() {
+				resp.Extra = e.log.Slice(lo, e.LastIndex())
+			}
+		}
 	}
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
 }
@@ -449,6 +524,9 @@ func (e *Engine) stepVoteResp(from protocol.NodeID, m *MsgVoteResp, out *protoco
 		return
 	}
 	e.votes[from] = true
+	if e.fastVotes != nil {
+		e.fastVotes[from] = m.Extra
+	}
 	if len(e.votes) >= e.quorum() {
 		e.becomeLeader(out)
 	}
@@ -457,6 +535,10 @@ func (e *Engine) stepVoteResp(from protocol.NodeID, m *MsgVoteResp, out *protoco
 func (e *Engine) becomeLeader(out *protocol.Output) {
 	e.role = Leader
 	e.leader = e.cfg.ID
+	if e.fast != nil {
+		e.adoptFastSuffix(out)
+		e.fast.Reset(e.term)
+	}
 	e.votes = nil
 	e.next = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
 	e.match = make(map[protocol.NodeID]int64, len(e.cfg.Peers))
@@ -499,6 +581,8 @@ func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 			e.appendLocal(cmd, &out)
 		}
 		e.broadcastAppend(&out, false)
+	case e.fast != nil && e.leader != protocol.None:
+		e.fastSubmit(cmds, &out)
 	case e.leader != protocol.None:
 		out.Msgs = append(out.Msgs, protocol.Envelope{
 			From: e.cfg.ID, To: e.leader,
@@ -643,6 +727,11 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 		Commit:    e.commit,
 		ReadCtx:   e.reads.MaxCtx(),
 	}
+	if e.fast != nil {
+		if prev, ok := e.log.At(next - 1); ok {
+			req.PrevID = prev.Cmd.ID
+		}
+	}
 	// The ctx is now in flight: later reads must open a fresh one (an
 	// echo of this ctx only proves leadership up to this send).
 	e.reads.MarkSent()
@@ -673,6 +762,12 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		// A PrevIndex below the compaction base cannot conflict: that
 		// prefix is committed, hence identical on any current leader.
 		resp.LastIndex = m.PrevIndex - 1
+	case e.fast != nil && m.PrevID != 0 && e.specConflict(m.PrevIndex, m.PrevID):
+		// Our entry at PrevIndex is speculative and names a different
+		// command: two fast accepts collided at the same (index, term),
+		// which the PrevTerm check alone cannot distinguish. Back up so
+		// the leader resends from the divergence point.
+		resp.LastIndex = m.PrevIndex - 1
 	default:
 		// Accept. Standard Raft: find the first conflicting entry, ERASE
 		// everything from there on, then append — the follower's log is
@@ -688,8 +783,30 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 			if ent.Index <= e.log.Base() {
 				continue
 			}
-			if ent.Index <= e.LastIndex() && e.termAt(ent.Index) != ent.Term {
-				e.log.TruncateSuffix(ent.Index - 1) // erase conflicting suffix
+			if ent.Index <= e.LastIndex() {
+				conflict := e.termAt(ent.Index) != ent.Term
+				if cur, ok := e.log.At(ent.Index); ok && cur.Bal == 0 && e.fast != nil {
+					if cur.Cmd.ID != ent.Cmd.ID {
+						// Speculative entries can collide at equal terms:
+						// the leader's copy arbitrates.
+						conflict = true
+					} else if !conflict && ent.Bal != 0 {
+						// The leader's classic copy carries the same command:
+						// ratify our speculative entry in place.
+						cur.Bal = ent.Bal
+						e.log.Set(ent.Index, cur)
+					}
+				}
+				if conflict {
+					if e.fast != nil {
+						keep := make(map[uint64]bool, len(m.Entries))
+						for j := range m.Entries {
+							keep[m.Entries[j].Cmd.ID] = true
+						}
+						e.dropSpeculative(ent.Index, keep, out)
+					}
+					e.log.TruncateSuffix(ent.Index - 1) // erase conflicting suffix
+				}
 			}
 			if ent.Index > e.LastIndex() {
 				for _, rest := range m.Entries[k:] {
@@ -701,10 +818,22 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		}
 		resp.Ok = true
 		resp.LastIndex = m.PrevIndex + int64(len(m.Entries))
+		if e.fast != nil {
+			// Ack only the verified prefix: a lost earlier append can leave
+			// unratified speculative entries below this one's range, and
+			// those are not the leader's to count toward a commit quorum.
+			for i := e.commit + 1; i <= resp.LastIndex; i++ {
+				if ent, ok := e.log.At(i); ok && ent.Bal == 0 {
+					resp.LastIndex = i - 1
+					break
+				}
+			}
+		}
 		out.StateChanged = true
 		if c := min64(m.Commit, resp.LastIndex); c > e.commit {
 			e.advanceCommit(c, out)
 		}
+		e.tryFastCommit(out)
 	}
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
 }
@@ -903,12 +1032,288 @@ func (e *Engine) maybeCommit(out *protocol.Output) {
 func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
 	for i := e.commit + 1; i <= to; i++ {
 		ent, _ := e.log.At(i)
-		out.Commits = append(out.Commits, protocol.CommitInfo{
-			Entry: ent,
-			Reply: e.role == Leader && ent.Cmd.Client != protocol.None,
-		})
+		reply := e.role == Leader && ent.Cmd.Client != protocol.None
+		if e.fast != nil {
+			id := ent.Cmd.ID
+			if e.fastMine[id] {
+				// The fast submitter answers its own client — it observes
+				// the quorum (or the classic fallback) directly.
+				reply = ent.Cmd.Client != protocol.None
+				if e.fastDone[i] {
+					e.stats.FastCommits++
+				} else {
+					e.stats.ClassicFallbacks++
+				}
+			} else if e.fastRemote[id] {
+				reply = false // the submitter replies, not the arbiter
+			}
+			delete(e.fastMine, id)
+			delete(e.fastRemote, id)
+			delete(e.fastSeen, id)
+			delete(e.fastDone, i)
+		}
+		out.Commits = append(out.Commits, protocol.CommitInfo{Entry: ent, Reply: reply})
 	}
 	e.commit = to
+	if e.fast != nil {
+		e.fast.Forget(to)
+	}
+}
+
+// fastSubmit runs the one-RTT write path at a follower: append the batch
+// speculatively (Bal 0) at our own log end, broadcast the commands to
+// every replica (the leader treats the broadcast as a forwarded
+// submission, making the classic path the automatic fallback and the
+// collision arbiter), and ack everyone so any replica — this one above
+// all — can observe the fast quorum.
+func (e *Engine) fastSubmit(cmds []protocol.Command, out *protocol.Output) {
+	base := e.LastIndex() + 1
+	ids := make([]uint64, len(cmds))
+	for i, cmd := range cmds {
+		ent := protocol.Entry{Index: base + int64(i), Term: e.term, Bal: 0, Cmd: cmd}
+		e.log.Append(ent)
+		out.AppendedEntries = append(out.AppendedEntries, ent)
+		ids[i] = cmd.ID
+		e.fastMine[cmd.ID] = true
+		e.fastSeen[cmd.ID] = ent.Index
+	}
+	out.StateChanged = true
+	acc := &protocol.MsgFastAccept{Cmds: append([]protocol.Command(nil), cmds...)}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: acc})
+	}
+	e.fastAck(base, ids, out)
+}
+
+// stepFastAccept accepts a submitter's broadcast. The leader runs its
+// classic path on the commands (arbitration and fallback in one move); a
+// follower appends them speculatively at its own log end. Replays never
+// duplicate entries: a command already held is only re-acked, and only if
+// its recorded slot still holds it — acking a slot we no longer hold
+// would poison the quorum count.
+func (e *Engine) stepFastAccept(from protocol.NodeID, m *protocol.MsgFastAccept, out *protocol.Output) {
+	if e.fast == nil {
+		return
+	}
+	var fresh []protocol.Command
+	for _, cmd := range m.Cmds {
+		if slot, seen := e.fastSeen[cmd.ID]; seen {
+			if ent, ok := e.log.At(slot); ok && ent.Cmd.ID == cmd.ID {
+				e.fastAck(slot, []uint64{cmd.ID}, out)
+			}
+			continue
+		}
+		fresh = append(fresh, cmd)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	base := e.LastIndex() + 1
+	ids := make([]uint64, len(fresh))
+	if e.role == Leader {
+		for i, cmd := range fresh {
+			e.appendLocal(cmd, out)
+			ids[i] = cmd.ID
+			e.fastSeen[cmd.ID] = base + int64(i)
+			e.fastRemote[cmd.ID] = true
+		}
+		e.broadcastAppend(out, false)
+	} else {
+		if e.term == 0 {
+			return // no term yet: a fast round has no leader to arbitrate it
+		}
+		for i, cmd := range fresh {
+			ent := protocol.Entry{Index: base + int64(i), Term: e.term, Bal: 0, Cmd: cmd}
+			e.log.Append(ent)
+			out.AppendedEntries = append(out.AppendedEntries, ent)
+			ids[i] = cmd.ID
+			e.fastSeen[cmd.ID] = ent.Index
+		}
+		out.StateChanged = true
+	}
+	e.fastAck(base, ids, out)
+}
+
+// fastAck broadcasts this replica's fast ack for ids at the contiguous
+// slots base, base+1, ... and records it in the local tracker. MsgFastAck
+// is a BarrierMessage: the persist pipeline holds it until the entries it
+// covers are durable, exactly like a classic append ack.
+func (e *Engine) fastAck(base int64, ids []uint64, out *protocol.Output) {
+	ack := &protocol.MsgFastAck{Term: e.term, Base: base, IDs: ids, Leader: e.role == Leader}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: ack})
+	}
+	e.fast.Ack(e.cfg.ID, e.term, base, ids, e.role == Leader)
+	e.tryFastCommit(out)
+}
+
+// stepFastAck records a peer's fast ack and checks for a fast commit. At
+// the leader it doubles as conflict detection: a peer acking a different
+// command at a slot we hold means its speculative suffix diverged, so
+// replication backs up to the divergence point to repair it.
+func (e *Engine) stepFastAck(from protocol.NodeID, m *protocol.MsgFastAck, out *protocol.Output) {
+	if e.fast == nil {
+		return
+	}
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+	}
+	e.fast.Ack(from, m.Term, m.Base, m.IDs, m.Leader)
+	if e.role == Leader && m.Term == e.term {
+		clamped := false
+		for i, id := range m.IDs {
+			slot := m.Base + int64(i)
+			if ent, ok := e.log.At(slot); ok && ent.Cmd.ID != id {
+				e.stats.Conflicts++
+				if e.next[from] > slot && slot >= e.log.FirstIndex() {
+					e.next[from] = slot
+					clamped = true
+				}
+			}
+		}
+		if clamped {
+			e.sendAppend(from, out, false)
+		}
+	}
+	e.tryFastCommit(out)
+}
+
+// tryFastCommit advances the commit index through contiguously
+// fast-confirmed slots: a slot commits the moment a fast quorum —
+// leader included — acked the command our own log holds there, at the
+// current term. The leader's mandatory participation is what makes this
+// safe: its classic copy of the slot can never name a different command
+// afterwards, so the classic path can only re-confirm the choice.
+func (e *Engine) tryFastCommit(out *protocol.Output) {
+	if e.fast == nil || e.fast.Term() != e.term {
+		return
+	}
+	for {
+		slot := e.commit + 1
+		ent, ok := e.log.At(slot)
+		if !ok || !e.fast.Confirmed(slot, ent.Cmd.ID) {
+			return
+		}
+		e.fastDone[slot] = true
+		e.advanceCommit(slot, out)
+		out.StateChanged = true
+	}
+}
+
+// dropSpeculative cleans fast-path bookkeeping for entries about to be
+// truncated at or above from: their recorded slots become invalid, and
+// any fast submission of our own that loses its log position — and is
+// not in keep, about to be re-appended by the caller — is re-routed
+// through the classic path so the command still commits.
+func (e *Engine) dropSpeculative(from int64, keep map[uint64]bool, out *protocol.Output) {
+	if e.fast == nil {
+		return
+	}
+	var lost []protocol.Command
+	for i := from; i <= e.LastIndex(); i++ {
+		ent, ok := e.log.At(i)
+		if !ok || ent.Bal != 0 {
+			continue
+		}
+		id := ent.Cmd.ID
+		delete(e.fastSeen, id)
+		delete(e.fastDone, i)
+		if e.fastMine[id] && !keep[id] {
+			lost = append(lost, ent.Cmd)
+		}
+	}
+	if len(lost) == 0 {
+		return
+	}
+	if e.role != Leader && e.leader != protocol.None {
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: lost},
+		})
+		return
+	}
+	for _, cmd := range lost {
+		if len(e.pending) < 4096 {
+			e.pending = append(e.pending, cmd)
+		}
+	}
+}
+
+// specConflict reports whether our entry at idx names a command other
+// than id, the leader's copy. Speculative entries make this check
+// essential — they are not unique per (index, term), so the PrevTerm
+// check alone cannot see the divergence — but it guards classic entries
+// too: a mismatch there means our line diverged from the leader's and
+// backing up to overwrite is always the safe answer.
+func (e *Engine) specConflict(idx int64, id uint64) bool {
+	ent, ok := e.log.At(idx)
+	return ok && ent.Cmd.ID != id
+}
+
+// adoptFastSuffix runs the fast-path election recovery over the vote
+// quorum's log reports (protocol.ChooseFast): for every slot above our
+// commit index, adopt the value that may have been fast-chosen and
+// re-append it at our own term, so the §5.4.2 no-op barrier appended
+// right after commits the whole suffix classically. A classic (ratified)
+// entry already in place keeps its original term, exactly like standard
+// Raft.
+func (e *Engine) adoptFastSuffix(out *protocol.Output) {
+	participants := len(e.votes)
+	n := len(e.cfg.Peers)
+	maxSlot := e.LastIndex()
+	for _, ents := range e.fastVotes {
+		if l := len(ents); l > 0 && ents[l-1].Index > maxSlot {
+			maxSlot = ents[l-1].Index
+		}
+	}
+	var adopted []protocol.Entry
+	changedFrom := int64(0)
+	for slot := e.commit + 1; slot <= maxSlot; slot++ {
+		var reports []protocol.FastReport
+		own, ownHeld := e.log.At(slot)
+		if ownHeld {
+			reports = append(reports, protocol.FastReport{Bal: own.Bal, Cmd: own.Cmd})
+		}
+		for _, ents := range e.fastVotes {
+			for i := range ents {
+				if ents[i].Index == slot {
+					reports = append(reports, protocol.FastReport{Bal: ents[i].Bal, Cmd: ents[i].Cmd})
+					break
+				}
+			}
+		}
+		cmd, ok := protocol.ChooseFast(reports, participants, n)
+		if !ok {
+			break // nobody reported anything at or above this slot
+		}
+		if changedFrom == 0 && ownHeld && own.Bal > 0 && own.Cmd.ID == cmd.ID {
+			continue // ratified entry already in place: keep its term history
+		}
+		if changedFrom == 0 {
+			changedFrom = slot
+		}
+		adopted = append(adopted, protocol.Entry{Index: slot, Term: e.term, Bal: e.term, Cmd: cmd})
+	}
+	e.fastVotes = nil
+	if changedFrom == 0 {
+		return
+	}
+	keep := make(map[uint64]bool, len(adopted))
+	for i := range adopted {
+		keep[adopted[i].Cmd.ID] = true
+	}
+	e.dropSpeculative(changedFrom, keep, out)
+	e.log.TruncateSuffix(changedFrom - 1)
+	for _, ent := range adopted {
+		e.log.Append(ent)
+	}
+	out.AppendedEntries = append(out.AppendedEntries, adopted...)
+	out.StateChanged = true
 }
 
 func min64(a, b int64) int64 {

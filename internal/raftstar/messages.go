@@ -29,10 +29,16 @@ type MsgVoteReq struct {
 	Term      uint64
 	LastIndex int64
 	LastTerm  uint64
+	// Commit is the candidate's commit index: with the fast write path on,
+	// a granting voter reports its log above it (not just above LastIndex)
+	// so the new leader can run the fast-suffix recovery rule
+	// (protocol.ChooseFast) over speculative entries the up-to-date check
+	// never sees.
+	Commit int64
 }
 
 // WireSize implements protocol.Message.
-func (m *MsgVoteReq) WireSize() int { return 24 }
+func (m *MsgVoteReq) WireSize() int { return 32 }
 
 // MsgVoteResp is Raft*'s requestVoteOK (maps to Paxos prepareOK / msg1b).
 // Unlike Raft, a granting voter ships the entries beyond the candidate's
@@ -72,6 +78,12 @@ type MsgAppendReq struct {
 	// leader (0 = none); the follower echoes it in its response (see
 	// protocol.ReadTracker).
 	ReadCtx uint64
+	// PrevID is the command ID of the sender's entry at PrevIndex (0 =
+	// unknown/none). Only consulted when the receiver's entry at PrevIndex
+	// is speculative (fast-accepted, Bal 0): two speculative entries can
+	// share (index, term) while holding different commands, which the
+	// PrevTerm check alone cannot see.
+	PrevID uint64
 }
 
 // WireSize implements protocol.Message.

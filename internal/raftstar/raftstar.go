@@ -100,6 +100,13 @@ type Config struct {
 	// confirmation round (testing only: the linearizability checker's
 	// sabotage regression). Never enable in a deployment.
 	UnsafeSkipReadQuorum bool
+	// FastPath enables the one-RTT Fast Paxos write path: a follower
+	// broadcasts submissions to every replica, which accept speculatively
+	// (entry Bal 0) and ack everyone; ⌈3n/4⌉ matching acks including the
+	// leader's commit the command without the forward-to-leader round trip.
+	// Collisions fall back to the classic path automatically because the
+	// leader treats every fast accept as a forwarded submission.
+	FastPath bool
 
 	Hooks Hooks
 }
@@ -175,6 +182,27 @@ type Engine struct {
 	reads        protocol.ReadTracker
 	readBarrier  int64
 	pendingReads []protocol.Command
+
+	// Fast write path state (nil/zero unless cfg.FastPath). specFrom is
+	// the fast path's amendment to the uniform log ballot: speculative
+	// (fast-accepted) entries always form a contiguous tail — fast appends
+	// land at the log end and any accepted classic append covers the whole
+	// log (never-shorten rule) — so entries at or above specFrom carry
+	// ballot 0 on emission while everything below keeps logBal; specFrom 0
+	// means no speculation. The maps mirror package raft's: fastMine =
+	// commands this replica fast-submitted, fastRemote = commands the
+	// leader adopted from others' fast accepts, fastSeen = slot each fast
+	// command occupies locally (replay dedup), fastDone = slots committed
+	// through a fast quorum, fastVotes = voters' reports for election
+	// recovery.
+	fast       *protocol.FastTracker
+	specFrom   int64
+	fastMine   map[uint64]bool
+	fastRemote map[uint64]bool
+	fastSeen   map[uint64]int64
+	fastDone   map[int64]bool
+	fastVotes  map[protocol.NodeID][]protocol.Entry
+	stats      protocol.FastStats
 }
 
 var _ protocol.Engine = (*Engine)(nil)
@@ -189,8 +217,27 @@ func New(cfg Config) *Engine {
 		role:     Follower,
 		leader:   protocol.None,
 	}
+	if c.FastPath {
+		e.fast = protocol.NewFastTracker(len(c.Peers))
+		e.fastMine = make(map[uint64]bool)
+		e.fastRemote = make(map[uint64]bool)
+		e.fastSeen = make(map[uint64]int64)
+		e.fastDone = make(map[int64]bool)
+	}
 	e.resetTimeout()
 	return e
+}
+
+// FastStats implements protocol.FastStatser.
+func (e *Engine) FastStats() protocol.FastStats { return e.stats }
+
+// balAt returns the emission ballot for the entry at index i: 0 while it
+// is speculative, the uniform log ballot otherwise.
+func (e *Engine) balAt(i int64) uint64 {
+	if e.specFrom > 0 && i >= e.specFrom {
+		return 0
+	}
+	return e.logBal
 }
 
 // ID implements protocol.Engine.
@@ -265,10 +312,15 @@ func (e *Engine) RestoreLog(ents []protocol.Entry, commit int64) {
 		e.commit = commit
 	}
 	// Entries were stamped with the uniform log ballot when they left the
-	// engine; adopt the highest seen.
+	// engine; adopt the highest seen. A zero-ballot tail is a speculative
+	// fast suffix that survived the restart: restore the watermark so the
+	// entries stay marked speculative until a classic append ratifies them.
 	for _, ent := range ents {
 		if ent.Bal > e.logBal {
 			e.logBal = ent.Bal
+		}
+		if e.fast != nil && ent.Bal == 0 && ent.Term > 0 && ent.Index > e.commit && e.specFrom == 0 {
+			e.specFrom = ent.Index
 		}
 	}
 }
@@ -307,7 +359,7 @@ func (e *Engine) EntryAt(i int64) (protocol.Entry, bool) {
 	if !ok {
 		return protocol.Entry{}, false
 	}
-	ent.Bal = e.logBal
+	ent.Bal = e.balAt(i)
 	return ent, true
 }
 
@@ -363,7 +415,10 @@ func (e *Engine) campaign(out *protocol.Output) {
 	e.extraMax = e.LastIndex()
 	e.resetTimeout()
 	out.StateChanged = true
-	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex())}
+	if e.fast != nil {
+		e.fastVotes = make(map[protocol.NodeID][]protocol.Entry)
+	}
+	req := &MsgVoteReq{Term: e.term, LastIndex: e.LastIndex(), LastTerm: e.termAt(e.LastIndex()), Commit: e.commit}
 	for _, p := range e.cfg.Peers {
 		if p == e.cfg.ID {
 			continue
@@ -414,6 +469,10 @@ func (e *Engine) Step(from protocol.NodeID, msg protocol.Message) protocol.Outpu
 		out.Merge(e.SubmitBatch(m.Cmds))
 	case *protocol.MsgReadForward:
 		out.Merge(e.SubmitReadBatch(m.Cmds))
+	case *protocol.MsgFastAccept:
+		e.stepFastAccept(from, m, &out)
+	case *protocol.MsgFastAck:
+		e.stepFastAck(from, m, &out)
 	}
 	return out
 }
@@ -438,14 +497,21 @@ func (e *Engine) stepVoteReq(from protocol.NodeID, m *MsgVoteReq, out *protocol.
 		// entries cannot be shipped, but any candidate that can win a
 		// quorum is up-to-date with some replica holding the committed
 		// (hence snapshotted) prefix, so clamping to the held tail is safe.
-		if e.LastIndex() > m.LastIndex {
-			lo := m.LastIndex + 1
+		// With the fast path on, the report reaches down to the candidate's
+		// commit index instead: speculative entries can diverge at indexes
+		// the up-to-date check never compares, and the recovery count rule
+		// needs every voter's copy of them.
+		lo := m.LastIndex + 1
+		if e.fast != nil {
+			lo = m.Commit + 1
+		}
+		if e.LastIndex() >= lo {
 			if lo < e.log.FirstIndex() {
 				lo = e.log.FirstIndex()
 			}
 			resp.Extra = e.log.Tail(lo)
 			for i := range resp.Extra {
-				resp.Extra[i].Bal = e.logBal
+				resp.Extra[i].Bal = e.balAt(resp.Extra[i].Index)
 			}
 		}
 	}
@@ -471,27 +537,39 @@ func (e *Engine) stepVoteResp(from protocol.NodeID, m *MsgVoteResp, out *protoco
 			e.extraMax = ent.Index
 		}
 	}
+	if e.fastVotes != nil {
+		e.fastVotes[from] = m.Extra
+	}
 	if len(e.votes) >= e.quorum() {
 		e.becomeLeader(out)
 	}
 }
 
 func (e *Engine) becomeLeader(out *protocol.Output) {
-	// Adopt safe values for every index beyond our log (Figure 2a lines
-	// 22-27): value from the highest ballot, re-proposed at our term.
-	for i := e.LastIndex() + 1; i <= e.extraMax; i++ {
-		ent, ok := e.extras[i]
-		cmd := ent.Cmd
-		if !ok {
-			// No voter had this index (gap below another voter's tail is
-			// impossible with contiguous logs, but guard anyway).
-			cmd = protocol.Command{Op: protocol.OpNop}
+	if e.fast != nil {
+		// Fast-path recovery subsumes the safe-value adoption: ChooseFast
+		// picks the possibly-chosen value per slot — ratified copies by
+		// highest ballot exactly like the base rule, speculative copies by
+		// the count rule — from the candidate's commit index up.
+		e.adoptFastSuffix(out)
+		e.fast.Reset(e.term)
+	} else {
+		// Adopt safe values for every index beyond our log (Figure 2a lines
+		// 22-27): value from the highest ballot, re-proposed at our term.
+		for i := e.LastIndex() + 1; i <= e.extraMax; i++ {
+			ent, ok := e.extras[i]
+			cmd := ent.Cmd
+			if !ok {
+				// No voter had this index (gap below another voter's tail is
+				// impossible with contiguous logs, but guard anyway).
+				cmd = protocol.Command{Op: protocol.OpNop}
+			}
+			adopted := protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd}
+			e.log.Append(adopted)
+			// Safe-value adoptions are accepted entries like any other: durable
+			// before the leadership announcement (the appends below) goes out.
+			out.AppendedEntries = append(out.AppendedEntries, adopted)
 		}
-		adopted := protocol.Entry{Index: i, Term: e.term, Bal: e.term, Cmd: cmd}
-		e.log.Append(adopted)
-		// Safe-value adoptions are accepted entries like any other: durable
-		// before the leadership announcement (the appends below) goes out.
-		out.AppendedEntries = append(out.AppendedEntries, adopted)
 	}
 	// Re-propose the entire log at the current ballot: every subsequent
 	// append stamps Bal = term (Figure 2b lines 6-7).
@@ -552,6 +630,8 @@ func (e *Engine) SubmitBatch(cmds []protocol.Command) protocol.Output {
 			e.appendLocal(cmd, &out)
 		}
 		e.broadcastAppend(&out, false)
+	case e.fast != nil && e.leader != protocol.None:
+		e.fastSubmit(cmds, &out)
 	case e.leader != protocol.None:
 		// etcd-style follower forwarding.
 		out.Msgs = append(out.Msgs, protocol.Envelope{
@@ -706,6 +786,11 @@ func (e *Engine) sendAppend(p protocol.NodeID, out *protocol.Output, heartbeat b
 		Commit:    e.commit,
 		ReadCtx:   e.reads.MaxCtx(),
 	}
+	if e.fast != nil {
+		if prev, ok := e.log.At(next - 1); ok {
+			req.PrevID = prev.Cmd.ID
+		}
+	}
 	// The ctx is now in flight: later reads must open a fresh one (an
 	// echo of this ctx only proves leadership up to this send).
 	e.reads.MarkSent()
@@ -729,6 +814,15 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 	// ReadIndex round needs.
 	resp.ReadCtx = m.ReadCtx
 
+	// With the fast path on, the never-shorten rule applies to the classic
+	// prefix only: a speculative tail (entries at or above specFrom) was
+	// never classically accepted at any ballot, so an append that covers
+	// the classic prefix but not the tail is fine — covered speculative
+	// slots are ratified or overwritten, the rest stay speculative.
+	classicEnd := e.LastIndex()
+	if e.specFrom > 0 && e.specFrom-1 < classicEnd {
+		classicEnd = e.specFrom - 1
+	}
 	end := m.PrevIndex + int64(len(m.Entries))
 	switch {
 	case m.PrevIndex > e.LastIndex():
@@ -739,11 +833,17 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		// below our compaction base cannot conflict — everything at or
 		// below the base is committed, hence identical on any leader.
 		resp.LastIndex = m.PrevIndex - 1
-	case end < e.LastIndex():
+	case e.fast != nil && m.PrevID != 0 && e.specConflict(m.PrevIndex, m.PrevID):
+		// Our entry at PrevIndex is speculative and names a different
+		// command: two fast accepts collided at the same (index, term),
+		// which the PrevTerm check alone cannot distinguish. Back up so
+		// the leader resends from the divergence point.
+		resp.LastIndex = m.PrevIndex - 1
+	case end < classicEnd:
 		// Raft* addition (Figure 2b line 16): reject appends that do not
-		// cover our whole log — MultiPaxos never deletes accepted values,
-		// so neither may we. The leader will extend its proposal.
-		resp.LastIndex = e.LastIndex()
+		// cover our whole (classic) log — MultiPaxos never deletes accepted
+		// values, so neither may we. The leader will extend its proposal.
+		resp.LastIndex = classicEnd
 	default:
 		// Accept: overwrite the covered suffix, then re-stamp every ballot
 		// with the leader's term (Figure 2b: logBallot[i] = term for all i).
@@ -753,6 +853,47 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 		// the re-stamp is what a restarted replica's RestoreLog rebuilds
 		// the uniform log ballot from — and must be durable before the ack
 		// leaves (Output.AppendedEntries).
+		if e.fast != nil && e.specFrom > 0 && e.specFrom <= end {
+			// Covered speculative slots leave speculation now: clean the
+			// bookkeeping for commands the leader's copies displace, and
+			// re-route any fast submission of our own that lost its slot
+			// and is not carried elsewhere in this append.
+			keep := make(map[uint64]bool, len(m.Entries))
+			for j := range m.Entries {
+				keep[m.Entries[j].Cmd.ID] = true
+			}
+			var lost []protocol.Command
+			start := e.specFrom
+			if start <= m.PrevIndex {
+				start = m.PrevIndex + 1
+			}
+			for slot := start; slot <= min64(end, e.LastIndex()); slot++ {
+				old, ok := e.log.At(slot)
+				if !ok {
+					continue
+				}
+				in := m.Entries[slot-m.PrevIndex-1]
+				if old.Cmd.ID == in.Cmd.ID {
+					continue // ratified in place
+				}
+				delete(e.fastSeen, old.Cmd.ID)
+				delete(e.fastDone, slot)
+				if e.fastMine[old.Cmd.ID] && !keep[old.Cmd.ID] {
+					lost = append(lost, old.Cmd)
+				}
+			}
+			e.routeLost(lost, out)
+			// The watermark advances only when the append covered the whole
+			// speculative prefix: a lost earlier append leaves slots below
+			// PrevIndex unverified, and they must stay speculative until
+			// the leader's resend covers them.
+			if e.specFrom > m.PrevIndex {
+				e.specFrom = end + 1
+				if e.specFrom > e.LastIndex() {
+					e.specFrom = 0
+				}
+			}
+		}
 		for _, ent := range m.Entries {
 			if ent.Index <= e.log.Base() {
 				continue
@@ -770,14 +911,21 @@ func (e *Engine) stepAppendReq(from protocol.NodeID, m *MsgAppendReq, out *proto
 			h(m.Entries)
 		}
 		resp.Ok = true
+		// Report the verified prefix: with a speculative tail left beyond
+		// this append's end, only entries below it are known to match the
+		// leader (the tail is not the leader's to count yet).
 		resp.LastIndex = e.LastIndex()
+		if e.specFrom > 0 && e.specFrom-1 < resp.LastIndex {
+			resp.LastIndex = e.specFrom - 1
+		}
 		out.StateChanged = true
 		if h := e.cfg.Hooks.LocalHolders; h != nil {
 			resp.Holders = h()
 		}
-		if c := min64(m.Commit, e.LastIndex()); c > e.commit {
+		if c := min64(m.Commit, resp.LastIndex); c > e.commit {
 			e.advanceCommit(c, out)
 		}
+		e.tryFastCommit(out)
 	}
 	out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: from, Msg: resp})
 }
@@ -928,6 +1076,12 @@ func (e *Engine) installSnapshot(img protocol.SnapshotImage, out *protocol.Outpu
 	if img.Term > e.logBal {
 		e.logBal = img.Term
 	}
+	if e.specFrom > 0 && e.specFrom <= e.commit {
+		e.specFrom = e.commit + 1
+		if e.specFrom > e.LastIndex() {
+			e.specFrom = 0
+		}
+	}
 	out.StateChanged = true
 	out.InstalledSnapshot = &img
 }
@@ -994,13 +1148,304 @@ func (e *Engine) maybeCommit(out *protocol.Output) {
 func (e *Engine) advanceCommit(to int64, out *protocol.Output) {
 	for i := e.commit + 1; i <= to; i++ {
 		ent, _ := e.log.At(i)
-		ent.Bal = e.logBal
-		out.Commits = append(out.Commits, protocol.CommitInfo{
-			Entry: ent,
-			Reply: e.role == Leader && ent.Cmd.Client != protocol.None,
-		})
+		ent.Bal = e.balAt(i)
+		// Reply routing with the fast path on: the submitter answers for its
+		// own fast commands (it holds the client connection); the leader
+		// stays quiet for fast commands it adopted from others, and answers
+		// for everything else as usual.
+		reply := e.role == Leader && ent.Cmd.Client != protocol.None
+		if e.fast != nil {
+			id := ent.Cmd.ID
+			switch {
+			case e.fastMine[id]:
+				reply = ent.Cmd.Client != protocol.None
+				if e.fastDone[i] {
+					e.stats.FastCommits++
+				} else {
+					e.stats.ClassicFallbacks++
+				}
+			case e.fastRemote[id]:
+				reply = false
+			}
+			delete(e.fastMine, id)
+			delete(e.fastRemote, id)
+			delete(e.fastSeen, id)
+			delete(e.fastDone, i)
+		}
+		out.Commits = append(out.Commits, protocol.CommitInfo{Entry: ent, Reply: reply})
 	}
 	e.commit = to
+	if e.fast != nil {
+		// Committed slots are chosen and leave speculation by definition.
+		if e.specFrom > 0 && e.specFrom <= to {
+			e.specFrom = to + 1
+			if e.specFrom > e.LastIndex() {
+				e.specFrom = 0
+			}
+		}
+		e.fast.Forget(to)
+	}
+}
+
+// fastSubmit runs the one-RTT write path as a submitter: append the batch
+// speculatively (ballot 0 — no leader has accepted it), broadcast the
+// proposal to every replica, and ack it ourselves. The entries ride the
+// persist barrier like any accepted entry: our own ack counts toward the
+// fast quorum, so our copy must be durable first.
+func (e *Engine) fastSubmit(cmds []protocol.Command, out *protocol.Output) {
+	base := e.LastIndex() + 1
+	ids := make([]uint64, len(cmds))
+	for i, cmd := range cmds {
+		ent := protocol.Entry{Index: base + int64(i), Term: e.term, Bal: 0, Cmd: cmd}
+		e.log.Append(ent)
+		out.AppendedEntries = append(out.AppendedEntries, ent)
+		ids[i] = cmd.ID
+		e.fastMine[cmd.ID] = true
+		e.fastSeen[cmd.ID] = ent.Index
+	}
+	if e.specFrom == 0 {
+		e.specFrom = base
+	}
+	out.StateChanged = true
+	acc := &protocol.MsgFastAccept{Cmds: append([]protocol.Command(nil), cmds...)}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: acc})
+	}
+	e.fastAck(base, ids, out)
+}
+
+// stepFastAccept accepts a submitter's broadcast. The leader runs its
+// classic path on the commands (arbitration and fallback in one move); a
+// follower appends them speculatively at its own log end. Replays never
+// duplicate entries: a command already held is only re-acked, and only if
+// its recorded slot still holds it — acking a slot we no longer hold
+// would poison the quorum count.
+func (e *Engine) stepFastAccept(from protocol.NodeID, m *protocol.MsgFastAccept, out *protocol.Output) {
+	if e.fast == nil {
+		return
+	}
+	var fresh []protocol.Command
+	for _, cmd := range m.Cmds {
+		if slot, seen := e.fastSeen[cmd.ID]; seen {
+			if ent, ok := e.log.At(slot); ok && ent.Cmd.ID == cmd.ID {
+				e.fastAck(slot, []uint64{cmd.ID}, out)
+			}
+			continue
+		}
+		fresh = append(fresh, cmd)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	base := e.LastIndex() + 1
+	ids := make([]uint64, len(fresh))
+	if e.role == Leader {
+		for i, cmd := range fresh {
+			e.appendLocal(cmd, out)
+			ids[i] = cmd.ID
+			e.fastSeen[cmd.ID] = base + int64(i)
+			e.fastRemote[cmd.ID] = true
+		}
+		e.broadcastAppend(out, false)
+	} else {
+		if e.term == 0 {
+			return // no term yet: a fast round has no leader to arbitrate it
+		}
+		for i, cmd := range fresh {
+			ent := protocol.Entry{Index: base + int64(i), Term: e.term, Bal: 0, Cmd: cmd}
+			e.log.Append(ent)
+			out.AppendedEntries = append(out.AppendedEntries, ent)
+			ids[i] = cmd.ID
+			e.fastSeen[cmd.ID] = ent.Index
+		}
+		if e.specFrom == 0 {
+			e.specFrom = base
+		}
+		out.StateChanged = true
+	}
+	e.fastAck(base, ids, out)
+}
+
+// fastAck broadcasts this replica's fast ack for ids at the contiguous
+// slots base, base+1, ... and records it in the local tracker. MsgFastAck
+// is a BarrierMessage: the persist pipeline holds it until the entries it
+// covers are durable, exactly like a classic append ack.
+func (e *Engine) fastAck(base int64, ids []uint64, out *protocol.Output) {
+	ack := &protocol.MsgFastAck{Term: e.term, Base: base, IDs: ids, Leader: e.role == Leader}
+	for _, p := range e.cfg.Peers {
+		if p == e.cfg.ID {
+			continue
+		}
+		out.Msgs = append(out.Msgs, protocol.Envelope{From: e.cfg.ID, To: p, Msg: ack})
+	}
+	e.fast.Ack(e.cfg.ID, e.term, base, ids, e.role == Leader)
+	e.tryFastCommit(out)
+}
+
+// stepFastAck records a peer's fast ack and checks for a fast commit. At
+// the leader it doubles as conflict detection: a peer acking a different
+// command at a slot we hold means its speculative suffix diverged, so
+// replication backs up to the divergence point to repair it.
+func (e *Engine) stepFastAck(from protocol.NodeID, m *protocol.MsgFastAck, out *protocol.Output) {
+	if e.fast == nil {
+		return
+	}
+	if m.Term > e.term {
+		e.becomeFollower(m.Term, protocol.None, out)
+	}
+	e.fast.Ack(from, m.Term, m.Base, m.IDs, m.Leader)
+	if e.role == Leader && m.Term == e.term {
+		clamped := false
+		for i, id := range m.IDs {
+			slot := m.Base + int64(i)
+			if ent, ok := e.log.At(slot); ok && ent.Cmd.ID != id {
+				e.stats.Conflicts++
+				if e.next[from] > slot && slot >= e.log.FirstIndex() {
+					e.next[from] = slot
+					clamped = true
+				}
+			}
+		}
+		if clamped {
+			e.sendAppend(from, out, false)
+		}
+	}
+	e.tryFastCommit(out)
+}
+
+// tryFastCommit advances the commit index through contiguously
+// fast-confirmed slots: a slot commits the moment a fast quorum —
+// leader included — acked the command our own log holds there, at the
+// current term. The leader's mandatory participation is what makes this
+// safe: its classic copy of the slot can never name a different command
+// afterwards, so the classic path can only re-confirm the choice.
+func (e *Engine) tryFastCommit(out *protocol.Output) {
+	if e.fast == nil || e.fast.Term() != e.term {
+		return
+	}
+	for {
+		slot := e.commit + 1
+		ent, ok := e.log.At(slot)
+		if !ok || !e.fast.Confirmed(slot, ent.Cmd.ID) {
+			return
+		}
+		e.fastDone[slot] = true
+		e.advanceCommit(slot, out)
+		out.StateChanged = true
+	}
+}
+
+// routeLost re-routes fast submissions of our own that lost their log
+// position through the classic path, so the commands still commit.
+func (e *Engine) routeLost(lost []protocol.Command, out *protocol.Output) {
+	if len(lost) == 0 {
+		return
+	}
+	if e.role != Leader && e.leader != protocol.None {
+		out.Msgs = append(out.Msgs, protocol.Envelope{
+			From: e.cfg.ID, To: e.leader, Msg: &MsgForward{Cmds: lost},
+		})
+		return
+	}
+	for _, cmd := range lost {
+		if len(e.pending) < 4096 {
+			e.pending = append(e.pending, cmd)
+		}
+	}
+}
+
+// specConflict reports whether our entry at idx names a command other
+// than id, the leader's copy. Speculative entries make this check
+// essential — they are not unique per (index, term), so the PrevTerm
+// check alone cannot see the divergence — but it guards classic entries
+// too: a mismatch there means our line diverged from the leader's and
+// backing up to overwrite is always the safe answer.
+func (e *Engine) specConflict(idx int64, id uint64) bool {
+	ent, ok := e.log.At(idx)
+	return ok && ent.Cmd.ID != id
+}
+
+// adoptFastSuffix runs the fast-path election recovery over the vote
+// quorum's log reports (protocol.ChooseFast): for every slot above our
+// commit index, pick the value that may have been fast-chosen — ratified
+// copies by highest ballot, exactly the base safe-value rule; speculative
+// copies by the count rule — and install it in our own log. Unlike raft,
+// no term rewrite is needed: Raft* re-proposes the whole log at the new
+// ballot anyway (logBal = term right after), which is the classic
+// re-proposal Fast Paxos recovery calls for.
+func (e *Engine) adoptFastSuffix(out *protocol.Output) {
+	participants := len(e.votes)
+	n := len(e.cfg.Peers)
+	var displaced []protocol.Command
+	chosen := make(map[uint64]bool)
+	rewriting := false
+	for slot := e.commit + 1; slot <= e.extraMax; slot++ {
+		var reports []protocol.FastReport
+		own, ownHeld := e.log.At(slot)
+		if ownHeld {
+			reports = append(reports, protocol.FastReport{Bal: e.balAt(slot), Cmd: own.Cmd})
+		}
+		for _, ents := range e.fastVotes {
+			for i := range ents {
+				if ents[i].Index == slot {
+					reports = append(reports, protocol.FastReport{Bal: ents[i].Bal, Cmd: ents[i].Cmd})
+					break
+				}
+			}
+		}
+		cmd, ok := protocol.ChooseFast(reports, participants, n)
+		if !ok {
+			break // nobody reported anything at or above this slot
+		}
+		chosen[cmd.ID] = true
+		if !rewriting && ownHeld && own.Cmd.ID == cmd.ID && e.balAt(slot) > 0 {
+			// Ratified in place: classic entries are unique per (index, term),
+			// so the entry's term history can stand and the uniform re-stamp
+			// ratifies it at our ballot.
+			continue
+		}
+		// From the first slot whose entry changes — in content, or merely
+		// from speculative to classic — the rest of the suffix is rewritten
+		// at our term. A kept speculative value must NOT keep its entry term:
+		// speculative entries are not unique per (index, term) — a replica
+		// that classically accepted a different command at this slot under an
+		// older leader carries the same term there, and only a fresh term
+		// here lets the append boundary check (PrevTerm) expose the
+		// divergence to that replica. Rewriting everything from the first
+		// change also keeps the emitted suffix contiguous for the WAL.
+		rewriting = true
+		adopted := protocol.Entry{Index: slot, Term: e.term, Bal: e.term, Cmd: cmd}
+		if ownHeld {
+			if own.Cmd.ID != cmd.ID {
+				delete(e.fastSeen, own.Cmd.ID)
+				delete(e.fastDone, slot)
+				if e.fastMine[own.Cmd.ID] {
+					displaced = append(displaced, own.Cmd)
+				}
+			}
+			e.log.Set(slot, adopted)
+		} else {
+			e.log.Append(adopted)
+		}
+		// Adoptions are accepted entries like any other: durable before the
+		// leadership announcement goes out.
+		out.AppendedEntries = append(out.AppendedEntries, adopted)
+	}
+	e.fastVotes = nil
+	e.specFrom = 0 // the whole log is classically re-proposed at our ballot
+	var lost []protocol.Command
+	for _, cmd := range displaced {
+		if !chosen[cmd.ID] {
+			lost = append(lost, cmd)
+		}
+	}
+	e.routeLost(lost, out)
+	if rewriting {
+		out.StateChanged = true
+	}
 }
 
 // RecheckCommit re-evaluates the commit gate (Raft*-PQL calls it when a

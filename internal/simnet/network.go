@@ -86,6 +86,57 @@ func PaperTopology() *Topology {
 	}
 }
 
+// WANTopology returns a geo-distributed layout with one site per replica
+// for n-replica WAN profiles: the paper's five sites, extended with
+// Frankfurt and Sydney up to seven. Latencies keep PaperTopology's
+// published 5×5 block; the two extra sites use representative public
+// inter-region figures (Ireland–Frankfurt is the only sub-15 ms pair,
+// Sydney pairs closest with Seoul). n beyond the site list is clamped.
+func WANTopology(n int) *Topology {
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	m := [][]float64{
+		//          OR     OH     IR     CA     SE     FR     SY
+		/* OR */ {0.25, 35, 65, 30, 63, 75, 70},
+		/* OH */ {35, 0.25, 42, 13, 93, 50, 92},
+		/* IR */ {65, 42, 0.25, 36, 146, 12, 130},
+		/* CA */ {30, 13, 36, 0.25, 105, 45, 100},
+		/* SE */ {63, 93, 146, 105, 0.25, 125, 45},
+		/* FR */ {75, 50, 12, 45, 125, 0.25, 140},
+		/* SY */ {70, 92, 130, 100, 45, 140, 0.25},
+	}
+	sites := []string{"oregon", "ohio", "ireland", "canada", "seoul", "frankfurt", "sydney"}
+	scale := []float64{1.0, 0.95, 0.9, 0.95, 0.75, 0.9, 0.85}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(sites) {
+		n = len(sites)
+	}
+	ow := make([][]time.Duration, n)
+	for i := range ow {
+		ow[i] = make([]time.Duration, n)
+		for j := range ow[i] {
+			ow[i][j] = ms(m[i][j])
+		}
+	}
+	return &Topology{Sites: sites[:n], OneWay: ow, BandwidthScale: scale[:n]}
+}
+
+// LinkRTT materializes the per-link round-trip matrix for replicas placed
+// at the given sites: entry [i][j] is the topology RTT between replica
+// i's and replica j's sites. Feed the result to CostModel.LinkRTT to give
+// every replica its own WAN link (replica IDs must then be 0..len-1).
+func (t *Topology) LinkRTT(sites []Site) [][]time.Duration {
+	out := make([][]time.Duration, len(sites))
+	for i, a := range sites {
+		out[i] = make([]time.Duration, len(sites))
+		for j, b := range sites {
+			out[i][j] = t.RTT(a, b)
+		}
+	}
+	return out
+}
+
 // CostModel prices the CPU and wire resources a message consumes. All
 // figures are per node. The calibration encodes the paper's observed cost
 // structure (Section 5): a saturated leader serves read and write requests
@@ -134,6 +185,36 @@ type CostModel struct {
 	WireFactor float64
 	// HeaderBytes is the fixed per-message wire size.
 	HeaderBytes int
+	// LinkRTT optionally overrides the topology's site-to-site latency
+	// with a per-link round-trip matrix indexed by replica NodeID:
+	// LinkRTT[a][b] is the full RTT between replicas a and b, half charged
+	// each way. Missing rows or non-positive entries fall back to the
+	// topology, so a matrix may cover only the links it cares about. WAN
+	// profiles use it (via Topology.LinkRTT) to give every replica its own
+	// link without registering one site per replica.
+	LinkRTT [][]time.Duration
+}
+
+// IsZero reports whether the model is the zero value (no calibration) —
+// the LinkRTT slice makes CostModel non-comparable with ==.
+func (c CostModel) IsZero() bool {
+	return c.MsgOverhead == 0 && c.CmdCost == 0 && c.ReplyCost == 0 &&
+		c.LeaseReadCost == 0 && c.FsyncTime == 0 && c.ByteCostNs == 0 &&
+		c.BandwidthBps == 0 && c.WireFactor == 0 && c.HeaderBytes == 0 &&
+		c.LinkRTT == nil
+}
+
+// linkOneWay returns the matrix-derived one-way latency for a→b, if the
+// matrix covers that link.
+func (c CostModel) linkOneWay(a, b protocol.NodeID) (time.Duration, bool) {
+	if int(a) < 0 || int(a) >= len(c.LinkRTT) {
+		return 0, false
+	}
+	row := c.LinkRTT[a]
+	if int(b) < 0 || int(b) >= len(row) || row[b] <= 0 {
+		return 0, false
+	}
+	return row[b] / 2, true
 }
 
 // DefaultCostModel returns the calibration used by the benchmarks.
@@ -287,8 +368,13 @@ func (n *Network) Send(from, to protocol.NodeID, msg protocol.Message) {
 	}
 	src.txFree = start + Time(tx)
 
-	// Propagation.
-	arrive := src.txFree + Time(n.topo.OneWay[src.site][dst.site])
+	// Propagation: the cost model's per-link matrix wins over the
+	// topology's site placement when it covers the pair.
+	oneWay := n.topo.OneWay[src.site][dst.site]
+	if d, ok := n.cost.linkOneWay(from, to); ok {
+		oneWay = d
+	}
+	arrive := src.txFree + Time(oneWay)
 
 	// Receiver-side queues (ingress link, then CPU) are booked at arrival
 	// time, not send time — otherwise an in-flight WAN message would block

@@ -27,15 +27,30 @@ func linearEngines(name string, seed int64) []protocol.Engine {
 				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
 				Seed: seed, ReadIndex: true,
 			})
+		case "raft-fast":
+			engines[i] = raft.New(raft.Config{
+				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
+				Seed: seed, ReadIndex: true, FastPath: true,
+			})
 		case "raftstar":
 			engines[i] = raftstar.New(raftstar.Config{
 				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
 				Seed: seed, ReadIndex: true,
 			})
+		case "raftstar-fast":
+			engines[i] = raftstar.New(raftstar.Config{
+				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
+				Seed: seed, ReadIndex: true, FastPath: true,
+			})
 		case "multipaxos":
 			engines[i] = multipaxos.New(multipaxos.Config{
 				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
 				Seed: seed, ReadIndex: true,
+			})
+		case "multipaxos-fast":
+			engines[i] = multipaxos.New(multipaxos.Config{
+				ID: id, Peers: peers, ElectionTicks: 10, HeartbeatTicks: 2,
+				Seed: seed, ReadIndex: true, FastPath: true,
 			})
 		case "rql":
 			engines[i] = rql.New(rql.Config{

@@ -350,10 +350,10 @@ func TestTCPCompressionDisabled(t *testing.T) {
 }
 
 // wireHandshakeBytes pins the on-wire connection preamble: magic "RPXW"
-// plus wire-format version 3 (version 2's record layout plus a uvarint
-// group prefix per record). A format change must bump the version byte
-// here and in the transport.
-var wireHandshakeBytes = []byte{'R', 'P', 'X', 'W', 0x03}
+// plus wire-format version 4 (version 3's group-prefixed record layout
+// plus the fast-path tags and trailing vote/append fields). A format
+// change must bump the version byte here and in the transport.
+var wireHandshakeBytes = []byte{'R', 'P', 'X', 'W', 0x04}
 
 // TestTCPHandshakeRejectsWrongVersion dials a live listener raw and sends
 // mismatched preambles: a stale version byte and a gob-era stream (no

@@ -53,6 +53,8 @@ const (
 	TagInstallSnapshot     Tag = 25
 	TagInstallSnapshotResp Tag = 26
 	TagReadForward         Tag = 27
+	TagFastAccept          Tag = 28
+	TagFastAck             Tag = 29
 
 	// TagClusterReply is reserved for package cluster's MsgReply, which
 	// cannot register here (cluster sits above the transport that imports
@@ -198,13 +200,15 @@ func registerBuiltin() {
 			m := msg.(*raft.MsgVoteReq)
 			b = AppendUvarint(b, m.Term)
 			b = AppendVarint(b, m.LastIndex)
-			return AppendUvarint(b, m.LastTerm)
+			b = AppendUvarint(b, m.LastTerm)
+			return AppendVarint(b, m.Commit)
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &raft.MsgVoteReq{}
 			m.Term = r.Uvarint()
 			m.LastIndex = r.Varint()
 			m.LastTerm = r.Uvarint()
+			m.Commit = r.Varint()
 			return m, r.Err()
 		},
 	})
@@ -213,12 +217,14 @@ func registerBuiltin() {
 		Append: func(b []byte, msg protocol.Message) []byte {
 			m := msg.(*raft.MsgVoteResp)
 			b = AppendUvarint(b, m.Term)
-			return AppendBool(b, m.Granted)
+			b = AppendBool(b, m.Granted)
+			return AppendEntries(b, m.Extra)
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &raft.MsgVoteResp{}
 			m.Term = r.Uvarint()
 			m.Granted = r.Bool()
+			m.Extra = ReadEntries(r)
 			return m, r.Err()
 		},
 	})
@@ -231,7 +237,8 @@ func registerBuiltin() {
 			b = AppendUvarint(b, m.PrevTerm)
 			b = AppendEntries(b, m.Entries)
 			b = AppendVarint(b, m.Commit)
-			return AppendUvarint(b, m.ReadCtx)
+			b = AppendUvarint(b, m.ReadCtx)
+			return AppendUvarint(b, m.PrevID)
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &raft.MsgAppendReq{}
@@ -241,6 +248,7 @@ func registerBuiltin() {
 			m.Entries = ReadEntries(r)
 			m.Commit = r.Varint()
 			m.ReadCtx = r.Uvarint()
+			m.PrevID = r.Uvarint()
 			return m, r.Err()
 		},
 	})
@@ -281,13 +289,15 @@ func registerBuiltin() {
 			m := msg.(*raftstar.MsgVoteReq)
 			b = AppendUvarint(b, m.Term)
 			b = AppendVarint(b, m.LastIndex)
-			return AppendUvarint(b, m.LastTerm)
+			b = AppendUvarint(b, m.LastTerm)
+			return AppendVarint(b, m.Commit)
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &raftstar.MsgVoteReq{}
 			m.Term = r.Uvarint()
 			m.LastIndex = r.Varint()
 			m.LastTerm = r.Uvarint()
+			m.Commit = r.Varint()
 			return m, r.Err()
 		},
 	})
@@ -318,7 +328,8 @@ func registerBuiltin() {
 			b = AppendUvarint(b, m.PrevTerm)
 			b = AppendEntries(b, m.Entries)
 			b = AppendVarint(b, m.Commit)
-			return AppendUvarint(b, m.ReadCtx)
+			b = AppendUvarint(b, m.ReadCtx)
+			return AppendUvarint(b, m.PrevID)
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &raftstar.MsgAppendReq{}
@@ -328,6 +339,7 @@ func registerBuiltin() {
 			m.Entries = ReadEntries(r)
 			m.Commit = r.Varint()
 			m.ReadCtx = r.Uvarint()
+			m.PrevID = r.Uvarint()
 			return m, r.Err()
 		},
 	})
@@ -686,6 +698,42 @@ func registerBuiltin() {
 		},
 		Decode: func(r *Reader) (protocol.Message, error) {
 			m := &protocol.MsgReadForward{Cmds: readCommands(r)}
+			return m, r.Err()
+		},
+	})
+	Register(TagFastAccept, &protocol.MsgFastAccept{}, Codec{
+		New: func() protocol.Message { return &protocol.MsgFastAccept{} },
+		Append: func(b []byte, msg protocol.Message) []byte {
+			return appendCommands(b, msg.(*protocol.MsgFastAccept).Cmds)
+		},
+		Decode: func(r *Reader) (protocol.Message, error) {
+			m := &protocol.MsgFastAccept{Cmds: readCommands(r)}
+			return m, r.Err()
+		},
+	})
+	Register(TagFastAck, &protocol.MsgFastAck{}, Codec{
+		New: func() protocol.Message { return &protocol.MsgFastAck{} },
+		Append: func(b []byte, msg protocol.Message) []byte {
+			m := msg.(*protocol.MsgFastAck)
+			b = AppendUvarint(b, m.Term)
+			b = AppendVarint(b, m.Base)
+			b = AppendUvarint(b, uint64(len(m.IDs)))
+			for _, id := range m.IDs {
+				b = AppendUvarint(b, id)
+			}
+			return AppendBool(b, m.Leader)
+		},
+		Decode: func(r *Reader) (protocol.Message, error) {
+			m := &protocol.MsgFastAck{}
+			m.Term = r.Uvarint()
+			m.Base = r.Varint()
+			if n := r.count(); n > 0 {
+				m.IDs = make([]uint64, 0, n)
+				for i := 0; i < n && r.err == nil; i++ {
+					m.IDs = append(m.IDs, r.Uvarint())
+				}
+			}
+			m.Leader = r.Bool()
 			return m, r.Err()
 		},
 	})

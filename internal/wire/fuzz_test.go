@@ -26,6 +26,9 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		&protocol.MsgInstallSnapshot{Term: 9, Index: 100, SnapTerm: 8, Data: []byte{1, 2, 3}, Done: true},
 		&protocol.MsgReadForward{Cmds: []protocol.Command{{Op: protocol.OpGet, Key: "x"}}},
 		&raft.MsgVoteResp{Term: math.MaxUint64, Granted: true},
+		&protocol.MsgFastAccept{Cmds: []protocol.Command{
+			{ID: 3, Client: 5, Op: protocol.OpPut, Key: "hot", Value: []byte("w")}}},
+		&protocol.MsgFastAck{Term: 6, Base: 11, IDs: []uint64{3, math.MaxUint64}, Leader: true},
 	}
 	var seeds [][]byte
 	for _, m := range msgs {

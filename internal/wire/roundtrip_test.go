@@ -16,7 +16,7 @@ import (
 // builtinTypeCount pins how many message types the built-in registry
 // carries: adding an engine message without registering a codec (or
 // registering one twice) fails here before it fails on a live wire.
-const builtinTypeCount = 27
+const builtinTypeCount = 29
 
 func TestRegistryCoversAllBuiltinTypes(t *testing.T) {
 	if n := len(registered()); n != builtinTypeCount {
@@ -155,6 +155,10 @@ func TestRoundTripEdgeValues(t *testing.T) {
 		&protocol.MsgInstallSnapshot{Data: []byte{}, Done: true},
 		&protocol.MsgReadForward{Cmds: []protocol.Command{{Op: protocol.OpGet, Key: "", Value: nil}}},
 		&raft.MsgForward{Cmds: []protocol.Command{{ID: math.MaxUint64, Client: protocol.None, Op: protocol.OpPut, Key: "k", Value: []byte{0}, Size: -1}}},
+		&protocol.MsgFastAccept{}, // empty fast round: no commands
+		&protocol.MsgFastAccept{Cmds: []protocol.Command{{ID: math.MaxUint64, Client: protocol.None, Op: protocol.OpPut, Key: "hot", Value: []byte{}}}},
+		&protocol.MsgFastAck{Term: math.MaxUint64, Base: math.MinInt64, IDs: []uint64{0, math.MaxUint64}, Leader: true},
+		&protocol.MsgFastAck{}, // ack with no slots: pure term/leader signal
 	}
 	for _, msg := range msgs {
 		buf, err := AppendMessage(nil, protocol.None, msg)

@@ -34,14 +34,14 @@ var specVectors = []struct {
 	msg protocol.Message
 	hex string
 }{
-	{&raft.MsgVoteReq{Term: 5, LastIndex: 10, LastTerm: 4}, "0601051404"},
-	{&raft.MsgVoteResp{Term: 5, Granted: true}, "06020501"},
-	{&raft.MsgAppendReq{Term: 4, PrevIndex: 8, PrevTerm: 4, Entries: []protocol.Entry{specEntry}, Commit: 8, ReadCtx: 3}, "060304100401120404070401026b31027631161003"},
+	{&raft.MsgVoteReq{Term: 5, LastIndex: 10, LastTerm: 4, Commit: 8}, "060105140410"},
+	{&raft.MsgVoteResp{Term: 5, Granted: true, Extra: []protocol.Entry{specEntry}}, "0602050101120404070401026b3102763116"},
+	{&raft.MsgAppendReq{Term: 4, PrevIndex: 8, PrevTerm: 4, Entries: []protocol.Entry{specEntry}, Commit: 8, ReadCtx: 3, PrevID: 7}, "060304100401120404070401026b3102763116100307"},
 	{&raft.MsgAppendResp{Term: 4, Ok: true, LastIndex: 9, ReadCtx: 3}, "060404011203"},
 	{&raft.MsgForward{Cmds: []protocol.Command{specCmd}}, "060501070401026b3102763116"},
-	{&raftstar.MsgVoteReq{Term: 5, LastIndex: 10, LastTerm: 4}, "0606051404"},
+	{&raftstar.MsgVoteReq{Term: 5, LastIndex: 10, LastTerm: 4, Commit: 8}, "060605140410"},
 	{&raftstar.MsgVoteResp{Term: 5, Granted: true, Extra: []protocol.Entry{specEntry}, LastIndex: 9}, "0607050101120404070401026b310276311612"},
-	{&raftstar.MsgAppendReq{Term: 4, PrevIndex: 8, PrevTerm: 4, Entries: []protocol.Entry{specEntry}, Commit: 8, ReadCtx: 3}, "060804100401120404070401026b31027631161003"},
+	{&raftstar.MsgAppendReq{Term: 4, PrevIndex: 8, PrevTerm: 4, Entries: []protocol.Entry{specEntry}, Commit: 8, ReadCtx: 3, PrevID: 7}, "060804100401120404070401026b3102763116100307"},
 	{&raftstar.MsgAppendResp{Term: 4, Ok: true, LastIndex: 9, Holders: []protocol.NodeID{0, 2}, ReadCtx: 3}, "060904011202000403"},
 	{&raftstar.MsgForward{Cmds: []protocol.Command{specCmd}}, "060a01070401026b3102763116"},
 	{&multipaxos.MsgPrepare{Bal: 6, Unchosen: 3}, "060b0606"},
@@ -61,6 +61,8 @@ var specVectors = []struct {
 	{&protocol.MsgInstallSnapshot{Term: 4, Index: 9, SnapTerm: 4, Offset: 512, Data: []byte{0xAA, 0xBB}, Done: true}, "0619041204800802aabb01"},
 	{&protocol.MsgInstallSnapshotResp{Term: 4, Index: 9, NextOffset: 514, Installed: false}, "061a0412840800"},
 	{&protocol.MsgReadForward{Cmds: []protocol.Command{specCmd}}, "061b01070401026b3102763116"},
+	{&protocol.MsgFastAccept{Cmds: []protocol.Command{specCmd}}, "061c01070401026b3102763116"},
+	{&protocol.MsgFastAck{Term: 4, Base: 9, IDs: []uint64{7}, Leader: true}, "061d0412010701"},
 }
 
 func TestSpecVectors(t *testing.T) {

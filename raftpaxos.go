@@ -117,7 +117,13 @@ type ClusterConfig struct {
 	// confirmation round, no log append, no fsync) or quorum leases
 	// (the PQL/LL protocols, with ReadIndex as their fallback).
 	DisableFastReads bool
-	Seed             int64
+	// FastPathWrites enables the one-RTT Fast Paxos write path (raft,
+	// raftstar, multipaxos): a non-leader replica broadcasts submissions to
+	// every replica, which accept speculatively and ack everyone; ⌈3n/4⌉
+	// matching acks including the leader's commit the command in a single
+	// round trip, with collisions falling back to the classic path.
+	FastPathWrites bool
+	Seed           int64
 }
 
 func (c *ClusterConfig) withDefaults() ClusterConfig {
@@ -159,12 +165,12 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 	case ProtoRaft:
 		return raft.New(raft.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
-			ReadIndex: !c.DisableFastReads,
+			ReadIndex: !c.DisableFastReads, FastPath: c.FastPathWrites,
 		})
 	case ProtoMultiPaxos:
 		return multipaxos.New(multipaxos.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
-			ReadIndex: !c.DisableFastReads,
+			ReadIndex: !c.DisableFastReads, FastPath: c.FastPathWrites,
 		})
 	case ProtoRaftStarPQL, ProtoRaftStarLL:
 		mode := rql.QuorumLease
@@ -201,7 +207,7 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 	default: // ProtoRaftStar and zero value
 		return raftstar.New(raftstar.Config{
 			ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
-			ReadIndex: !c.DisableFastReads,
+			ReadIndex: !c.DisableFastReads, FastPath: c.FastPathWrites,
 		})
 	}
 }
