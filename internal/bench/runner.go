@@ -87,6 +87,13 @@ type Scenario struct {
 	LeaseDuration time.Duration
 	LeaseRenew    time.Duration
 
+	// ClockSkew optionally gives each site's tick-clock rate relative to
+	// virtual time (1 = nominal, 1.1 = 10% fast, 0.9 = slow); sites beyond
+	// the slice length, or a nil slice, run at nominal rate. Lease-serving
+	// protocols must stay safe — not merely live — under the skew their
+	// guard-band margin covers; see internal/lease.
+	ClockSkew []float64
+
 	Topology *simnet.Topology
 	Cost     simnet.CostModel
 	Seed     int64
@@ -469,10 +476,14 @@ func Run(raw Scenario) (*Result, error) {
 		net.Register(peers[i], simnet.Site(i), nodes[i], true)
 	}
 
-	// Tick driving.
-	for _, n := range nodes {
+	// Tick driving, each node on its own (possibly skewed) clock.
+	for i, n := range nodes {
 		n := n
-		sim.Every(sc.TickInterval, n.tick)
+		rate := 1.0
+		if i < len(sc.ClockSkew) && sc.ClockSkew[i] > 0 {
+			rate = sc.ClockSkew[i]
+		}
+		sim.NewClock(sc.TickInterval, rate, n.tick)
 	}
 
 	// Bootstrap the pinned leader immediately.

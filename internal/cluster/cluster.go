@@ -99,6 +99,12 @@ type Config struct {
 	Group uint64
 	// TickInterval drives the engine's logical clock (default 10ms).
 	TickInterval time.Duration
+	// Ticks, when non-nil, replaces the internal wall-clock ticker as the
+	// engine's tick source: the event loop ticks once per value received
+	// and TickInterval is ignored. Tests use it to drive skewed, paused,
+	// or deterministic per-node clocks; closing the channel stops ticking
+	// (the node keeps processing messages).
+	Ticks <-chan time.Time
 	// MaxBatch bounds how many queued inputs (submissions + messages) one
 	// event-loop iteration drains into a single engine batch and a single
 	// persistence round (default 256).
@@ -443,15 +449,25 @@ func (n *Node) run() {
 		}
 		close(n.stageCh)
 	}()
-	ticker := time.NewTicker(n.cfg.TickInterval)
-	defer ticker.Stop()
+	tickC := n.cfg.Ticks
+	if tickC == nil {
+		ticker := time.NewTicker(n.cfg.TickInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
 	for {
 		var out protocol.Output
 		var writes, reads []protocol.Command
 		select {
 		case <-n.stop:
 			return
-		case <-ticker.C:
+		case _, ok := <-tickC:
+			if !ok {
+				// Injected tick source closed: this node's clock stops
+				// (a paused clock, not a dead node).
+				tickC = nil
+				continue
+			}
 			out = n.cfg.Engine.Tick()
 		case in := <-n.inbox:
 			n.stepInbound(in, &out)

@@ -263,9 +263,12 @@ func TestReadIndexAcrossFullClusterKillRestart(t *testing.T) {
 
 // TestQuorumLeaseReadsOverTCP proves the lease engines run in the live
 // cluster end to end: quorum leases circulate over the real TCP
-// transport (wall-clock ticks), and a follower holding a quorum lease
-// serves a strongly consistent read locally — observed via its own
-// fast-read counter — with zero reads through the log.
+// transport, and a follower holding a quorum lease serves a strongly
+// consistent read locally — observed via its own fast-read counter —
+// with zero reads through the log. The nodes' clocks are driven through
+// the injected tick source (cluster.Config.Ticks), so progress is
+// measured in ticks delivered, not wall time: a loaded machine slows
+// the test down but cannot starve the lease circulation into a timeout.
 func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -304,13 +307,15 @@ func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 			}
 			nodes := make([]*cluster.Node, 3)
 			tcps := make([]*transport.TCP, 3)
+			ticks := make([]chan time.Time, 3)
 			for i := range peers {
 				lazy := &lazyTransport{}
+				ticks[i] = make(chan time.Time, 64)
 				nodes[i] = cluster.New(cluster.Config{
-					Engine:       tc.mk(peers[i], peers),
-					Transport:    lazy,
-					Stable:       storage.NewMem(),
-					TickInterval: time.Millisecond,
+					Engine:    tc.mk(peers[i], peers),
+					Transport: lazy,
+					Stable:    storage.NewMem(),
+					Ticks:     ticks[i],
 				})
 				tcp, err := transport.NewTCP(peers[i], addrs, nodes[i].HandleMessage)
 				if err != nil {
@@ -326,12 +331,52 @@ func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 					tcps[i].Close()
 				}
 			}()
-			leader := waitLeader(t, nodes)
+			// tickAll advances every node's injected clock by k ticks,
+			// yielding briefly between ticks so the event loops and TCP
+			// links keep up.
+			tickAll := func(k int) {
+				for j := 0; j < k; j++ {
+					for _, ch := range ticks {
+						ch <- time.Time{}
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			var leader *cluster.Node
+			for i := 0; i < 400 && leader == nil; i++ {
+				tickAll(5)
+				for _, nd := range nodes {
+					if nd.IsLeader() {
+						leader = nd
+						break
+					}
+				}
+			}
+			if leader == nil {
+				t.Fatal("no leader after 2000 injected ticks")
+			}
 
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			defer cancel()
-			if err := leader.Put(ctx, "hot", []byte("v1")); err != nil {
-				t.Fatal(err)
+			// Client calls block on replication progress that needs the
+			// clocks to keep moving (heartbeats, lease renewals), so run
+			// them concurrently with the tick pump.
+			await := func(done <-chan struct{}) {
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						tickAll(1)
+					}
+				}
+			}
+			putDone := make(chan struct{})
+			var putErr error
+			go func() { putErr = leader.Put(ctx, "hot", []byte("v1")); close(putDone) }()
+			await(putDone)
+			if putErr != nil {
+				t.Fatal(putErr)
 			}
 			var follower *cluster.Node
 			for _, nd := range nodes {
@@ -343,11 +388,19 @@ func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 			// Leases need a few renew periods to circulate; keep reading at
 			// the follower until one is served locally (before the lease
 			// arrives, reads are forwarded — also correct, just not local).
-			deadline := time.Now().Add(10 * time.Second)
-			for {
-				got, err := follower.Get(ctx, "hot")
-				if err != nil {
-					t.Fatal(err)
+			// Each round injects a full renew period; 200 rounds is 20
+			// lease durations — if the lease hasn't circulated by then, it
+			// never will.
+			for round := 0; ; round++ {
+				var (
+					got     []byte
+					getErr  error
+					getDone = make(chan struct{})
+				)
+				go func() { got, getErr = follower.Get(ctx, "hot"); close(getDone) }()
+				await(getDone)
+				if getErr != nil {
+					t.Fatal(getErr)
 				}
 				if string(got) != "v1" {
 					t.Fatalf("lease read = %q, want v1", got)
@@ -355,10 +408,10 @@ func TestQuorumLeaseReadsOverTCP(t *testing.T) {
 				if fast, _ := follower.ReadStats(); fast > 0 {
 					break // served from the follower's own store
 				}
-				if time.Now().After(deadline) {
+				if round >= 200 {
 					t.Fatal("follower never served a local quorum-lease read")
 				}
-				time.Sleep(5 * time.Millisecond)
+				tickAll(15)
 			}
 			var logged int64
 			for _, nd := range nodes {

@@ -119,6 +119,204 @@ func TestGranteeRestriction(t *testing.T) {
 	}
 }
 
+// TestStaleGrantReplayIgnored is the regression for the replayed-grant
+// hole: a delayed or duplicated MsgGrant whose Seq is at or below the
+// latest seen from that grantor must not re-validate an expired lease.
+func TestStaleGrantReplayIgnored(t *testing.T) {
+	ps := peers(3)
+	h := lease.NewTable(lease.Config{
+		Self: 1, Peers: ps, DurationTicks: 10, RenewTicks: 4, SkewMarginTicks: 2,
+	})
+	acks, _ := h.Step(0, &lease.MsgGrant{Duration: 10, Seq: 5})
+	if len(acks) != 1 {
+		t.Fatal("fresh grant should be acked")
+	}
+	if exp, ok := h.HeldUntil(0); !ok || exp != 8 {
+		t.Fatalf("held until %d, want 8 (receipt + duration - margin)", exp)
+	}
+	for i := 0; i < 12; i++ {
+		h.Tick()
+	}
+	if h.HeldCount() != 1 {
+		t.Fatal("lease should have expired")
+	}
+	// An older grant arriving late must be dropped unacked.
+	if acks, _ = h.Step(0, &lease.MsgGrant{Duration: 10, Seq: 4}); len(acks) != 0 || h.HeldCount() != 1 {
+		t.Fatal("stale grant re-validated an expired lease")
+	}
+	// An exact replay of the latest grant is stale too.
+	if acks, _ = h.Step(0, &lease.MsgGrant{Duration: 10, Seq: 5}); len(acks) != 0 || h.HeldCount() != 1 {
+		t.Fatal("replayed grant re-validated an expired lease")
+	}
+	// A genuinely newer grant still works.
+	if acks, _ = h.Step(0, &lease.MsgGrant{Duration: 10, Seq: 6}); len(acks) != 1 || h.HeldCount() != 2 {
+		t.Fatal("fresh grant should re-establish the lease")
+	}
+}
+
+// TestGuardBandTrustEndsBeforeHonor pins the asymmetric windows: the
+// holder trusts receipt + Duration − margin, the grantor honors send +
+// Duration — even when the grant's ack never arrives.
+func TestGuardBandTrustEndsBeforeHonor(t *testing.T) {
+	ps := peers(2)
+	mk := func(self protocol.NodeID) *lease.Table {
+		return lease.NewTable(lease.Config{
+			Self: self, Peers: ps, DurationTicks: 20, RenewTicks: 5, SkewMarginTicks: 4,
+		})
+	}
+	g, h := mk(0), mk(1)
+	deliver := func(envs []protocol.Envelope, to *lease.Table) []protocol.Envelope {
+		var out []protocol.Envelope
+		for _, env := range envs {
+			more, ok := to.Step(env.From, env.Msg)
+			if !ok {
+				t.Fatal("non-lease message on lease wire")
+			}
+			out = append(out, more...)
+		}
+		return out
+	}
+	// Bootstrap: first contact is a full grant; its ack keeps renewals full.
+	h.Tick()
+	deliver(deliver(g.Tick(), h), g)
+	var grant []protocol.Envelope
+	for i := 0; i < 5; i++ {
+		h.Tick()
+		grant = g.Tick()
+	}
+	if len(grant) != 1 {
+		t.Fatalf("expected one renewal grant, got %d msgs", len(grant))
+	}
+	if d := grant[0].Msg.(*lease.MsgGrant).Duration; d != 20 {
+		t.Fatalf("renewal after an ack should carry the full duration, got %d", d)
+	}
+	deliver(grant, h) // the ack is dropped: honor must anchor at send
+	if exp, _ := h.HeldUntil(0); exp != 22 {
+		t.Fatalf("holder trusts until %d, want 22 (receipt 6 + 20 - 4)", exp)
+	}
+	// The grantor honors the unacked grant for the full duration from send
+	// (tick 6): through tick 25 inclusive.
+	for g.Now() < 25 {
+		g.Tick()
+	}
+	if len(g.Holders()) != 2 {
+		t.Fatal("grantor must honor an unacked grant through send+Duration")
+	}
+	g.Tick()
+	if len(g.Holders()) != 1 {
+		t.Fatal("grantor must drop the holder after send+Duration")
+	}
+	// The holder's trust ended four ticks earlier on its own clock.
+	for h.Now() < 22 {
+		h.Tick()
+	}
+	if h.HeldCount() != 1 {
+		t.Fatal("holder must stop trusting at receipt+Duration-margin")
+	}
+}
+
+// skewViolationOccurs runs a grantor whose clock ticks 2× the holder's,
+// cuts the link mid-run, and reports whether the holder ever trusted a
+// lease the grantor had stopped honoring — the stale-read window.
+func skewViolationOccurs(t *testing.T, unsafe bool) bool {
+	t.Helper()
+	ps := peers(2)
+	mk := func(self protocol.NodeID) *lease.Table {
+		return lease.NewTable(lease.Config{
+			Self: self, Peers: ps, DurationTicks: 20, RenewTicks: 5,
+			// For a holder up to 2× slower, safety needs
+			// margin ≥ D·(1−1/2) + δ/2 = 10 + δ/2.
+			SkewMarginTicks: 12,
+			UnsafeNoGuard:   unsafe,
+		})
+	}
+	g, h := mk(0), mk(1)
+	route := func(envs []protocol.Envelope, to *lease.Table) []protocol.Envelope {
+		var out []protocol.Envelope
+		for _, env := range envs {
+			more, ok := to.Step(env.From, env.Msg)
+			if !ok {
+				t.Fatal("non-lease message on lease wire")
+			}
+			out = append(out, more...)
+		}
+		return out
+	}
+	linked := true
+	violated := false
+	for round := 0; round < 100; round++ {
+		if round == 10 {
+			linked = false
+		}
+		for i := 0; i < 2; i++ { // grantor's clock runs 2× the holder's
+			envs := g.Tick()
+			if linked {
+				route(route(envs, h), g)
+			}
+		}
+		envs := h.Tick()
+		if linked {
+			route(route(envs, g), h)
+		}
+		if h.HeldCount() == 2 && len(g.Holders()) != 2 {
+			violated = true
+		}
+	}
+	if h.HeldCount() == 2 {
+		t.Fatal("holder lease should eventually expire")
+	}
+	return violated
+}
+
+func TestSkewedClockSafeWithGuardBand(t *testing.T) {
+	if skewViolationOccurs(t, false) {
+		t.Fatal("holder trusted a lease the grantor no longer honored despite the guard band")
+	}
+}
+
+// TestSkewedClockUnsafeWithoutGuardBand keeps the skew test honest: with
+// the guard band reverted the same schedule MUST open a stale-trust
+// window. If it stops doing so, the safe run's pass means nothing.
+func TestSkewedClockUnsafeWithoutGuardBand(t *testing.T) {
+	if !skewViolationOccurs(t, true) {
+		t.Fatal("sabotage run found no stale-trust window — the skew test has no teeth")
+	}
+}
+
+// TestHolderRecoversAfterProbation: a holder cut off long enough to be
+// demoted to probes reacquires its quorum lease within two renew periods
+// of healing (probe → ack → full grant).
+func TestHolderRecoversAfterProbation(t *testing.T) {
+	w, tables := newMesh(3, 20, 5)
+	for i := 0; i < 6; i++ {
+		tickAll(w, tables)
+	}
+	if !tables[1].HasQuorumLease() {
+		t.Fatal("lease should be active")
+	}
+	delete(w.tables, 1)
+	for i := 0; i < 30; i++ {
+		tickAll(w, tables[:1])
+		tickAll(w, tables[2:])
+		tables[1].Tick()
+	}
+	if tables[1].HasQuorumLease() {
+		t.Fatal("cut-off holder should have expired")
+	}
+	for _, id := range []int{0, 2} {
+		if len(tables[id].Holders()) != 2 {
+			t.Fatalf("table %d should honor only the live pair, got %d holders", id, len(tables[id].Holders()))
+		}
+	}
+	w.tables[1] = tables[1]
+	for i := 0; i < 11; i++ {
+		tickAll(w, tables)
+	}
+	if !tables[1].HasQuorumLease() {
+		t.Fatal("healed holder should reacquire its quorum lease")
+	}
+}
+
 func TestExpireHelper(t *testing.T) {
 	w, tables := newMesh(3, 20, 5)
 	for i := 0; i < 6; i++ {

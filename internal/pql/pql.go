@@ -37,6 +37,11 @@ type Config struct {
 	LeaseTicks int
 	// RenewTicks is the grant renewal period (paper: 0.5 s).
 	RenewTicks int
+	// SkewMarginTicks is the holder-side guard band against clock skew
+	// (0 = lease package default, LeaseTicks/8). See internal/lease.
+	SkewMarginTicks int
+	// UnsafeNoLeaseGuard disables the guard band — sabotage tests only.
+	UnsafeNoLeaseGuard bool
 }
 
 type pendingRead struct {
@@ -77,10 +82,12 @@ func New(cfg Config) *Engine {
 		e.leaseTicks = 200
 	}
 	e.leases = lease.NewTable(lease.Config{
-		Self:          cfg.Paxos.ID,
-		Peers:         cfg.Paxos.Peers,
-		DurationTicks: cfg.LeaseTicks,
-		RenewTicks:    cfg.RenewTicks,
+		Self:            cfg.Paxos.ID,
+		Peers:           cfg.Paxos.Peers,
+		DurationTicks:   cfg.LeaseTicks,
+		RenewTicks:      cfg.RenewTicks,
+		SkewMarginTicks: cfg.SkewMarginTicks,
+		UnsafeNoGuard:   cfg.UnsafeNoLeaseGuard,
 	})
 	pcfg := cfg.Paxos
 	pcfg.Hooks = multipaxos.Hooks{

@@ -56,6 +56,11 @@ type Config struct {
 	LeaseTicks int
 	// RenewTicks is the grant renewal period (paper: 0.5 s).
 	RenewTicks int
+	// SkewMarginTicks is the holder-side guard band against clock skew
+	// (0 = lease package default, LeaseTicks/8). See internal/lease.
+	SkewMarginTicks int
+	// UnsafeNoLeaseGuard disables the guard band — sabotage tests only.
+	UnsafeNoLeaseGuard bool
 }
 
 type pendingRead struct {
@@ -103,10 +108,12 @@ func New(cfg Config) *Engine {
 		e.mode = QuorumLease
 	}
 	lcfg := lease.Config{
-		Self:          cfg.Raft.ID,
-		Peers:         cfg.Raft.Peers,
-		DurationTicks: cfg.LeaseTicks,
-		RenewTicks:    cfg.RenewTicks,
+		Self:            cfg.Raft.ID,
+		Peers:           cfg.Raft.Peers,
+		DurationTicks:   cfg.LeaseTicks,
+		RenewTicks:      cfg.RenewTicks,
+		SkewMarginTicks: cfg.SkewMarginTicks,
+		UnsafeNoGuard:   cfg.UnsafeNoLeaseGuard,
 	}
 	if e.mode == LeaderLease {
 		// Grants are re-targeted at the current leader on every tick.

@@ -101,6 +101,57 @@ func (s *Sim) Every(period time.Duration, fn func()) (stop func()) {
 	return func() { stopped = true }
 }
 
+// Clock drives fn periodically at an adjustable rate, modeling a node
+// clock that drifts from virtual (true) time: rate 1 is nominal, 2 ticks
+// twice as fast, 0.5 half speed. SetRate applies live — a step change in
+// drift — and rate 0 pauses the clock until a positive rate resumes it,
+// which is how simulations express a GC or VM pause without unplugging
+// the node. The first tick fires one (scaled) period after creation.
+type Clock struct {
+	sim     *Sim
+	period  time.Duration
+	rate    float64
+	stopped bool
+	// armed guards against double-scheduling when SetRate resumes a
+	// paused clock.
+	armed bool
+	fn    func()
+}
+
+// NewClock starts a clock with the given nominal period and initial rate.
+func (s *Sim) NewClock(period time.Duration, rate float64, fn func()) *Clock {
+	c := &Clock{sim: s, period: period, rate: rate, fn: fn}
+	c.arm()
+	return c
+}
+
+func (c *Clock) arm() {
+	if c.stopped || c.armed || c.rate <= 0 {
+		return
+	}
+	c.armed = true
+	c.sim.After(time.Duration(float64(c.period)/c.rate), func() {
+		c.armed = false
+		if c.stopped || c.rate <= 0 {
+			return
+		}
+		c.fn()
+		c.arm()
+	})
+}
+
+// SetRate changes the clock's speed from now on. Rate 0 pauses; a
+// positive rate (re)starts ticking one scaled period from now, except
+// that a tick already in flight when the rate changes still fires at its
+// old schedule (the period it was cut from).
+func (c *Clock) SetRate(rate float64) {
+	c.rate = rate
+	c.arm()
+}
+
+// Stop permanently silences the clock.
+func (c *Clock) Stop() { c.stopped = true }
+
 // Run executes events until virtual time reaches until or the event queue
 // drains, whichever is first. It returns the time at which it stopped.
 func (s *Sim) Run(until time.Duration) Time {

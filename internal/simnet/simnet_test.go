@@ -210,3 +210,55 @@ func TestTopologyValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClockRates(t *testing.T) {
+	sim := simnet.New(1)
+	var fast, slow, nominal int
+	sim.NewClock(10*time.Millisecond, 2, func() { fast++ })
+	sim.NewClock(10*time.Millisecond, 0.5, func() { slow++ })
+	sim.NewClock(10*time.Millisecond, 1, func() { nominal++ })
+	sim.Run(time.Second)
+	if fast != 200 || nominal != 100 || slow != 50 {
+		t.Fatalf("ticks fast=%d nominal=%d slow=%d, want 200/100/50", fast, slow, nominal)
+	}
+}
+
+func TestClockPauseAndResume(t *testing.T) {
+	sim := simnet.New(1)
+	n := 0
+	c := sim.NewClock(10*time.Millisecond, 1, func() { n++ })
+	sim.Run(105 * time.Millisecond)
+	if n != 10 {
+		t.Fatalf("ticks before pause = %d, want 10", n)
+	}
+	c.SetRate(0) // GC/VM pause: the clock stands still
+	sim.Run(500 * time.Millisecond)
+	if n != 10 {
+		t.Fatalf("paused clock ticked (n=%d)", n)
+	}
+	c.SetRate(1)
+	sim.Run(605 * time.Millisecond)
+	if n != 20 {
+		t.Fatalf("ticks after resume = %d, want 20", n)
+	}
+	c.Stop()
+	sim.Run(time.Second)
+	if n != 20 {
+		t.Fatalf("stopped clock ticked (n=%d)", n)
+	}
+}
+
+func TestClockRateChangeMidFlight(t *testing.T) {
+	sim := simnet.New(1)
+	n := 0
+	c := sim.NewClock(10*time.Millisecond, 1, func() { n++ })
+	// The in-flight tick (armed for t=10ms) fires at its old schedule;
+	// everything after runs at the new rate.
+	sim.Run(5 * time.Millisecond)
+	c.SetRate(2)
+	sim.Run(105 * time.Millisecond)
+	// t=10 (old period), then every 5ms: 15,20,...,105 → 1 + 19.
+	if n != 20 {
+		t.Fatalf("ticks = %d, want 20", n)
+	}
+}

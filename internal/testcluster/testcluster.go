@@ -35,6 +35,14 @@ type Cluster struct {
 	// (persist + state-machine restore) reduced to bookkeeping here.
 	Installed map[protocol.NodeID][]protocol.SnapshotImage
 
+	// observe, when set, intercepts every engine output before Collect
+	// absorbs it, and may mutate it in place. The campaign harness
+	// implements its durability model there: recording appended entries
+	// on a per-node crash disk, withholding barrier messages and replies
+	// of rounds whose persist failed, and dropping re-commits a restarted
+	// node already applied in a previous incarnation.
+	observe func(id protocol.NodeID, out *protocol.Output)
+
 	// KV mirrors each node's applied state machine and AppliedIdx its
 	// applied watermark — the driver-side apply loop a live cluster.Node
 	// runs, reduced to a map. Read paths that serve from the local store
@@ -90,6 +98,9 @@ func (c *Cluster) Isolate(n protocol.NodeID, cut bool) {
 // confirmed ReadIndex states are served once the applied watermark
 // reaches their read index.
 func (c *Cluster) Collect(id protocol.NodeID, out protocol.Output) {
+	if c.observe != nil {
+		c.observe(id, &out)
+	}
 	c.Queue = append(c.Queue, out.Msgs...)
 	if out.InstalledSnapshot != nil {
 		c.Installed[id] = append(c.Installed[id], *out.InstalledSnapshot)

@@ -109,6 +109,13 @@ type ClusterConfig struct {
 	// 2s / 500ms, the paper's parameters).
 	LeaseDuration time.Duration
 	LeaseRenew    time.Duration
+	// LeaseSkewMargin is the holder-side guard band protecting lease
+	// reads from clock skew: a holder trusts a grant only until
+	// receipt + LeaseDuration − LeaseSkewMargin, while the grantor
+	// honors it for the full duration. Size it for the worst relative
+	// drift plus delivery delay the deployment tolerates (see
+	// internal/lease for the formula); 0 defaults to LeaseDuration/8.
+	LeaseSkewMargin time.Duration
 	// MenciusConflicting selects the conflicting-workload reply policy.
 	MenciusConflicting bool
 	// DisableFastReads reverts Get to the paper's baseline of replicating
@@ -149,6 +156,20 @@ func (c *ClusterConfig) withDefaults() ClusterConfig {
 	return out
 }
 
+// skewTicks converts the configured lease guard band to ticks; 0 means
+// "use the lease table's default" (DurationTicks/8), so it is passed
+// through rather than clamped here.
+func skewTicks(c ClusterConfig) int {
+	if c.LeaseSkewMargin <= 0 {
+		return 0
+	}
+	n := int(c.LeaseSkewMargin / c.TickInterval)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // NewEngine builds a single replica engine for the protocol — the
 // lower-level entry point for custom drivers and simulators.
 func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) protocol.Engine {
@@ -182,9 +203,10 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 				ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
 				ReadIndex: !c.DisableFastReads,
 			},
-			Mode:       mode,
-			LeaseTicks: ticks(c.LeaseDuration),
-			RenewTicks: ticks(c.LeaseRenew),
+			Mode:            mode,
+			LeaseTicks:      ticks(c.LeaseDuration),
+			RenewTicks:      ticks(c.LeaseRenew),
+			SkewMarginTicks: skewTicks(c),
 		})
 	case ProtoRaftStarMencius:
 		policy := coorraft.ReplyAtCommit
@@ -201,8 +223,9 @@ func NewEngine(cfg ClusterConfig, id protocol.NodeID, peers []protocol.NodeID) p
 				ID: id, Peers: peers, ElectionTicks: election, HeartbeatTicks: hb, Seed: c.Seed,
 				ReadIndex: !c.DisableFastReads,
 			},
-			LeaseTicks: ticks(c.LeaseDuration),
-			RenewTicks: ticks(c.LeaseRenew),
+			LeaseTicks:      ticks(c.LeaseDuration),
+			RenewTicks:      ticks(c.LeaseRenew),
+			SkewMarginTicks: skewTicks(c),
 		})
 	default: // ProtoRaftStar and zero value
 		return raftstar.New(raftstar.Config{
